@@ -1,0 +1,66 @@
+// Ablation: Krylov method and preconditioner choice on the Fig. 7 system.
+//
+// The paper uses PETSc GMRES with block Jacobi preconditioning. This bench
+// shows that configuration against the alternatives the same library offers
+// (CG and BiCGStab; none/Jacobi/SSOR preconditioning), reporting iteration
+// counts and predicted 8-CPU Deep Flow solve time.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Ablation: solver / preconditioner (Fig. 7 system, 8 CPUs) ==\n");
+  const perf::PlatformModel platform = perf::deep_flow_cluster();
+  bench::BrainProblem problem = bench::make_brain_problem(77511);
+  std::printf("mesh: %d nodes → %d equations\n\n", problem.mesh.num_nodes(),
+              problem.num_equations);
+
+  struct KrylovVariant {
+    const char* name;
+    fem::KrylovKind kind;
+  };
+  struct PrecondVariant {
+    const char* name;
+    solver::PreconditionerKind kind;
+  };
+  const KrylovVariant krylovs[] = {
+      {"gmres(30)", fem::KrylovKind::kGmres},
+      {"cg", fem::KrylovKind::kCg},
+      {"bicgstab", fem::KrylovKind::kBicgstab},
+  };
+  const PrecondVariant preconds[] = {
+      {"block-jacobi/ilu0 (paper)", solver::PreconditionerKind::kBlockJacobiIlu0},
+      {"additive-schwarz/ilu0", solver::PreconditionerKind::kAdditiveSchwarzIlu0},
+      {"block-jacobi/ic0", solver::PreconditionerKind::kBlockJacobiIc0},
+      {"jacobi", solver::PreconditionerKind::kJacobi},
+      {"ssor", solver::PreconditionerKind::kSsor},
+      {"none", solver::PreconditionerKind::kNone},
+  };
+
+  std::printf("  %-10s %-26s | iterations | solve(s) predicted\n", "krylov",
+              "preconditioner");
+  for (const auto& k : krylovs) {
+    for (const auto& m : preconds) {
+      fem::DeformationSolveOptions options;
+      options.krylov = k.kind;
+      options.preconditioner = m.kind;
+      options.solver.max_iterations = 4000;
+      const bench::ScalingRow row = bench::run_scaling_point(
+          problem, platform, 8, options, /*require_convergence=*/false);
+      std::printf("  %-10s %-26s | %10d | %8.2f%s\n", k.name, m.name, row.iterations,
+                  row.solve_s, row.converged ? "" : "  (did not converge)");
+    }
+  }
+
+  std::printf("\nexpected shape: ILU(0) block preconditioning needs the fewest\n"
+              "iterations for GMRES/BiCGStab (the paper's PETSc configuration);\n"
+              "unpreconditioned Krylov is several times slower on this\n"
+              "ill-conditioned near-incompressible elasticity system.\n"
+              "note: CG stagnating under ILU(0) is the textbook caveat — an\n"
+              "incomplete LU of an SPD non-M-matrix need not stay positive\n"
+              "definite, which is why CG setups use IC/SSOR instead (and SSOR\n"
+              "indeed gives CG its best time here).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 4 quantitatively. The paper shows 2-D slices of the
+// initial scan, the target scan, the simulated deformation, and their
+// difference image, judging quality by the "very small intensity differences
+// at the boundary of the simulated deformed brain". The phantom carries the
+// exact deformation, so this bench reports the same intensity-difference
+// evidence *and* true displacement error, rigid-only versus biomechanically
+// simulated. (The example `neurosurgery_case` writes the actual slice images.)
+//
+// Expected shape: simulation beats rigid-only on boundary intensity MAD and
+// on displacement residual; some interior misregistration remains (the paper
+// reports the same, attributing it to the homogeneous material model).
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/landmarks.h"
+#include "core/pipeline.h"
+#include "phantom/brain_phantom.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Fig. 4: accuracy of the simulated deformation ==\n");
+  phantom::PhantomConfig pcfg;
+  pcfg.dims = {96, 96, 96};
+  pcfg.spacing = {2.5, 2.5, 2.5};
+  const phantom::ShiftConfig shift;  // 8 mm sinking + resection collapse
+  const phantom::PhantomCase cas = phantom::make_case(pcfg, shift);
+  std::printf("phantom: %d^3 voxels at %.1f mm, %.0f mm peak surface sinking\n",
+              pcfg.dims.x, pcfg.spacing.x, shift.max_sink_mm);
+
+  core::PipelineConfig config = core::default_pipeline_config();
+  config.do_rigid_registration = false;  // same scanner frame, as in Fig. 4
+  config.mesher.stride = 3;
+  config.fem.nranks = 2;
+  const core::PipelineResult result =
+      core::run_intraop_pipeline(cas.preop, cas.preop_labels, cas.intraop, config);
+  NEURO_CHECK(result.fem.stats.converged);
+
+  const core::AccuracyReport report = core::evaluate_against_truth(result, cas);
+  core::print_report(report);
+
+  std::printf("\ntarget registration error at anatomical landmarks:\n");
+  const core::TreReport tre =
+      core::evaluate_landmarks(result, core::phantom_landmarks(cas));
+  core::print_tre_report(tre);
+
+  std::printf("\npaper-shape checks:\n");
+  std::printf("  boundary MAD improved by simulation: %s (%.2f -> %.2f)\n",
+              report.mad_boundary_simulated < report.mad_boundary_rigid_only
+                  ? "yes"
+                  : "NO",
+              report.mad_boundary_rigid_only, report.mad_boundary_simulated);
+  std::printf("  displacement residual reduced:       %s (%.2f -> %.2f mm mean)\n",
+              report.recovered_error.mean_mm < report.residual_rigid_only.mean_mm
+                  ? "yes"
+                  : "NO",
+              report.residual_rigid_only.mean_mm, report.recovered_error.mean_mm);
+  std::printf("  (interior misregistration persists near the resection cavity,\n"
+              "   as the paper reports near the ventricles/falx)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 5 numerically. The figure renders the deformed brain
+// surface colored by displacement magnitude with arrows showing initial→final
+// positions of surface points. This bench prints the distribution those
+// renderings encode: surface displacement magnitudes overall and by height
+// band, and the dominant direction (sinking) near the craniotomy. The example
+// `neurosurgery_case` writes the OBJ surface + arrow CSV for actual rendering.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "phantom/brain_phantom.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Fig. 5: surface deformation field ==\n");
+  phantom::PhantomConfig pcfg;
+  pcfg.dims = {80, 80, 80};
+  pcfg.spacing = {3.0, 3.0, 3.0};
+  const phantom::PhantomCase cas = phantom::make_case(pcfg, phantom::ShiftConfig{});
+
+  core::PipelineConfig config = core::default_pipeline_config();
+  config.do_rigid_registration = false;
+  config.mesher.stride = 3;
+  const core::PipelineResult result =
+      core::run_intraop_pipeline(cas.preop, cas.preop_labels, cas.intraop, config);
+
+  const auto& surface = result.surface_match.surface;
+  const auto& disp = result.surface_match.displacements;
+
+  double lo_z = 1e300, hi_z = -1e300;
+  for (const auto& v : result.preop_surface.vertices) {
+    lo_z = std::min(lo_z, v.z);
+    hi_z = std::max(hi_z, v.z);
+  }
+
+  std::printf("surface: %d vertices, %d triangles\n", surface.num_vertices(),
+              surface.num_triangles());
+
+  // Magnitude histogram (the figure's color coding).
+  std::vector<int> histogram(8, 0);
+  double max_mag = 0.0, mean_mag = 0.0;
+  for (const auto& d : disp) {
+    const double m = norm(d);
+    max_mag = std::max(max_mag, m);
+    mean_mag += m;
+    ++histogram[std::min<std::size_t>(static_cast<std::size_t>(m / 1.5),
+                                      histogram.size() - 1)];
+  }
+  mean_mag /= static_cast<double>(disp.size());
+  std::printf("displacement magnitude: mean %.2f mm, max %.2f mm\n", mean_mag, max_mag);
+  std::printf("magnitude histogram (1.5 mm bins):");
+  for (const int h : histogram) std::printf(" %d", h);
+  std::printf("\n");
+
+  // By height band (the paper's rendering shows the sinking concentrated at
+  // the exposed top surface, fading toward the anchored base).
+  std::printf("\n  height band | vertices | mean dz (mm) | mean |d| (mm)\n");
+  for (int band = 0; band < 5; ++band) {
+    const double z0 = lo_z + (hi_z - lo_z) * band / 5.0;
+    const double z1 = lo_z + (hi_z - lo_z) * (band + 1) / 5.0;
+    double sum_dz = 0.0, sum_m = 0.0;
+    int n = 0;
+    for (std::size_t v = 0; v < disp.size(); ++v) {
+      const double z = result.preop_surface.vertices[v].z;
+      if (z < z0 || z >= z1) continue;
+      sum_dz += disp[v].z;
+      sum_m += norm(disp[v]);
+      ++n;
+    }
+    std::printf("  %5.0f-%-5.0f | %8d | %12.2f | %12.2f\n", z0, z1, n,
+                n ? sum_dz / n : 0.0, n ? sum_m / n : 0.0);
+  }
+
+  std::printf("\npaper-shape check: sinking (negative dz) dominates at the top "
+              "band, base is static.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 6: the timeline of intraoperative image-processing
+// actions (rigid registration → tissue classification → surface displacement
+// → biomechanical simulation → visualization). Runs the full pipeline on a
+// clinically-sized phantom and prints per-stage wall-clock on this host,
+// including the ~0.5 s visualization resample the paper quotes.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "phantom/brain_phantom.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Fig. 6: intraoperative processing timeline ==\n");
+  phantom::PhantomConfig pcfg;
+  pcfg.dims = {96, 96, 96};
+  pcfg.spacing = {2.5, 2.5, 2.5};
+  RigidTransform repositioning;
+  repositioning.translation = {4.0, -2.0, 1.0};  // patient repositioning
+  const phantom::PhantomCase cas =
+      phantom::make_case(pcfg, phantom::ShiftConfig{}, repositioning);
+
+  core::PipelineConfig config = core::default_pipeline_config();
+  config.mesher.stride = 3;
+  config.fem.nranks = 2;
+  const core::PipelineResult result =
+      core::run_intraop_pipeline(cas.preop, cas.preop_labels, cas.intraop, config);
+
+  std::printf("\n%-26s %10s\n", "action (during surgery)", "seconds");
+  for (const auto& stage : result.timeline) {
+    std::printf("%-26s %10.2f\n", stage.name.c_str(), stage.seconds);
+  }
+  std::printf("%-26s %10.2f\n", "total", result.total_seconds);
+
+  std::printf("\nFEM stage detail: %d equations, %d GMRES iterations, "
+              "assemble %.2f s + solve %.2f s (host wall)\n",
+              result.fem.num_equations, result.fem.stats.iterations,
+              result.fem.wall_assemble_s, result.fem.wall_solve_s);
+  std::printf("paper-shape check: biomechanical simulation and resampling are "
+              "interactive-scale;\nthe resample step is ~%.1f s (paper: ~0.5 s "
+              "on 1999 hardware).\n",
+              result.stage_seconds("visualization_resample"));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 7: timing for assembling, solving, and the sum of
+// initialization, assembly and solve for a system of ~77,511 equations
+// simulating brain deformation on the 16-node "Deep Flow" Alpha cluster
+// (Fast Ethernet). Also prints the Fig. 3 platform table the model encodes.
+//
+// The SPMD algorithm really runs at each CPU count; times come from the
+// calibrated platform model applied to the measured per-rank work
+// (DESIGN.md §2 — this host has one core, a 1999 Alpha cluster does not fit
+// in it). Expected shape: both curves descend sublinearly; assembly scaling
+// limited by node-connectivity imbalance, solve scaling by the
+// boundary-condition imbalance; total < 10 s at 16 CPUs.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Fig. 7: ~77,511-equation brain deformation on Deep Flow ==\n");
+  const perf::PlatformModel platform = perf::deep_flow_cluster();
+  bench::print_platform_header(platform);
+
+  bench::BrainProblem problem = bench::make_brain_problem(77511);
+  std::printf("mesh: %d nodes, %d tets  →  %d equations (paper: 77,511)\n",
+              problem.mesh.num_nodes(), problem.mesh.num_tets(),
+              problem.num_equations);
+  std::printf("fixed surface dofs: %zu of %d\n", 3 * problem.prescribed.size(),
+              problem.num_equations);
+
+  std::vector<bench::ScalingRow> rows;
+  for (const int p : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
+    rows.push_back(bench::run_scaling_point(problem, platform, p));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  bench::print_scaling_table(rows);
+
+  const auto& first = rows.front();
+  const auto& last = rows.back();
+  std::printf("\nassemble speedup at 16 CPUs: %.1fx   solve speedup: %.1fx\n",
+              first.assemble_s / last.assemble_s, first.solve_s / last.solve_s);
+  std::printf("16-CPU total (init+assemble+solve): %.1f s  —  paper: < 10 s\n",
+              last.assemble_s + last.solve_s + last.init_s);
+  return 0;
+}

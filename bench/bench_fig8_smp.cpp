@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 8: assembling and solving the same ~77,511-equation
+// system on (a) a Sun Ultra HPC 6000 SMP with 20 CPUs and (b) a cluster of
+// two 4-CPU Sun Ultra 80 servers on Fast Ethernet. The paper's observation —
+// "scaling performance similar to that obtained on the Deep Flow cluster,
+// despite the differences in architectures" — is what the shapes should show.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace neuro;
+
+  bench::BrainProblem problem = bench::make_brain_problem(77511);
+  std::printf("mesh: %d nodes → %d equations (paper: 77,511)\n\n",
+              problem.mesh.num_nodes(), problem.num_equations);
+
+  std::printf("== Fig. 8a: Sun Ultra HPC 6000 SMP, 1–20 CPUs ==\n");
+  const perf::PlatformModel smp = perf::ultra_hpc_6000();
+  bench::print_platform_header(smp);
+  std::vector<bench::ScalingRow> rows_a;
+  for (const int p : {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}) {
+    rows_a.push_back(bench::run_scaling_point(problem, smp, p));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  bench::print_scaling_table(rows_a);
+
+  std::printf("\n== Fig. 8b: 2x Sun Ultra 80 (4 CPUs each), Fast Ethernet ==\n");
+  const perf::PlatformModel dual = perf::dual_ultra80_cluster();
+  bench::print_platform_header(dual);
+  std::vector<bench::ScalingRow> rows_b;
+  for (const int p : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    rows_b.push_back(bench::run_scaling_point(problem, dual, p));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  bench::print_scaling_table(rows_b);
+
+  std::printf("\nsimilar-shape check (paper's key Fig. 8 observation):\n");
+  std::printf("  SMP    assemble 1→8 CPUs: %.1fx   solve: %.1fx\n",
+              rows_a[0].assemble_s / rows_a[4].assemble_s,
+              rows_a[0].solve_s / rows_a[4].solve_s);
+  std::printf("  2xU80  assemble 1→8 CPUs: %.1fx   solve: %.1fx\n",
+              rows_b[0].assemble_s / rows_b[7].assemble_s,
+              rows_b[0].solve_s / rows_b[7].solve_s);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces paper Fig. 9: assembling and solving a system of ~253,308
+// equations (a 2.5x finer biomechanical model, anticipating heterogeneous
+// brain structures) on the 20-CPU Sun Ultra HPC 6000. The paper's conclusion:
+// even this system stays within a clinically compatible time frame.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Fig. 9: ~253,308-equation system on Sun Ultra HPC 6000 ==\n");
+  const perf::PlatformModel smp = perf::ultra_hpc_6000();
+  bench::print_platform_header(smp);
+
+  bench::BrainProblem problem = bench::make_brain_problem(253308);
+  std::printf("mesh: %d nodes, %d tets → %d equations (paper: 253,308)\n",
+              problem.mesh.num_nodes(), problem.mesh.num_tets(),
+              problem.num_equations);
+
+  std::vector<bench::ScalingRow> rows;
+  for (const int p : {1, 2, 4, 8, 12, 16, 20}) {
+    rows.push_back(bench::run_scaling_point(problem, smp, p));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  bench::print_scaling_table(rows);
+
+  const double total20 = rows.back().assemble_s + rows.back().solve_s + rows.back().init_s;
+  std::printf("\n20-CPU total: %.1f s — the paper's conclusion: a system 2.5x "
+              "larger than the\ncurrent model still assembles and solves in a "
+              "clinically compatible time frame.\n", total20);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Robustness study (extension): the paper notes that clinical viability
+// "relies upon [the methods] being sufficiently robust to provide accurate
+// results for typical clinical cases" and defers validation to more cases.
+// The phantom makes a systematic sweep possible: vary image noise and
+// deformation magnitude, run the full pipeline, and report accuracy.
+//
+// Expected shape: accuracy degrades gracefully with noise; the simulation
+// keeps beating rigid-only registration across the clinical range of brain
+// shift (a few mm to ~1.5 cm peak).
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/landmarks.h"
+#include "core/pipeline.h"
+#include "phantom/brain_phantom.h"
+
+int main() {
+  using namespace neuro;
+
+  std::printf("== Robustness sweep: noise level x deformation magnitude ==\n");
+  std::printf(
+      " noise | sink(mm) | residual(mm) | recovered(mm) | TRE rigid/sim (mm) | "
+      "Dice  | converged\n");
+
+  for (const double noise : {1.5, 3.0, 6.0, 9.0}) {
+    for (const double sink : {4.0, 8.0, 12.0}) {
+      phantom::PhantomConfig pc;
+      pc.dims = {64, 64, 64};
+      pc.spacing = {2.5, 2.5, 2.5};
+      pc.noise_sigma = noise;
+      phantom::ShiftConfig shift;
+      shift.max_sink_mm = sink;
+      const auto cas = phantom::make_case(pc, shift);
+
+      core::PipelineConfig config = core::default_pipeline_config();
+      config.do_rigid_registration = false;
+      config.mesher.stride = 3;
+      const auto result = core::run_intraop_pipeline(cas.preop, cas.preop_labels,
+                                                     cas.intraop, config);
+      const auto report = core::evaluate_against_truth(result, cas);
+      const auto tre =
+          core::evaluate_landmarks(result, core::phantom_landmarks(cas));
+      std::printf(
+          " %5.1f | %8.1f | %12.2f | %13.2f | %8.2f / %-8.2f | %.3f | %s\n",
+          noise, sink, report.residual_rigid_only.mean_mm,
+          report.recovered_error.mean_mm, tre.mean_rigid_only_mm,
+          tre.mean_simulated_mm, report.brain_dice,
+          result.fem.stats.converged ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\nexpected shape: the recovered field error stays below the "
+              "rigid-only residual\nacross the sweep and is nearly noise-"
+              "insensitive (the DT priors and surface\nsmoothing absorb it). "
+              "Landmark TRE improves strongly for clinically large\nshifts "
+              "(8–12 mm) and breaks even at small ones, where there is little\n"
+              "deformation left to recover.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench builds a phantom brain mesh sized to the paper's equation count,
+// prescribes the analytic brain-shift displacement on its surface (the same
+// boundary data the pipeline's active surface would measure, minus the
+// segmentation noise — the benches time the solver, not the segmentation),
+// runs the real SPMD assemble/solve at each CPU count, and converts the
+// recorded per-rank work into platform times with the calibrated models
+// (DESIGN.md §2). Host wall-clock is also printed for transparency; on this
+// single-core build machine it cannot show speedup.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fem/deformation_solver.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "perf/models.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro::bench {
+
+struct BrainProblem {
+  phantom::PhantomConfig phantom_config;
+  phantom::BrainGeometry geometry{phantom::PhantomConfig{}};
+  mesh::TetMesh mesh;
+  std::vector<std::pair<mesh::NodeId, Vec3>> prescribed;
+  int num_equations = 0;
+};
+
+/// Labeled volume of the phantom anatomy at the given cube dimension, with
+/// spacing scaled so the head has constant physical size.
+inline ImageL phantom_labels(int dims, phantom::PhantomConfig* config_out = nullptr) {
+  phantom::PhantomConfig pc;
+  pc.dims = {dims, dims, dims};
+  const double spacing = 2.5 * 96.0 / dims;
+  pc.spacing = {spacing, spacing, spacing};
+  const phantom::BrainGeometry geo(pc);
+  ImageL labels(pc.dims, 0, pc.spacing);
+  for (int k = 0; k < dims; ++k) {
+    for (int j = 0; j < dims; ++j) {
+      for (int i = 0; i < dims; ++i) {
+        labels(i, j, k) = phantom::label(geo.tissue_at(labels.voxel_to_physical(i, j, k)));
+      }
+    }
+  }
+  if (config_out != nullptr) *config_out = pc;
+  return labels;
+}
+
+/// Builds the FEM problem whose equation count approximates `target_equations`
+/// (one refinement of the volume dimension by the cubic scaling law).
+inline BrainProblem make_brain_problem(int target_equations) {
+  mesh::MesherConfig mc;
+  mc.stride = 2;
+  mc.keep_labels = {phantom::label(phantom::Tissue::kBrain),
+                    phantom::label(phantom::Tissue::kVentricle),
+                    phantom::label(phantom::Tissue::kFalx),
+                    phantom::label(phantom::Tissue::kTumor)};
+
+  int dims = 96;
+  BrainProblem problem;
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    problem.mesh = mesh::mesh_labeled_volume(
+        phantom_labels(dims, &problem.phantom_config), mc);
+    const int eq = 3 * problem.mesh.num_nodes();
+    if (std::abs(eq - target_equations) <= target_equations / 20) break;
+    const double scale = std::cbrt(static_cast<double>(target_equations) / eq);
+    int next = static_cast<int>(std::lround(dims * scale / 4.0)) * 4;
+    if (next == dims) break;
+    dims = next;
+  }
+  problem.geometry = phantom::BrainGeometry(problem.phantom_config);
+  problem.num_equations = 3 * problem.mesh.num_nodes();
+
+  // Prescribe the (negated) analytic backward shift on every boundary node:
+  // the forward displacement the surface-matching stage would hand the FEM.
+  const auto surface = mesh::extract_boundary_surface(problem.mesh, mc.keep_labels);
+  const phantom::ShiftConfig shift;  // defaults: 8 mm sink + resection collapse
+  problem.prescribed.reserve(surface.mesh_nodes.size());
+  for (const auto n : surface.mesh_nodes) {
+    const Vec3& p = problem.mesh.nodes[static_cast<std::size_t>(n)];
+    problem.prescribed.emplace_back(n, -1.0 * problem.geometry.shift_at(p, shift));
+  }
+  return problem;
+}
+
+struct ScalingRow {
+  int nranks = 0;
+  bool converged = true;
+  double assemble_s = 0.0;   ///< model-predicted
+  double solve_s = 0.0;      ///< model-predicted
+  double init_s = 0.0;       ///< model-predicted (replicated setup)
+  double assemble_imbalance = 1.0;
+  double solve_imbalance = 1.0;
+  int iterations = 0;
+  double wall_assemble_s = 0.0;  ///< measured on this host (threads share 1 core)
+  double wall_solve_s = 0.0;
+};
+
+/// Runs the deformation solve at `nranks` and converts per-rank work records
+/// to `platform` times. Init is modeled as a replicated mesh-topology pass
+/// (P-independent) plus each rank's own CSR-pattern construction (scales
+/// with 1/P), which is how the assembly path actually initializes.
+inline ScalingRow run_scaling_point(const BrainProblem& problem,
+                                    const perf::PlatformModel& platform, int nranks,
+                                    fem::DeformationSolveOptions options = {},
+                                    bool require_convergence = true) {
+  options.nranks = nranks;
+  const fem::DeformationResult result = fem::solve_deformation(
+      problem.mesh, fem::MaterialMap::homogeneous_brain(), problem.prescribed,
+      options);
+  NEURO_CHECK_MSG(result.stats.converged || !require_convergence,
+                  "bench solve did not converge at P="
+                      << nranks << " (residual "
+                      << result.stats.relative_residual() << ")");
+  ScalingRow row;
+  row.converged = result.stats.converged;
+  row.nranks = nranks;
+  const auto& assemble = result.work.phase("assemble");
+  const auto& solve = result.work.phase("solve");
+  row.assemble_s = perf::predict_phase_seconds(platform, assemble);
+  row.solve_s = perf::predict_phase_seconds(platform, solve);
+  row.assemble_imbalance = perf::compute_imbalance(platform.machine, assemble);
+  row.solve_imbalance = perf::compute_imbalance(platform.machine, solve);
+  row.iterations = result.stats.iterations;
+  row.wall_assemble_s = result.wall_assemble_s;
+  row.wall_solve_s = result.wall_solve_s;
+
+  // Initialization = replicated topology construction (every rank walks the
+  // whole mesh; P-independent) + the rank's own CSR-pattern build (1/P).
+  double nnz = 0.0;
+  for (const auto& w : assemble) nnz += w.mem_bytes;
+  par::WorkRecord init;
+  init.mem_bytes = 2.0 * static_cast<double>(problem.mesh.num_tets()) * 200.0 +
+                   0.8 * nnz / nranks * 1.0;
+  row.init_s = platform.machine.compute_seconds(init);
+  return row;
+}
+
+inline void print_platform_header(const perf::PlatformModel& platform) {
+  std::printf("platform: %s\n", platform.name.c_str());
+  std::printf("  machine: %-28s  %6.1f sustained Mflop/s, %6.1f MB/s memory\n",
+              platform.machine.name.c_str(), platform.machine.flops_per_sec / 1e6,
+              platform.machine.mem_bytes_per_sec / 1e6);
+  std::printf("  network: %-28s  %6.1f us latency, %6.1f MB/s\n",
+              platform.net.name.c_str(), platform.net.latency_sec * 1e6,
+              platform.net.bandwidth_bytes_per_sec / 1e6);
+}
+
+inline void print_scaling_table(const std::vector<ScalingRow>& rows) {
+  std::printf(
+      "  CPUs | assemble(s) | solve(s) | a+s+init(s) | imb(asm) | imb(slv) | "
+      "iters | host wall a/s (s)\n");
+  for (const auto& r : rows) {
+    std::printf(
+        "  %4d | %11.2f | %8.2f | %11.2f | %8.2f | %8.2f | %5d | %6.2f / %.2f\n",
+        r.nranks, r.assemble_s, r.solve_s, r.assemble_s + r.solve_s + r.init_s,
+        r.assemble_imbalance, r.solve_imbalance, r.iterations, r.wall_assemble_s,
+        r.wall_solve_s);
+  }
+}
+
+}  // namespace neuro::bench

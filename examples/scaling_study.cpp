@@ -1,0 +1,46 @@
+// Configurable scaling study over the three paper platforms.
+//
+//   ./scaling_study [target_equations] [max_cpus]
+//
+// Builds a brain FEM problem of the requested size, runs the SPMD
+// assemble/solve at 1..max_cpus ranks, and prints predicted times for the
+// Deep Flow Alpha cluster, the Ultra HPC 6000 SMP, and the dual Ultra 80
+// cluster side by side — the cross-architecture comparison of paper §3.2.
+#include <cstdio>
+#include <cstdlib>
+
+#include "../bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace neuro;
+
+  const int target = argc > 1 ? std::atoi(argv[1]) : 30000;
+  const int max_cpus = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  bench::BrainProblem problem = bench::make_brain_problem(target);
+  std::printf("== scaling study: %d equations (%d nodes, %d tets) ==\n",
+              problem.num_equations, problem.mesh.num_nodes(),
+              problem.mesh.num_tets());
+
+  const perf::PlatformModel platforms[] = {
+      perf::deep_flow_cluster(), perf::ultra_hpc_6000(), perf::dual_ultra80_cluster()};
+
+  std::printf("%6s", "CPUs");
+  for (const auto& p : platforms) std::printf(" | %28.28s", p.name.c_str());
+  std::printf("\n%6s", "");
+  for (int i = 0; i < 3; ++i) std::printf(" | %13s %14s", "assemble(s)", "solve(s)");
+  std::printf("\n");
+
+  for (int cpus = 1; cpus <= max_cpus; cpus *= 2) {
+    std::printf("%6d", cpus);
+    for (const auto& platform : platforms) {
+      const bench::ScalingRow row = bench::run_scaling_point(problem, platform, cpus);
+      std::printf(" | %13.2f %14.2f", row.assemble_s, row.solve_s);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(run bench_fig7_cluster / bench_fig8_smp / bench_fig9_large for\n"
+              " the paper-exact figure configurations.)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Error-handling primitives.
+//
+// NEURO_CHECK is an always-on invariant check (release builds included): FEM
+// pipelines fail in ways that silently corrupt results, so internal
+// consistency violations must abort loudly rather than propagate NaNs into a
+// deformation field that could, in the real system, reach an operating room
+// display.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace neuro {
+
+/// Thrown by NEURO_CHECK / NEURO_REQUIRE on violated invariants.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace neuro
+
+/// Always-on internal invariant check. Aborts with a CheckError.
+#define NEURO_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::neuro::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                  \
+  } while (false)
+
+/// Invariant check with a formatted context message (streamed).
+#define NEURO_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      std::ostringstream neuro_check_oss_;                             \
+      neuro_check_oss_ << msg; /* NOLINT */                            \
+      ::neuro::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    neuro_check_oss_.str());           \
+    }                                                                  \
+  } while (false)
+
+/// Precondition check on public-API arguments.
+#define NEURO_REQUIRE(expr, msg) NEURO_CHECK_MSG(expr, msg)

@@ -1,0 +1,103 @@
+// 3x3 and 4x4 dense matrices for rigid transforms and per-element geometry.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/vec3.h"
+
+namespace neuro {
+
+/// Row-major 3x3 matrix.
+struct Mat3 {
+  std::array<double, 9> m{};  // row-major
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    return r;
+  }
+
+  constexpr double& operator()(std::size_t r, std::size_t c) { return m[3 * r + c]; }
+  constexpr double operator()(std::size_t r, std::size_t c) const { return m[3 * r + c]; }
+
+  friend constexpr Vec3 operator*(const Mat3& a, const Vec3& v) {
+    return {a.m[0] * v.x + a.m[1] * v.y + a.m[2] * v.z,
+            a.m[3] * v.x + a.m[4] * v.y + a.m[5] * v.z,
+            a.m[6] * v.x + a.m[7] * v.y + a.m[8] * v.z};
+  }
+
+  friend constexpr Mat3 operator*(const Mat3& a, const Mat3& b) {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < 3; ++k) s += a(i, k) * b(k, j);
+        r(i, j) = s;
+      }
+    }
+    return r;
+  }
+
+  friend constexpr Mat3 operator+(const Mat3& a, const Mat3& b) {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = a.m[i] + b.m[i];
+    return r;
+  }
+
+  friend constexpr Mat3 operator*(const Mat3& a, double s) {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = a.m[i] * s;
+    return r;
+  }
+
+  [[nodiscard]] constexpr Mat3 transposed() const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+
+  [[nodiscard]] constexpr double det() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  /// Inverse; requires a non-singular matrix.
+  [[nodiscard]] Mat3 inverse() const {
+    const double d = det();
+    NEURO_CHECK_MSG(std::abs(d) > 1e-300, "Mat3::inverse of singular matrix");
+    const double id = 1.0 / d;
+    Mat3 r;
+    r.m[0] = (m[4] * m[8] - m[5] * m[7]) * id;
+    r.m[1] = (m[2] * m[7] - m[1] * m[8]) * id;
+    r.m[2] = (m[1] * m[5] - m[2] * m[4]) * id;
+    r.m[3] = (m[5] * m[6] - m[3] * m[8]) * id;
+    r.m[4] = (m[0] * m[8] - m[2] * m[6]) * id;
+    r.m[5] = (m[2] * m[3] - m[0] * m[5]) * id;
+    r.m[6] = (m[3] * m[7] - m[4] * m[6]) * id;
+    r.m[7] = (m[1] * m[6] - m[0] * m[7]) * id;
+    r.m[8] = (m[0] * m[4] - m[1] * m[3]) * id;
+    return r;
+  }
+};
+
+/// Rotation matrix from Euler angles (radians), applied in Z-Y-X order:
+/// R = Rz(rz) * Ry(ry) * Rx(rx). This is the parameterization the rigid
+/// registration optimizer works in; angles stay small for intraoperative
+/// positioning corrections so gimbal issues are not a concern.
+inline Mat3 rotation_zyx(double rx, double ry, double rz) {
+  const double cx = std::cos(rx), sx = std::sin(rx);
+  const double cy = std::cos(ry), sy = std::sin(ry);
+  const double cz = std::cos(rz), sz = std::sin(rz);
+  Mat3 Rx = Mat3::identity();
+  Rx(1, 1) = cx; Rx(1, 2) = -sx; Rx(2, 1) = sx; Rx(2, 2) = cx;
+  Mat3 Ry = Mat3::identity();
+  Ry(0, 0) = cy; Ry(0, 2) = sy; Ry(2, 0) = -sy; Ry(2, 2) = cy;
+  Mat3 Rz = Mat3::identity();
+  Rz(0, 0) = cz; Rz(0, 1) = -sz; Rz(1, 0) = sz; Rz(1, 1) = cz;
+  return Rz * Ry * Rx;
+}
+
+}  // namespace neuro

@@ -1,0 +1,119 @@
+// Small fixed-size linear-algebra types used throughout the library.
+//
+// These are deliberately minimal: the FEM and image code paths need 3-vectors
+// and a handful of small dense matrices with predictable, inline-able
+// arithmetic. Anything larger (the global stiffness system) lives in
+// neuro::solver as distributed sparse structures.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace neuro {
+
+/// A 3-component vector of double. Used for node coordinates, displacements,
+/// forces, and image-space physical points.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(double s) { x /= s; y /= s; z /= s; return *this; }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+/// Returns a/|a|, or the zero vector when |a| is (numerically) zero.
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec3{};
+}
+
+/// Integer 3-vector: voxel indices and lattice coordinates.
+struct IVec3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr IVec3() = default;
+  constexpr IVec3(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr int& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr int operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  friend constexpr IVec3 operator+(const IVec3& a, const IVec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr IVec3 operator-(const IVec3& a, const IVec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr bool operator==(const IVec3& a, const IVec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const IVec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+constexpr Vec3 to_vec3(const IVec3& v) {
+  return {static_cast<double>(v.x), static_cast<double>(v.y), static_cast<double>(v.z)};
+}
+
+/// Axis-aligned bounding box in physical (double) coordinates.
+struct Aabb {
+  Vec3 lo{1e300, 1e300, 1e300};
+  Vec3 hi{-1e300, -1e300, -1e300};
+
+  void expand(const Vec3& p) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      lo[i] = p[i] < lo[i] ? p[i] : lo[i];
+      hi[i] = p[i] > hi[i] ? p[i] : hi[i];
+    }
+  }
+
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  [[nodiscard]] bool valid() const { return lo.x <= hi.x; }
+};
+
+}  // namespace neuro

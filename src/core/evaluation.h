@@ -1,0 +1,50 @@
+// Quantitative evaluation of a pipeline run against phantom ground truth.
+//
+// The paper judges registration quality visually (its Fig. 4: "very small
+// intensity differences at the boundary of the simulated deformed brain").
+// The phantom carries the exact deformation that produced the intraoperative
+// scan, so we report the same intensity-difference evidence *and* true
+// displacement errors — rigid-only versus biomechanically simulated — which
+// is the stronger form of the paper's claim.
+#pragma once
+
+#include "core/deformation_field.h"
+#include "core/pipeline.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro::core {
+
+struct AccuracyReport {
+  /// Residual deformation after rigid alignment only (what the paper says
+  /// rigid registration cannot correct): magnitude of the true shift.
+  FieldStats residual_rigid_only;
+
+  /// Error of the recovered backward field vs. the true one, within brain.
+  FieldStats recovered_error;
+
+  /// Mean |ΔI| between the (rigid-only aligned / simulated) preop image and
+  /// the real intraop scan, inside the brain mask (Fig. 4d evidence).
+  double mad_rigid_only = 0.0;
+  double mad_simulated = 0.0;
+
+  /// Same, restricted to a band around the intraop brain boundary, where the
+  /// paper's visual assessment focuses.
+  double mad_boundary_rigid_only = 0.0;
+  double mad_boundary_simulated = 0.0;
+
+  /// Intraop segmentation quality vs. phantom truth.
+  double brain_dice = 0.0;
+
+  /// Surface match: mean distance of matched surface to the true target.
+  double surface_residual_mm = 0.0;
+};
+
+/// Compares a pipeline run on `truth` (the case it was fed) against the
+/// phantom's analytic ground truth.
+AccuracyReport evaluate_against_truth(const PipelineResult& result,
+                                      const phantom::PhantomCase& truth);
+
+/// Pretty-prints a report (one "metric: value" row per line).
+void print_report(const AccuracyReport& report);
+
+}  // namespace neuro::core

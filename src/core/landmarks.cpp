@@ -1,0 +1,98 @@
+#include "core/landmarks.h"
+
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace neuro::core {
+
+namespace {
+
+/// Solves y + v(y) = x for the intraop position y of a preop point x:
+/// fixed-point iteration on the analytic backward shift (+ rigid composition
+/// when the case has one): x = q + shift(q), y = R(q).
+Vec3 intraop_position_of(const phantom::PhantomCase& cas, const Vec3& preop_point) {
+  Vec3 q = preop_point;
+  for (int it = 0; it < 30; ++it) {
+    q = preop_point - cas.geometry.shift_at(q, cas.shift);
+  }
+  return cas.rigid_offset.apply(q);
+}
+
+}  // namespace
+
+std::vector<Landmark> phantom_landmarks(const phantom::PhantomCase& cas) {
+  const phantom::BrainGeometry& geo = cas.geometry;
+  const Vec3 c = geo.head_center();
+  const Vec3 tc = geo.tumor_center();
+  const double r = geo.tumor_radius();
+  const Vec3 cc = geo.craniotomy_center();
+  const double top_height = cc.z - c.z;  // head semi-axis in z
+
+  // Candidate anatomical points in preoperative coordinates.
+  const std::vector<std::pair<std::string, Vec3>> candidates = {
+      {"deep-center", c},
+      {"tumor-margin-inferior", tc - Vec3{0, 0, r + 4.0}},
+      {"tumor-margin-lateral", tc - Vec3{r + 4.0, 0, 0}},
+      {"contralateral-deep", {2.0 * c.x - tc.x, tc.y, c.z}},
+      {"superior-cortex", {cc.x, cc.y, c.z + 0.55 * top_height}},
+      {"posterior-deep", c + Vec3{0, 0.30 * top_height, -0.15 * top_height}},
+      {"anterior-deep", c - Vec3{0, 0.30 * top_height, 0.10 * top_height}},
+  };
+
+  std::vector<Landmark> landmarks;
+  for (const auto& [name, p] : candidates) {
+    // Keep only points inside brain tissue in both configurations.
+    const auto tissue = geo.tissue_at(p);
+    if (tissue != phantom::Tissue::kBrain && tissue != phantom::Tissue::kFalx &&
+        tissue != phantom::Tissue::kVentricle) {
+      continue;
+    }
+    Landmark lm;
+    lm.name = name;
+    lm.preop_position = p;
+    lm.intraop_position = intraop_position_of(cas, p);
+    landmarks.push_back(std::move(lm));
+  }
+  NEURO_CHECK_MSG(landmarks.size() >= 4,
+                  "phantom_landmarks: unexpectedly few valid landmarks ("
+                      << landmarks.size() << ")");
+  return landmarks;
+}
+
+TreReport evaluate_landmarks(const PipelineResult& result,
+                             const std::vector<Landmark>& landmarks) {
+  NEURO_REQUIRE(!landmarks.empty(), "evaluate_landmarks: no landmarks");
+  TreReport report;
+  double sum_rigid = 0, sum_sim = 0;
+  for (const auto& lm : landmarks) {
+    TreReport::Entry entry;
+    entry.name = lm.name;
+    const Vec3 q = lm.intraop_position;
+    // Rigid-only mapping: q → T(q).
+    entry.rigid_only_mm = norm(result.rigid.apply(q) - lm.preop_position);
+    // Full mapping: q → T(q + v(q)).
+    const Vec3 v = sample_trilinear_vec(result.backward_field,
+                                        result.backward_field.physical_to_voxel(q));
+    entry.simulated_mm = norm(result.rigid.apply(q + v) - lm.preop_position);
+    sum_rigid += entry.rigid_only_mm;
+    sum_sim += entry.simulated_mm;
+    report.max_simulated_mm = std::max(report.max_simulated_mm, entry.simulated_mm);
+    report.entries.push_back(std::move(entry));
+  }
+  report.mean_rigid_only_mm = sum_rigid / static_cast<double>(landmarks.size());
+  report.mean_simulated_mm = sum_sim / static_cast<double>(landmarks.size());
+  return report;
+}
+
+void print_tre_report(const TreReport& report) {
+  std::printf("  %-24s | rigid-only TRE (mm) | simulated TRE (mm)\n", "landmark");
+  for (const auto& e : report.entries) {
+    std::printf("  %-24s | %19.2f | %18.2f\n", e.name.c_str(), e.rigid_only_mm,
+                e.simulated_mm);
+  }
+  std::printf("  %-24s | %19.2f | %18.2f\n", "mean", report.mean_rigid_only_mm,
+              report.mean_simulated_mm);
+}
+
+}  // namespace neuro::core

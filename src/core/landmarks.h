@@ -1,0 +1,49 @@
+// Landmark-based target registration error (TRE).
+//
+// Clinical registration studies report TRE at anatomical landmarks — the
+// metric a neurosurgeon cares about ("how far off is the navigation at the
+// ventricle horn?"). The phantom knows where each anatomical point moved, so
+// TRE is exact here: for a landmark at intraoperative position q, the
+// recovered map should send q to its true preoperative origin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro::core {
+
+struct Landmark {
+  std::string name;
+  Vec3 intraop_position;       ///< where the point sits in the intraop scan
+  Vec3 preop_position;         ///< where that tissue was preoperatively (truth)
+};
+
+/// Standard anatomical landmark set of the phantom (ventricle extremes, falx
+/// ridge, resection-cavity margin, deep brain points), with ground-truth
+/// correspondence from the analytic shift.
+std::vector<Landmark> phantom_landmarks(const phantom::PhantomCase& cas);
+
+struct TreReport {
+  struct Entry {
+    std::string name;
+    double rigid_only_mm = 0.0;  ///< error using the rigid stage alone
+    double simulated_mm = 0.0;   ///< error after the biomechanical simulation
+  };
+  std::vector<Entry> entries;
+  double mean_rigid_only_mm = 0.0;
+  double mean_simulated_mm = 0.0;
+  double max_simulated_mm = 0.0;
+};
+
+/// Evaluates the recovered mapping at each landmark: the pipeline's total
+/// intraop→preop map is q ↦ T_rigid(q + v_nonrigid(q)).
+TreReport evaluate_landmarks(const PipelineResult& result,
+                             const std::vector<Landmark>& landmarks);
+
+/// Prints one row per landmark plus the summary.
+void print_tre_report(const TreReport& report);
+
+}  // namespace neuro::core

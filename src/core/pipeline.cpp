@@ -1,0 +1,175 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/stopwatch.h"
+#include "core/deformation_field.h"
+#include "image/components.h"
+#include "image/distance.h"
+#include "image/filters.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro::core {
+
+PipelineConfig default_pipeline_config() {
+  using phantom::Tissue;
+  PipelineConfig config;
+  config.brain_labels = {phantom::label(Tissue::kBrain), phantom::label(Tissue::kVentricle),
+                         phantom::label(Tissue::kFalx), phantom::label(Tissue::kTumor)};
+  config.surface_match_labels = {phantom::label(Tissue::kBrain),
+                                 phantom::label(Tissue::kFalx),
+                                 phantom::label(Tissue::kTumor)};
+  // Localization-model classes: the coarse tissues whose saturated distance
+  // transforms disambiguate similar intensities (cavity vs ventricle vs gap).
+  config.seg.classes = {phantom::label(Tissue::kBackground), phantom::label(Tissue::kSkin),
+                        phantom::label(Tissue::kSkullGap), phantom::label(Tissue::kBrain),
+                        phantom::label(Tissue::kVentricle)};
+  config.seg.exclude_classes = {phantom::label(Tissue::kFalx),
+                                phantom::label(Tissue::kTumor)};
+  config.seg.dt_saturation_mm = 10.0;
+  config.seg.dt_weight = 1.5;
+  config.mesher.keep_labels = config.brain_labels;
+  config.mesher.stride = 4;
+  return config;
+}
+
+double PipelineResult::stage_seconds(const std::string& name) const {
+  for (const auto& s : timeline) {
+    if (s.name == name) return s.seconds;
+  }
+  NEURO_CHECK_MSG(false, "unknown pipeline stage '" << name << "'");
+  return 0.0;
+}
+
+PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_labels,
+                                    const ImageF& intraop,
+                                    const PipelineConfig& config,
+                                    const std::vector<seg::Prototype>* reuse_prototypes) {
+  NEURO_REQUIRE(preop.dims() == preop_labels.dims(),
+                "pipeline: preop image/labels dims mismatch");
+  NEURO_REQUIRE(!config.brain_labels.empty(), "pipeline: brain_labels unset — "
+                                              "start from default_pipeline_config()");
+  PipelineResult result;
+  Stopwatch total;
+  Stopwatch stage;
+
+  // --- 1. Rigid registration: align preop data to the intraop frame. ---
+  stage.reset();
+  if (config.do_rigid_registration) {
+    const auto rigid = reg::register_rigid_mi(intraop, preop, config.rigid);
+    result.rigid = rigid.transform;
+    result.rigid_mi = rigid.mutual_information;
+  } else {
+    result.rigid = RigidTransform{};
+  }
+  result.aligned_preop = resample_rigid(preop, intraop, result.rigid);
+  {
+    ImageL grid(intraop.dims(), 0, intraop.spacing(), intraop.origin());
+    result.aligned_preop_labels =
+        resample_rigid_labels(preop_labels, grid, result.rigid);
+  }
+  result.timeline.push_back({"rigid_registration", stage.seconds()});
+
+  // --- 2. Tissue classification of the intraoperative scan. ---
+  stage.reset();
+  result.segmentation = seg::segment_intraop(intraop, result.aligned_preop_labels,
+                                             config.seg, nullptr, reuse_prototypes);
+  result.intraop_brain_mask =
+      seg::mask_of_labels(result.segmentation.labels, config.brain_labels);
+  // Classify the aligned preop scan with the same model (recorded prototype
+  // locations, features refreshed — the paper's automatic model update), so
+  // the two surface-target masks share one boundary bias.
+  result.preop_classified_labels =
+      seg::segment_intraop(result.aligned_preop, result.aligned_preop_labels,
+                           config.seg, nullptr, &result.segmentation.prototypes)
+          .labels;
+  result.timeline.push_back({"tissue_classification", stage.seconds()});
+
+  // --- 3. Surface displacement via the active surface. ---
+  stage.reset();
+  mesh::MesherConfig mesher = config.mesher;
+  if (mesher.keep_labels.empty()) mesher.keep_labels = config.brain_labels;
+  result.brain_mesh = mesh::mesh_labeled_volume(result.aligned_preop_labels, mesher);
+  NEURO_CHECK_MSG(result.brain_mesh.num_tets() > 0,
+                  "pipeline: empty brain mesh — check labels/stride");
+  result.preop_surface =
+      mesh::extract_boundary_surface(result.brain_mesh, config.brain_labels);
+
+  // Two-pass correspondence: the extracted mesh surface is a lattice
+  // approximation of the smooth brain boundary, so matching it directly to
+  // the intraop boundary would mix discretization error into the measured
+  // deformation. Pass 1 relaxes the surface onto the *preoperative* boundary,
+  // pass 2 continues onto the *intraoperative* one; the difference of the two
+  // relaxed configurations is the pure anatomical displacement, prescribed at
+  // the originating mesh nodes.
+  const auto& match_labels = config.surface_match_labels.empty()
+                                 ? config.brain_labels
+                                 : config.surface_match_labels;
+  ImageL preop_brain_mask =
+      seg::mask_of_labels(result.preop_classified_labels, match_labels);
+  ImageL intraop_match_mask =
+      seg::mask_of_labels(result.segmentation.labels, match_labels);
+  if (config.clean_masks) {
+    // Stray classified voxels create spurious SDF attractors; the brain is
+    // one connected object, so keep only the largest component.
+    preop_brain_mask = keep_largest_component(preop_brain_mask);
+    intraop_match_mask = keep_largest_component(intraop_match_mask);
+  }
+  ImageF sdf_pre = signed_distance_to_label(preop_brain_mask, 1,
+                                            config.sdf_saturation_mm);
+  ImageF sdf_intra = signed_distance_to_label(intraop_match_mask, 1,
+                                              config.sdf_saturation_mm);
+  sdf_pre = gaussian_smooth(sdf_pre, 0.8);    // soften voxel staircase
+  sdf_intra = gaussian_smooth(sdf_intra, 0.8);
+
+  const auto snapped = surface::deform_to_distance_field(
+      result.preop_surface, sdf_pre, config.active_surface);
+  result.surface_match = surface::deform_to_distance_field(
+      snapped.surface, sdf_intra, config.active_surface);
+  // Re-express displacements relative to the snapped preop configuration and
+  // restore the mesh-node bookkeeping of the original extraction.
+  for (std::size_t v = 0; v < result.surface_match.displacements.size(); ++v) {
+    result.surface_match.displacements[v] =
+        result.surface_match.surface.vertices[v] - snapped.surface.vertices[v];
+  }
+  result.surface_match.surface.mesh_nodes = result.preop_surface.mesh_nodes;
+  // The anatomical displacement varies over centimetres; the voxel staircase
+  // of the two masks injects ±1-voxel jitter. Membrane-smooth it away.
+  surface::smooth_vertex_vectors(result.surface_match.surface,
+                                 result.surface_match.displacements,
+                                 config.surface_smoothing_iterations);
+  result.timeline.push_back({"surface_displacement", stage.seconds()});
+
+  // --- 4. Biomechanical simulation: volumetric FEM solve. ---
+  stage.reset();
+  const auto materials = config.heterogeneous_materials
+                             ? fem::MaterialMap::heterogeneous_brain()
+                             : fem::MaterialMap::homogeneous_brain();
+  const auto prescribed = surface::node_displacements(result.surface_match);
+  result.fem = fem::solve_deformation(result.brain_mesh, materials, prescribed,
+                                      config.fem);
+  result.timeline.push_back({"biomechanical_simulation", stage.seconds()});
+
+  // --- 5. Visualization resample (the paper's ~0.5 s step). ---
+  stage.reset();
+  ImageL support;
+  result.forward_field = rasterize_displacements(
+      result.brain_mesh, result.fem.node_displacements, intraop, &support);
+  // Extend past the mesh boundary so the inversion sees a smooth continuation
+  // across the brain-shift gap (≈ max surface displacement wide).
+  ImageV extended = result.forward_field;
+  const double max_disp = core::field_stats(result.forward_field).max_mm;
+  const double min_spacing =
+      std::min({intraop.spacing().x, intraop.spacing().y, intraop.spacing().z});
+  const int passes = std::min(24, static_cast<int>(max_disp / min_spacing) + 3);
+  extend_displacement_field(extended, support, passes);
+  result.backward_field = invert_displacement_field(extended);
+  result.warped_preop = warp_backward(result.aligned_preop, result.backward_field);
+  result.timeline.push_back({"visualization_resample", stage.seconds()});
+
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace neuro::core

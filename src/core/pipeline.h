@@ -1,0 +1,105 @@
+// The intraoperative registration pipeline (paper Fig. 1 / Fig. 6).
+//
+// During surgery the system receives an intraoperative scan and, using the
+// preoperative scan + segmentation prepared before surgery, runs:
+//   rigid registration (MI) → tissue classification (k-NN with saturated-DT
+//   priors) → surface displacement (active surface) → biomechanical
+//   simulation (parallel FEM) → visualization resample.
+// Each stage is timed, producing the paper's Fig. 6-style timeline; the FEM
+// stage also returns per-rank work records for the scaling figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fem/deformation_solver.h"
+#include "image/image3d.h"
+#include "image/transform.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "reg/rigid_registration.h"
+#include "seg/intraop.h"
+#include "surface/active_surface.h"
+
+namespace neuro::core {
+
+struct PipelineConfig {
+  /// Stage toggles: skipping rigid is valid when scans share a frame (and is
+  /// how the nonrigid stages are unit-tested in isolation).
+  bool do_rigid_registration = true;
+
+  reg::RigidRegistrationConfig rigid;
+  seg::IntraopSegmentationConfig seg;  ///< classes default to all head tissues
+  mesh::MesherConfig mesher;           ///< keep_labels defaults to brain tissues
+  surface::ActiveSurfaceConfig active_surface;
+  fem::DeformationSolveOptions fem;
+
+  /// Labels that constitute "brain" for meshing and evaluation.
+  std::vector<std::uint8_t> brain_labels;  ///< default: brain+ventricle+falx+tumor
+
+  /// Labels whose union defines the surface-matching target masks. Excludes
+  /// ventricle by default: a resection cavity images at ventricle-like (dark)
+  /// intensity, and admitting ventricle-labeled voxels into the target mask
+  /// would let a misclassified cavity bridge the sunken brain surface.
+  std::vector<std::uint8_t> surface_match_labels;
+
+  bool heterogeneous_materials = false;  ///< paper default is homogeneous
+  double sdf_saturation_mm = 30.0;       ///< active-surface attraction range
+  /// Laplacian smoothing sweeps applied to the measured surface displacements
+  /// before they become FEM boundary conditions (voxel-jitter removal).
+  int surface_smoothing_iterations = 20;
+
+  /// Keep only the largest connected component of each surface-target mask
+  /// (stray misclassified voxels otherwise become spurious SDF attractors).
+  bool clean_masks = true;
+};
+
+/// Fills defaulted config fields (brain label set, seg classes, mesher keep
+/// set) from the standard phantom tissue labels. Call sites with real label
+/// conventions set the fields explicitly instead.
+PipelineConfig default_pipeline_config();
+
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct PipelineResult {
+  // Stage outputs, in pipeline order.
+  RigidTransform rigid;   ///< maps intraop physical points into preop space
+  double rigid_mi = 0.0;
+  ImageF aligned_preop;   ///< preop resampled into the intraop frame
+  ImageL aligned_preop_labels;
+  seg::IntraopSegmentation segmentation;
+  /// The aligned preoperative scan classified with the *same* statistical
+  /// model (prototypes refreshed at their recorded locations). Matching the
+  /// two surfaces between equally-biased segmentations cancels the
+  /// classifier's systematic boundary offset.
+  ImageL preop_classified_labels;
+  ImageL intraop_brain_mask;
+  mesh::TetMesh brain_mesh;
+  mesh::TriSurface preop_surface;
+  surface::ActiveSurfaceResult surface_match;
+  fem::DeformationResult fem;
+  ImageV forward_field;    ///< u: aligned-preop → intraop displacement
+  ImageV backward_field;   ///< inverse, used for warping
+  ImageF warped_preop;     ///< the "simulated deformation" image (Fig. 4c)
+
+  std::vector<StageTiming> timeline;  ///< Fig. 6 rows
+  double total_seconds = 0.0;
+
+  [[nodiscard]] double stage_seconds(const std::string& name) const;
+};
+
+/// Runs the full pipeline on one intraoperative scan. When
+/// `reuse_prototypes` is non-null the statistical model is not re-selected:
+/// the recorded prototype locations are refreshed against the new scan (the
+/// paper's automatic model update for follow-up acquisitions).
+PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_labels,
+                                    const ImageF& intraop,
+                                    const PipelineConfig& config,
+                                    const std::vector<seg::Prototype>* reuse_prototypes
+                                    = nullptr);
+
+}  // namespace neuro::core

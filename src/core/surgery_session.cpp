@@ -1,0 +1,60 @@
+#include "core/surgery_session.h"
+
+#include <map>
+
+#include "base/check.h"
+
+namespace neuro::core {
+
+SurgerySession::SurgerySession(ImageF preop, ImageL preop_labels,
+                               PipelineConfig config)
+    : preop_(std::move(preop)),
+      preop_labels_(std::move(preop_labels)),
+      config_(std::move(config)) {
+  NEURO_REQUIRE(preop_.dims() == preop_labels_.dims(),
+                "SurgerySession: preop image/labels dims mismatch");
+  NEURO_REQUIRE(!config_.brain_labels.empty(),
+                "SurgerySession: config.brain_labels unset — start from "
+                "default_pipeline_config()");
+}
+
+const PipelineResult& SurgerySession::process_scan(const ImageF& intraop) {
+  const std::vector<seg::Prototype>* reuse =
+      prototypes_.empty() ? nullptr : &prototypes_;
+  results_.push_back(
+      run_intraop_pipeline(preop_, preop_labels_, intraop, config_, reuse));
+  // Carry the (refreshed) model forward.
+  prototypes_ = results_.back().segmentation.prototypes;
+  return results_.back();
+}
+
+const PipelineResult& SurgerySession::result(int scan) const {
+  NEURO_REQUIRE(scan >= 0 && scan < scans_processed(),
+                "SurgerySession::result: scan " << scan << " of "
+                                                << scans_processed());
+  return results_[static_cast<std::size_t>(scan)];
+}
+
+const PipelineResult& SurgerySession::latest() const {
+  NEURO_REQUIRE(!results_.empty(), "SurgerySession::latest: no scans processed");
+  return results_.back();
+}
+
+std::vector<StageTiming> SurgerySession::cumulative_timeline() const {
+  std::vector<StageTiming> total;
+  for (const auto& result : results_) {
+    for (const auto& stage : result.timeline) {
+      auto it = std::find_if(total.begin(), total.end(), [&](const StageTiming& s) {
+        return s.name == stage.name;
+      });
+      if (it == total.end()) {
+        total.push_back(stage);
+      } else {
+        it->seconds += stage.seconds;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace neuro::core

@@ -1,0 +1,54 @@
+// Multi-scan intraoperative session.
+//
+// The paper's clinical protocol (§3.1): "In each neurosurgery case several
+// volumetric MRI scans were carried out during surgery. The first scan was
+// acquired at the beginning of the procedure … and then over the course of
+// surgery other scans were acquired as the surgeon checked the progress of
+// tumor resection." The statistical classification model is built once
+// ("less than five minutes of user interaction") and updated automatically
+// for later scans by re-reading the recorded prototype locations.
+//
+// SurgerySession packages that workflow: construct it with the preoperative
+// data, feed it intraoperative scans as they arrive, and it runs the full
+// pipeline per scan while carrying the prototype model forward and keeping
+// the per-scan results and an aggregate timeline.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace neuro::core {
+
+class SurgerySession {
+ public:
+  SurgerySession(ImageF preop, ImageL preop_labels, PipelineConfig config);
+
+  /// Runs the pipeline on the next intraoperative scan. The first call
+  /// selects the prototype model; later calls reuse it (locations persist,
+  /// signals refresh). Returns the stored result for this scan.
+  const PipelineResult& process_scan(const ImageF& intraop);
+
+  [[nodiscard]] int scans_processed() const { return static_cast<int>(results_.size()); }
+  [[nodiscard]] const PipelineResult& result(int scan) const;
+  [[nodiscard]] const PipelineResult& latest() const;
+
+  /// The carried statistical model (empty before the first scan).
+  [[nodiscard]] const std::vector<seg::Prototype>& prototypes() const {
+    return prototypes_;
+  }
+
+  /// Stage-by-stage seconds summed over all processed scans.
+  [[nodiscard]] std::vector<StageTiming> cumulative_timeline() const;
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+ private:
+  ImageF preop_;
+  ImageL preop_labels_;
+  PipelineConfig config_;
+  std::vector<seg::Prototype> prototypes_;
+  std::vector<PipelineResult> results_;
+};
+
+}  // namespace neuro::core

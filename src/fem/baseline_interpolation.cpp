@@ -1,0 +1,41 @@
+#include "fem/baseline_interpolation.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace neuro::fem {
+
+std::vector<Vec3> interpolate_surface_displacements(
+    const mesh::TetMesh& mesh,
+    const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
+    const IdwOptions& options) {
+  NEURO_REQUIRE(!prescribed.empty(),
+                "interpolate_surface_displacements: no prescribed nodes");
+  NEURO_REQUIRE(options.power > 0.0,
+                "interpolate_surface_displacements: power must be positive");
+
+  std::vector<Vec3> result(static_cast<std::size_t>(mesh.num_nodes()));
+  std::vector<char> fixed(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (const auto& [node, u] : prescribed) {
+    result[static_cast<std::size_t>(node)] = u;
+    fixed[static_cast<std::size_t>(node)] = 1;
+  }
+
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    if (fixed[static_cast<std::size_t>(n)]) continue;
+    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    Vec3 acc{};
+    double total_weight = 0.0;
+    for (const auto& [node, u] : prescribed) {
+      const double dist = norm(p - mesh.nodes[static_cast<std::size_t>(node)]);
+      const double w = 1.0 / std::pow(std::max(dist, 1e-9), options.power);
+      acc += w * u;
+      total_weight += w;
+    }
+    result[static_cast<std::size_t>(n)] = acc / total_weight;
+  }
+  return result;
+}
+
+}  // namespace neuro::fem

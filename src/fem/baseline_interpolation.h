@@ -1,0 +1,33 @@
+// Geometric baseline: interior displacements by surface interpolation.
+//
+// The paper positions its volumetric FEM against "fast surgery simulation"
+// methods that keep only surface nodes (its ref. [7], Bro-Nielsen) and
+// against accuracy-for-speed tradeoffs generally. This baseline represents
+// that class: given the same surface displacements the FEM receives as
+// boundary conditions, fill the interior by normalized inverse-distance
+// weighting — no mechanics, no material model, O(interior × surface) work.
+// The comparison bench quantifies what the biomechanical model buys.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "base/vec3.h"
+#include "mesh/tet_mesh.h"
+
+namespace neuro::fem {
+
+struct IdwOptions {
+  double power = 2.0;  ///< weight = 1 / distance^power
+};
+
+/// Returns per-node displacements: prescribed nodes keep their values,
+/// all other nodes get the inverse-distance-weighted average of the
+/// prescribed ones. The same call signature as solve_deformation's inputs,
+/// so benches can swap the two.
+std::vector<Vec3> interpolate_surface_displacements(
+    const mesh::TetMesh& mesh,
+    const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
+    const IdwOptions& options = {});
+
+}  // namespace neuro::fem

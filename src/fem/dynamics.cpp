@@ -1,0 +1,187 @@
+#include "fem/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "fem/assembly.h"
+#include "fem/boundary.h"
+#include "mesh/partition.h"
+#include "par/communicator.h"
+
+namespace neuro::fem {
+
+namespace {
+
+/// Serial assembled stiffness (all rows on one "rank") + optional body force.
+LocalSystem assemble_serial(const mesh::TetMesh& mesh, const MaterialMap& materials,
+                            const Vec3& body_force) {
+  const MeshTopology topo = MeshTopology::build(mesh);
+  const mesh::Partition part = mesh::partition_node_balanced(mesh.num_nodes(), 1);
+  LocalSystem system{solver::DistCsrMatrix(1, {0, 1}, {0, 0}, {}, {}),
+                     solver::DistVector(1, {0, 1})};
+  par::run_spmd(1, [&](par::Communicator& comm) {
+    system = assemble_elasticity(mesh, topo, materials, part, body_force, comm);
+  });
+  return system;
+}
+
+/// y = K x over all dofs (serial CSR product on the raw structure).
+void stiffness_apply(const solver::DistCsrMatrix& K, const std::vector<double>& x,
+                     std::vector<double>& y) {
+  const auto& row_ptr = K.row_ptr();
+  const auto& cols = K.global_cols();
+  const auto& values = K.values();
+  const int n = K.local_rows();
+  y.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (int p = row_ptr[static_cast<std::size_t>(r)];
+         p < row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      acc += values[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(cols[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+}  // namespace
+
+std::vector<double> lumped_masses(const mesh::TetMesh& mesh, double density) {
+  NEURO_REQUIRE(density > 0.0, "lumped_masses: density must be positive");
+  std::vector<double> mass(static_cast<std::size_t>(mesh.num_nodes()), 0.0);
+  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+    const double m = density * tet_volume(mesh, t) / 4.0;
+    for (const auto n : mesh.tets[static_cast<std::size_t>(t)]) {
+      mass[static_cast<std::size_t>(n)] += m;
+    }
+  }
+  for (const double m : mass) {
+    NEURO_CHECK_MSG(m > 0.0, "lumped_masses: isolated node with zero mass");
+  }
+  return mass;
+}
+
+double max_generalized_eigenvalue(const mesh::TetMesh& mesh,
+                                  const MaterialMap& materials, double density,
+                                  int iterations) {
+  NEURO_REQUIRE(iterations > 0, "max_generalized_eigenvalue: iterations > 0");
+  const LocalSystem system = assemble_serial(mesh, materials, {});
+  const auto mass = lumped_masses(mesh, density);
+  const int n = 3 * mesh.num_nodes();
+
+  // Power iteration on M⁻¹ K with a deterministic start vector.
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = 1.0 + 0.37 * ((i * 2654435761u) % 97) / 97.0;
+  }
+  std::vector<double> y;
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    stiffness_apply(system.A, x, y);
+    for (int i = 0; i < n; ++i) {
+      y[static_cast<std::size_t>(i)] /= mass[static_cast<std::size_t>(i / 3)];
+    }
+    double norm2_y = 0.0, xy = 0.0, norm2_x = 0.0;
+    for (int i = 0; i < n; ++i) {
+      norm2_y += y[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+      xy += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+      norm2_x += x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+    }
+    lambda = xy / norm2_x;  // Rayleigh quotient
+    const double inv = 1.0 / std::sqrt(norm2_y);
+    for (auto& v : y) v *= inv;
+    x.swap(y);
+  }
+  NEURO_CHECK_MSG(lambda > 0.0, "max_generalized_eigenvalue: non-positive estimate");
+  return lambda;
+}
+
+DynamicsResult integrate_dynamics(
+    const mesh::TetMesh& mesh, const MaterialMap& materials,
+    const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
+    const DynamicsOptions& options) {
+  NEURO_REQUIRE(options.steps > 0, "integrate_dynamics: steps > 0");
+  NEURO_REQUIRE(options.damping_alpha >= 0.0, "integrate_dynamics: damping >= 0");
+
+  const LocalSystem system = assemble_serial(mesh, materials, options.body_force);
+  const auto mass = lumped_masses(mesh, options.density);
+  const int num_nodes = mesh.num_nodes();
+  const int n = 3 * num_nodes;
+
+  // Prescribed dofs and their target values.
+  std::vector<char> fixed(static_cast<std::size_t>(n), 0);
+  std::vector<double> target(static_cast<std::size_t>(n), 0.0);
+  for (const auto& [node, u] : prescribed) {
+    for (int c = 0; c < 3; ++c) {
+      fixed[static_cast<std::size_t>(3 * node + c)] = 1;
+      target[static_cast<std::size_t>(3 * node + c)] = u[static_cast<std::size_t>(c)];
+    }
+  }
+
+  DynamicsResult result;
+  result.stable_dt_estimate =
+      2.0 / std::sqrt(max_generalized_eigenvalue(mesh, materials, options.density));
+  result.dt_used = options.dt > 0.0 ? options.dt : 0.8 * result.stable_dt_estimate;
+  NEURO_REQUIRE(result.dt_used > 0.0, "integrate_dynamics: non-positive dt");
+
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> ku;
+  const auto& f_ext = system.b.local();
+  const double dt = result.dt_used;
+
+  for (int step = 0; step < options.steps; ++step) {
+    // Boundary ramp: move prescribed dofs toward their targets.
+    const double ramp =
+        options.bc_ramp_steps > 0
+            ? std::min(1.0, static_cast<double>(step + 1) / options.bc_ramp_steps)
+            : 1.0;
+    for (int i = 0; i < n; ++i) {
+      if (fixed[static_cast<std::size_t>(i)]) {
+        u[static_cast<std::size_t>(i)] = ramp * target[static_cast<std::size_t>(i)];
+        v[static_cast<std::size_t>(i)] = 0.0;
+      }
+    }
+
+    stiffness_apply(system.A, u, ku);
+    // Semi-implicit Euler: v += dt a;  u += dt v.
+    for (int i = 0; i < n; ++i) {
+      if (fixed[static_cast<std::size_t>(i)]) continue;
+      const double m = mass[static_cast<std::size_t>(i / 3)];
+      const double a = (f_ext[static_cast<std::size_t>(i)] -
+                        ku[static_cast<std::size_t>(i)]) /
+                           m -
+                       options.damping_alpha * v[static_cast<std::size_t>(i)];
+      v[static_cast<std::size_t>(i)] += dt * a;
+      u[static_cast<std::size_t>(i)] += dt * v[static_cast<std::size_t>(i)];
+    }
+    ++result.steps_taken;
+
+    if (step % std::max(1, options.energy_stride) == 0) {
+      double kinetic = 0.0, strain = 0.0;
+      stiffness_apply(system.A, u, ku);
+      for (int i = 0; i < n; ++i) {
+        kinetic += 0.5 * mass[static_cast<std::size_t>(i / 3)] *
+                   v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+        strain += 0.5 * u[static_cast<std::size_t>(i)] * ku[static_cast<std::size_t>(i)];
+      }
+      result.kinetic_energy.push_back(kinetic);
+      result.strain_energy.push_back(strain);
+    }
+  }
+
+  result.displacements.resize(static_cast<std::size_t>(num_nodes));
+  result.velocities.resize(static_cast<std::size_t>(num_nodes));
+  for (int node = 0; node < num_nodes; ++node) {
+    for (int c = 0; c < 3; ++c) {
+      result.displacements[static_cast<std::size_t>(node)][static_cast<std::size_t>(c)] =
+          u[static_cast<std::size_t>(3 * node + c)];
+      result.velocities[static_cast<std::size_t>(node)][static_cast<std::size_t>(c)] =
+          v[static_cast<std::size_t>(3 * node + c)];
+    }
+  }
+  return result;
+}
+
+}  // namespace neuro::fem

@@ -1,0 +1,91 @@
+#include "fem/element.h"
+
+#include "base/check.h"
+#include "base/mat3.h"
+
+namespace neuro::fem {
+
+TetElement TetElement::from_vertices(const Vec3& p0, const Vec3& p1, const Vec3& p2,
+                                     const Vec3& p3) {
+  TetElement e;
+  const Vec3 e1 = p1 - p0, e2 = p2 - p0, e3 = p3 - p0;
+  e.volume = dot(e1, cross(e2, e3)) / 6.0;
+  NEURO_CHECK_MSG(e.volume > 0.0,
+                  "TetElement: non-positive volume " << e.volume
+                                                     << " (bad orientation?)");
+  // Barycentric gradients: with M = [e1 e2 e3] (columns), λ_{1..3} satisfy
+  // p - p0 = M λ, so ∇λ_i is row i of M⁻¹; ∇λ_0 = -(∇λ_1 + ∇λ_2 + ∇λ_3).
+  Mat3 M;
+  for (std::size_t r = 0; r < 3; ++r) {
+    M(r, 0) = e1[r];
+    M(r, 1) = e2[r];
+    M(r, 2) = e3[r];
+  }
+  const Mat3 Minv = M.inverse();
+  for (std::size_t i = 1; i <= 3; ++i) {
+    e.grad_n[i] = {Minv(i - 1, 0), Minv(i - 1, 1), Minv(i - 1, 2)};
+  }
+  e.grad_n[0] = -(e.grad_n[1] + e.grad_n[2] + e.grad_n[3]);
+  return e;
+}
+
+std::array<double, 144> TetElement::stiffness(
+    const std::array<std::array<double, 6>, 6>& D) const {
+  // B is 6x12; column block of node i:
+  //   [ bx  0   0 ]
+  //   [ 0   by  0 ]
+  //   [ 0   0   bz]
+  //   [ by  bx  0 ]
+  //   [ 0   bz  by]
+  //   [ bz  0   bx]   with (bx,by,bz) = grad_n[i].
+  double B[6][12] = {};
+  for (int i = 0; i < 4; ++i) {
+    const Vec3& g = grad_n[static_cast<std::size_t>(i)];
+    const int c = 3 * i;
+    B[0][c + 0] = g.x;
+    B[1][c + 1] = g.y;
+    B[2][c + 2] = g.z;
+    B[3][c + 0] = g.y;
+    B[3][c + 1] = g.x;
+    B[4][c + 1] = g.z;
+    B[4][c + 2] = g.y;
+    B[5][c + 0] = g.z;
+    B[5][c + 2] = g.x;
+  }
+
+  // DB = D * B (6x12), then Ke = V * Bᵀ * DB (12x12).
+  double DB[6][12] = {};
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 12; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < 6; ++k) {
+        acc += D[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] * B[k][c];
+      }
+      DB[r][c] = acc;
+    }
+  }
+  std::array<double, 144> Ke{};
+  for (int r = 0; r < 12; ++r) {
+    for (int c = 0; c < 12; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < 6; ++k) {
+        acc += B[k][r] * DB[k][c];
+      }
+      Ke[static_cast<std::size_t>(12 * r + c)] = volume * acc;
+    }
+  }
+  return Ke;
+}
+
+std::array<double, 12> TetElement::body_force_load(const Vec3& f) const {
+  std::array<double, 12> load{};
+  const double w = volume / 4.0;
+  for (int i = 0; i < 4; ++i) {
+    load[static_cast<std::size_t>(3 * i + 0)] = w * f.x;
+    load[static_cast<std::size_t>(3 * i + 1)] = w * f.y;
+    load[static_cast<std::size_t>(3 * i + 2)] = w * f.z;
+  }
+  return load;
+}
+
+}  // namespace neuro::fem

@@ -1,0 +1,41 @@
+// Linear tetrahedral element.
+//
+// The paper interpolates the displacement field with linear shape functions
+// over tetrahedra (its Eq. 2–3): N_i = (a_i + b_i x + c_i y + d_i z) / 6V,
+// with the coefficient formulas of Zienkiewicz & Taylor pp. 91–92. For linear
+// tets the strain-displacement matrix B is constant over the element, so the
+// element stiffness is the single product Ke = V · Bᵀ D B (12×12).
+#pragma once
+
+#include <array>
+
+#include "base/vec3.h"
+#include "fem/material.h"
+
+namespace neuro::fem {
+
+/// Geometry-derived element operators for one tetrahedron.
+struct TetElement {
+  double volume = 0.0;
+  /// Shape-function gradients ∇N_i (constant over the element); row i holds
+  /// (b_i, c_i, d_i)/6V in the Zienkiewicz notation.
+  std::array<Vec3, 4> grad_n{};
+
+  /// Builds the element from vertex positions (positively oriented tet).
+  static TetElement from_vertices(const Vec3& p0, const Vec3& p1, const Vec3& p2,
+                                  const Vec3& p3);
+
+  /// Element stiffness Ke = V Bᵀ D B, 12×12 row-major, dof order
+  /// (node0.x, node0.y, node0.z, node1.x, …).
+  [[nodiscard]] std::array<double, 144> stiffness(
+      const std::array<std::array<double, 6>, 6>& D) const;
+
+  /// Consistent nodal load for a constant body force f (V/4 to each node).
+  [[nodiscard]] std::array<double, 12> body_force_load(const Vec3& f) const;
+
+  /// Approximate flop cost of one stiffness() call — used by the per-rank
+  /// work accounting that drives the assembly scaling model.
+  static constexpr double kStiffnessFlops = 12.0 * 6 * 6 * 2 + 12.0 * 12 * 6 * 2 + 200;
+};
+
+}  // namespace neuro::fem

@@ -1,0 +1,62 @@
+#include "fem/loads.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+
+namespace neuro::fem {
+
+namespace {
+
+std::vector<std::pair<mesh::NodeId, Vec3>> accumulate_per_triangle(
+    const mesh::TriSurface& patch,
+    const std::function<Vec3(const Vec3& scaled_normal)>& force_of) {
+  NEURO_REQUIRE(!patch.mesh_nodes.empty(),
+                "surface loads: patch carries no mesh-node bookkeeping");
+  std::map<mesh::NodeId, Vec3> per_node;
+  for (const auto& tri : patch.triangles) {
+    const Vec3& a = patch.vertices[static_cast<std::size_t>(tri[0])];
+    const Vec3& b = patch.vertices[static_cast<std::size_t>(tri[1])];
+    const Vec3& c = patch.vertices[static_cast<std::size_t>(tri[2])];
+    // |cross|/2 = area; direction = outward normal for outward-oriented tris.
+    const Vec3 scaled_normal = cross(b - a, c - a) * 0.5;
+    const Vec3 nodal = force_of(scaled_normal) / 3.0;
+    for (const int v : tri) {
+      per_node[patch.mesh_nodes[static_cast<std::size_t>(v)]] += nodal;
+    }
+  }
+  std::vector<std::pair<mesh::NodeId, Vec3>> loads;
+  loads.reserve(per_node.size());
+  for (const auto& [node, f] : per_node) loads.emplace_back(node, f);
+  return loads;
+}
+
+}  // namespace
+
+std::vector<std::pair<mesh::NodeId, Vec3>> traction_loads(
+    const mesh::TriSurface& patch, const Vec3& traction) {
+  return accumulate_per_triangle(patch, [&](const Vec3& scaled_normal) {
+    return traction * norm(scaled_normal);  // area × traction
+  });
+}
+
+std::vector<std::pair<mesh::NodeId, Vec3>> pressure_loads(
+    const mesh::TriSurface& patch, double pressure) {
+  return accumulate_per_triangle(patch, [&](const Vec3& scaled_normal) {
+    return -pressure * scaled_normal;  // area × (−p n̂)
+  });
+}
+
+std::vector<std::pair<mesh::NodeId, Vec3>> merge_loads(
+    std::vector<std::pair<mesh::NodeId, Vec3>> loads) {
+  std::map<mesh::NodeId, Vec3> per_node;
+  for (const auto& [node, f] : loads) per_node[node] += f;
+  std::vector<std::pair<mesh::NodeId, Vec3>> merged;
+  merged.reserve(per_node.size());
+  for (const auto& [node, f] : per_node) merged.emplace_back(node, f);
+  return merged;
+}
+
+}  // namespace neuro::fem

@@ -1,0 +1,35 @@
+// Surface (Neumann) loads.
+//
+// The paper's energy functional (its Eq. 1) admits "forces per unit volume,
+// surface forces or forces concentrated at the nodes of the mesh". The
+// Dirichlet-driven registration uses none, but the predictive-simulation
+// path (gravity sag, CSF pressure on the exposed cortex) needs consistent
+// nodal loads from surface tractions. For linear triangles the consistent
+// load of a constant traction t over a face of area A is A·t/3 per vertex.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "base/vec3.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro::fem {
+
+/// Consistent nodal loads for a constant traction vector `t` (force per unit
+/// area) applied to every triangle of `patch`. The surface must carry
+/// mesh-node bookkeeping; loads are returned per mesh node (accumulated).
+std::vector<std::pair<mesh::NodeId, Vec3>> traction_loads(
+    const mesh::TriSurface& patch, const Vec3& traction);
+
+/// Consistent nodal loads for a uniform scalar pressure acting along the
+/// (outward) surface normal: positive pressure pushes inward (−n direction),
+/// as CSF or atmospheric pressure on an exposed cortex does.
+std::vector<std::pair<mesh::NodeId, Vec3>> pressure_loads(
+    const mesh::TriSurface& patch, double pressure);
+
+/// Merges duplicate node entries by summing their loads.
+std::vector<std::pair<mesh::NodeId, Vec3>> merge_loads(
+    std::vector<std::pair<mesh::NodeId, Vec3>> loads);
+
+}  // namespace neuro::fem

@@ -1,0 +1,46 @@
+#include "fem/material.h"
+
+#include "phantom/brain_phantom.h"
+
+namespace neuro::fem {
+
+std::array<std::array<double, 6>, 6> elasticity_matrix(const Material& m) {
+  NEURO_REQUIRE(m.youngs_modulus > 0.0, "elasticity_matrix: E must be positive");
+  NEURO_REQUIRE(m.poisson_ratio > -1.0 && m.poisson_ratio < 0.5,
+                "elasticity_matrix: nu must lie in (-1, 0.5), got " << m.poisson_ratio);
+  const double E = m.youngs_modulus;
+  const double nu = m.poisson_ratio;
+  const double f = E / ((1.0 + nu) * (1.0 - 2.0 * nu));
+  const double a = f * (1.0 - nu);        // diagonal normal terms
+  const double b = f * nu;                // off-diagonal normal coupling
+  const double g = E / (2.0 * (1.0 + nu));  // shear modulus
+
+  std::array<std::array<double, 6>, 6> D{};
+  D[0] = {a, b, b, 0, 0, 0};
+  D[1] = {b, a, b, 0, 0, 0};
+  D[2] = {b, b, a, 0, 0, 0};
+  D[3][3] = g;
+  D[4][4] = g;
+  D[5][5] = g;
+  return D;
+}
+
+MaterialMap MaterialMap::homogeneous_brain() {
+  // E = 3 kPa, nu = 0.45: a common soft-tissue setting; with pure Dirichlet
+  // surface driving, only the *relative* stiffness field shapes the solution.
+  return MaterialMap(Material{3000.0, 0.45});
+}
+
+MaterialMap MaterialMap::heterogeneous_brain() {
+  using phantom::Tissue;
+  MaterialMap map(Material{3000.0, 0.45});
+  // Stiff membrane: orders of magnitude stiffer than parenchyma.
+  map.set(phantom::label(Tissue::kFalx), Material{60000.0, 0.45});
+  // CSF-filled ventricles: much more compliant and compressible.
+  map.set(phantom::label(Tissue::kVentricle), Material{500.0, 0.10});
+  // Tumor slightly stiffer than brain.
+  map.set(phantom::label(Tissue::kTumor), Material{6000.0, 0.45});
+  return map;
+}
+
+}  // namespace neuro::fem

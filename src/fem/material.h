@@ -1,0 +1,53 @@
+// Linear-elastic material model.
+//
+// The paper assumes "a linear elastic continuum with no initial stresses or
+// strains" (its Eq. 1) with stress σ = D ε, D the elasticity matrix of the
+// material (Zienkiewicz & Taylor). It treats the brain as homogeneous — and
+// attributes its one observed misregistration (the contralateral ventricles)
+// to exactly that simplification — so the mesh carries per-tet tissue labels
+// and this module maps labels to material parameters, enabling both the
+// paper's homogeneous configuration and the heterogeneous falx/ventricle
+// model its discussion proposes as future work.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "base/check.h"
+
+namespace neuro::fem {
+
+struct Material {
+  double youngs_modulus = 3000.0;  ///< Pa — soft-tissue scale
+  double poisson_ratio = 0.45;     ///< nearly incompressible
+};
+
+/// 6x6 isotropic elasticity matrix D relating engineering strain
+/// [εxx εyy εzz γxy γyz γzx] to stress.
+std::array<std::array<double, 6>, 6> elasticity_matrix(const Material& m);
+
+/// Label → material table with a default for unlisted labels.
+class MaterialMap {
+ public:
+  explicit MaterialMap(Material default_material = {}) : default_(default_material) {}
+
+  void set(std::uint8_t label, Material m) { table_[label] = m; }
+
+  [[nodiscard]] const Material& for_label(std::uint8_t label) const {
+    auto it = table_.find(label);
+    return it == table_.end() ? default_ : it->second;
+  }
+
+  /// The paper's configuration: every tissue shares one homogeneous material.
+  static MaterialMap homogeneous_brain();
+
+  /// The future-work configuration: stiff falx, near-fluid ventricles.
+  static MaterialMap heterogeneous_brain();
+
+ private:
+  Material default_;
+  std::map<std::uint8_t, Material> table_;
+};
+
+}  // namespace neuro::fem

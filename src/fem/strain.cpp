@@ -1,0 +1,91 @@
+#include "fem/strain.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "fem/element.h"
+
+namespace neuro::fem {
+
+double ElementStrain::von_mises() const {
+  const double exx = strain[0], eyy = strain[1], ezz = strain[2];
+  // Tensor shear components are half the engineering shears.
+  const double exy = 0.5 * strain[3], eyz = 0.5 * strain[4], ezx = 0.5 * strain[5];
+  const double dev = (exx - eyy) * (exx - eyy) + (eyy - ezz) * (eyy - ezz) +
+                     (ezz - exx) * (ezz - exx);
+  return std::sqrt(2.0 / 9.0 * dev +
+                   4.0 / 3.0 * (exy * exy + eyz * eyz + ezx * ezx));
+}
+
+std::vector<ElementStrain> element_strains(const mesh::TetMesh& mesh,
+                                           const std::vector<Vec3>& displacements) {
+  NEURO_REQUIRE(static_cast<int>(displacements.size()) == mesh.num_nodes(),
+                "element_strains: displacement count != node count");
+  std::vector<ElementStrain> strains(static_cast<std::size_t>(mesh.num_tets()));
+  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    const TetElement elem = TetElement::from_vertices(
+        mesh.nodes[static_cast<std::size_t>(tet[0])],
+        mesh.nodes[static_cast<std::size_t>(tet[1])],
+        mesh.nodes[static_cast<std::size_t>(tet[2])],
+        mesh.nodes[static_cast<std::size_t>(tet[3])]);
+    auto& e = strains[static_cast<std::size_t>(t)].strain;
+    for (int n = 0; n < 4; ++n) {
+      const Vec3& g = elem.grad_n[static_cast<std::size_t>(n)];
+      const Vec3& u = displacements[static_cast<std::size_t>(tet[static_cast<std::size_t>(n)])];
+      e[0] += g.x * u.x;
+      e[1] += g.y * u.y;
+      e[2] += g.z * u.z;
+      e[3] += g.y * u.x + g.x * u.y;
+      e[4] += g.z * u.y + g.y * u.z;
+      e[5] += g.z * u.x + g.x * u.z;
+    }
+  }
+  return strains;
+}
+
+std::vector<double> von_mises_stress(const mesh::TetMesh& mesh,
+                                     const std::vector<ElementStrain>& strains,
+                                     const MaterialMap& materials) {
+  NEURO_REQUIRE(strains.size() == static_cast<std::size_t>(mesh.num_tets()),
+                "von_mises_stress: strain count != tet count");
+  std::vector<double> out(strains.size());
+  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+    const auto D = elasticity_matrix(
+        materials.for_label(mesh.tet_labels[static_cast<std::size_t>(t)]));
+    std::array<double, 6> s{};
+    for (int r = 0; r < 6; ++r) {
+      for (int c = 0; c < 6; ++c) {
+        s[static_cast<std::size_t>(r)] +=
+            D[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] *
+            strains[static_cast<std::size_t>(t)].strain[static_cast<std::size_t>(c)];
+      }
+    }
+    const double sxx = s[0], syy = s[1], szz = s[2];
+    const double sxy = s[3], syz = s[4], szx = s[5];
+    out[static_cast<std::size_t>(t)] = std::sqrt(
+        0.5 * ((sxx - syy) * (sxx - syy) + (syy - szz) * (syy - szz) +
+               (szz - sxx) * (szz - sxx)) +
+        3.0 * (sxy * sxy + syz * syz + szx * szx));
+  }
+  return out;
+}
+
+ScalarSummary summarize_per_element(const mesh::TetMesh& mesh,
+                                    const std::vector<double>& values) {
+  NEURO_REQUIRE(values.size() == static_cast<std::size_t>(mesh.num_tets()),
+                "summarize_per_element: value count != tet count");
+  ScalarSummary s;
+  double total_volume = 0.0;
+  double weighted = 0.0;
+  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+    const double v = tet_volume(mesh, t);
+    total_volume += v;
+    weighted += v * values[static_cast<std::size_t>(t)];
+    s.max = std::max(s.max, values[static_cast<std::size_t>(t)]);
+  }
+  if (total_volume > 0.0) s.mean = weighted / total_volume;
+  return s;
+}
+
+}  // namespace neuro::fem

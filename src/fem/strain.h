@@ -1,0 +1,50 @@
+// Strain/stress post-processing of a computed displacement field.
+//
+// The paper motivates intraoperative registration with "quantitative
+// monitoring of therapy application"; once the volumetric displacement field
+// exists, per-element strain measures are the quantities a surgeon-facing
+// system would report (tissue compression near retractors, shear at the
+// resection margin). For linear tets the strain is constant per element:
+// ε = B u_e, σ = D ε.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "base/vec3.h"
+#include "fem/material.h"
+#include "mesh/tet_mesh.h"
+
+namespace neuro::fem {
+
+/// Engineering strain per element, Voigt order [εxx εyy εzz γxy γyz γzx].
+struct ElementStrain {
+  std::array<double, 6> strain{};
+
+  /// Relative volume change tr(ε) (positive = expansion).
+  [[nodiscard]] double volumetric() const {
+    return strain[0] + strain[1] + strain[2];
+  }
+
+  /// Von Mises equivalent strain (distortion intensity, always >= 0).
+  [[nodiscard]] double von_mises() const;
+};
+
+/// Computes the (constant) strain of every element from nodal displacements.
+std::vector<ElementStrain> element_strains(const mesh::TetMesh& mesh,
+                                           const std::vector<Vec3>& displacements);
+
+/// Von Mises equivalent *stress* per element, using each tet's material.
+std::vector<double> von_mises_stress(const mesh::TetMesh& mesh,
+                                     const std::vector<ElementStrain>& strains,
+                                     const MaterialMap& materials);
+
+/// Volume-weighted summary of a per-element scalar.
+struct ScalarSummary {
+  double mean = 0.0;
+  double max = 0.0;
+};
+ScalarSummary summarize_per_element(const mesh::TetMesh& mesh,
+                                    const std::vector<double>& values);
+
+}  // namespace neuro::fem

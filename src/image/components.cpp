@@ -1,0 +1,90 @@
+#include "image/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace neuro {
+
+Image3D<std::int32_t> connected_components(const ImageL& mask,
+                                           std::vector<std::size_t>* sizes) {
+  const IVec3 d = mask.dims();
+  Image3D<std::int32_t> labels(d, 0, mask.spacing(), mask.origin());
+
+  // Flood fill with an explicit stack (volumes are too deep for recursion).
+  std::vector<std::size_t> component_sizes;
+  std::vector<std::size_t> stack;
+  std::int32_t next_id = 1;
+  for (std::size_t seed = 0; seed < mask.size(); ++seed) {
+    if (mask.data()[seed] == 0 || labels.data()[seed] != 0) continue;
+    std::size_t count = 0;
+    stack.push_back(seed);
+    labels.data()[seed] = next_id;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      ++count;
+      const int i = static_cast<int>(v % static_cast<std::size_t>(d.x));
+      const int j = static_cast<int>((v / static_cast<std::size_t>(d.x)) %
+                                     static_cast<std::size_t>(d.y));
+      const int k = static_cast<int>(v / (static_cast<std::size_t>(d.x) *
+                                          static_cast<std::size_t>(d.y)));
+      auto visit = [&](int ii, int jj, int kk) {
+        if (ii < 0 || jj < 0 || kk < 0 || ii >= d.x || jj >= d.y || kk >= d.z) return;
+        const std::size_t w = labels.index(ii, jj, kk);
+        if (mask.data()[w] != 0 && labels.data()[w] == 0) {
+          labels.data()[w] = next_id;
+          stack.push_back(w);
+        }
+      };
+      visit(i - 1, j, k);
+      visit(i + 1, j, k);
+      visit(i, j - 1, k);
+      visit(i, j + 1, k);
+      visit(i, j, k - 1);
+      visit(i, j, k + 1);
+    }
+    component_sizes.push_back(count);
+    ++next_id;
+  }
+
+  // Renumber so that id 1 is the largest component.
+  std::vector<std::int32_t> order(component_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return component_sizes[static_cast<std::size_t>(a)] >
+           component_sizes[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::int32_t> remap(component_sizes.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    remap[static_cast<std::size_t>(order[rank])] = static_cast<std::int32_t>(rank) + 1;
+  }
+  for (auto& v : labels.data()) {
+    if (v != 0) v = remap[static_cast<std::size_t>(v) - 1];
+  }
+  if (sizes != nullptr) {
+    sizes->resize(component_sizes.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      (*sizes)[rank] = component_sizes[static_cast<std::size_t>(order[rank])];
+    }
+  }
+  return labels;
+}
+
+ImageL keep_largest_component(const ImageL& mask) {
+  const auto components = connected_components(mask);
+  ImageL out(mask.dims(), 0, mask.spacing(), mask.origin());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out.data()[i] = components.data()[i] == 1 ? mask.data()[i] : 0;
+  }
+  return out;
+}
+
+int count_components(const ImageL& mask) {
+  std::vector<std::size_t> sizes;
+  connected_components(mask, &sizes);
+  return static_cast<int>(sizes.size());
+}
+
+}  // namespace neuro

@@ -1,0 +1,29 @@
+// Connected-component analysis on binary masks.
+//
+// Segmentation output contains stray voxels (noise classified as tissue) and
+// the paper's pipeline implicitly relies on the brain being a single
+// connected object before surface extraction. This module labels 6-connected
+// components and provides the standard "keep the largest component" cleanup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image3d.h"
+
+namespace neuro {
+
+/// Labels 6-connected components of `mask != 0`. Component ids start at 1 in
+/// decreasing size order (1 = largest); background stays 0. Returns the
+/// component image; `sizes` (optional) receives voxel counts indexed by
+/// component id - 1.
+Image3D<std::int32_t> connected_components(const ImageL& mask,
+                                           std::vector<std::size_t>* sizes = nullptr);
+
+/// Zeroes every voxel outside the largest 6-connected component.
+ImageL keep_largest_component(const ImageL& mask);
+
+/// Number of 6-connected components of `mask != 0`.
+int count_components(const ImageL& mask);
+
+}  // namespace neuro

@@ -1,0 +1,165 @@
+#include "image/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "base/check.h"
+
+namespace neuro {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// 1-D squared-distance transform (Felzenszwalb–Huttenlocher lower envelope).
+/// f[i] is the squared distance at sample i on input (kInf where no feature),
+/// `step` is the physical sample spacing. Overwrites f with the transform.
+void edt_1d(std::vector<double>& f, std::vector<double>& scratch_v,
+            std::vector<double>& scratch_z, double step) {
+  const int n = static_cast<int>(f.size());
+  auto& v = scratch_v;  // parabola apex positions (in index units)
+  auto& z = scratch_z;  // envelope breakpoints
+  v.assign(static_cast<std::size_t>(n), 0.0);
+  z.assign(static_cast<std::size_t>(n) + 1, 0.0);
+
+  const double s2 = step * step;
+
+  // Skip leading samples with no parabola (infinite input).
+  int q0 = 0;
+  while (q0 < n && f[static_cast<std::size_t>(q0)] == kInf) ++q0;
+  if (q0 == n) return;  // no features on this line
+
+  int k = 0;
+  v[0] = q0;
+  z[0] = -kInf;
+  z[1] = kInf;
+  for (int q = q0 + 1; q < n; ++q) {
+    if (f[static_cast<std::size_t>(q)] == kInf) continue;
+    double s;
+    while (true) {
+      const int p = static_cast<int>(v[static_cast<std::size_t>(k)]);
+      s = ((f[static_cast<std::size_t>(q)] + s2 * q * q) -
+           (f[static_cast<std::size_t>(p)] + s2 * p * p)) /
+          (2.0 * s2 * (q - p));
+      if (s <= z[static_cast<std::size_t>(k)] && k > 0) {
+        --k;
+      } else {
+        break;
+      }
+    }
+    ++k;
+    v[static_cast<std::size_t>(k)] = q;
+    z[static_cast<std::size_t>(k)] = s;
+    z[static_cast<std::size_t>(k) + 1] = kInf;
+  }
+
+  int kk = 0;
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    while (z[static_cast<std::size_t>(kk) + 1] < q) ++kk;
+    const int p = static_cast<int>(v[static_cast<std::size_t>(kk)]);
+    out[static_cast<std::size_t>(q)] =
+        s2 * (q - p) * (q - p) + f[static_cast<std::size_t>(p)];
+  }
+  f = std::move(out);
+}
+
+/// Full 3-D squared EDT given an initial indicator (0 on features, kInf off).
+void edt_3d(Image3D<double>& sq) {
+  const IVec3 d = sq.dims();
+  const Vec3 h = sq.spacing();
+  std::vector<double> line, sv, sz;
+
+  // X axis.
+  line.resize(static_cast<std::size_t>(d.x));
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      bool any = false;
+      for (int i = 0; i < d.x; ++i) {
+        line[static_cast<std::size_t>(i)] = sq(i, j, k);
+        any = any || sq(i, j, k) < kInf;
+      }
+      if (!any) continue;
+      edt_1d(line, sv, sz, h.x);
+      for (int i = 0; i < d.x; ++i) sq(i, j, k) = line[static_cast<std::size_t>(i)];
+    }
+  }
+  // Y axis.
+  line.resize(static_cast<std::size_t>(d.y));
+  for (int k = 0; k < d.z; ++k) {
+    for (int i = 0; i < d.x; ++i) {
+      bool any = false;
+      for (int j = 0; j < d.y; ++j) {
+        line[static_cast<std::size_t>(j)] = sq(i, j, k);
+        any = any || sq(i, j, k) < kInf;
+      }
+      if (!any) continue;
+      edt_1d(line, sv, sz, h.y);
+      for (int j = 0; j < d.y; ++j) sq(i, j, k) = line[static_cast<std::size_t>(j)];
+    }
+  }
+  // Z axis.
+  line.resize(static_cast<std::size_t>(d.z));
+  for (int j = 0; j < d.y; ++j) {
+    for (int i = 0; i < d.x; ++i) {
+      bool any = false;
+      for (int k = 0; k < d.z; ++k) {
+        line[static_cast<std::size_t>(k)] = sq(i, j, k);
+        any = any || sq(i, j, k) < kInf;
+      }
+      if (!any) continue;
+      edt_1d(line, sv, sz, h.z);
+      for (int k = 0; k < d.z; ++k) sq(i, j, k) = line[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+ImageF finalize(Image3D<double>& sq, double saturation) {
+  ImageF out(sq.dims(), 0.0f, sq.spacing(), sq.origin());
+  for (std::size_t i = 0; i < sq.size(); ++i) {
+    double dist = sq.data()[i] == kInf ? (saturation > 0 ? saturation : 1e30)
+                                       : std::sqrt(sq.data()[i]);
+    if (saturation > 0.0) dist = std::min(dist, saturation);
+    out.data()[i] = static_cast<float>(dist);
+  }
+  return out;
+}
+
+template <typename Pred>
+ImageF edt_where(const ImageL& labels, Pred is_feature, double saturation) {
+  Image3D<double> sq(labels.dims(), kInf, labels.spacing(), labels.origin());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (is_feature(labels.data()[i])) sq.data()[i] = 0.0;
+  }
+  edt_3d(sq);
+  return finalize(sq, saturation);
+}
+
+}  // namespace
+
+ImageF distance_to_label(const ImageL& labels, std::uint8_t label, double saturation) {
+  return edt_where(labels, [label](std::uint8_t v) { return v == label; }, saturation);
+}
+
+ImageF distance_from_mask(const ImageL& mask, double saturation) {
+  return edt_where(mask, [](std::uint8_t v) { return v != 0; }, saturation);
+}
+
+ImageF signed_distance_to_label(const ImageL& labels, std::uint8_t label,
+                                double saturation) {
+  // Outside distance: distance to the region; inside distance: distance to
+  // the complement. Signed distance = outside - inside (<= 0 inside).
+  ImageF outside =
+      edt_where(labels, [label](std::uint8_t v) { return v == label; }, saturation);
+  ImageF inside =
+      edt_where(labels, [label](std::uint8_t v) { return v != label; }, saturation);
+  ImageF out(labels.dims(), 0.0f, labels.spacing(), labels.origin());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out.data()[i] = outside.data()[i] - inside.data()[i];
+  }
+  return out;
+}
+
+}  // namespace neuro

@@ -1,0 +1,99 @@
+#include "image/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace neuro {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e564f4c;  // "NVOL"
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t elem;  // 1 = float32, 2 = uint8
+  std::int32_t dims[3];
+  double spacing[3];
+  double origin[3];
+};
+
+template <typename T>
+void write_impl(const std::string& path, const Image3D<T>& img, std::uint32_t elem) {
+  std::ofstream f(path, std::ios::binary);
+  NEURO_REQUIRE(f.good(), "write_volume: cannot open '" << path << "'");
+  Header h{};
+  h.magic = kMagic;
+  h.elem = elem;
+  h.dims[0] = img.dims().x;
+  h.dims[1] = img.dims().y;
+  h.dims[2] = img.dims().z;
+  h.spacing[0] = img.spacing().x;
+  h.spacing[1] = img.spacing().y;
+  h.spacing[2] = img.spacing().z;
+  h.origin[0] = img.origin().x;
+  h.origin[1] = img.origin().y;
+  h.origin[2] = img.origin().z;
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  f.write(reinterpret_cast<const char*>(img.data().data()),
+          static_cast<std::streamsize>(img.size() * sizeof(T)));
+  NEURO_REQUIRE(f.good(), "write_volume: write failed for '" << path << "'");
+}
+
+template <typename T>
+Image3D<T> read_impl(const std::string& path, std::uint32_t elem) {
+  std::ifstream f(path, std::ios::binary);
+  NEURO_REQUIRE(f.good(), "read_volume: cannot open '" << path << "'");
+  Header h{};
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  NEURO_REQUIRE(f.good() && h.magic == kMagic, "read_volume: bad header in '" << path << "'");
+  NEURO_REQUIRE(h.elem == elem, "read_volume: element type mismatch in '" << path << "'");
+  Image3D<T> img({h.dims[0], h.dims[1], h.dims[2]}, T{},
+                 {h.spacing[0], h.spacing[1], h.spacing[2]},
+                 {h.origin[0], h.origin[1], h.origin[2]});
+  f.read(reinterpret_cast<char*>(img.data().data()),
+         static_cast<std::streamsize>(img.size() * sizeof(T)));
+  NEURO_REQUIRE(f.good(), "read_volume: truncated data in '" << path << "'");
+  return img;
+}
+
+}  // namespace
+
+void write_volume(const std::string& path, const ImageF& img) { write_impl(path, img, 1); }
+void write_volume(const std::string& path, const ImageL& img) { write_impl(path, img, 2); }
+void write_volume(const std::string& path, const ImageV& img) { write_impl(path, img, 3); }
+ImageF read_volume_f(const std::string& path) { return read_impl<float>(path, 1); }
+ImageL read_volume_l(const std::string& path) { return read_impl<std::uint8_t>(path, 2); }
+ImageV read_volume_v(const std::string& path) { return read_impl<Vec3>(path, 3); }
+
+void write_slice_pgm(const std::string& path, const ImageF& img, int k, double lo,
+                     double hi) {
+  NEURO_REQUIRE(k >= 0 && k < img.dims().z, "write_slice_pgm: slice out of range");
+  const IVec3 d = img.dims();
+  if (lo >= hi) {
+    lo = 1e300;
+    hi = -1e300;
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        lo = std::min(lo, static_cast<double>(img(i, j, k)));
+        hi = std::max(hi, static_cast<double>(img(i, j, k)));
+      }
+    }
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  std::ofstream f(path, std::ios::binary);
+  NEURO_REQUIRE(f.good(), "write_slice_pgm: cannot open '" << path << "'");
+  f << "P5\n" << d.x << ' ' << d.y << "\n255\n";
+  for (int j = 0; j < d.y; ++j) {
+    for (int i = 0; i < d.x; ++i) {
+      double v = (static_cast<double>(img(i, j, k)) - lo) / (hi - lo);
+      v = std::clamp(v, 0.0, 1.0);
+      const char byte = static_cast<char>(static_cast<int>(v * 255.0 + 0.5));
+      f.write(&byte, 1);
+    }
+  }
+  NEURO_REQUIRE(f.good(), "write_slice_pgm: write failed for '" << path << "'");
+}
+
+}  // namespace neuro

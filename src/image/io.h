@@ -1,0 +1,37 @@
+// Minimal volume I/O.
+//
+// The on-disk format (".nvol") is a self-describing little-endian header
+// (magic, element type, dims, spacing, origin) followed by raw voxels — the
+// same idea as MetaImage, small enough to implement exactly and read from
+// any scientific environment. PGM slice export exists so the example
+// programs can emit Fig. 4-style 2-D slices viewable with stock tools.
+#pragma once
+
+#include <string>
+
+#include "image/image3d.h"
+
+namespace neuro {
+
+/// Writes a float volume. Throws CheckError on I/O failure.
+void write_volume(const std::string& path, const ImageF& img);
+/// Writes a label volume.
+void write_volume(const std::string& path, const ImageL& img);
+/// Writes a displacement field (3 doubles per voxel) — lets a computed
+/// deformation be stored during surgery and applied to further preoperative
+/// volumes (fMRI, PET, …) as they are needed, the paper's stated use case.
+void write_volume(const std::string& path, const ImageV& img);
+
+/// Reads a float volume (element type must match).
+ImageF read_volume_f(const std::string& path);
+/// Reads a label volume (element type must match).
+ImageL read_volume_l(const std::string& path);
+/// Reads a displacement field.
+ImageV read_volume_v(const std::string& path);
+
+/// Writes axial slice k of a float volume as an 8-bit PGM, window-levelled to
+/// [lo, hi] (pass lo >= hi to auto-window to the slice min/max).
+void write_slice_pgm(const std::string& path, const ImageF& img, int k,
+                     double lo = 0.0, double hi = 0.0);
+
+}  // namespace neuro

@@ -1,0 +1,150 @@
+#include "image/metaimage.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace neuro {
+
+namespace {
+
+std::string strip_mhd(std::string path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".mhd") {
+    path.resize(path.size() - 4);
+  }
+  return path;
+}
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+template <typename T>
+void write_impl(const std::string& path, const Image3D<T>& img,
+                const char* element_type) {
+  const std::string stem = strip_mhd(path);
+  {
+    std::ofstream mhd(stem + ".mhd");
+    NEURO_REQUIRE(mhd.good(), "write_metaimage: cannot open '" << stem << ".mhd'");
+    mhd << "ObjectType = Image\n";
+    mhd << "NDims = 3\n";
+    mhd << "BinaryData = True\n";
+    mhd << "BinaryDataByteOrderMSB = False\n";
+    mhd << "CompressedData = False\n";
+    mhd << "DimSize = " << img.dims().x << ' ' << img.dims().y << ' ' << img.dims().z
+        << "\n";
+    mhd << "ElementSpacing = " << img.spacing().x << ' ' << img.spacing().y << ' '
+        << img.spacing().z << "\n";
+    mhd << "Offset = " << img.origin().x << ' ' << img.origin().y << ' '
+        << img.origin().z << "\n";
+    mhd << "ElementType = " << element_type << "\n";
+    mhd << "ElementDataFile = " << basename_of(stem) << ".raw\n";
+    NEURO_REQUIRE(mhd.good(), "write_metaimage: header write failed");
+  }
+  std::ofstream raw(stem + ".raw", std::ios::binary);
+  NEURO_REQUIRE(raw.good(), "write_metaimage: cannot open '" << stem << ".raw'");
+  raw.write(reinterpret_cast<const char*>(img.data().data()),
+            static_cast<std::streamsize>(img.size() * sizeof(T)));
+  NEURO_REQUIRE(raw.good(), "write_metaimage: raw write failed");
+}
+
+struct Header {
+  IVec3 dims{0, 0, 0};
+  Vec3 spacing{1, 1, 1};
+  Vec3 origin{0, 0, 0};
+  std::string element_type;
+  std::string data_file;
+};
+
+Header parse_header(const std::string& mhd_path) {
+  std::ifstream mhd(mhd_path);
+  NEURO_REQUIRE(mhd.good(), "read_metaimage: cannot open '" << mhd_path << "'");
+  Header h;
+  std::string line;
+  while (std::getline(mhd, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      const auto e = s.find_last_not_of(" \t\r");
+      return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    std::istringstream vs(value);
+    if (key == "NDims") {
+      int n = 0;
+      vs >> n;
+      NEURO_REQUIRE(n == 3, "read_metaimage: only NDims = 3 supported, got " << n);
+    } else if (key == "DimSize") {
+      vs >> h.dims.x >> h.dims.y >> h.dims.z;
+    } else if (key == "ElementSpacing") {
+      vs >> h.spacing.x >> h.spacing.y >> h.spacing.z;
+    } else if (key == "Offset" || key == "Origin" || key == "Position") {
+      vs >> h.origin.x >> h.origin.y >> h.origin.z;
+    } else if (key == "ElementType") {
+      h.element_type = value;
+    } else if (key == "ElementDataFile") {
+      NEURO_REQUIRE(value != "LIST", "read_metaimage: file lists not supported");
+      h.data_file = value;
+    } else if (key == "CompressedData") {
+      NEURO_REQUIRE(value == "False" || value == "false",
+                    "read_metaimage: compressed data not supported");
+    } else if (key == "BinaryDataByteOrderMSB") {
+      NEURO_REQUIRE(value == "False" || value == "false",
+                    "read_metaimage: big-endian data not supported");
+    }
+  }
+  NEURO_REQUIRE(h.dims.x > 0 && h.dims.y > 0 && h.dims.z > 0,
+                "read_metaimage: missing/invalid DimSize in '" << mhd_path << "'");
+  NEURO_REQUIRE(!h.data_file.empty(),
+                "read_metaimage: missing ElementDataFile in '" << mhd_path << "'");
+  return h;
+}
+
+template <typename T>
+Image3D<T> read_impl(const std::string& mhd_path, const char* expected_type) {
+  const Header h = parse_header(mhd_path);
+  NEURO_REQUIRE(h.element_type == expected_type,
+                "read_metaimage: expected " << expected_type << ", file has "
+                                            << h.element_type);
+  // Data file is relative to the header's directory unless absolute.
+  std::string data_path = h.data_file;
+  if (!data_path.empty() && data_path.front() != '/') {
+    const auto slash = mhd_path.find_last_of('/');
+    if (slash != std::string::npos) {
+      data_path = mhd_path.substr(0, slash + 1) + data_path;
+    }
+  }
+  std::ifstream raw(data_path, std::ios::binary);
+  NEURO_REQUIRE(raw.good(), "read_metaimage: cannot open data file '" << data_path
+                                                                      << "'");
+  Image3D<T> img(h.dims, T{}, h.spacing, h.origin);
+  raw.read(reinterpret_cast<char*>(img.data().data()),
+           static_cast<std::streamsize>(img.size() * sizeof(T)));
+  NEURO_REQUIRE(raw.good(), "read_metaimage: truncated data in '" << data_path << "'");
+  return img;
+}
+
+}  // namespace
+
+void write_metaimage(const std::string& path, const ImageF& img) {
+  write_impl(path, img, "MET_FLOAT");
+}
+
+void write_metaimage(const std::string& path, const ImageL& img) {
+  write_impl(path, img, "MET_UCHAR");
+}
+
+ImageF read_metaimage_f(const std::string& mhd_path) {
+  return read_impl<float>(mhd_path, "MET_FLOAT");
+}
+
+ImageL read_metaimage_l(const std::string& mhd_path) {
+  return read_impl<std::uint8_t>(mhd_path, "MET_UCHAR");
+}
+
+}  // namespace neuro

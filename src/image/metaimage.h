@@ -1,0 +1,26 @@
+// MetaImage (.mhd + .raw) reader/writer.
+//
+// The paper's lab worked in what became the ITK/3D Slicer ecosystem;
+// MetaImage is that ecosystem's plain interchange format. Supporting it means
+// volumes produced here load directly in Slicer/ITK tools and real MR data
+// exported from them feeds this pipeline. Scope: 3-D, MET_FLOAT and
+// MET_UCHAR, raw (uncompressed) local data files — the common denominator.
+#pragma once
+
+#include <string>
+
+#include "image/image3d.h"
+
+namespace neuro {
+
+/// Writes `img` as `<path>.mhd` + `<path>.raw` (pass `path` without
+/// extension, or with ".mhd" which is stripped).
+void write_metaimage(const std::string& path, const ImageF& img);
+void write_metaimage(const std::string& path, const ImageL& img);
+
+/// Reads a 3-D MET_FLOAT MetaImage.
+ImageF read_metaimage_f(const std::string& mhd_path);
+/// Reads a 3-D MET_UCHAR MetaImage.
+ImageL read_metaimage_l(const std::string& mhd_path);
+
+}  // namespace neuro

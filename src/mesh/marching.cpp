@@ -1,0 +1,148 @@
+#include "mesh/marching.h"
+
+#include <array>
+#include <map>
+
+#include "base/check.h"
+#include "image/distance.h"
+
+namespace neuro::mesh {
+
+namespace {
+
+// The same two 5-tet cube decompositions the mesher uses (bit0=+x, bit1=+y,
+// bit2=+z corners), so the two algorithms tile space identically.
+constexpr int kTetsEven[5][4] = {
+    {0, 1, 2, 4}, {3, 2, 1, 7}, {5, 4, 7, 1}, {6, 7, 4, 2}, {1, 2, 4, 7}};
+constexpr int kTetsOdd[5][4] = {
+    {1, 0, 3, 5}, {2, 3, 0, 6}, {4, 5, 6, 0}, {7, 6, 5, 3}, {0, 3, 5, 6}};
+
+struct Builder {
+  TriSurface surface;
+  std::map<std::pair<long long, long long>, int> edge_vertices;
+
+  int vertex_on_edge(long long id_a, long long id_b, const Vec3& pa, const Vec3& pb,
+                     double sa, double sb) {
+    auto key = id_a < id_b ? std::make_pair(id_a, id_b) : std::make_pair(id_b, id_a);
+    const auto it = edge_vertices.find(key);
+    if (it != edge_vertices.end()) return it->second;
+    const double t = sa / (sa - sb);  // signs differ, so sa - sb != 0
+    const int v = surface.num_vertices();
+    surface.vertices.push_back(pa + t * (pb - pa));
+    edge_vertices.emplace(key, v);
+    return v;
+  }
+
+  void add_triangle(int a, int b, int c, const Vec3& toward_positive) {
+    const Vec3& pa = surface.vertices[static_cast<std::size_t>(a)];
+    const Vec3& pb = surface.vertices[static_cast<std::size_t>(b)];
+    const Vec3& pc = surface.vertices[static_cast<std::size_t>(c)];
+    if (dot(cross(pb - pa, pc - pa), toward_positive) < 0.0) {
+      surface.triangles.push_back({a, c, b});
+    } else {
+      surface.triangles.push_back({a, b, c});
+    }
+  }
+};
+
+}  // namespace
+
+TriSurface marching_tetrahedra(const ImageF& field, double level, int stride) {
+  NEURO_REQUIRE(stride >= 1, "marching_tetrahedra: stride must be >= 1");
+  const IVec3 d = field.dims();
+  const IVec3 np{(d.x - 1) / stride + 1, (d.y - 1) / stride + 1, (d.z - 1) / stride + 1};
+  NEURO_REQUIRE(np.x >= 2 && np.y >= 2 && np.z >= 2,
+                "marching_tetrahedra: stride too large for volume " << d);
+
+  Builder builder;
+  auto lattice_id = [&](int ix, int iy, int iz) {
+    return (static_cast<long long>(iz) * np.y + iy) * np.x + ix;
+  };
+
+  std::array<long long, 8> corner_id;
+  std::array<Vec3, 8> corner_pos;
+  std::array<double, 8> corner_val;
+  for (int cz = 0; cz + 1 < np.z; ++cz) {
+    for (int cy = 0; cy + 1 < np.y; ++cy) {
+      for (int cx = 0; cx + 1 < np.x; ++cx) {
+        for (int b = 0; b < 8; ++b) {
+          const int ix = cx + (b & 1), iy = cy + ((b >> 1) & 1), iz = cz + ((b >> 2) & 1);
+          corner_id[static_cast<std::size_t>(b)] = lattice_id(ix, iy, iz);
+          corner_pos[static_cast<std::size_t>(b)] =
+              field.voxel_to_physical(ix * stride, iy * stride, iz * stride);
+          corner_val[static_cast<std::size_t>(b)] =
+              static_cast<double>(field(ix * stride, iy * stride, iz * stride)) -
+              level;
+        }
+        const bool even = ((cx + cy + cz) & 1) == 0;
+        const auto& tets = even ? kTetsEven : kTetsOdd;
+
+        for (const auto& tet : tets) {
+          // Split corners by sign (s >= 0 counts as positive).
+          std::array<int, 4> neg{}, pos{};
+          int nn = 0, npos = 0;
+          for (const int c : tet) {
+            if (corner_val[static_cast<std::size_t>(c)] < 0.0) {
+              neg[static_cast<std::size_t>(nn++)] = c;
+            } else {
+              pos[static_cast<std::size_t>(npos++)] = c;
+            }
+          }
+          if (nn == 0 || nn == 4) continue;
+
+          Vec3 centroid_pos{}, centroid_neg{};
+          for (int i = 0; i < npos; ++i) {
+            centroid_pos += corner_pos[static_cast<std::size_t>(pos[static_cast<std::size_t>(i)])];
+          }
+          for (int i = 0; i < nn; ++i) {
+            centroid_neg += corner_pos[static_cast<std::size_t>(neg[static_cast<std::size_t>(i)])];
+          }
+          const Vec3 toward_positive =
+              centroid_pos / npos - centroid_neg / nn;
+
+          auto edge_vertex = [&](int ca, int cb) {
+            return builder.vertex_on_edge(
+                corner_id[static_cast<std::size_t>(ca)],
+                corner_id[static_cast<std::size_t>(cb)],
+                corner_pos[static_cast<std::size_t>(ca)],
+                corner_pos[static_cast<std::size_t>(cb)],
+                corner_val[static_cast<std::size_t>(ca)],
+                corner_val[static_cast<std::size_t>(cb)]);
+          };
+
+          if (nn == 1 || nn == 3) {
+            // One isolated corner: a single triangle cuts its three edges.
+            const int apex = nn == 1 ? neg[0] : pos[0];
+            const auto& others = nn == 1 ? pos : neg;
+            const int count = 3;
+            std::array<int, 3> v{};
+            for (int i = 0; i < count; ++i) {
+              v[static_cast<std::size_t>(i)] =
+                  edge_vertex(apex, others[static_cast<std::size_t>(i)]);
+            }
+            builder.add_triangle(v[0], v[1], v[2], toward_positive);
+          } else {
+            // 2/2 split: quad across four edges → two triangles.
+            const int a0 = neg[0], a1 = neg[1], b0 = pos[0], b1 = pos[1];
+            const int v00 = edge_vertex(a0, b0);
+            const int v01 = edge_vertex(a0, b1);
+            const int v10 = edge_vertex(a1, b0);
+            const int v11 = edge_vertex(a1, b1);
+            builder.add_triangle(v00, v01, v11, toward_positive);
+            builder.add_triangle(v00, v11, v10, toward_positive);
+          }
+        }
+      }
+    }
+  }
+  return builder.surface;
+}
+
+TriSurface isosurface_from_mask(const ImageL& mask, int stride) {
+  // Negative inside: the zero level sits on the mask boundary with sub-voxel
+  // placement from the distance values.
+  const ImageF sdf = signed_distance_to_label(mask, 1, 1e6);
+  return marching_tetrahedra(sdf, 0.0, stride);
+}
+
+}  // namespace neuro::mesh

@@ -1,0 +1,30 @@
+// Marching-tetrahedra isosurface extraction.
+//
+// The paper describes its volumetric mesher as "the volumetric counterpart of
+// a marching tetrahedra surface generation algorithm" — this is that surface
+// algorithm. The volume is covered by the same 5-tet lattice the mesher uses;
+// within each tetrahedron the scalar field is interpolated linearly and the
+// zero level set is extracted as one or two triangles with sub-voxel vertex
+// positions. Compared to extract_boundary_surface (faces of the labeled
+// mesh, voxel-staircase geometry), marching tetrahedra yields a smooth
+// surface — useful for visualization and as a lower-bias active-surface
+// initialization.
+#pragma once
+
+#include "image/image3d.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro::mesh {
+
+/// Extracts the `level` isosurface of a scalar volume (typically a signed
+/// distance field with level 0). Vertices are in physical coordinates;
+/// triangles are oriented so normals point toward increasing field values.
+/// `stride` samples the lattice every n voxels (1 = full resolution).
+/// The result has no mesh-node bookkeeping (it is not tied to a TetMesh).
+TriSurface marching_tetrahedra(const ImageF& field, double level = 0.0,
+                               int stride = 1);
+
+/// Convenience: smooth isosurface of a binary mask (signed distance + MT).
+TriSurface isosurface_from_mask(const ImageL& mask, int stride = 1);
+
+}  // namespace neuro::mesh

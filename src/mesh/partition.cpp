@@ -1,0 +1,88 @@
+#include "mesh/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace neuro::mesh {
+
+int Partition::owner_of(NodeId n) const {
+  // ranges are contiguous and sorted; binary search the upper bound.
+  int lo = 0, hi = nranks - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (n < ranges[static_cast<std::size_t>(mid)].second) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  NEURO_CHECK_MSG(n >= ranges[static_cast<std::size_t>(lo)].first &&
+                      n < ranges[static_cast<std::size_t>(lo)].second,
+                  "owner_of: node " << n << " outside partition");
+  return lo;
+}
+
+Partition partition_weighted(const std::vector<double>& node_weights, int nranks) {
+  NEURO_REQUIRE(nranks >= 1, "partition: nranks must be >= 1");
+  const int n = static_cast<int>(node_weights.size());
+  NEURO_REQUIRE(n >= nranks, "partition: fewer nodes (" << n << ") than ranks ("
+                                                        << nranks << ")");
+  const double total = std::accumulate(node_weights.begin(), node_weights.end(), 0.0);
+
+  Partition part;
+  part.nranks = nranks;
+  part.ranges.resize(static_cast<std::size_t>(nranks));
+
+  double acc = 0.0;
+  int begin = 0;
+  for (int r = 0; r < nranks; ++r) {
+    // Each remaining rank must get at least one node.
+    const int max_end = n - (nranks - 1 - r);
+    const double target = total * (r + 1) / nranks;
+    int end = begin + 1;
+    acc += node_weights[static_cast<std::size_t>(begin)];
+    while (end < max_end && acc + node_weights[static_cast<std::size_t>(end)] / 2.0 <
+                                target) {
+      acc += node_weights[static_cast<std::size_t>(end)];
+      ++end;
+    }
+    if (r == nranks - 1) end = n;  // last rank takes the remainder
+    part.ranges[static_cast<std::size_t>(r)] = {begin, end};
+    begin = end;
+  }
+  return part;
+}
+
+Partition partition_node_balanced(int num_nodes, int nranks) {
+  std::vector<double> w(static_cast<std::size_t>(num_nodes), 1.0);
+  return partition_weighted(w, nranks);
+}
+
+Partition partition_connectivity_balanced(const TetMesh& mesh, int nranks) {
+  const std::vector<int> counts = node_tet_counts(mesh);
+  std::vector<double> w(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    w[i] = static_cast<double>(counts[i]);
+  }
+  return partition_weighted(w, nranks);
+}
+
+Partition partition_free_node_balanced(const TetMesh& mesh,
+                                       const std::vector<std::uint8_t>& fixed,
+                                       int nranks) {
+  NEURO_REQUIRE(static_cast<int>(fixed.size()) == mesh.num_nodes(),
+                "partition_free_node_balanced: fixed-flag size mismatch");
+  // Per-row Krylov work = vector operations (identical for every row) plus
+  // matrix/preconditioner traffic (≈ zero for a substituted identity row).
+  // For this matrix class the two parts are comparable, so a fixed node costs
+  // about half a free node.
+  std::vector<double> w(fixed.size());
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    w[i] = fixed[i] ? 0.5 : 1.0;
+  }
+  return partition_weighted(w, nranks);
+}
+
+}  // namespace neuro::mesh

@@ -1,0 +1,55 @@
+// Mesh decomposition for parallel assembly and solve.
+//
+// The paper's decomposition "is based on sending approximately equal numbers
+// of mesh nodes to each CPU", and it attributes its imperfect scaling to two
+// imbalances this creates: (1) nodes differ in connectivity, so equal node
+// counts ≠ equal assembly work; (2) applying surface displacements as boundary
+// conditions removes unknowns non-uniformly across CPUs, unbalancing the
+// solve. Its future-work section proposes decompositions that account for
+// both. We implement the paper's partitioner plus both proposed improvements
+// so the ablation bench can quantify them (DESIGN.md experiment index).
+//
+// All partitioners produce contiguous node ranges (nodes are in spatial slab
+// order from the mesher), which is also the row-block distribution of the
+// stiffness matrix.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace neuro::mesh {
+
+/// A contiguous-range node partition over `nranks` ranks.
+struct Partition {
+  int nranks = 1;
+  std::vector<std::pair<NodeId, NodeId>> ranges;  ///< [begin, end) per rank
+
+  [[nodiscard]] int owner_of(NodeId n) const;
+  [[nodiscard]] int nodes_of(int rank) const {
+    return ranges[static_cast<std::size_t>(rank)].second -
+           ranges[static_cast<std::size_t>(rank)].first;
+  }
+};
+
+/// The paper's decomposition: equal node counts per rank.
+Partition partition_node_balanced(int num_nodes, int nranks);
+
+/// Future-work variant 1: balances estimated assembly work, i.e. the number
+/// of tetrahedra incident to each rank's nodes.
+Partition partition_connectivity_balanced(const TetMesh& mesh, int nranks);
+
+/// Future-work variant 2: balances the number of *free* (non-Dirichlet) nodes
+/// per rank, equalizing solve-side work after boundary-condition substitution.
+/// `fixed` flags Dirichlet nodes.
+Partition partition_free_node_balanced(const TetMesh& mesh,
+                                       const std::vector<std::uint8_t>& fixed,
+                                       int nranks);
+
+/// Generic weighted contiguous partition (exposed for tests): cuts the node
+/// sequence so each rank's weight sum approximates total/nranks.
+Partition partition_weighted(const std::vector<double>& node_weights, int nranks);
+
+}  // namespace neuro::mesh

@@ -1,0 +1,109 @@
+#include "mesh/refine.h"
+
+#include <map>
+#include <utility>
+
+#include "base/check.h"
+
+namespace neuro::mesh {
+
+namespace {
+
+/// Midpoint-node cache keyed by the (sorted) endpoint pair, so shared edges
+/// produce one shared node — this is what keeps refinement conforming.
+class MidpointCache {
+ public:
+  explicit MidpointCache(TetMesh& mesh) : mesh_(mesh) {}
+
+  NodeId midpoint(NodeId a, NodeId b) {
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const NodeId id = mesh_.num_nodes();
+    mesh_.nodes.push_back((mesh_.nodes[static_cast<std::size_t>(a)] +
+                           mesh_.nodes[static_cast<std::size_t>(b)]) *
+                          0.5);
+    cache_.emplace(key, id);
+    return id;
+  }
+
+ private:
+  TetMesh& mesh_;
+  std::map<std::pair<NodeId, NodeId>, NodeId> cache_;
+};
+
+void emit(TetMesh& out, std::uint8_t label, NodeId a, NodeId b, NodeId c, NodeId d) {
+  std::array<NodeId, 4> tet{a, b, c, d};
+  if (tet_volume(out.nodes[static_cast<std::size_t>(a)],
+                 out.nodes[static_cast<std::size_t>(b)],
+                 out.nodes[static_cast<std::size_t>(c)],
+                 out.nodes[static_cast<std::size_t>(d)]) < 0.0) {
+    std::swap(tet[1], tet[2]);
+  }
+  out.tets.push_back(tet);
+  out.tet_labels.push_back(label);
+}
+
+}  // namespace
+
+TetMesh refine_uniform(const TetMesh& mesh) {
+  TetMesh out;
+  out.nodes = mesh.nodes;
+  out.tets.reserve(mesh.tets.size() * 8);
+  out.tet_labels.reserve(mesh.tets.size() * 8);
+  MidpointCache midpoints(out);
+
+  for (TetId t = 0; t < mesh.num_tets(); ++t) {
+    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    const std::uint8_t label = mesh.tet_labels[static_cast<std::size_t>(t)];
+    const NodeId v0 = tet[0], v1 = tet[1], v2 = tet[2], v3 = tet[3];
+    const NodeId m01 = midpoints.midpoint(v0, v1);
+    const NodeId m02 = midpoints.midpoint(v0, v2);
+    const NodeId m03 = midpoints.midpoint(v0, v3);
+    const NodeId m12 = midpoints.midpoint(v1, v2);
+    const NodeId m13 = midpoints.midpoint(v1, v3);
+    const NodeId m23 = midpoints.midpoint(v2, v3);
+
+    // Four corner tetrahedra.
+    emit(out, label, v0, m01, m02, m03);
+    emit(out, label, v1, m01, m12, m13);
+    emit(out, label, v2, m02, m12, m23);
+    emit(out, label, v3, m03, m13, m23);
+
+    // Inner octahedron (m01, m02, m03, m12, m13, m23): split along the
+    // shortest of its three diagonals (m01–m23, m02–m13, m03–m12).
+    auto len2 = [&](NodeId a, NodeId b) {
+      return norm2(out.nodes[static_cast<std::size_t>(a)] -
+                   out.nodes[static_cast<std::size_t>(b)]);
+    };
+    const double d0 = len2(m01, m23);
+    const double d1 = len2(m02, m13);
+    const double d2 = len2(m03, m12);
+    if (d0 <= d1 && d0 <= d2) {
+      emit(out, label, m01, m23, m02, m03);
+      emit(out, label, m01, m23, m03, m13);
+      emit(out, label, m01, m23, m13, m12);
+      emit(out, label, m01, m23, m12, m02);
+    } else if (d1 <= d0 && d1 <= d2) {
+      emit(out, label, m02, m13, m01, m03);
+      emit(out, label, m02, m13, m03, m23);
+      emit(out, label, m02, m13, m23, m12);
+      emit(out, label, m02, m13, m12, m01);
+    } else {
+      emit(out, label, m03, m12, m01, m02);
+      emit(out, label, m03, m12, m02, m23);
+      emit(out, label, m03, m12, m23, m13);
+      emit(out, label, m03, m12, m13, m01);
+    }
+  }
+  return out;
+}
+
+TetMesh refine_uniform(const TetMesh& mesh, int levels) {
+  NEURO_REQUIRE(levels >= 0, "refine_uniform: negative level count");
+  TetMesh out = mesh;
+  for (int l = 0; l < levels; ++l) out = refine_uniform(out);
+  return out;
+}
+
+}  // namespace neuro::mesh

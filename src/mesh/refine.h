@@ -1,0 +1,25 @@
+// Uniform (red) tetrahedral refinement.
+//
+// The paper's Fig. 9 anticipates "an improved biomechanical model … may
+// necessitate a higher resolution mesh, and hence a larger number of
+// equations to solve". Besides re-meshing at a smaller lattice stride, the
+// standard way to get there is uniform refinement: each tetrahedron splits
+// into 8 children through its edge midpoints (4 corner tets + 4 from the
+// inner octahedron, cut along one of its diagonals). Refinement preserves
+// total volume exactly, keeps the mesh conforming, and multiplies the
+// element count by 8.
+#pragma once
+
+#include "mesh/tet_mesh.h"
+
+namespace neuro::mesh {
+
+/// One level of uniform 1→8 refinement. Children inherit the parent's label.
+/// The octahedron diagonal is chosen shortest-first, which bounds quality
+/// degradation (Bey's refinement behaves identically on our lattice tets).
+TetMesh refine_uniform(const TetMesh& mesh);
+
+/// `levels` applications of refine_uniform.
+TetMesh refine_uniform(const TetMesh& mesh, int levels);
+
+}  // namespace neuro::mesh

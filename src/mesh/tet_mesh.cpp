@@ -1,0 +1,112 @@
+#include "mesh/tet_mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/mat3.h"
+
+namespace neuro::mesh {
+
+double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
+  return dot(b - a, cross(c - a, d - a)) / 6.0;
+}
+
+double tet_volume(const TetMesh& mesh, TetId t) {
+  const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+  return tet_volume(mesh.nodes[static_cast<std::size_t>(tet[0])],
+                    mesh.nodes[static_cast<std::size_t>(tet[1])],
+                    mesh.nodes[static_cast<std::size_t>(tet[2])],
+                    mesh.nodes[static_cast<std::size_t>(tet[3])]);
+}
+
+std::array<double, 4> barycentric(const Vec3& a, const Vec3& b, const Vec3& c,
+                                  const Vec3& d, const Vec3& p) {
+  const double v = tet_volume(a, b, c, d);
+  NEURO_CHECK_MSG(std::abs(v) > 1e-300, "barycentric: degenerate tetrahedron");
+  const double inv = 1.0 / v;
+  return {tet_volume(p, b, c, d) * inv, tet_volume(a, p, c, d) * inv,
+          tet_volume(a, b, p, d) * inv, tet_volume(a, b, c, p) * inv};
+}
+
+double tet_quality_radius_ratio(const Vec3& a, const Vec3& b, const Vec3& c,
+                                const Vec3& d) {
+  const double vol = std::abs(tet_volume(a, b, c, d));
+  if (vol <= 0.0) return 0.0;
+
+  // Face areas.
+  auto area = [](const Vec3& p, const Vec3& q, const Vec3& r) {
+    return 0.5 * norm(cross(q - p, r - p));
+  };
+  const double sa = area(b, c, d) + area(a, c, d) + area(a, b, d) + area(a, b, c);
+  const double inradius = 3.0 * vol / sa;
+
+  // Circumradius via the standard determinant-free formula.
+  const Vec3 ba = b - a, ca = c - a, da = d - a;
+  const Vec3 num = norm2(ba) * cross(ca, da) + norm2(ca) * cross(da, ba) +
+                   norm2(da) * cross(ba, ca);
+  const double circumradius = norm(num) / (12.0 * vol);
+  if (circumradius <= 0.0) return 0.0;
+  return 3.0 * inradius / circumradius;
+}
+
+std::vector<std::vector<NodeId>> node_adjacency(const TetMesh& mesh) {
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(mesh.num_nodes()));
+  for (const auto& tet : mesh.tets) {
+    for (const NodeId a : tet) {
+      for (const NodeId b : tet) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+      }
+    }
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+std::vector<int> node_tet_counts(const TetMesh& mesh) {
+  std::vector<int> counts(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (const auto& tet : mesh.tets) {
+    for (const NodeId n : tet) ++counts[static_cast<std::size_t>(n)];
+  }
+  return counts;
+}
+
+double total_volume(const TetMesh& mesh) {
+  double v = 0.0;
+  for (TetId t = 0; t < mesh.num_tets(); ++t) v += tet_volume(mesh, t);
+  return v;
+}
+
+Aabb bounds(const TetMesh& mesh) {
+  Aabb box;
+  for (const auto& n : mesh.nodes) box.expand(n);
+  return box;
+}
+
+QualityStats quality_stats(const TetMesh& mesh) {
+  QualityStats s;
+  if (mesh.tets.empty()) return s;
+  s.min_volume = 1e300;
+  s.max_volume = -1e300;
+  double sum_q = 0.0;
+  for (TetId t = 0; t < mesh.num_tets(); ++t) {
+    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    const double q = tet_quality_radius_ratio(
+        mesh.nodes[static_cast<std::size_t>(tet[0])],
+        mesh.nodes[static_cast<std::size_t>(tet[1])],
+        mesh.nodes[static_cast<std::size_t>(tet[2])],
+        mesh.nodes[static_cast<std::size_t>(tet[3])]);
+    const double v = tet_volume(mesh, t);
+    s.min_quality = std::min(s.min_quality, q);
+    sum_q += q;
+    s.min_volume = std::min(s.min_volume, v);
+    s.max_volume = std::max(s.max_volume, v);
+  }
+  s.mean_quality = sum_q / mesh.num_tets();
+  return s;
+}
+
+}  // namespace neuro::mesh

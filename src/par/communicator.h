@@ -1,0 +1,242 @@
+// In-process message-passing runtime.
+//
+// Ranks are threads; a Communicator gives each rank an MPI-like interface:
+// barrier, broadcast, reductions, gathers, and point-to-point send/recv.
+// All parallel algorithms in this library are written SPMD against this
+// interface and never share mutable state outside it, so the decomposition is
+// honest — the same code would port to MPI mechanically (DESIGN.md §6).
+//
+// Every operation is accounted in the rank's WorkCounter so the perf module
+// can apply a network cost model (Fast Ethernet vs. SMP bus) to the run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "base/check.h"
+#include "par/work_counter.h"
+
+namespace neuro::par {
+
+class Communicator;
+
+namespace detail {
+
+/// State shared by all ranks of one parallel run.
+class Team {
+ public:
+  explicit Team(int size);
+
+  int size() const { return size_; }
+
+  /// Sense-reversing central barrier.
+  void barrier();
+
+  /// Publish this rank's contribution for a collective and wait until all
+  /// ranks have published; afterwards slots() may be read by everyone until
+  /// the matching release().
+  void publish(int rank, const void* data, std::size_t bytes);
+  struct Slot {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+  const Slot& slot(int rank) const { return slots_[static_cast<std::size_t>(rank)]; }
+  /// Second barrier: all ranks done reading; slots may be reused.
+  void release();
+
+  /// Point-to-point mailbox keyed by (src, dst, tag).
+  void send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes);
+  std::vector<std::byte> recv_bytes(int src, int dst, int tag);
+
+ private:
+  int size_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  bool barrier_sense_ = false;
+
+  std::vector<Slot> slots_;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+  };
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // indexed by dst
+};
+
+}  // namespace detail
+
+/// Per-rank handle to the team. All methods must be called collectively by
+/// every rank of the team (except send/recv, which are matched pairwise).
+class Communicator {
+ public:
+  Communicator(int rank, detail::Team* team) : rank_(rank), team_(team) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return team_->size(); }
+
+  WorkCounter& work() { return work_; }
+  [[nodiscard]] const WorkCounter& work() const { return work_; }
+
+  void barrier() {
+    work_.add_collective(0.0);
+    team_->barrier();
+  }
+
+  /// Broadcasts `data` (resized on non-roots) from `root` to all ranks.
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t count = data.size();
+    // Size exchange + payload: one collective round for accounting purposes.
+    team_->publish(rank_, rank_ == root ? &count : nullptr,
+                   rank_ == root ? sizeof(count) : 0);
+    if (rank_ != root) {
+      count = *static_cast<const std::uint64_t*>(team_->slot(root).data);
+      data.resize(count);
+    }
+    team_->release();
+    team_->publish(rank_, rank_ == root ? static_cast<const void*>(data.data()) : nullptr,
+                   rank_ == root ? count * sizeof(T) : 0);
+    if (rank_ != root && count > 0) {
+      std::memcpy(data.data(), team_->slot(root).data, count * sizeof(T));
+    }
+    team_->release();
+    work_.add_collective(static_cast<double>(count * sizeof(T)));
+  }
+
+  /// Element-wise sum-allreduce over fixed-size vectors (same size on all
+  /// ranks). Reduction is performed in rank order on every rank, so the
+  /// result is identical everywhere and across runs.
+  template <typename T>
+  void allreduce_sum(std::span<T> inout) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> local(inout.begin(), inout.end());
+    team_->publish(rank_, local.data(), local.size() * sizeof(T));
+    for (std::size_t i = 0; i < inout.size(); ++i) inout[i] = T{};
+    for (int r = 0; r < size(); ++r) {
+      const auto* src = static_cast<const T*>(team_->slot(r).data);
+      NEURO_CHECK(team_->slot(r).bytes == local.size() * sizeof(T));
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += src[i];
+    }
+    team_->release();
+    work_.add_collective(static_cast<double>(local.size() * sizeof(T)));
+  }
+
+  /// Scalar sum-allreduce.
+  template <typename T>
+  T allreduce_sum(T value) {
+    allreduce_sum(std::span<T>(&value, 1));
+    return value;
+  }
+
+  /// Scalar max-allreduce.
+  template <typename T>
+  T allreduce_max(T value) {
+    T local = value;
+    team_->publish(rank_, &local, sizeof(T));
+    T result = local;
+    for (int r = 0; r < size(); ++r) {
+      const T v = *static_cast<const T*>(team_->slot(r).data);
+      if (v > result) result = v;
+    }
+    team_->release();
+    work_.add_collective(sizeof(T));
+    return result;
+  }
+
+  /// Scalar min-allreduce.
+  template <typename T>
+  T allreduce_min(T value) {
+    T local = value;
+    team_->publish(rank_, &local, sizeof(T));
+    T result = local;
+    for (int r = 0; r < size(); ++r) {
+      const T v = *static_cast<const T*>(team_->slot(r).data);
+      if (v < result) result = v;
+    }
+    team_->release();
+    work_.add_collective(sizeof(T));
+    return result;
+  }
+
+  /// Gathers variable-length contributions from all ranks, concatenated in
+  /// rank order. Every rank receives the full result.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> copy(local.begin(), local.end());
+    team_->publish(rank_, copy.data(), copy.size() * sizeof(T));
+    std::vector<T> result;
+    for (int r = 0; r < size(); ++r) {
+      const auto& s = team_->slot(r);
+      const auto* src = static_cast<const T*>(s.data);
+      result.insert(result.end(), src, src + s.bytes / sizeof(T));
+    }
+    team_->release();
+    work_.add_collective(static_cast<double>(copy.size() * sizeof(T)));
+    return result;
+  }
+
+  /// Per-rank variant of allgatherv that keeps rank boundaries.
+  template <typename T>
+  std::vector<std::vector<T>> allgather_parts(std::span<const T> local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> copy(local.begin(), local.end());
+    team_->publish(rank_, copy.data(), copy.size() * sizeof(T));
+    std::vector<std::vector<T>> result(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      const auto& s = team_->slot(r);
+      const auto* src = static_cast<const T*>(s.data);
+      result[static_cast<std::size_t>(r)].assign(src, src + s.bytes / sizeof(T));
+    }
+    team_->release();
+    work_.add_collective(static_cast<double>(copy.size() * sizeof(T)));
+    return result;
+  }
+
+  /// Blocking point-to-point send. Matched by recv() on `dst` with the same tag.
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NEURO_REQUIRE(dst >= 0 && dst < size(), "send: bad destination rank " << dst);
+    team_->send_bytes(rank_, dst, tag, data.data(), data.size() * sizeof(T));
+    work_.add_comm(static_cast<double>(data.size() * sizeof(T)));
+  }
+
+  /// Blocking point-to-point receive from `src` with `tag`.
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NEURO_REQUIRE(src >= 0 && src < size(), "recv: bad source rank " << src);
+    std::vector<std::byte> bytes = team_->recv_bytes(src, rank_, tag);
+    NEURO_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+ private:
+  int rank_;
+  detail::Team* team_;
+  WorkCounter work_;
+};
+
+/// Runs `body(comm)` on `nranks` threads. Rethrows the first exception thrown
+/// by any rank after all threads have joined. Returns the per-rank work
+/// accumulated over the whole run (whatever was not take()n inside the body).
+std::vector<WorkRecord> run_spmd(int nranks,
+                                 const std::function<void(Communicator&)>& body);
+
+}  // namespace neuro::par

@@ -1,0 +1,84 @@
+// Deterministic per-rank work accounting.
+//
+// The real parallel code paths (assembly, SpMV, preconditioner application,
+// orthogonalization) record how much arithmetic and memory traffic each rank
+// performed and how many bytes crossed the communicator. These records are
+// deterministic functions of the input (mesh, partition, solver path), so the
+// scaling curves derived from them by neuro::perf reproduce the *shape* of the
+// paper's timing figures — including the load imbalances the paper analyzes —
+// even though this host cannot time a 16-node cluster directly. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace neuro::par {
+
+/// Work performed by one rank within one phase.
+struct WorkRecord {
+  double flops = 0.0;        ///< floating-point operations
+  double mem_bytes = 0.0;    ///< bytes read+written by compute kernels
+  double comm_bytes = 0.0;   ///< point-to-point payload bytes sent by this rank
+  double comm_msgs = 0.0;    ///< point-to-point messages sent by this rank
+  double coll_rounds = 0.0;  ///< collective operations participated in
+  double coll_bytes = 0.0;   ///< payload bytes contributed to collectives
+
+  WorkRecord& operator+=(const WorkRecord& o) {
+    flops += o.flops;
+    mem_bytes += o.mem_bytes;
+    comm_bytes += o.comm_bytes;
+    comm_msgs += o.comm_msgs;
+    coll_rounds += o.coll_rounds;
+    coll_bytes += o.coll_bytes;
+    return *this;
+  }
+};
+
+/// Per-rank accumulator. Owned by the Communicator; not thread-shared.
+class WorkCounter {
+ public:
+  void add_flops(double n) { current_.flops += n; }
+  void add_mem_bytes(double n) { current_.mem_bytes += n; }
+  void add_comm(double bytes, double msgs = 1.0) {
+    current_.comm_bytes += bytes;
+    current_.comm_msgs += msgs;
+  }
+  void add_collective(double bytes) {
+    current_.coll_rounds += 1.0;
+    current_.coll_bytes += bytes;
+  }
+
+  /// Returns the work accumulated since the last take() and resets it.
+  WorkRecord take() {
+    WorkRecord r = current_;
+    current_ = WorkRecord{};
+    return r;
+  }
+
+  [[nodiscard]] const WorkRecord& current() const { return current_; }
+
+ private:
+  WorkRecord current_;
+};
+
+/// Work of all ranks for each named phase of a run, e.g.
+/// phases()["assemble"][r] is rank r's assembly work.
+class PhaseWork {
+ public:
+  void record(const std::string& phase, std::vector<WorkRecord> per_rank) {
+    phases_[phase] = std::move(per_rank);
+  }
+
+  [[nodiscard]] const std::vector<WorkRecord>& phase(const std::string& name) const;
+
+  [[nodiscard]] bool has_phase(const std::string& name) const {
+    return phases_.count(name) > 0;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<WorkRecord>> phases_;
+};
+
+}  // namespace neuro::par

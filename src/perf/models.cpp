@@ -1,0 +1,75 @@
+#include "perf/models.h"
+
+#include "base/check.h"
+
+namespace neuro::perf {
+
+PlatformModel deep_flow_cluster() {
+  PlatformModel p;
+  p.name = "Deep Flow (16x Alpha 21164A 533MHz, Fast Ethernet)";
+  // ~533 MHz EV56 with small on-chip caches and a 2MB L3: sustained sparse
+  // matrix kernels of the era ran at a few percent of peak.
+  p.machine = {"Alpha 21164A 533MHz", 7.0e7, 1.5e8};
+  // 100 Mbps full duplex TCP: ~11 MB/s payload, O(100us) software latency.
+  p.net = {"Fast Ethernet", 1.2e-4, 1.1e7};
+  p.intra_box_net = p.net;
+  p.ranks_per_box = 1;  // every rank is its own box: P>1 always crosses Ethernet
+  return p;
+}
+
+PlatformModel ultra_hpc_6000() {
+  PlatformModel p;
+  p.name = "Sun Ultra HPC 6000 (20x UltraSPARC-II 250MHz, SMP)";
+  p.machine = {"UltraSPARC-II 250MHz", 4.5e7, 1.0e8};
+  // Gigaplane bus: low latency, high bandwidth, but shared — modeled as a
+  // fast network; contention shows up through the per-rank memory term.
+  p.net = {"Gigaplane SMP bus", 4.0e-6, 2.5e8};
+  p.intra_box_net = p.net;
+  p.ranks_per_box = 1 << 20;
+  return p;
+}
+
+PlatformModel dual_ultra80_cluster() {
+  PlatformModel p;
+  p.name = "2x Sun Ultra 80 (4x UltraSPARC-II 450MHz each, Fast Ethernet)";
+  p.machine = {"UltraSPARC-II 450MHz", 8.0e7, 1.6e8};
+  p.net = {"Fast Ethernet", 1.2e-4, 1.1e7};
+  p.intra_box_net = {"Ultra 80 bus", 4.0e-6, 3.0e8};
+  p.ranks_per_box = 4;
+  return p;
+}
+
+double predict_phase_seconds(const PlatformModel& platform,
+                             std::span<const par::WorkRecord> per_rank) {
+  NEURO_REQUIRE(!per_rank.empty(), "predict_phase_seconds: no ranks");
+  const int nranks = static_cast<int>(per_rank.size());
+  const NetworkModel& net = platform.network_for(nranks);
+
+  double critical_path = 0.0;
+  double coll_rounds = 0.0;
+  double coll_bytes = 0.0;
+  for (const auto& w : per_rank) {
+    const double t = platform.machine.compute_seconds(w) +
+                     (nranks > 1 ? net.p2p_seconds(w.comm_bytes, w.comm_msgs) : 0.0);
+    critical_path = std::max(critical_path, t);
+    coll_rounds = std::max(coll_rounds, w.coll_rounds);
+    coll_bytes = std::max(coll_bytes, w.coll_bytes);
+  }
+  return critical_path + net.collective_seconds(nranks, coll_rounds, coll_bytes);
+}
+
+double compute_imbalance(const MachineModel& machine,
+                         std::span<const par::WorkRecord> per_rank) {
+  NEURO_REQUIRE(!per_rank.empty(), "compute_imbalance: no ranks");
+  double max_t = 0.0;
+  double sum_t = 0.0;
+  for (const auto& w : per_rank) {
+    const double t = machine.compute_seconds(w);
+    max_t = std::max(max_t, t);
+    sum_t += t;
+  }
+  const double mean = sum_t / static_cast<double>(per_rank.size());
+  return mean > 0.0 ? max_t / mean : 1.0;
+}
+
+}  // namespace neuro::perf

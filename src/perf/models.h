@@ -1,0 +1,94 @@
+// Machine and network cost models for the scaling studies.
+//
+// The paper times its parallel FEM on three 1999-era platforms (its Fig. 3 and
+// §2.2): a 16-node Compaq Alpha 21164A/533 cluster on Fast Ethernet ("Deep
+// Flow"), a 20-CPU Sun Ultra HPC 6000 SMP, and two 4-CPU Sun Ultra 80s on Fast
+// Ethernet. None of that hardware is available here, so per DESIGN.md §2 we
+// run the real SPMD algorithm, record each rank's deterministic work
+// (flops/bytes/messages), and convert work to time with the models below.
+// The *sustained* rates are calibrated so single-CPU times land near the
+// paper's curves; the scaling shape comes from the measured work distribution,
+// not from the model.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "par/work_counter.h"
+
+namespace neuro::perf {
+
+/// Per-CPU compute throughput model (roofline-style: flops and memory traffic
+/// each take time; kernels here are memory-bound so mem_bytes dominates).
+struct MachineModel {
+  std::string name;
+  double flops_per_sec = 1e8;      ///< sustained double-precision rate
+  double mem_bytes_per_sec = 2e8;  ///< sustained per-CPU memory bandwidth
+
+  [[nodiscard]] double compute_seconds(const par::WorkRecord& w) const {
+    return w.flops / flops_per_sec + w.mem_bytes / mem_bytes_per_sec;
+  }
+};
+
+/// Interconnect model. Collectives are costed as log2(P) latency-bound rounds
+/// plus bandwidth on the payload, matching tree-based MPI implementations of
+/// the era; point-to-point is latency + payload/bandwidth.
+struct NetworkModel {
+  std::string name;
+  double latency_sec = 1e-4;           ///< per-message software+wire latency
+  double bandwidth_bytes_per_sec = 1e7;
+
+  [[nodiscard]] double p2p_seconds(double bytes, double msgs) const {
+    return msgs * latency_sec + bytes / bandwidth_bytes_per_sec;
+  }
+
+  [[nodiscard]] double collective_seconds(int nranks, double rounds,
+                                          double bytes) const {
+    if (nranks <= 1) return 0.0;
+    const double hops = std::ceil(std::log2(static_cast<double>(nranks)));
+    return rounds * hops * latency_sec +
+           hops * bytes / bandwidth_bytes_per_sec;
+  }
+};
+
+/// A platform: one machine model plus the interconnect that ranks talk over.
+/// For the hybrid 2x4-CPU Ultra 80 cluster, messages among the first
+/// `smp_ranks_per_box` ranks of a box use the bus; the rest cross Ethernet.
+/// We approximate by using the slow network once P exceeds one box.
+struct PlatformModel {
+  std::string name;
+  MachineModel machine;
+  NetworkModel net;              ///< interconnect between boxes
+  NetworkModel intra_box_net;    ///< interconnect within a box (== net for
+                                 ///< uniform platforms)
+  int ranks_per_box = 1 << 20;   ///< effectively "all ranks in one box"
+
+  [[nodiscard]] const NetworkModel& network_for(int nranks) const {
+    return nranks > ranks_per_box ? net : intra_box_net;
+  }
+};
+
+/// "Deep Flow": 16 Compaq Alpha 21164A 533 MHz workstations, RedHat Linux,
+/// 100 Mbps full-duplex Fast Ethernet (paper Fig. 3).
+PlatformModel deep_flow_cluster();
+
+/// Sun Ultra HPC 6000: 20 UltraSPARC-II 250 MHz CPUs, shared memory.
+PlatformModel ultra_hpc_6000();
+
+/// Two Sun Ultra 80 boxes, 4 UltraSPARC-II 450 MHz CPUs each, Fast Ethernet
+/// between the boxes.
+PlatformModel dual_ultra80_cluster();
+
+/// Predicted wall-clock for one phase executed by `per_rank.size()` ranks:
+///   max over ranks of (compute + point-to-point) + collective cost.
+double predict_phase_seconds(const PlatformModel& platform,
+                             std::span<const par::WorkRecord> per_rank);
+
+/// Load imbalance of a phase: max(compute) / mean(compute). 1.0 is perfect.
+double compute_imbalance(const MachineModel& machine,
+                         std::span<const par::WorkRecord> per_rank);
+
+}  // namespace neuro::perf

@@ -1,0 +1,133 @@
+#include "reg/demons.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "image/filters.h"
+#include "reg/rigid_registration.h"
+
+namespace neuro::reg {
+
+namespace {
+
+/// Component-wise Gaussian smoothing of a vector field.
+ImageV smooth_field(const ImageV& field, double sigma) {
+  std::array<ImageF, 3> parts;
+  for (int c = 0; c < 3; ++c) {
+    parts[static_cast<std::size_t>(c)] =
+        ImageF(field.dims(), 0.0f, field.spacing(), field.origin());
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      parts[static_cast<std::size_t>(c)].data()[i] =
+          static_cast<float>(field.data()[i][static_cast<std::size_t>(c)]);
+    }
+    parts[static_cast<std::size_t>(c)] =
+        gaussian_smooth(parts[static_cast<std::size_t>(c)], sigma);
+  }
+  ImageV out(field.dims(), Vec3{}, field.spacing(), field.origin());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    out.data()[i] = {parts[0].data()[i], parts[1].data()[i], parts[2].data()[i]};
+  }
+  return out;
+}
+
+/// Resamples a (coarse) field onto a finer grid, keeping physical values.
+ImageV upsample_field(const ImageV& coarse, const ImageF& fine_grid) {
+  ImageV out(fine_grid.dims(), Vec3{}, fine_grid.spacing(), fine_grid.origin());
+  const IVec3 d = out.dims();
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        const Vec3 p = out.voxel_to_physical(i, j, k);
+        out(i, j, k) = sample_trilinear_vec(coarse, coarse.physical_to_voxel(p));
+      }
+    }
+  }
+  return out;
+}
+
+double mad_between(const ImageF& a, const ImageF& b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(static_cast<double>(a.data()[i]) - b.data()[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+/// Local backward warp (core::warp_backward lives above this library in the
+/// dependency graph, and the metric only needs a plain resample).
+ImageF warp_through(const ImageF& img, const ImageV& field) {
+  ImageF out(field.dims(), 0.0f, field.spacing(), field.origin());
+  const IVec3 d = out.dims();
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        const Vec3 y = out.voxel_to_physical(i, j, k);
+        out(i, j, k) = static_cast<float>(
+            sample_trilinear(img, img.physical_to_voxel(y + field(i, j, k))));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DemonsResult demons_registration(const ImageF& fixed, const ImageF& moving,
+                                 const DemonsConfig& config) {
+  NEURO_REQUIRE(fixed.dims() == moving.dims(), "demons: grid mismatch");
+  NEURO_REQUIRE(config.iterations > 0 && config.pyramid_levels >= 1,
+                "demons: bad config");
+
+  // Pyramids, coarsest last.
+  std::vector<ImageF> fixed_pyr{fixed}, moving_pyr{moving};
+  for (int l = 1; l < config.pyramid_levels; ++l) {
+    fixed_pyr.push_back(downsample2(fixed_pyr.back()));
+    moving_pyr.push_back(downsample2(moving_pyr.back()));
+  }
+
+  DemonsResult result;
+  result.initial_mad = mad_between(fixed, moving);
+
+  ImageV field;  // built at the coarsest level, upsampled inward
+  for (int l = config.pyramid_levels - 1; l >= 0; --l) {
+    const ImageF& f = fixed_pyr[static_cast<std::size_t>(l)];
+    const ImageF& m = moving_pyr[static_cast<std::size_t>(l)];
+    if (field.empty()) {
+      field = ImageV(f.dims(), Vec3{}, f.spacing(), f.origin());
+    } else {
+      field = upsample_field(field, f);
+    }
+    const ImageV grad_fixed = gradient(f);
+    const Vec3 sp = f.spacing();
+    const double mean_spacing2 = (sp.x * sp.x + sp.y * sp.y + sp.z * sp.z) / 3.0;
+
+    for (int it = 0; it < config.iterations; ++it) {
+      for (int k = 0; k < f.dims().z; ++k) {
+        for (int j = 0; j < f.dims().y; ++j) {
+          for (int i = 0; i < f.dims().x; ++i) {
+            const Vec3 y = f.voxel_to_physical(i, j, k);
+            const double mv =
+                sample_trilinear(m, m.physical_to_voxel(y + field(i, j, k)));
+            const double diff = mv - static_cast<double>(f(i, j, k));
+            const Vec3 g = grad_fixed(i, j, k);
+            const double denom = norm2(g) + diff * diff / mean_spacing2;
+            if (denom < 1e-9) continue;
+            Vec3 step = (-diff / denom) * g;
+            const double len = norm(step);
+            if (len > config.max_step_mm) step *= config.max_step_mm / len;
+            field(i, j, k) += step;
+          }
+        }
+      }
+      field = smooth_field(field, config.smoothing_sigma);
+      ++result.iterations;
+    }
+  }
+
+  result.backward_field = std::move(field);
+  result.final_mad = mad_between(fixed, warp_through(moving, result.backward_field));
+  return result;
+}
+
+}  // namespace neuro::reg

@@ -1,0 +1,38 @@
+// Demons nonrigid registration (Thirion) — the image-based baseline.
+//
+// The paper divides prior work into biomechanical models and "a
+// phenomenological approach relying upon image related criteria" (its refs.
+// [5, 6]; the authors' own earlier method [22, 23] is of this class and the
+// paper explicitly says it "does not constitute an accurate biomechanical
+// simulation … it is not possible to use such an approach for quantitative
+// prediction"). Demons is the canonical member of that class: an iterative
+// optical-flow-style update driven purely by intensity differences, with
+// Gaussian smoothing as the only regularizer. The baseline bench puts it
+// against the biomechanical pipeline on the phantom, where ground truth
+// makes the accuracy and fold-count differences measurable.
+#pragma once
+
+#include "image/image3d.h"
+
+namespace neuro::reg {
+
+struct DemonsConfig {
+  int iterations = 60;
+  double smoothing_sigma = 1.5;  ///< field regularization per iteration (voxels)
+  double max_step_mm = 2.0;      ///< per-iteration displacement clamp
+  int pyramid_levels = 2;        ///< coarse-to-fine
+};
+
+struct DemonsResult {
+  ImageV backward_field;  ///< v on the fixed grid: fixed point y samples moving at y+v(y)
+  double initial_mad = 0.0;
+  double final_mad = 0.0;
+  int iterations = 0;
+};
+
+/// Estimates a dense backward field aligning `moving` to `fixed` (both on the
+/// same grid): warp_backward(moving, field) ≈ fixed.
+DemonsResult demons_registration(const ImageF& fixed, const ImageF& moving,
+                                 const DemonsConfig& config = {});
+
+}  // namespace neuro::reg

@@ -1,0 +1,65 @@
+// Mutual-information image similarity (paper's rigid-registration metric,
+// after Wells et al., its ref. [20]).
+//
+// MI(A,B) = H(A) + H(B) - H(A,B) estimated from a joint intensity histogram
+// over sampled fixed-image voxels mapped into the moving image. MI is the
+// metric of choice here because the preoperative and intraoperative scans
+// have globally consistent but not identical intensity characteristics
+// (scanner drift, different noise realizations).
+#pragma once
+
+#include "image/image3d.h"
+#include "image/transform.h"
+
+namespace neuro::reg {
+
+struct MiConfig {
+  int bins = 32;
+  int sample_stride = 2;  ///< use every stride-th voxel along each axis
+};
+
+/// Joint histogram between a fixed and a transformed moving image.
+class JointHistogram {
+ public:
+  JointHistogram(int bins, double fixed_lo, double fixed_hi, double moving_lo,
+                 double moving_hi);
+
+  void add(double fixed_value, double moving_value);
+  void clear();
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+  /// Shannon entropies (nats). Empty histogram ⇒ all zero.
+  [[nodiscard]] double fixed_entropy() const;
+  [[nodiscard]] double moving_entropy() const;
+  [[nodiscard]] double joint_entropy() const;
+  [[nodiscard]] double mutual_information() const {
+    return fixed_entropy() + moving_entropy() - joint_entropy();
+  }
+
+ private:
+  [[nodiscard]] int bin(double v, double lo, double hi) const;
+
+  int bins_;
+  double fixed_lo_, fixed_hi_, moving_lo_, moving_hi_;
+  std::vector<double> joint_;  // bins x bins, row = fixed bin
+  std::size_t samples_ = 0;
+};
+
+/// Intensity range (min, max) of an image.
+std::pair<double, double> intensity_range(const ImageF& img);
+
+/// MI of `fixed` vs `moving ∘ transform` (transform maps fixed-space physical
+/// points into moving space). Samples outside the moving volume are skipped.
+double mutual_information(const ImageF& fixed, const ImageF& moving,
+                          const RigidTransform& transform, const MiConfig& config);
+
+/// Mean squared intensity difference over the same sampling scheme (the
+/// classical mono-modality metric). Exposed as the MI baseline: unlike MI it
+/// degrades under the scan-to-scan intensity drift / remapping that
+/// intraoperative imaging exhibits — the reason the paper registers with MI.
+double mean_squared_difference(const ImageF& fixed, const ImageF& moving,
+                               const RigidTransform& transform,
+                               const MiConfig& config);
+
+}  // namespace neuro::reg

@@ -1,0 +1,60 @@
+#include "seg/intraop.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "image/distance.h"
+
+namespace neuro::seg {
+
+FeatureStack build_feature_stack(const ImageF& scan, const ImageL& preop_labels,
+                                 const IntraopSegmentationConfig& config) {
+  NEURO_REQUIRE(scan.dims() == preop_labels.dims(),
+                "build_feature_stack: scan/labels dims mismatch");
+  NEURO_REQUIRE(!config.classes.empty(), "build_feature_stack: no classes configured");
+  FeatureStack stack;
+  stack.add_channel(scan, config.intensity_weight);
+  for (const std::uint8_t cls : config.classes) {
+    stack.add_channel(distance_to_label(preop_labels, cls, config.dt_saturation_mm),
+                      config.dt_weight);
+  }
+  return stack;
+}
+
+IntraopSegmentation segment_intraop(const ImageF& scan, const ImageL& preop_labels,
+                                    const IntraopSegmentationConfig& config,
+                                    par::Communicator* comm,
+                                    const std::vector<Prototype>* reuse) {
+  FeatureStack stack = build_feature_stack(scan, preop_labels, config);
+
+  IntraopSegmentation result;
+  if (reuse != nullptr && !reuse->empty()) {
+    result.prototypes = *reuse;
+    refresh_prototypes(result.prototypes, stack);
+  } else {
+    // First scan: select the statistical model from the preoperative
+    // segmentation (standing in for the < 5 minutes of expert interaction).
+    Rng rng(config.seed);
+    result.prototypes = select_prototypes_robust(
+        preop_labels, stack, config.prototypes_per_class, rng,
+        config.exclude_classes, config.prototype_margin_mm,
+        config.prototype_trim_mads);
+  }
+
+  KnnClassifier classifier(result.prototypes, config.k);
+  result.labels = comm != nullptr ? classifier.classify_volume_parallel(stack, *comm)
+                                  : classifier.classify_volume(stack);
+  return result;
+}
+
+ImageL mask_of_labels(const ImageL& labels, const std::vector<std::uint8_t>& keep) {
+  ImageL mask(labels.dims(), 0, labels.spacing(), labels.origin());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::uint8_t l = labels.data()[i];
+    if (std::find(keep.begin(), keep.end(), l) != keep.end()) mask.data()[i] = 1;
+  }
+  return mask;
+}
+
+}  // namespace neuro::seg

@@ -1,0 +1,409 @@
+#include "seg/knn.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "base/check.h"
+#include "image/distance.h"
+
+namespace neuro::seg {
+
+void FeatureStack::add_channel(ImageF channel, double weight) {
+  NEURO_REQUIRE(weight > 0.0, "FeatureStack: channel weight must be positive");
+  if (!channels_.empty()) {
+    NEURO_REQUIRE(channel.dims() == channels_.front().dims(),
+                  "FeatureStack: channel dims mismatch");
+  }
+  channels_.push_back(std::move(channel));
+  weights_.push_back(weight);
+}
+
+IVec3 FeatureStack::dims() const {
+  NEURO_REQUIRE(!channels_.empty(), "FeatureStack: no channels");
+  return channels_.front().dims();
+}
+
+std::size_t FeatureStack::voxels() const {
+  NEURO_REQUIRE(!channels_.empty(), "FeatureStack: no channels");
+  return channels_.front().size();
+}
+
+void FeatureStack::feature_at(int i, int j, int k, std::vector<double>& out) const {
+  out.resize(channels_.size());
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    out[c] = weights_[c] * static_cast<double>(channels_[c](i, j, k));
+  }
+}
+
+std::vector<Prototype> select_prototypes(const ImageL& truth, const FeatureStack& stack,
+                                         int per_class, Rng& rng,
+                                         const std::vector<std::uint8_t>& exclude) {
+  NEURO_REQUIRE(per_class > 0, "select_prototypes: per_class must be positive");
+  NEURO_REQUIRE(truth.dims() == stack.dims(), "select_prototypes: dims mismatch");
+
+  // Bucket voxel indices by label.
+  std::map<std::uint8_t, std::vector<IVec3>> by_label;
+  const IVec3 d = truth.dims();
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        const std::uint8_t l = truth(i, j, k);
+        if (std::find(exclude.begin(), exclude.end(), l) != exclude.end()) continue;
+        by_label[l].push_back({i, j, k});
+      }
+    }
+  }
+
+  std::vector<Prototype> prototypes;
+  for (auto& [lbl, voxels] : by_label) {
+    const int n = std::min<int>(per_class, static_cast<int>(voxels.size()));
+    for (int s = 0; s < n; ++s) {
+      // Sampling without replacement via partial Fisher–Yates.
+      const std::size_t pick =
+          static_cast<std::size_t>(s) +
+          rng.uniform_index(voxels.size() - static_cast<std::size_t>(s));
+      std::swap(voxels[static_cast<std::size_t>(s)], voxels[pick]);
+      Prototype p;
+      p.voxel = voxels[static_cast<std::size_t>(s)];
+      p.label = lbl;
+      stack.feature_at(p.voxel.x, p.voxel.y, p.voxel.z, p.features);
+      prototypes.push_back(std::move(p));
+    }
+  }
+  return prototypes;
+}
+
+std::vector<Prototype> select_prototypes_robust(
+    const ImageL& truth, const FeatureStack& stack, int per_class, Rng& rng,
+    const std::vector<std::uint8_t>& exclude, double margin_mm, double trim_mads) {
+  NEURO_REQUIRE(per_class > 0, "select_prototypes_robust: per_class must be positive");
+  NEURO_REQUIRE(truth.dims() == stack.dims(), "select_prototypes_robust: dims mismatch");
+
+  // Distinct labels (minus exclusions).
+  std::vector<std::uint8_t> classes;
+  {
+    std::array<bool, 256> seen{};
+    for (const auto l : truth.data()) seen[l] = true;
+    for (int l = 0; l < 256; ++l) {
+      if (seen[static_cast<std::size_t>(l)] &&
+          std::find(exclude.begin(), exclude.end(), static_cast<std::uint8_t>(l)) ==
+              exclude.end()) {
+        classes.push_back(static_cast<std::uint8_t>(l));
+      }
+    }
+  }
+
+  const IVec3 d = truth.dims();
+  std::vector<Prototype> prototypes;
+  for (const std::uint8_t cls : classes) {
+    // Distance from every voxel to the nearest *other*-label voxel: inside
+    // the class this is the interior depth.
+    ImageL other(d, 0, truth.spacing(), truth.origin());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      other.data()[i] = truth.data()[i] != cls ? 1 : 0;
+    }
+    const ImageF depth = distance_from_mask(other, 4.0 * margin_mm + 1.0);
+
+    std::vector<IVec3> candidates;
+    for (const double margin : {margin_mm, margin_mm / 2.0, 0.0}) {
+      candidates.clear();
+      for (int k = 0; k < d.z; ++k) {
+        for (int j = 0; j < d.y; ++j) {
+          for (int i = 0; i < d.x; ++i) {
+            if (truth(i, j, k) == cls && depth(i, j, k) >= margin) {
+              candidates.push_back({i, j, k});
+            }
+          }
+        }
+      }
+      if (static_cast<int>(candidates.size()) >= per_class) break;
+    }
+    if (candidates.empty()) continue;
+
+    // Sample without replacement.
+    const int n = std::min<int>(per_class, static_cast<int>(candidates.size()));
+    std::vector<Prototype> cls_protos;
+    for (int s = 0; s < n; ++s) {
+      const std::size_t pick =
+          static_cast<std::size_t>(s) +
+          rng.uniform_index(candidates.size() - static_cast<std::size_t>(s));
+      std::swap(candidates[static_cast<std::size_t>(s)], candidates[pick]);
+      Prototype p;
+      p.voxel = candidates[static_cast<std::size_t>(s)];
+      p.label = cls;
+      stack.feature_at(p.voxel.x, p.voxel.y, p.voxel.z, p.features);
+      cls_protos.push_back(std::move(p));
+    }
+
+    // Trim intensity outliers (channel 0) by median ± trim_mads * MAD.
+    if (trim_mads > 0.0 && cls_protos.size() >= 4) {
+      std::vector<double> intensities;
+      intensities.reserve(cls_protos.size());
+      for (const auto& p : cls_protos) intensities.push_back(p.features[0]);
+      auto median_of = [](std::vector<double> v) {
+        const std::size_t mid = v.size() / 2;
+        std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+        return v[mid];
+      };
+      const double med = median_of(intensities);
+      std::vector<double> deviations;
+      deviations.reserve(intensities.size());
+      for (const double v : intensities) deviations.push_back(std::abs(v - med));
+      const double mad = std::max(median_of(deviations), 1e-6);
+
+      std::vector<Prototype> kept;
+      for (auto& p : cls_protos) {
+        if (std::abs(p.features[0] - med) <= trim_mads * mad) {
+          kept.push_back(std::move(p));
+        }
+      }
+      if (kept.size() >= cls_protos.size() / 4) cls_protos = std::move(kept);
+    }
+
+    for (auto& p : cls_protos) prototypes.push_back(std::move(p));
+  }
+  NEURO_CHECK_MSG(!prototypes.empty(),
+                  "select_prototypes_robust: no prototypes selectable");
+  return prototypes;
+}
+
+void refresh_prototypes(std::vector<Prototype>& prototypes, const FeatureStack& stack) {
+  for (auto& p : prototypes) {
+    NEURO_REQUIRE(p.voxel.x >= 0 && p.voxel.x < stack.dims().x &&
+                      p.voxel.y >= 0 && p.voxel.y < stack.dims().y &&
+                      p.voxel.z >= 0 && p.voxel.z < stack.dims().z,
+                  "refresh_prototypes: recorded location outside the new stack");
+    stack.feature_at(p.voxel.x, p.voxel.y, p.voxel.z, p.features);
+  }
+}
+
+KnnClassifier::KnnClassifier(std::vector<Prototype> prototypes, int k, Voting voting)
+    : prototypes_(std::move(prototypes)), k_(k), voting_(voting) {
+  NEURO_REQUIRE(k_ > 0, "KnnClassifier: k must be positive");
+  NEURO_REQUIRE(!prototypes_.empty(), "KnnClassifier: need at least one prototype");
+  const std::size_t nf = prototypes_.front().features.size();
+  for (const auto& p : prototypes_) {
+    NEURO_REQUIRE(p.features.size() == nf,
+                  "KnnClassifier: inconsistent prototype feature sizes");
+  }
+}
+
+std::uint8_t KnnClassifier::classify(const std::vector<double>& feature) const {
+  NEURO_REQUIRE(feature.size() == prototypes_.front().features.size(),
+                "KnnClassifier::classify: feature size mismatch");
+  const int k = std::min<int>(k_, static_cast<int>(prototypes_.size()));
+
+  // Partial selection of the k smallest squared distances.
+  struct Hit {
+    double d2;
+    std::uint8_t label;
+  };
+  std::vector<Hit> best;
+  best.reserve(static_cast<std::size_t>(k) + 1);
+  for (const auto& p : prototypes_) {
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < feature.size(); ++c) {
+      const double diff = feature[c] - p.features[c];
+      d2 += diff * diff;
+    }
+    if (static_cast<int>(best.size()) < k || d2 < best.back().d2) {
+      const Hit h{d2, p.label};
+      const auto pos = std::lower_bound(
+          best.begin(), best.end(), h, [](const Hit& a, const Hit& b) { return a.d2 < b.d2; });
+      best.insert(pos, h);
+      if (static_cast<int>(best.size()) > k) best.pop_back();
+    }
+  }
+
+  if (voting_ == Voting::kDistanceWeighted) {
+    // Inverse-square-distance weights (ε regularizes exact hits).
+    constexpr double kEps = 1e-9;
+    std::map<std::uint8_t, double> weights;
+    for (const auto& h : best) weights[h.label] += 1.0 / (h.d2 + kEps);
+    std::uint8_t winner = best.front().label;
+    double max_w = -1.0;
+    for (const auto& [lbl, w] : weights) {
+      if (w > max_w) {
+        max_w = w;
+        winner = lbl;
+      }
+    }
+    return winner;
+  }
+
+  // Majority vote; ties go to the label whose nearest hit is closest.
+  std::map<std::uint8_t, int> votes;
+  for (const auto& h : best) ++votes[h.label];
+  int max_votes = 0;
+  for (const auto& [lbl, v] : votes) max_votes = std::max(max_votes, v);
+  for (const auto& h : best) {  // best is distance-sorted
+    if (votes[h.label] == max_votes) return h.label;
+  }
+  return best.front().label;
+}
+
+void KnnClassifier::classify_slab(const FeatureStack& stack, int k_begin, int k_end,
+                                  ImageL& out) const {
+  std::vector<double> feature;
+  const IVec3 d = stack.dims();
+  for (int k = k_begin; k < k_end; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        stack.feature_at(i, j, k, feature);
+        out(i, j, k) = classify(feature);
+      }
+    }
+  }
+}
+
+ImageL KnnClassifier::classify_volume(const FeatureStack& stack) const {
+  const ImageF& ref = stack.channel(0);
+  ImageL out(ref.dims(), 0, ref.spacing(), ref.origin());
+  classify_slab(stack, 0, ref.dims().z, out);
+  return out;
+}
+
+ImageL KnnClassifier::classify_volume_parallel(const FeatureStack& stack,
+                                               par::Communicator& comm) const {
+  const ImageF& ref = stack.channel(0);
+  const IVec3 d = ref.dims();
+  const int nranks = comm.size();
+  const int rank = comm.rank();
+  // Contiguous slice slabs, remainder spread over the first ranks.
+  const int base = d.z / nranks;
+  const int extra = d.z % nranks;
+  const int begin = rank * base + std::min(rank, extra);
+  const int end = begin + base + (rank < extra ? 1 : 0);
+
+  ImageL out(d, 0, ref.spacing(), ref.origin());
+  classify_slab(stack, begin, end, out);
+  comm.work().add_flops(static_cast<double>(end - begin) * d.x * d.y *
+                        static_cast<double>(prototypes_.size()) *
+                        (3.0 * static_cast<double>(stack.channels())));
+
+  // Gather the slabs: each rank contributes its slice range.
+  const std::size_t slab_begin = out.index(0, 0, begin);
+  const std::size_t slab_len = out.index(0, 0, end) - slab_begin;
+  auto parts = comm.allgather_parts(std::span<const std::uint8_t>(
+      out.data().data() + slab_begin, slab_len));
+  std::size_t offset = 0;
+  for (const auto& part : parts) {
+    std::copy(part.begin(), part.end(), out.data().begin() + static_cast<long>(offset));
+    offset += part.size();
+  }
+  NEURO_CHECK(offset == out.size());
+  return out;
+}
+
+double label_agreement(const ImageL& a, const ImageL& b, const ImageL* mask) {
+  NEURO_REQUIRE(a.dims() == b.dims(), "label_agreement: dims mismatch");
+  std::size_t total = 0, same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (mask != nullptr && mask->data()[i] == 0) continue;
+    ++total;
+    if (a.data()[i] == b.data()[i]) ++same;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(same) / static_cast<double>(total);
+}
+
+ConfusionMatrix::ConfusionMatrix(const ImageL& predicted, const ImageL& truth) {
+  NEURO_REQUIRE(predicted.dims() == truth.dims(), "ConfusionMatrix: dims mismatch");
+  std::array<bool, 256> seen{};
+  for (const auto v : predicted.data()) seen[v] = true;
+  for (const auto v : truth.data()) seen[v] = true;
+  for (int l = 0; l < 256; ++l) {
+    if (seen[static_cast<std::size_t>(l)]) {
+      labels_.push_back(static_cast<std::uint8_t>(l));
+    }
+  }
+  const std::size_t n = labels_.size();
+  counts_.assign(n * n, 0);
+  std::array<int, 256> index{};
+  index.fill(-1);
+  for (std::size_t i = 0; i < n; ++i) index[labels_[i]] = static_cast<int>(i);
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    const auto t = static_cast<std::size_t>(index[truth.data()[v]]);
+    const auto p = static_cast<std::size_t>(index[predicted.data()[v]]);
+    ++counts_[t * n + p];
+    ++total_;
+    correct_ += truth.data()[v] == predicted.data()[v];
+  }
+}
+
+int ConfusionMatrix::index_of(std::uint8_t label) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) return -1;
+  return static_cast<int>(it - labels_.begin());
+}
+
+std::size_t ConfusionMatrix::count(std::uint8_t truth_label,
+                                   std::uint8_t predicted_label) const {
+  const int t = index_of(truth_label);
+  const int p = index_of(predicted_label);
+  if (t < 0 || p < 0) return 0;
+  return counts_[static_cast<std::size_t>(t) * labels_.size() +
+                 static_cast<std::size_t>(p)];
+}
+
+double ConfusionMatrix::recall(std::uint8_t truth_label) const {
+  const int t = index_of(truth_label);
+  if (t < 0) return 1.0;
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < labels_.size(); ++p) {
+    row_total += counts_[static_cast<std::size_t>(t) * labels_.size() + p];
+  }
+  if (row_total == 0) return 1.0;
+  return static_cast<double>(count(truth_label, truth_label)) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(std::uint8_t predicted_label) const {
+  const int p = index_of(predicted_label);
+  if (p < 0) return 1.0;
+  std::size_t col_total = 0;
+  for (std::size_t t = 0; t < labels_.size(); ++t) {
+    col_total += counts_[t * labels_.size() + static_cast<std::size_t>(p)];
+  }
+  if (col_total == 0) return 1.0;
+  return static_cast<double>(count(predicted_label, predicted_label)) /
+         static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 1.0 : static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+void ConfusionMatrix::print() const {
+  std::printf("  truth\\pred");
+  for (const auto l : labels_) std::printf(" %8d", static_cast<int>(l));
+  std::printf("   recall\n");
+  for (const auto t : labels_) {
+    std::printf("  %10d", static_cast<int>(t));
+    for (const auto p : labels_) {
+      std::printf(" %8zu", count(t, p));
+    }
+    std::printf("   %.3f\n", recall(t));
+  }
+  std::printf("  %10s", "precision");
+  for (const auto p : labels_) std::printf(" %8.3f", precision(p));
+  std::printf("   acc %.3f\n", accuracy());
+}
+
+double dice_coefficient(const ImageL& a, const ImageL& b, std::uint8_t l) {
+  NEURO_REQUIRE(a.dims() == b.dims(), "dice_coefficient: dims mismatch");
+  std::size_t na = 0, nb = 0, inter = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool ia = a.data()[i] == l;
+    const bool ib = b.data()[i] == l;
+    na += ia;
+    nb += ib;
+    inter += (ia && ib);
+  }
+  const std::size_t denom = na + nb;
+  return denom == 0 ? 1.0 : 2.0 * static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+}  // namespace neuro::seg

@@ -1,0 +1,176 @@
+#include "solver/additive_schwarz.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace neuro::solver {
+
+AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm,
+                                 int overlap)
+    : overlap_(overlap), range_(A.range()) {
+  NEURO_REQUIRE(overlap >= 0, "AdditiveSchwarz: overlap must be non-negative");
+  const int n_global = A.global_size();
+
+  // --- Exchange the matrix structure: every rank learns the full CSR. ---
+  // (Rank ranges are contiguous and ordered, so concatenation is global CSR.)
+  std::array<int, 2> my_range{range_.first, range_.second};
+  const auto ranges = comm.allgather_parts(std::span<const int>(my_range.data(), 2));
+
+  // Row lengths, then columns and values.
+  std::vector<int> my_lengths(static_cast<std::size_t>(A.local_rows()));
+  for (int r = 0; r < A.local_rows(); ++r) {
+    my_lengths[static_cast<std::size_t>(r)] =
+        A.row_ptr()[static_cast<std::size_t>(r) + 1] -
+        A.row_ptr()[static_cast<std::size_t>(r)];
+  }
+  const auto all_lengths =
+      comm.allgatherv(std::span<const int>(my_lengths.data(), my_lengths.size()));
+  const auto all_cols = comm.allgatherv(
+      std::span<const int>(A.global_cols().data(), A.global_cols().size()));
+  const auto all_values =
+      comm.allgatherv(std::span<const double>(A.values().data(), A.values().size()));
+  NEURO_CHECK(static_cast<int>(all_lengths.size()) == n_global);
+
+  std::vector<int> global_row_ptr(static_cast<std::size_t>(n_global) + 1, 0);
+  for (int r = 0; r < n_global; ++r) {
+    global_row_ptr[static_cast<std::size_t>(r) + 1] =
+        global_row_ptr[static_cast<std::size_t>(r)] +
+        all_lengths[static_cast<std::size_t>(r)];
+  }
+
+  // --- Grow the extended set by `overlap` adjacency layers. ---
+  std::vector<char> in_set(static_cast<std::size_t>(n_global), 0);
+  std::vector<int> frontier;
+  for (int g = range_.first; g < range_.second; ++g) {
+    in_set[static_cast<std::size_t>(g)] = 1;
+    frontier.push_back(g);
+  }
+  for (int layer = 0; layer < overlap; ++layer) {
+    std::vector<int> next;
+    for (const int g : frontier) {
+      for (int p = global_row_ptr[static_cast<std::size_t>(g)];
+           p < global_row_ptr[static_cast<std::size_t>(g) + 1]; ++p) {
+        const int c = all_cols[static_cast<std::size_t>(p)];
+        if (!in_set[static_cast<std::size_t>(c)]) {
+          in_set[static_cast<std::size_t>(c)] = 1;
+          next.push_back(c);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (int g = 0; g < n_global; ++g) {
+    if (in_set[static_cast<std::size_t>(g)]) ext_to_global_.push_back(g);
+  }
+
+  std::unordered_map<int, int> global_to_ext;
+  global_to_ext.reserve(ext_to_global_.size());
+  for (std::size_t e = 0; e < ext_to_global_.size(); ++e) {
+    global_to_ext[ext_to_global_[e]] = static_cast<int>(e);
+  }
+  owned_ext_positions_.reserve(static_cast<std::size_t>(A.local_rows()));
+  for (int g = range_.first; g < range_.second; ++g) {
+    owned_ext_positions_.push_back(global_to_ext.at(g));
+  }
+
+  // --- Extract + sort + factor A(ext, ext). ---
+  std::vector<int> sub_row_ptr{0};
+  std::vector<int> sub_cols;
+  std::vector<double> sub_values;
+  std::vector<std::pair<int, double>> row;
+  for (const int g : ext_to_global_) {
+    row.clear();
+    for (int p = global_row_ptr[static_cast<std::size_t>(g)];
+         p < global_row_ptr[static_cast<std::size_t>(g) + 1]; ++p) {
+      const int c = all_cols[static_cast<std::size_t>(p)];
+      const auto it = global_to_ext.find(c);
+      if (it != global_to_ext.end()) {
+        row.emplace_back(it->second, all_values[static_cast<std::size_t>(p)]);
+      }
+    }
+    std::sort(row.begin(), row.end());
+    for (const auto& [c, v] : row) {
+      sub_cols.push_back(c);
+      sub_values.push_back(v);
+    }
+    sub_row_ptr.push_back(static_cast<int>(sub_cols.size()));
+  }
+  factor_.factor(std::move(sub_row_ptr), std::move(sub_cols), std::move(sub_values));
+
+  // Setup cost accounting: the structure exchange moves the whole matrix.
+  comm.work().add_mem_bytes(12.0 * static_cast<double>(all_values.size()));
+
+  // --- Halo-exchange plan for apply(). ---
+  std::vector<int> needed;  // halo globals, grouped by owner (set is sorted)
+  for (const int g : ext_to_global_) {
+    if (g < range_.first || g >= range_.second) needed.push_back(g);
+  }
+  const auto all_needed =
+      comm.allgather_parts(std::span<const int>(needed.data(), needed.size()));
+  const int me = comm.rank();
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == me) continue;
+    const int rb = ranges[static_cast<std::size_t>(r)][0];
+    const int re = ranges[static_cast<std::size_t>(r)][1];
+    Recv rc;
+    rc.rank = r;
+    for (const int g : needed) {
+      if (g >= rb && g < re) rc.ext_positions.push_back(global_to_ext.at(g));
+    }
+    if (!rc.ext_positions.empty()) recvs_.push_back(std::move(rc));
+
+    Send sd;
+    sd.rank = r;
+    for (const int g : all_needed[static_cast<std::size_t>(r)]) {
+      if (g >= range_.first && g < range_.second) {
+        sd.local_indices.push_back(g - range_.first);
+      }
+    }
+    if (!sd.local_indices.empty()) sends_.push_back(std::move(sd));
+  }
+}
+
+void AdditiveSchwarz::apply(const DistVector& r, DistVector& z,
+                            par::Communicator& comm) const {
+  NEURO_CHECK(r.range() == range_ && z.range() == range_);
+  const int next = extended_rows();
+
+  std::vector<double> r_ext(static_cast<std::size_t>(next), 0.0);
+  for (std::size_t i = 0; i < owned_ext_positions_.size(); ++i) {
+    r_ext[static_cast<std::size_t>(owned_ext_positions_[i])] = r.local()[i];
+  }
+
+  if (comm.size() > 1) {
+    constexpr int kTag = 911;
+    for (const auto& sd : sends_) {
+      std::vector<double> payload(sd.local_indices.size());
+      for (std::size_t i = 0; i < sd.local_indices.size(); ++i) {
+        payload[i] = r.local()[static_cast<std::size_t>(sd.local_indices[i])];
+      }
+      comm.send(sd.rank, kTag, std::span<const double>(payload.data(), payload.size()));
+    }
+    for (const auto& rc : recvs_) {
+      const auto data = comm.recv<double>(rc.rank, kTag);
+      NEURO_CHECK(data.size() == rc.ext_positions.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        r_ext[static_cast<std::size_t>(rc.ext_positions[i])] = data[i];
+      }
+    }
+  }
+
+  std::vector<double> z_ext;
+  factor_.solve(r_ext, z_ext);
+
+  // Restricted write-back: owned entries only (no overlap double counting).
+  for (std::size_t i = 0; i < owned_ext_positions_.size(); ++i) {
+    z.local()[i] = z_ext[static_cast<std::size_t>(owned_ext_positions_[i])];
+  }
+
+  comm.work().add_flops(2.0 * static_cast<double>(factor_.nnz()));
+  comm.work().add_mem_bytes(12.0 * static_cast<double>(factor_.nnz()) +
+                            16.0 * static_cast<double>(next));
+}
+
+}  // namespace neuro::solver

@@ -1,0 +1,217 @@
+#include "solver/dist_matrix.h"
+
+#include <algorithm>
+#include <array>
+
+#include "base/check.h"
+
+namespace neuro::solver {
+
+DistCsrMatrix::DistCsrMatrix(int global_size, std::pair<int, int> range,
+                             std::vector<int> row_ptr, std::vector<int> cols,
+                             std::vector<double> values)
+    : global_size_(global_size),
+      range_(range),
+      row_ptr_(std::move(row_ptr)),
+      global_cols_(std::move(cols)),
+      values_(std::move(values)) {
+  NEURO_REQUIRE(range_.first >= 0 && range_.second >= range_.first &&
+                    range_.second <= global_size_,
+                "DistCsrMatrix: bad row range");
+  NEURO_REQUIRE(static_cast<int>(row_ptr_.size()) == local_rows() + 1,
+                "DistCsrMatrix: row_ptr size mismatch");
+  NEURO_REQUIRE(global_cols_.size() == values_.size(),
+                "DistCsrMatrix: cols/values size mismatch");
+  NEURO_REQUIRE(row_ptr_.front() == 0 &&
+                    row_ptr_.back() == static_cast<int>(values_.size()),
+                "DistCsrMatrix: row_ptr bounds inconsistent");
+}
+
+void DistCsrMatrix::drop_zeros() {
+  NEURO_CHECK_MSG(!ghosts_ready_, "drop_zeros after setup_ghosts");
+  const int nlocal = local_rows();
+  std::vector<int> new_row_ptr(static_cast<std::size_t>(nlocal) + 1, 0);
+  std::vector<int> new_cols;
+  std::vector<double> new_values;
+  new_cols.reserve(global_cols_.size());
+  new_values.reserve(values_.size());
+  for (int r = 0; r < nlocal; ++r) {
+    const int global_row = range_.first + r;
+    for (int p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      const int c = global_cols_[static_cast<std::size_t>(p)];
+      if (values_[static_cast<std::size_t>(p)] != 0.0 || c == global_row) {
+        new_cols.push_back(c);
+        new_values.push_back(values_[static_cast<std::size_t>(p)]);
+      }
+    }
+    new_row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(new_cols.size());
+  }
+  row_ptr_ = std::move(new_row_ptr);
+  global_cols_ = std::move(new_cols);
+  values_ = std::move(new_values);
+}
+
+void DistCsrMatrix::setup_ghosts(par::Communicator& comm) {
+  NEURO_CHECK_MSG(!ghosts_ready_, "setup_ghosts called twice");
+  const int nlocal = local_rows();
+
+  // Collect referenced off-range (ghost) columns, sorted & unique.
+  std::vector<int> ghosts;
+  for (const int c : global_cols_) {
+    if (c < range_.first || c >= range_.second) ghosts.push_back(c);
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  ghost_globals_ = ghosts;
+
+  // Remap columns to local storage: owned → [0, nlocal), ghost → slot.
+  std::unordered_map<int, int> ghost_slot;
+  ghost_slot.reserve(ghosts.size());
+  for (std::size_t g = 0; g < ghosts.size(); ++g) {
+    ghost_slot[ghosts[g]] = nlocal + static_cast<int>(g);
+  }
+  local_cols_.resize(global_cols_.size());
+  for (std::size_t i = 0; i < global_cols_.size(); ++i) {
+    const int c = global_cols_[i];
+    local_cols_[i] = (c >= range_.first && c < range_.second)
+                         ? c - range_.first
+                         : ghost_slot.at(c);
+  }
+
+  // Everyone learns everyone's ownership ranges and ghost needs.
+  std::array<int, 2> my_range{range_.first, range_.second};
+  auto ranges = comm.allgather_parts(std::span<const int>(my_range.data(), 2));
+  auto needs = comm.allgather_parts(std::span<const int>(ghosts.data(), ghosts.size()));
+
+  const int me = comm.rank();
+  // Receives: my ghosts grouped by owning rank (ghosts are sorted, ranges are
+  // contiguous and ordered, so groups are contiguous runs).
+  {
+    std::size_t pos = 0;
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == me) continue;
+      const int rb = ranges[static_cast<std::size_t>(r)][0];
+      const int re = ranges[static_cast<std::size_t>(r)][1];
+      const int offset = static_cast<int>(pos);
+      int count = 0;
+      while (pos < ghosts.size() && ghosts[pos] >= rb && ghosts[pos] < re) {
+        ++pos;
+        ++count;
+      }
+      if (count > 0) recvs_.push_back({r, offset, count});
+    }
+    NEURO_CHECK_MSG(pos == ghosts.size(),
+                    "setup_ghosts: ghost column not owned by any rank");
+  }
+  // Sends: entries of mine that other ranks listed as ghosts.
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == me) continue;
+    Exchange ex;
+    ex.rank = r;
+    for (const int g : needs[static_cast<std::size_t>(r)]) {
+      if (g >= range_.first && g < range_.second) {
+        ex.local_indices.push_back(g - range_.first);
+      }
+    }
+    if (!ex.local_indices.empty()) sends_.push_back(std::move(ex));
+  }
+
+  ghosts_ready_ = true;
+}
+
+void DistCsrMatrix::apply(const DistVector& x, DistVector& y,
+                          par::Communicator& comm) const {
+  NEURO_CHECK_MSG(ghosts_ready_ || comm.size() == 1,
+                  "DistCsrMatrix::apply before setup_ghosts");
+  NEURO_CHECK(x.range() == range_ && y.range() == range_);
+  const int nlocal = local_rows();
+
+  // Assemble the local + ghost vector image.
+  std::vector<double> xg(static_cast<std::size_t>(nlocal) + ghost_globals_.size());
+  std::copy(x.local().begin(), x.local().end(), xg.begin());
+
+  if (comm.size() > 1) {
+    constexpr int kTag = 701;
+    std::vector<std::vector<double>> payloads(sends_.size());
+    for (std::size_t s = 0; s < sends_.size(); ++s) {
+      const auto& ex = sends_[s];
+      auto& payload = payloads[s];
+      payload.resize(ex.local_indices.size());
+      for (std::size_t i = 0; i < ex.local_indices.size(); ++i) {
+        payload[i] = x.local()[static_cast<std::size_t>(ex.local_indices[i])];
+      }
+      comm.send(ex.rank, kTag, std::span<const double>(payload.data(), payload.size()));
+    }
+    for (const auto& rc : recvs_) {
+      auto data = comm.recv<double>(rc.rank, kTag);
+      NEURO_CHECK(static_cast<int>(data.size()) == rc.count);
+      std::copy(data.begin(), data.end(),
+                xg.begin() + nlocal + rc.ghost_offset);
+    }
+  }
+
+  // y = A * xg over local rows.
+  const auto& cols = ghosts_ready_ ? local_cols_ : global_cols_;
+  for (int r = 0; r < nlocal; ++r) {
+    double acc = 0.0;
+    for (int p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      acc += values_[static_cast<std::size_t>(p)] *
+             xg[static_cast<std::size_t>(cols[static_cast<std::size_t>(p)])];
+    }
+    y.local()[static_cast<std::size_t>(r)] = acc;
+  }
+
+  comm.work().add_flops(2.0 * static_cast<double>(values_.size()));
+  comm.work().add_mem_bytes(12.0 * static_cast<double>(values_.size()) +
+                            16.0 * static_cast<double>(nlocal));
+}
+
+double DistCsrMatrix::value_at(int global_row, int global_col) const {
+  NEURO_REQUIRE(global_row >= range_.first && global_row < range_.second,
+                "value_at: row not owned");
+  const int r = global_row - range_.first;
+  for (int p = row_ptr_[static_cast<std::size_t>(r)];
+       p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+    if (global_cols_[static_cast<std::size_t>(p)] == global_col) {
+      return values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return 0.0;
+}
+
+double* DistCsrMatrix::find_entry(int global_row, int global_col) {
+  NEURO_REQUIRE(global_row >= range_.first && global_row < range_.second,
+                "find_entry: row not owned");
+  const int r = global_row - range_.first;
+  for (int p = row_ptr_[static_cast<std::size_t>(r)];
+       p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+    if (global_cols_[static_cast<std::size_t>(p)] == global_col) {
+      return &values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return nullptr;
+}
+
+void DistCsrMatrix::extract_diagonal_block(std::vector<int>& row_ptr,
+                                           std::vector<int>& cols,
+                                           std::vector<double>& values) const {
+  const int nlocal = local_rows();
+  row_ptr.assign(static_cast<std::size_t>(nlocal) + 1, 0);
+  cols.clear();
+  values.clear();
+  for (int r = 0; r < nlocal; ++r) {
+    for (int p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      const int c = global_cols_[static_cast<std::size_t>(p)];
+      if (c >= range_.first && c < range_.second) {
+        cols.push_back(c - range_.first);
+        values.push_back(values_[static_cast<std::size_t>(p)]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(cols.size());
+  }
+}
+
+}  // namespace neuro::solver

@@ -1,0 +1,89 @@
+// Distributed dense vector (row-block layout matching DistCsrMatrix).
+//
+// Each rank owns the contiguous slice [begin, end) of the global vector.
+// Reductions (dot, norm) are the only communicating operations; everything
+// else is rank-local. Flop/byte accounting feeds the scaling model.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "par/communicator.h"
+
+namespace neuro::solver {
+
+class DistVector {
+ public:
+  DistVector() = default;
+  DistVector(int global_size, std::pair<int, int> range, double fill = 0.0)
+      : global_size_(global_size),
+        range_(range),
+        local_(static_cast<std::size_t>(range.second - range.first), fill) {
+    NEURO_REQUIRE(range.first >= 0 && range.second >= range.first &&
+                      range.second <= global_size,
+                  "DistVector: bad ownership range");
+  }
+
+  [[nodiscard]] int global_size() const { return global_size_; }
+  [[nodiscard]] std::pair<int, int> range() const { return range_; }
+  [[nodiscard]] int local_size() const { return static_cast<int>(local_.size()); }
+
+  [[nodiscard]] std::vector<double>& local() { return local_; }
+  [[nodiscard]] const std::vector<double>& local() const { return local_; }
+
+  /// Access by *global* index (must be owned).
+  double& operator[](int global_index) {
+    NEURO_CHECK(global_index >= range_.first && global_index < range_.second);
+    return local_[static_cast<std::size_t>(global_index - range_.first)];
+  }
+  double operator[](int global_index) const {
+    NEURO_CHECK(global_index >= range_.first && global_index < range_.second);
+    return local_[static_cast<std::size_t>(global_index - range_.first)];
+  }
+
+  void set_all(double v) { local_.assign(local_.size(), v); }
+
+  /// this += alpha * x
+  void axpy(double alpha, const DistVector& x, par::Communicator& comm) {
+    NEURO_CHECK(x.local_size() == local_size());
+    for (std::size_t i = 0; i < local_.size(); ++i) local_[i] += alpha * x.local_[i];
+    comm.work().add_flops(2.0 * static_cast<double>(local_.size()));
+    comm.work().add_mem_bytes(24.0 * static_cast<double>(local_.size()));
+  }
+
+  /// this = alpha * this
+  void scale(double alpha, par::Communicator& comm) {
+    for (auto& v : local_) v *= alpha;
+    comm.work().add_flops(static_cast<double>(local_.size()));
+    comm.work().add_mem_bytes(16.0 * static_cast<double>(local_.size()));
+  }
+
+  /// Global dot product (collective).
+  [[nodiscard]] double dot(const DistVector& x, par::Communicator& comm) const {
+    NEURO_CHECK(x.local_size() == local_size());
+    double local = 0.0;
+    for (std::size_t i = 0; i < local_.size(); ++i) local += local_[i] * x.local_[i];
+    comm.work().add_flops(2.0 * static_cast<double>(local_.size()));
+    comm.work().add_mem_bytes(16.0 * static_cast<double>(local_.size()));
+    return comm.allreduce_sum(local);
+  }
+
+  /// Global 2-norm (collective).
+  [[nodiscard]] double norm2(par::Communicator& comm) const {
+    return std::sqrt(dot(*this, comm));
+  }
+
+  /// Gathers the full global vector on every rank (collective).
+  [[nodiscard]] std::vector<double> gather_all(par::Communicator& comm) const {
+    return comm.allgatherv(std::span<const double>(local_.data(), local_.size()));
+  }
+
+ private:
+  int global_size_ = 0;
+  std::pair<int, int> range_{0, 0};
+  std::vector<double> local_;
+};
+
+}  // namespace neuro::solver

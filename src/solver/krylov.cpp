@@ -1,0 +1,282 @@
+#include "solver/krylov.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace neuro::solver {
+
+namespace {
+
+DistVector like(const DistVector& v) {
+  return DistVector(v.global_size(), v.range());
+}
+
+}  // namespace
+
+double true_residual_norm(const DistCsrMatrix& A, const DistVector& b,
+                          const DistVector& x, par::Communicator& comm) {
+  DistVector r = like(b);
+  A.apply(x, r, comm);
+  r.scale(-1.0, comm);
+  r.axpy(1.0, b, comm);
+  return r.norm2(comm);
+}
+
+SolveStats gmres(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
+                 const Preconditioner& M, const SolverConfig& config,
+                 par::Communicator& comm) {
+  NEURO_REQUIRE(config.gmres_restart >= 1, "gmres: restart must be >= 1");
+  const int m = config.gmres_restart;
+  SolveStats stats;
+
+  DistVector r = like(b);
+  DistVector w = like(b);
+  DistVector z = like(b);
+
+  // Initial residual r = b - A x.
+  A.apply(x, r, comm);
+  r.scale(-1.0, comm);
+  r.axpy(1.0, b, comm);
+  double beta = r.norm2(comm);
+  stats.initial_residual = beta;
+  stats.final_residual = beta;
+  if (config.record_history) stats.history.push_back(beta);
+  if (beta <= config.atol) {
+    stats.converged = true;
+    return stats;
+  }
+  const double target = std::max(config.rtol * beta, config.atol);
+
+  std::vector<DistVector> V(static_cast<std::size_t>(m) + 1, like(b));
+  // Hessenberg (column-major: H[j] has j+2 entries) and Givens rotations.
+  std::vector<std::vector<double>> H(static_cast<std::size_t>(m));
+  std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m));
+  std::vector<double> g(static_cast<std::size_t>(m) + 1);
+
+  while (stats.iterations < config.max_iterations) {
+    // Restart cycle.
+    V[0] = r;
+    V[0].scale(1.0 / beta, comm);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && stats.iterations < config.max_iterations; ++j) {
+      // w = A M⁻¹ v_j (right preconditioning).
+      M.apply(V[static_cast<std::size_t>(j)], z, comm);
+      A.apply(z, w, comm);
+      ++stats.iterations;
+
+      // Modified Gram–Schmidt: one global reduction per projection, the
+      // latency-bound pattern the paper's Ethernet solve times include.
+      auto& h = H[static_cast<std::size_t>(j)];
+      h.assign(static_cast<std::size_t>(j) + 2, 0.0);
+      for (int i = 0; i <= j; ++i) {
+        const double hij = w.dot(V[static_cast<std::size_t>(i)], comm);
+        h[static_cast<std::size_t>(i)] = hij;
+        w.axpy(-hij, V[static_cast<std::size_t>(i)], comm);
+      }
+      const double hlast = w.norm2(comm);
+      h[static_cast<std::size_t>(j) + 1] = hlast;
+
+      // Apply previous Givens rotations to the new column.
+      for (int i = 0; i < j; ++i) {
+        const double t = cs[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i)] +
+                         sn[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i) + 1];
+        h[static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i)] +
+            cs[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i) + 1];
+        h[static_cast<std::size_t>(i)] = t;
+      }
+      // New rotation eliminating h[j+1].
+      const double denom = std::hypot(h[static_cast<std::size_t>(j)],
+                                      h[static_cast<std::size_t>(j) + 1]);
+      if (denom <= 1e-300) {
+        // Lucky breakdown: exact solution in the current subspace.
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] = h[static_cast<std::size_t>(j)] / denom;
+        sn[static_cast<std::size_t>(j)] = h[static_cast<std::size_t>(j) + 1] / denom;
+      }
+      h[static_cast<std::size_t>(j)] = denom;
+      h[static_cast<std::size_t>(j) + 1] = 0.0;
+      g[static_cast<std::size_t>(j) + 1] = -sn[static_cast<std::size_t>(j)] *
+                                           g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] *= cs[static_cast<std::size_t>(j)];
+
+      const double rho = std::abs(g[static_cast<std::size_t>(j) + 1]);
+      stats.final_residual = rho;
+      if (config.record_history) stats.history.push_back(rho);
+
+      if (hlast <= 1e-300 || rho <= target) {
+        ++j;
+        break;
+      }
+      V[static_cast<std::size_t>(j) + 1] = w;
+      V[static_cast<std::size_t>(j) + 1].scale(1.0 / hlast, comm);
+    }
+
+    // Back-substitute y from the triangular H, then x += M⁻¹ (V y).
+    std::vector<double> y(static_cast<std::size_t>(j), 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k) {
+        acc -= H[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(k)];
+      }
+      y[static_cast<std::size_t>(i)] = acc / H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    DistVector u = like(b);
+    for (int i = 0; i < j; ++i) {
+      u.axpy(y[static_cast<std::size_t>(i)], V[static_cast<std::size_t>(i)], comm);
+    }
+    M.apply(u, z, comm);
+    x.axpy(1.0, z, comm);
+
+    // True residual for the restart test.
+    A.apply(x, r, comm);
+    r.scale(-1.0, comm);
+    r.axpy(1.0, b, comm);
+    beta = r.norm2(comm);
+    stats.final_residual = beta;
+    if (beta <= target) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  stats.converged = stats.final_residual <= target;
+  return stats;
+}
+
+SolveStats cg(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
+              const Preconditioner& M, const SolverConfig& config,
+              par::Communicator& comm) {
+  SolveStats stats;
+  DistVector r = like(b), z = like(b), p = like(b), Ap = like(b);
+
+  A.apply(x, r, comm);
+  r.scale(-1.0, comm);
+  r.axpy(1.0, b, comm);
+  stats.initial_residual = r.norm2(comm);
+  stats.final_residual = stats.initial_residual;
+  if (config.record_history) stats.history.push_back(stats.initial_residual);
+  if (stats.initial_residual <= config.atol) {
+    stats.converged = true;
+    return stats;
+  }
+  const double target = std::max(config.rtol * stats.initial_residual, config.atol);
+
+  M.apply(r, z, comm);
+  p = z;
+  double rz = r.dot(z, comm);
+
+  while (stats.iterations < config.max_iterations) {
+    A.apply(p, Ap, comm);
+    ++stats.iterations;
+    const double pAp = p.dot(Ap, comm);
+    NEURO_CHECK_MSG(pAp > 0.0, "cg: matrix is not positive definite (pᵀAp = "
+                                   << pAp << ")");
+    const double alpha = rz / pAp;
+    x.axpy(alpha, p, comm);
+    r.axpy(-alpha, Ap, comm);
+
+    const double rnorm = r.norm2(comm);
+    stats.final_residual = rnorm;
+    if (config.record_history) stats.history.push_back(rnorm);
+    if (rnorm <= target) {
+      stats.converged = true;
+      return stats;
+    }
+
+    M.apply(r, z, comm);
+    const double rz_new = r.dot(z, comm);
+    const double betak = rz_new / rz;
+    rz = rz_new;
+    // p = z + beta p
+    p.scale(betak, comm);
+    p.axpy(1.0, z, comm);
+  }
+  return stats;
+}
+
+SolveStats bicgstab(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
+                    const Preconditioner& M, const SolverConfig& config,
+                    par::Communicator& comm) {
+  SolveStats stats;
+  DistVector r = like(b), r0 = like(b), p = like(b), v = like(b), s = like(b),
+             t = like(b), ph = like(b), sh = like(b);
+
+  A.apply(x, r, comm);
+  r.scale(-1.0, comm);
+  r.axpy(1.0, b, comm);
+  stats.initial_residual = r.norm2(comm);
+  stats.final_residual = stats.initial_residual;
+  if (config.record_history) stats.history.push_back(stats.initial_residual);
+  if (stats.initial_residual <= config.atol) {
+    stats.converged = true;
+    return stats;
+  }
+  const double target = std::max(config.rtol * stats.initial_residual, config.atol);
+
+  r0 = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+
+  while (stats.iterations < config.max_iterations) {
+    const double rho_new = r0.dot(r, comm);
+    if (std::abs(rho_new) < 1e-300) break;  // breakdown
+    if (stats.iterations == 0) {
+      p = r;
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      p.axpy(-omega, v, comm);
+      p.scale(beta, comm);
+      p.axpy(1.0, r, comm);
+    }
+    rho = rho_new;
+
+    M.apply(p, ph, comm);
+    A.apply(ph, v, comm);
+    ++stats.iterations;
+    const double r0v = r0.dot(v, comm);
+    if (std::abs(r0v) < 1e-300) break;
+    alpha = rho / r0v;
+
+    s = r;
+    s.axpy(-alpha, v, comm);
+    const double snorm = s.norm2(comm);
+    if (snorm <= target) {
+      x.axpy(alpha, ph, comm);
+      stats.final_residual = snorm;
+      if (config.record_history) stats.history.push_back(snorm);
+      stats.converged = true;
+      return stats;
+    }
+
+    M.apply(s, sh, comm);
+    A.apply(sh, t, comm);
+    const double tt = t.dot(t, comm);
+    if (tt < 1e-300) break;
+    omega = t.dot(s, comm) / tt;
+
+    x.axpy(alpha, ph, comm);
+    x.axpy(omega, sh, comm);
+    r = s;
+    r.axpy(-omega, t, comm);
+
+    const double rnorm = r.norm2(comm);
+    stats.final_residual = rnorm;
+    if (config.record_history) stats.history.push_back(rnorm);
+    if (rnorm <= target) {
+      stats.converged = true;
+      return stats;
+    }
+    if (std::abs(omega) < 1e-300) break;
+  }
+  return stats;
+}
+
+}  // namespace neuro::solver

@@ -1,0 +1,169 @@
+#include "surface/active_surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "image/filters.h"
+
+namespace neuro::surface {
+
+namespace {
+
+/// Central-difference gradient of a potential at a physical point, sampled
+/// trilinearly in voxel space (h = half a voxel per axis).
+Vec3 potential_gradient(const ImageF& potential, const Vec3& p) {
+  const Vec3 v = potential.physical_to_voxel(p);
+  const Vec3 sp = potential.spacing();
+  auto s = [&](double dx, double dy, double dz) {
+    return sample_trilinear(potential, {v.x + dx, v.y + dy, v.z + dz});
+  };
+  return {(s(0.5, 0, 0) - s(-0.5, 0, 0)) / sp.x,
+          (s(0, 0.5, 0) - s(0, -0.5, 0)) / sp.y,
+          (s(0, 0, 0.5) - s(0, 0, -0.5)) / sp.z};
+}
+
+ActiveSurfaceResult run(const mesh::TriSurface& initial, const ImageF& potential,
+                        const ActiveSurfaceConfig& config) {
+  NEURO_REQUIRE(initial.num_vertices() > 0, "active surface: empty surface");
+  NEURO_REQUIRE(config.max_iterations > 0 && config.step > 0.0,
+                "active surface: bad config");
+
+  ActiveSurfaceResult result;
+  result.surface = initial;
+  const auto adjacency = mesh::surface_adjacency(initial);
+  auto& verts = result.surface.vertices;
+  std::vector<Vec3> next(verts.size());
+
+  for (int it = 0; it < config.max_iterations; ++it) {
+    double total_motion = 0.0;
+    for (std::size_t v = 0; v < verts.size(); ++v) {
+      const Vec3& x = verts[v];
+
+      // External: steepest descent on the potential.
+      const Vec3 ext = -1.0 * potential_gradient(potential, x);
+
+      // Internal: umbrella-operator membrane tension.
+      Vec3 lap{};
+      const auto& nbrs = adjacency[v];
+      if (!nbrs.empty()) {
+        for (const int n : nbrs) lap += verts[static_cast<std::size_t>(n)];
+        lap = lap / static_cast<double>(nbrs.size()) - x;
+      }
+
+      Vec3 dx = config.step * (config.force_scale * ext + config.tension * lap);
+      const double len = norm(dx);
+      if (len > config.max_step_mm) dx *= config.max_step_mm / len;
+      next[v] = x + dx;
+      total_motion += norm(dx);
+    }
+    verts.swap(next);
+    ++result.iterations;
+    result.final_mean_motion_mm = total_motion / static_cast<double>(verts.size());
+    if (result.final_mean_motion_mm < config.convergence_mm) break;
+  }
+
+  result.displacements.resize(verts.size());
+  double abs_pot = 0.0;
+  for (std::size_t v = 0; v < verts.size(); ++v) {
+    result.displacements[v] = verts[v] - initial.vertices[v];
+    abs_pot += std::abs(sample_physical(potential, verts[v]));
+  }
+  result.mean_abs_potential = abs_pot / static_cast<double>(verts.size());
+  return result;
+}
+
+}  // namespace
+
+ActiveSurfaceResult deform_to_potential(const mesh::TriSurface& initial,
+                                        const ImageF& potential,
+                                        const ActiveSurfaceConfig& config) {
+  return run(initial, potential, config);
+}
+
+ActiveSurfaceResult deform_to_distance_field(const mesh::TriSurface& initial,
+                                             const ImageF& signed_distance,
+                                             const ActiveSurfaceConfig& config) {
+  // potential = ½ d²: gradient = d ∇d, zero exactly on the target surface,
+  // monotonically increasing away from it — a global basin of attraction.
+  ImageF potential(signed_distance.dims(), 0.0f, signed_distance.spacing(),
+                   signed_distance.origin());
+  for (std::size_t i = 0; i < potential.size(); ++i) {
+    const double d = static_cast<double>(signed_distance.data()[i]);
+    potential.data()[i] = static_cast<float>(0.5 * d * d);
+  }
+  ActiveSurfaceResult result = run(initial, potential, config);
+  // Report the residual in distance units rather than potential units.
+  double abs_d = 0.0;
+  for (const auto& v : result.surface.vertices) {
+    abs_d += std::abs(sample_physical(signed_distance, v));
+  }
+  result.mean_abs_potential = abs_d / static_cast<double>(result.surface.vertices.size());
+  return result;
+}
+
+ImageF edge_potential_from_image(const ImageF& image, double expected_gray,
+                                 double gray_sigma, double smoothing_sigma) {
+  NEURO_REQUIRE(gray_sigma > 0.0, "edge_potential: gray_sigma must be positive");
+  // Normalized edge strength, gated by the gray-level prior evaluated on the
+  // smoothed image (the structure's interior intensity near the edge).
+  ImageF smooth = smoothing_sigma > 0.0 ? gaussian_smooth(image, smoothing_sigma)
+                                        : image;
+  ImageF gmag = gradient_magnitude(smooth);
+  double gmax = 0.0;
+  for (const float g : gmag.data()) gmax = std::max(gmax, static_cast<double>(g));
+  if (gmax <= 0.0) gmax = 1.0;
+
+  ImageF potential(image.dims(), 0.0f, image.spacing(), image.origin());
+  for (std::size_t i = 0; i < potential.size(); ++i) {
+    const double g = static_cast<double>(gmag.data()[i]) / gmax;
+    const double dv = static_cast<double>(smooth.data()[i]) - expected_gray;
+    const double prior = std::exp(-0.5 * dv * dv / (gray_sigma * gray_sigma));
+    // Decreasing function of the gradient, gated by the prior: minima sit on
+    // strong edges of the expected structure.
+    potential.data()[i] = static_cast<float>(1.0 - g * (0.5 + 0.5 * prior));
+  }
+  if (smoothing_sigma > 0.0) {
+    potential = gaussian_smooth(potential, smoothing_sigma);
+  }
+  return potential;
+}
+
+void smooth_vertex_vectors(const mesh::TriSurface& surface, std::vector<Vec3>& field,
+                           int iterations, double lambda) {
+  NEURO_REQUIRE(field.size() == surface.vertices.size(),
+                "smooth_vertex_vectors: field/vertex count mismatch");
+  NEURO_REQUIRE(iterations >= 0 && lambda >= 0.0 && lambda <= 1.0,
+                "smooth_vertex_vectors: bad parameters");
+  const auto adjacency = mesh::surface_adjacency(surface);
+  std::vector<Vec3> next(field.size());
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t v = 0; v < field.size(); ++v) {
+      const auto& nbrs = adjacency[v];
+      if (nbrs.empty()) {
+        next[v] = field[v];
+        continue;
+      }
+      Vec3 mean{};
+      for (const int n : nbrs) mean += field[static_cast<std::size_t>(n)];
+      mean /= static_cast<double>(nbrs.size());
+      next[v] = (1.0 - lambda) * field[v] + lambda * mean;
+    }
+    field.swap(next);
+  }
+}
+
+std::vector<std::pair<mesh::NodeId, Vec3>> node_displacements(
+    const ActiveSurfaceResult& result) {
+  NEURO_REQUIRE(!result.surface.mesh_nodes.empty(),
+                "node_displacements: surface was not extracted from a mesh");
+  NEURO_CHECK(result.surface.mesh_nodes.size() == result.displacements.size());
+  std::vector<std::pair<mesh::NodeId, Vec3>> out;
+  out.reserve(result.displacements.size());
+  for (std::size_t v = 0; v < result.displacements.size(); ++v) {
+    out.emplace_back(result.surface.mesh_nodes[v], result.displacements[v]);
+  }
+  return out;
+}
+
+}  // namespace neuro::surface

@@ -1,0 +1,171 @@
+#include "viz/colormap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "base/check.h"
+
+namespace neuro::viz {
+
+namespace {
+
+/// Sparse control points, linearly interpolated (a compact viridis-like ramp).
+constexpr std::array<std::array<double, 3>, 6> kMagnitudeStops = {{
+    {0.267, 0.005, 0.329},
+    {0.283, 0.141, 0.458},
+    {0.254, 0.265, 0.530},
+    {0.164, 0.471, 0.558},
+    {0.478, 0.821, 0.318},
+    {0.993, 0.906, 0.144},
+}};
+
+Rgb lerp_stops(const std::array<std::array<double, 3>, 6>& stops, double t) {
+  const double x = t * (stops.size() - 1);
+  const std::size_t i = std::min<std::size_t>(static_cast<std::size_t>(x),
+                                              stops.size() - 2);
+  const double f = x - static_cast<double>(i);
+  Rgb c;
+  c.r = static_cast<std::uint8_t>(255.0 * ((1 - f) * stops[i][0] + f * stops[i + 1][0]));
+  c.g = static_cast<std::uint8_t>(255.0 * ((1 - f) * stops[i][1] + f * stops[i + 1][1]));
+  c.b = static_cast<std::uint8_t>(255.0 * ((1 - f) * stops[i][2] + f * stops[i + 1][2]));
+  return c;
+}
+
+}  // namespace
+
+Rgb map_color(ColormapKind kind, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  switch (kind) {
+    case ColormapKind::kGray: {
+      const auto v = static_cast<std::uint8_t>(255.0 * t + 0.5);
+      return {v, v, v};
+    }
+    case ColormapKind::kMagnitude:
+      return lerp_stops(kMagnitudeStops, t);
+    case ColormapKind::kDiverging: {
+      // blue (0) → white (0.5) → red (1).
+      if (t < 0.5) {
+        const double f = t / 0.5;
+        return {static_cast<std::uint8_t>(255.0 * f),
+                static_cast<std::uint8_t>(255.0 * f), 255};
+      }
+      const double f = (t - 0.5) / 0.5;
+      return {255, static_cast<std::uint8_t>(255.0 * (1 - f)),
+              static_cast<std::uint8_t>(255.0 * (1 - f))};
+    }
+  }
+  return {};
+}
+
+RgbImage::RgbImage(int width, int height)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
+  NEURO_REQUIRE(width > 0 && height > 0, "RgbImage: non-positive size");
+}
+
+Rgb& RgbImage::at(int x, int y) {
+  NEURO_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+const Rgb& RgbImage::at(int x, int y) const {
+  NEURO_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void RgbImage::write_ppm(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  NEURO_REQUIRE(f.good(), "write_ppm: cannot open '" << path << "'");
+  f << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  f.write(reinterpret_cast<const char*>(pixels_.data()),
+          static_cast<std::streamsize>(pixels_.size() * sizeof(Rgb)));
+  NEURO_REQUIRE(f.good(), "write_ppm: write failed for '" << path << "'");
+}
+
+RgbImage render_slice(const ImageF& img, int k, ColormapKind kind, double lo,
+                      double hi) {
+  NEURO_REQUIRE(k >= 0 && k < img.dims().z, "render_slice: slice out of range");
+  const IVec3 d = img.dims();
+  if (lo >= hi) {
+    lo = 1e300;
+    hi = -1e300;
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        lo = std::min(lo, static_cast<double>(img(i, j, k)));
+        hi = std::max(hi, static_cast<double>(img(i, j, k)));
+      }
+    }
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  RgbImage out(d.x, d.y);
+  for (int j = 0; j < d.y; ++j) {
+    for (int i = 0; i < d.x; ++i) {
+      out.at(i, j) = map_color(kind, (img(i, j, k) - lo) / (hi - lo));
+    }
+  }
+  return out;
+}
+
+RgbImage render_field_magnitude(const ImageV& field, int k, double max_mm) {
+  NEURO_REQUIRE(k >= 0 && k < field.dims().z, "render_field_magnitude: bad slice");
+  const IVec3 d = field.dims();
+  if (max_mm <= 0.0) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        max_mm = std::max(max_mm, norm(field(i, j, k)));
+      }
+    }
+    if (max_mm <= 0.0) max_mm = 1.0;
+  }
+  RgbImage out(d.x, d.y);
+  for (int j = 0; j < d.y; ++j) {
+    for (int i = 0; i < d.x; ++i) {
+      out.at(i, j) = map_color(ColormapKind::kMagnitude, norm(field(i, j, k)) / max_mm);
+    }
+  }
+  return out;
+}
+
+RgbImage montage(const std::vector<RgbImage>& panels) {
+  NEURO_REQUIRE(!panels.empty(), "montage: no panels");
+  const int height = panels.front().height();
+  int width = -2;
+  for (const auto& p : panels) {
+    NEURO_REQUIRE(p.height() == height, "montage: panel heights differ");
+    width += p.width() + 2;
+  }
+  RgbImage out(width, height);
+  int x0 = 0;
+  for (const auto& p : panels) {
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < p.width(); ++x) {
+        out.at(x0 + x, y) = p.at(x, y);
+      }
+    }
+    x0 += p.width() + 2;
+  }
+  return out;
+}
+
+void overlay_mask_boundary(RgbImage& panel, const ImageL& mask, int k, Rgb color) {
+  NEURO_REQUIRE(k >= 0 && k < mask.dims().z, "overlay_mask_boundary: bad slice");
+  NEURO_REQUIRE(panel.width() == mask.dims().x && panel.height() == mask.dims().y,
+                "overlay_mask_boundary: panel/mask size mismatch");
+  const IVec3 d = mask.dims();
+  for (int j = 0; j < d.y; ++j) {
+    for (int i = 0; i < d.x; ++i) {
+      if (!mask(i, j, k)) continue;
+      const bool boundary = (i == 0 || !mask(i - 1, j, k)) ||
+                            (i + 1 == d.x || !mask(i + 1, j, k)) ||
+                            (j == 0 || !mask(i, j - 1, k)) ||
+                            (j + 1 == d.y || !mask(i, j + 1, k));
+      if (boundary) panel.at(i, j) = color;
+    }
+  }
+}
+
+}  // namespace neuro::viz

@@ -1,0 +1,66 @@
+// Color mapping and 2-D image export for the visualization artifacts.
+//
+// The paper's system renders deformed surfaces "color coded by the magnitude
+// of the deformation" and grayscale MR slices (Figs. 4–5). This module turns
+// scalar data into RGB: window/level grayscale for MR, a perceptually ordered
+// sequential map for magnitudes, and a diverging map for signed fields, plus
+// PPM output and slice montages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image3d.h"
+
+namespace neuro::viz {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+enum class ColormapKind {
+  kGray,       ///< window/level grayscale (MR display)
+  kMagnitude,  ///< sequential dark-blue → yellow (displacement magnitude)
+  kDiverging,  ///< blue → white → red (signed fields, difference images)
+};
+
+/// Maps t ∈ [0,1] (clamped) through the chosen map.
+Rgb map_color(ColormapKind kind, double t);
+
+/// A simple 2-D RGB raster.
+class RgbImage {
+ public:
+  RgbImage(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  Rgb& at(int x, int y);
+  [[nodiscard]] const Rgb& at(int x, int y) const;
+
+  /// Writes a binary PPM (P6).
+  void write_ppm(const std::string& path) const;
+
+ private:
+  int width_, height_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Renders axial slice k of a volume through a colormap, window [lo, hi]
+/// (lo >= hi auto-windows to the slice range).
+RgbImage render_slice(const ImageF& img, int k, ColormapKind kind, double lo = 0.0,
+                      double hi = 0.0);
+
+/// Renders the magnitude of a vector field's slice.
+RgbImage render_field_magnitude(const ImageV& field, int k, double max_mm = 0.0);
+
+/// Horizontally concatenates equal-height panels with a 2-pixel separator —
+/// Fig. 4's side-by-side layout in one file.
+RgbImage montage(const std::vector<RgbImage>& panels);
+
+/// Overlays mask boundaries (non-zero voxels adjacent to zero) on a panel in
+/// the given color — used to show segmentation contours on MR slices.
+void overlay_mask_boundary(RgbImage& panel, const ImageL& mask, int k, Rgb color);
+
+}  // namespace neuro::viz

@@ -1,0 +1,76 @@
+#include "viz/surface_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace neuro::viz {
+
+void write_ply_colored(const std::string& path, const mesh::TriSurface& surface,
+                       const std::vector<double>& scalars, ColormapKind kind,
+                       double lo, double hi) {
+  NEURO_REQUIRE(scalars.size() == surface.vertices.size(),
+                "write_ply_colored: scalar/vertex count mismatch");
+  if (lo >= hi) {
+    lo = 1e300;
+    hi = -1e300;
+    for (const double s : scalars) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    if (hi <= lo) hi = lo + 1.0;
+  }
+
+  std::ofstream f(path);
+  NEURO_REQUIRE(f.good(), "write_ply_colored: cannot open '" << path << "'");
+  f << "ply\nformat ascii 1.0\n";
+  f << "element vertex " << surface.num_vertices() << "\n";
+  f << "property float x\nproperty float y\nproperty float z\n";
+  f << "property uchar red\nproperty uchar green\nproperty uchar blue\n";
+  f << "element face " << surface.num_triangles() << "\n";
+  f << "property list uchar int vertex_indices\nend_header\n";
+  for (int v = 0; v < surface.num_vertices(); ++v) {
+    const Vec3& p = surface.vertices[static_cast<std::size_t>(v)];
+    const Rgb c = map_color(
+        kind, (scalars[static_cast<std::size_t>(v)] - lo) / (hi - lo));
+    f << p.x << ' ' << p.y << ' ' << p.z << ' ' << static_cast<int>(c.r) << ' '
+      << static_cast<int>(c.g) << ' ' << static_cast<int>(c.b) << '\n';
+  }
+  for (const auto& tri : surface.triangles) {
+    f << "3 " << tri[0] << ' ' << tri[1] << ' ' << tri[2] << '\n';
+  }
+  NEURO_REQUIRE(f.good(), "write_ply_colored: write failed for '" << path << "'");
+}
+
+void write_arrows_obj(const std::string& path, const std::vector<Vec3>& origins,
+                      const std::vector<Vec3>& displacements, int max_arrows) {
+  NEURO_REQUIRE(origins.size() == displacements.size(),
+                "write_arrows_obj: origin/displacement count mismatch");
+  NEURO_REQUIRE(max_arrows > 0, "write_arrows_obj: max_arrows must be positive");
+
+  // Largest arrows first (the figure's informative ones).
+  std::vector<std::size_t> order(origins.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return norm2(displacements[a]) > norm2(displacements[b]);
+  });
+  const std::size_t n = std::min<std::size_t>(order.size(),
+                                              static_cast<std::size_t>(max_arrows));
+
+  std::ofstream f(path);
+  NEURO_REQUIRE(f.good(), "write_arrows_obj: cannot open '" << path << "'");
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& a = origins[order[i]];
+    const Vec3 b = a + displacements[order[i]];
+    f << "v " << a.x << ' ' << a.y << ' ' << a.z << '\n';
+    f << "v " << b.x << ' ' << b.y << ' ' << b.z << '\n';
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    f << "l " << 2 * i + 1 << ' ' << 2 * i + 2 << '\n';
+  }
+  NEURO_REQUIRE(f.good(), "write_arrows_obj: write failed for '" << path << "'");
+}
+
+}  // namespace neuro::viz

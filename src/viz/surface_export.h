@@ -1,0 +1,31 @@
+// Colored-surface and glyph export for Fig. 5-style renderings.
+//
+// The paper's Fig. 5: a surface rendering where "the color coding indicates
+// the magnitude of the deformation at every point on the surface … and the
+// blue arrows indicate the magnitude and direction of the deformation".
+// PLY carries per-vertex colors natively and loads in standard viewers;
+// arrows are exported as OBJ line segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/vec3.h"
+#include "mesh/tri_surface.h"
+#include "viz/colormap.h"
+
+namespace neuro::viz {
+
+/// Writes an ASCII PLY of the surface with per-vertex colors from `scalars`
+/// mapped through `kind` over [lo, hi] (lo >= hi auto-scales).
+void write_ply_colored(const std::string& path, const mesh::TriSurface& surface,
+                       const std::vector<double>& scalars,
+                       ColormapKind kind = ColormapKind::kMagnitude, double lo = 0.0,
+                       double hi = 0.0);
+
+/// Writes displacement arrows (initial → initial+displacement) as OBJ line
+/// elements, subsampled to at most `max_arrows` (largest magnitudes first).
+void write_arrows_obj(const std::string& path, const std::vector<Vec3>& origins,
+                      const std::vector<Vec3>& displacements, int max_arrows = 500);
+
+}  // namespace neuro::viz

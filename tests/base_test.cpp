@@ -1,0 +1,180 @@
+// Unit tests for the base module: small linear algebra, RNG, checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/check.h"
+#include "base/mat3.h"
+#include "base/rng.h"
+#include "base/vec3.h"
+
+namespace neuro {
+namespace {
+
+TEST(Vec3Test, ArithmeticAndAccessors) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_DOUBLE_EQ(a[0], 1);
+  EXPECT_DOUBLE_EQ(a[1], 2);
+  EXPECT_DOUBLE_EQ(a[2], 3);
+}
+
+TEST(Vec3Test, DotCrossNorm) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  // Cross product is perpendicular to both inputs.
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(norm(Vec3(3, 4, 0)), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec3(3, 4, 0)), 25.0);
+}
+
+TEST(Vec3Test, NormalizedHandlesZero) {
+  EXPECT_EQ(normalized(Vec3{}), Vec3{});
+  const Vec3 n = normalized(Vec3{0, 0, 5});
+  EXPECT_NEAR(norm(n), 1.0, 1e-14);
+}
+
+TEST(AabbTest, ExpandAndContains) {
+  Aabb box;
+  EXPECT_FALSE(box.valid());
+  box.expand({1, 2, 3});
+  box.expand({-1, 5, 0});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains({0, 3, 1}));
+  EXPECT_FALSE(box.contains({2, 3, 1}));
+}
+
+TEST(Mat3Test, IdentityAndMultiply) {
+  const Mat3 I = Mat3::identity();
+  const Vec3 v{1, 2, 3};
+  EXPECT_EQ(I * v, v);
+  Mat3 a = Mat3::identity();
+  a(0, 1) = 2.0;
+  const Mat3 b = a * a;
+  EXPECT_DOUBLE_EQ(b(0, 1), 4.0);
+}
+
+TEST(Mat3Test, DeterminantAndInverse) {
+  Mat3 a;
+  a.m = {2, 0, 0, 0, 3, 0, 0, 0, 4};
+  EXPECT_DOUBLE_EQ(a.det(), 24.0);
+  const Mat3 ai = a.inverse();
+  const Mat3 prod = a * ai;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat3Test, InverseOfSingularThrows) {
+  Mat3 z;  // all zeros
+  EXPECT_THROW(z.inverse(), CheckError);
+}
+
+TEST(Mat3Test, RotationIsOrthonormal) {
+  const Mat3 R = rotation_zyx(0.3, -0.5, 1.1);
+  const Mat3 RtR = R.transposed() * R;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(RtR(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+  EXPECT_NEAR(R.det(), 1.0, 1e-12);
+}
+
+TEST(Mat3Test, RotationPreservesLength) {
+  const Mat3 R = rotation_zyx(0.1, 0.2, 0.3);
+  const Vec3 v{1, -2, 0.5};
+  EXPECT_NEAR(norm(R * v), norm(v), 1e-12);
+}
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(8);
+    EXPECT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng base(5);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(NEURO_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithContext) {
+  try {
+    NEURO_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("base_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace neuro

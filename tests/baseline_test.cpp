@@ -1,0 +1,171 @@
+// Tests for the comparison baselines: inverse-distance surface interpolation
+// and demons image-based registration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "fem/baseline_interpolation.h"
+#include "fem/deformation_solver.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "reg/demons.h"
+
+namespace neuro {
+namespace {
+
+mesh::TetMesh block(int n = 7, double spacing = 2.0) {
+  ImageL labels({n, n, n}, 1, {spacing, spacing, spacing});
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  return mesh::mesh_labeled_volume(labels, cfg);
+}
+
+TEST(IdwBaselineTest, PrescribedNodesKeptExactly) {
+  const mesh::TetMesh mesh = block();
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) {
+    bcs.emplace_back(n, Vec3{0.1 * n, -0.2, 0.0});
+  }
+  const auto u = fem::interpolate_surface_displacements(mesh, bcs);
+  for (const auto& [node, v] : bcs) {
+    EXPECT_EQ(norm(u[static_cast<std::size_t>(node)] - v), 0.0);
+  }
+}
+
+TEST(IdwBaselineTest, ConstantBoundaryGivesConstantInterior) {
+  const mesh::TetMesh mesh = block();
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  const Vec3 shift{1.5, -0.5, 2.0};
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) bcs.emplace_back(n, shift);
+  const auto u = fem::interpolate_surface_displacements(mesh, bcs);
+  for (const auto& v : u) {
+    EXPECT_NEAR(norm(v - shift), 0.0, 1e-12);
+  }
+}
+
+TEST(IdwBaselineTest, InteriorIsConvexCombination) {
+  // Every interior value lies inside the bounding box of the boundary values.
+  const mesh::TetMesh mesh = block();
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) {
+    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    bcs.emplace_back(n, Vec3{0.0, 0.0, -0.1 * p.z});
+  }
+  double lo = 1e300, hi = -1e300;
+  for (const auto& [node, v] : bcs) {
+    lo = std::min(lo, v.z);
+    hi = std::max(hi, v.z);
+  }
+  const auto u = fem::interpolate_surface_displacements(mesh, bcs);
+  for (const auto& v : u) {
+    EXPECT_GE(v.z, lo - 1e-12);
+    EXPECT_LE(v.z, hi + 1e-12);
+  }
+}
+
+TEST(IdwBaselineTest, FemBeatsIdwOnLinearField) {
+  // For an affine boundary field the FEM reproduces the interior exactly
+  // (patch test); IDW does not. This is the bench's claim in miniature.
+  const mesh::TetMesh mesh = block(7, 2.0);
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  auto affine = [](const Vec3& p) {
+    return Vec3{0.02 * p.x + 0.01 * p.y, -0.015 * p.z, 0.01 * p.x};
+  };
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) {
+    bcs.emplace_back(n, affine(mesh.nodes[static_cast<std::size_t>(n)]));
+  }
+  const auto idw = fem::interpolate_surface_displacements(mesh, bcs);
+  fem::DeformationSolveOptions opt;
+  opt.solver.rtol = 1e-11;
+  const auto femr =
+      fem::solve_deformation(mesh, fem::MaterialMap::homogeneous_brain(), bcs, opt);
+  double idw_err = 0, fem_err = 0;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    const Vec3 truth = affine(mesh.nodes[static_cast<std::size_t>(n)]);
+    idw_err = std::max(idw_err, norm(idw[static_cast<std::size_t>(n)] - truth));
+    fem_err = std::max(
+        fem_err, norm(femr.node_displacements[static_cast<std::size_t>(n)] - truth));
+  }
+  EXPECT_LT(fem_err, 1e-5);
+  EXPECT_GT(idw_err, 10.0 * fem_err);
+}
+
+TEST(IdwBaselineTest, RejectsEmptyPrescription) {
+  const mesh::TetMesh mesh = block();
+  EXPECT_THROW(fem::interpolate_surface_displacements(mesh, {}), CheckError);
+}
+
+/// Smooth blob image for demons tests.
+ImageF blob_image(int n, Vec3 center, double amplitude = 100.0) {
+  ImageF img({n, n, n}, 10.0f, {2, 2, 2});
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const Vec3 p = img.voxel_to_physical(i, j, k);
+        img(i, j, k) += static_cast<float>(
+            amplitude * std::exp(-norm2(p - center) / (2.0 * 80.0)));
+      }
+    }
+  }
+  return img;
+}
+
+TEST(DemonsTest, RecoversSmallTranslation) {
+  const int n = 24;
+  const Vec3 c{24, 24, 24};
+  const ImageF fixed = blob_image(n, c);
+  const ImageF moving = blob_image(n, c - Vec3{3.0, 0, 0});  // blob shifted -x
+  // Backward field should map fixed points to moving space: v ≈ (-3, 0, 0).
+  reg::DemonsConfig cfg;
+  cfg.iterations = 40;
+  cfg.pyramid_levels = 1;
+  const auto result = reg::demons_registration(fixed, moving, cfg);
+  EXPECT_LT(result.final_mad, 0.5 * result.initial_mad);
+  // Field direction at the blob boundary (where the gradient lives).
+  const Vec3 v = result.backward_field(
+      static_cast<int>(c.x / 2) + 4, static_cast<int>(c.y / 2), static_cast<int>(c.z / 2));
+  EXPECT_LT(v.x, -1.0);
+  EXPECT_LT(std::abs(v.y), 1.0);
+}
+
+TEST(DemonsTest, IdenticalImagesStayPut) {
+  const ImageF img = blob_image(16, {16, 16, 16});
+  reg::DemonsConfig cfg;
+  cfg.iterations = 10;
+  cfg.pyramid_levels = 1;
+  const auto result = reg::demons_registration(img, img, cfg);
+  double max_disp = 0;
+  for (const auto& v : result.backward_field.data()) {
+    max_disp = std::max(max_disp, norm(v));
+  }
+  EXPECT_LT(max_disp, 0.05);
+}
+
+TEST(DemonsTest, PyramidConvergesFasterOnLargeShift) {
+  const int n = 32;
+  const Vec3 c{32, 32, 32};
+  const ImageF fixed = blob_image(n, c);
+  const ImageF moving = blob_image(n, c - Vec3{8.0, 0, 0});
+  reg::DemonsConfig flat;
+  flat.iterations = 15;
+  flat.pyramid_levels = 1;
+  reg::DemonsConfig pyr = flat;
+  pyr.pyramid_levels = 3;
+  const auto r_flat = reg::demons_registration(fixed, moving, flat);
+  const auto r_pyr = reg::demons_registration(fixed, moving, pyr);
+  EXPECT_LT(r_pyr.final_mad, r_flat.final_mad);
+}
+
+TEST(DemonsTest, RejectsMismatchedGrids) {
+  EXPECT_THROW(
+      reg::demons_registration(ImageF({8, 8, 8}), ImageF({9, 9, 9})),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace neuro

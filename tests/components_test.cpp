@@ -1,0 +1,216 @@
+// Tests for connected components, surface (Neumann) loads, and the
+// deformation-field Jacobian diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "core/deformation_field.h"
+#include "fem/deformation_solver.h"
+#include "fem/loads.h"
+#include "image/components.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro {
+namespace {
+
+TEST(ComponentsTest, EmptyMaskHasNone) {
+  ImageL mask({4, 4, 4}, 0);
+  EXPECT_EQ(count_components(mask), 0);
+  const auto labels = connected_components(mask);
+  for (const auto v : labels.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(ComponentsTest, SingleBlob) {
+  ImageL mask({6, 6, 6}, 0);
+  for (int k = 1; k < 4; ++k)
+    for (int j = 1; j < 4; ++j)
+      for (int i = 1; i < 4; ++i) mask(i, j, k) = 1;
+  EXPECT_EQ(count_components(mask), 1);
+}
+
+TEST(ComponentsTest, DiagonalTouchingIsSeparate) {
+  // 6-connectivity: diagonal neighbours belong to different components.
+  ImageL mask({4, 4, 4}, 0);
+  mask.at(0, 0, 0) = 1;
+  mask.at(1, 1, 0) = 1;
+  EXPECT_EQ(count_components(mask), 2);
+  mask.at(1, 0, 0) = 1;  // bridge them face-to-face
+  EXPECT_EQ(count_components(mask), 1);
+}
+
+TEST(ComponentsTest, IdsOrderedBySize) {
+  ImageL mask({10, 4, 4}, 0);
+  // Big blob (6 voxels) and small blob (2 voxels), separated.
+  for (int i = 0; i < 6; ++i) mask(i, 0, 0) = 1;
+  mask(8, 0, 0) = mask(9, 0, 0) = 1;
+  std::vector<std::size_t> sizes;
+  const auto labels = connected_components(mask, &sizes);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 6u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(labels.at(0, 0, 0), 1);
+  EXPECT_EQ(labels.at(9, 0, 0), 2);
+}
+
+TEST(ComponentsTest, KeepLargestDropsTheRest) {
+  ImageL mask({10, 4, 4}, 0);
+  for (int i = 0; i < 6; ++i) mask(i, 0, 0) = 3;  // arbitrary non-zero value
+  mask(8, 0, 0) = 3;
+  const ImageL cleaned = keep_largest_component(mask);
+  EXPECT_EQ(cleaned.at(0, 0, 0), 3);  // original value preserved
+  EXPECT_EQ(cleaned.at(8, 0, 0), 0);
+}
+
+TEST(ComponentsTest, WrapAroundRowsDoNotConnect) {
+  // Voxel (last, j) and (0, j+1) are adjacent in memory but not in space.
+  ImageL mask({4, 4, 1}, 0);
+  mask.at(3, 0, 0) = 1;
+  mask.at(0, 1, 0) = 1;
+  EXPECT_EQ(count_components(mask), 2);
+}
+
+mesh::TriSurface block_surface() {
+  ImageL labels({5, 5, 5}, 1, {2, 2, 2});
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, cfg);
+  static mesh::TetMesh kept;  // keep the mesh alive for surface node refs
+  kept = mesh;
+  return mesh::extract_boundary_surface(kept, {1});
+}
+
+TEST(SurfaceLoadsTest, TractionTotalEqualsAreaTimesTraction) {
+  const mesh::TriSurface surface = block_surface();
+  const Vec3 t{0.0, 0.0, -2.5};
+  const auto loads = fem::traction_loads(surface, t);
+  Vec3 total{};
+  for (const auto& [node, f] : loads) total += f;
+  const double area = mesh::surface_area(surface);
+  EXPECT_NEAR(total.z, area * t.z, 1e-9);
+  EXPECT_NEAR(total.x, 0.0, 1e-9);
+}
+
+TEST(SurfaceLoadsTest, PressureOnClosedSurfaceSumsToZero) {
+  // ∮ p n dA = 0 on a closed surface: the net pressure force vanishes.
+  const mesh::TriSurface surface = block_surface();
+  const auto loads = fem::pressure_loads(surface, 7.0);
+  Vec3 total{};
+  for (const auto& [node, f] : loads) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-9);
+  // But individual nodes are loaded inward.
+  double sum_mag = 0;
+  for (const auto& [node, f] : loads) sum_mag += norm(f);
+  EXPECT_GT(sum_mag, 1.0);
+}
+
+TEST(SurfaceLoadsTest, MergeSumsDuplicates) {
+  std::vector<std::pair<mesh::NodeId, Vec3>> loads{{3, {1, 0, 0}}, {3, {2, 0, 0}},
+                                                   {5, {0, 1, 0}}};
+  const auto merged = fem::merge_loads(loads);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].second.x, 3.0);
+}
+
+TEST(SurfaceLoadsTest, RejectsFreeStandingSurface) {
+  mesh::TriSurface s;
+  s.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  s.triangles = {{0, 1, 2}};
+  EXPECT_THROW(fem::traction_loads(s, {1, 0, 0}), CheckError);
+}
+
+TEST(NodalLoadSolveTest, TractionDeflectsFreeFace) {
+  // Clamp the bottom of a block, pull the top face upward with a traction:
+  // the top must deflect upward, the bottom stay put.
+  ImageL labels({5, 5, 5}, 1, {2, 2, 2});
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, cfg);
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+
+  // Top patch (z = 8) as a sub-surface for loading.
+  mesh::TriSurface top = surface;
+  top.triangles.clear();
+  for (const auto& tri : surface.triangles) {
+    bool on_top = true;
+    for (const int v : tri) {
+      on_top = on_top && surface.vertices[static_cast<std::size_t>(v)].z > 7.9;
+    }
+    if (on_top) top.triangles.push_back(tri);
+  }
+  ASSERT_GT(top.num_triangles(), 0);
+
+  std::vector<std::pair<mesh::NodeId, Vec3>> clamps;
+  for (const auto n : surface.mesh_nodes) {
+    if (mesh.nodes[static_cast<std::size_t>(n)].z < 0.1) clamps.emplace_back(n, Vec3{});
+  }
+  fem::DeformationSolveOptions opt;
+  opt.nodal_loads = fem::traction_loads(top, {0, 0, 5.0});
+  opt.solver.rtol = 1e-9;
+  const auto result = solve_deformation(
+      mesh, fem::MaterialMap(fem::Material{100.0, 0.3}), clamps, opt);
+  EXPECT_TRUE(result.stats.converged);
+
+  double top_uz = -1e9, bottom_uz = 0;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    const double z = mesh.nodes[static_cast<std::size_t>(n)].z;
+    const double uz = result.node_displacements[static_cast<std::size_t>(n)].z;
+    if (z > 7.9) top_uz = std::max(top_uz, uz);
+    if (z < 0.1) bottom_uz = std::max(bottom_uz, std::abs(uz));
+  }
+  EXPECT_GT(top_uz, 0.01);
+  EXPECT_NEAR(bottom_uz, 0.0, 1e-9);
+}
+
+TEST(JacobianTest, ZeroFieldIsIdentity) {
+  const ImageV zero({6, 6, 6});
+  const ImageF jac = core::jacobian_determinant(zero);
+  for (const float v : jac.data()) EXPECT_NEAR(v, 1.0f, 1e-6);
+  EXPECT_EQ(core::count_folded_voxels(zero), 0u);
+}
+
+TEST(JacobianTest, UniformScalingHasAnalyticDeterminant) {
+  // u = 0.1 * (p - p0): φ = p0 + 1.1 (p - p0) ⇒ det = 1.1³.
+  ImageV field({10, 10, 10}, Vec3{}, {2, 2, 2});
+  for (int k = 0; k < 10; ++k) {
+    for (int j = 0; j < 10; ++j) {
+      for (int i = 0; i < 10; ++i) {
+        field(i, j, k) = 0.1 * field.voxel_to_physical(i, j, k);
+      }
+    }
+  }
+  const ImageF jac = core::jacobian_determinant(field);
+  EXPECT_NEAR(jac.at(5, 5, 5), std::pow(1.1, 3.0), 1e-4);
+}
+
+TEST(JacobianTest, FoldingDetected) {
+  // A reflection along x: u_x = -2x ⇒ φ_x = -x, det < 0 in the interior.
+  ImageV field({8, 8, 8});
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        field(i, j, k) = Vec3{-2.0 * i, 0.0, 0.0};
+      }
+    }
+  }
+  EXPECT_GT(core::count_folded_voxels(field), 100u);
+}
+
+TEST(JacobianTest, PhysicalCompressionBelowOne) {
+  // Downward squeeze u_z = -0.2 z: det = 0.8 everywhere.
+  ImageV field({8, 8, 8});
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        field(i, j, k) = Vec3{0.0, 0.0, -0.2 * k};
+      }
+    }
+  }
+  const ImageF jac = core::jacobian_determinant(field);
+  EXPECT_NEAR(jac.at(4, 4, 4), 0.8, 1e-6);
+  EXPECT_EQ(core::count_folded_voxels(field), 0u);
+}
+
+}  // namespace
+}  // namespace neuro

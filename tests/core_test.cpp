@@ -1,0 +1,227 @@
+// Tests for deformation-field rasterization, inversion, extension, warping
+// and the field statistics used by the evaluation module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "core/deformation_field.h"
+#include "mesh/mesher.h"
+
+namespace neuro::core {
+namespace {
+
+mesh::TetMesh block_mesh(int n = 9, double spacing = 1.0, int stride = 2) {
+  ImageL labels({n, n, n}, 1, {spacing, spacing, spacing});
+  mesh::MesherConfig cfg;
+  cfg.stride = stride;
+  return mesh::mesh_labeled_volume(labels, cfg);
+}
+
+TEST(RasterizeTest, LinearNodalFieldIsExactInside) {
+  // Linear interpolation over linear tets reproduces affine fields exactly.
+  const mesh::TetMesh mesh = block_mesh();
+  auto affine = [](const Vec3& p) {
+    return Vec3{0.1 * p.x - 0.05 * p.y, 0.2 * p.z, 0.03 * p.x + 0.01 * p.z};
+  };
+  std::vector<Vec3> u(static_cast<std::size_t>(mesh.num_nodes()));
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    u[static_cast<std::size_t>(n)] = affine(mesh.nodes[static_cast<std::size_t>(n)]);
+  }
+  const ImageF grid({9, 9, 9});
+  ImageL support;
+  const ImageV field = rasterize_displacements(mesh, u, grid, &support);
+  for (int k = 0; k < 9; ++k) {
+    for (int j = 0; j < 9; ++j) {
+      for (int i = 0; i < 9; ++i) {
+        if (i > 8 || j > 8 || k > 8) continue;
+        ASSERT_EQ(support(i, j, k), 1) << i << ',' << j << ',' << k;
+        EXPECT_NEAR(norm(field(i, j, k) - affine(Vec3(i, j, k))), 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RasterizeTest, OutsideMeshIsZeroAndUnsupported) {
+  const mesh::TetMesh mesh = block_mesh(5, 1.0, 2);  // occupies [0,4]^3
+  std::vector<Vec3> u(static_cast<std::size_t>(mesh.num_nodes()), Vec3{1, 1, 1});
+  const ImageF grid({12, 12, 12});
+  ImageL support;
+  const ImageV field = rasterize_displacements(mesh, u, grid, &support);
+  EXPECT_EQ(support(10, 10, 10), 0);
+  EXPECT_EQ(norm(field(10, 10, 10)), 0.0);
+  EXPECT_EQ(support(2, 2, 2), 1);
+}
+
+TEST(RasterizeTest, RejectsWrongCount) {
+  const mesh::TetMesh mesh = block_mesh();
+  const ImageF grid({9, 9, 9});
+  std::vector<Vec3> u(3);
+  EXPECT_THROW(rasterize_displacements(mesh, u, grid), CheckError);
+}
+
+TEST(InvertTest, InvertsSmoothField) {
+  // Smooth analytic field with max displacement ~2 voxels; the fixed-point
+  // inverse must satisfy |u(y + v(y)) + v(y)| ≈ 0.
+  ImageV forward({20, 20, 20});
+  for (int k = 0; k < 20; ++k) {
+    for (int j = 0; j < 20; ++j) {
+      for (int i = 0; i < 20; ++i) {
+        const double w = std::exp(-0.02 * (norm2(Vec3(i - 10, j - 10, k - 10))));
+        forward(i, j, k) = Vec3{2.0 * w, -1.5 * w, 1.0 * w};
+      }
+    }
+  }
+  const ImageV inverse = invert_displacement_field(forward, 20);
+  for (int k = 4; k < 16; ++k) {
+    for (int j = 4; j < 16; ++j) {
+      for (int i = 4; i < 16; ++i) {
+        const Vec3 y{static_cast<double>(i), static_cast<double>(j),
+                     static_cast<double>(k)};
+        const Vec3 v = inverse(i, j, k);
+        const Vec3 u = sample_trilinear_vec(forward, y + v);
+        EXPECT_LT(norm(u + v), 0.08) << i << ',' << j << ',' << k;
+      }
+    }
+  }
+}
+
+TEST(InvertTest, ZeroFieldInvertsToZero) {
+  ImageV zero({6, 6, 6});
+  const ImageV inv = invert_displacement_field(zero);
+  for (const auto& v : inv.data()) EXPECT_EQ(norm(v), 0.0);
+}
+
+TEST(ExtendTest, PropagatesWithDecay) {
+  ImageV field({9, 9, 9});
+  ImageL support({9, 9, 9}, 0);
+  field(4, 4, 4) = Vec3{10, 0, 0};
+  support(4, 4, 4) = 1;
+  extend_displacement_field(field, support, 2, 0.5);
+  EXPECT_NEAR(field(5, 4, 4).x, 5.0, 1e-12);   // one pass: 10 * 0.5
+  EXPECT_NEAR(field(6, 4, 4).x, 2.5, 1e-12);   // two passes
+  EXPECT_EQ(norm(field(8, 4, 4)), 0.0);        // beyond reach
+  // Support voxels untouched.
+  EXPECT_NEAR(field(4, 4, 4).x, 10.0, 1e-12);
+}
+
+TEST(ExtendTest, ZeroPassesIsNoop) {
+  ImageV field({5, 5, 5});
+  ImageL support({5, 5, 5}, 0);
+  field(2, 2, 2) = Vec3{1, 2, 3};
+  support(2, 2, 2) = 1;
+  extend_displacement_field(field, support, 0);
+  EXPECT_EQ(norm(field(3, 2, 2)), 0.0);
+}
+
+TEST(WarpTest, ZeroFieldIsIdentity) {
+  ImageF img({8, 8, 8});
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = static_cast<float>(i % 97);
+  }
+  const ImageV zero({8, 8, 8});
+  const ImageF out = warp_backward(img, zero);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], img.data()[i], 1e-4);
+  }
+}
+
+TEST(WarpTest, ConstantShiftMovesContent) {
+  ImageF img({10, 10, 10}, 0.0f);
+  img.at(6, 5, 5) = 100.0f;
+  ImageV field({10, 10, 10}, Vec3{1, 0, 0});  // out(y) = img(y + x̂)
+  const ImageF out = warp_backward(img, field);
+  EXPECT_NEAR(out.at(5, 5, 5), 100.0f, 1e-3);
+  EXPECT_NEAR(out.at(6, 5, 5), 0.0f, 1e-3);
+}
+
+TEST(WarpTest, LabelsNearestNeighbour) {
+  ImageL labels({8, 8, 8}, 0);
+  labels.at(4, 4, 4) = 7;
+  ImageV field({8, 8, 8}, Vec3{0.4, 0, 0});
+  const ImageL out = warp_backward_labels(labels, field);
+  EXPECT_EQ(out.at(4, 4, 4), 7);  // rounds back
+  ImageV big({8, 8, 8}, Vec3{1.0, 0, 0});
+  EXPECT_EQ(warp_backward_labels(labels, big).at(3, 4, 4), 7);
+}
+
+TEST(WarpTest, OutsideSourceGetsFillValue) {
+  ImageF img({6, 6, 6}, 50.0f);
+  ImageV field({6, 6, 6}, Vec3{100, 0, 0});
+  const ImageF out = warp_backward(img, field, -1.0f);
+  for (const float v : out.data()) EXPECT_FLOAT_EQ(v, -1.0f);
+}
+
+TEST(FieldStatsTest, MeanMaxRms) {
+  ImageV f({2, 1, 1});
+  f(0, 0, 0) = Vec3{3, 0, 0};
+  f(1, 0, 0) = Vec3{0, 4, 0};
+  const FieldStats s = field_stats(f);
+  EXPECT_DOUBLE_EQ(s.mean_mm, 3.5);
+  EXPECT_DOUBLE_EQ(s.max_mm, 4.0);
+  EXPECT_DOUBLE_EQ(s.rms_mm, std::sqrt((9.0 + 16.0) / 2.0));
+}
+
+TEST(FieldStatsTest, MaskRestricts) {
+  ImageV f({2, 1, 1});
+  f(0, 0, 0) = Vec3{3, 0, 0};
+  f(1, 0, 0) = Vec3{0, 400, 0};
+  ImageL mask({2, 1, 1}, 0);
+  mask.at(0, 0, 0) = 1;
+  const FieldStats s = field_stats(f, &mask);
+  EXPECT_DOUBLE_EQ(s.max_mm, 3.0);
+}
+
+TEST(FieldErrorTest, IdenticalFieldsZeroError) {
+  ImageV a({3, 3, 3}, Vec3{1, 2, 3});
+  const FieldStats s = field_error(a, a);
+  EXPECT_DOUBLE_EQ(s.mean_mm, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_mm, 0.0);
+}
+
+TEST(FieldErrorTest, MeasuresPointwiseDifference) {
+  ImageV a({2, 1, 1}, Vec3{1, 0, 0});
+  ImageV b({2, 1, 1}, Vec3{1, 0, 0});
+  b(1, 0, 0) = Vec3{1, 2, 0};
+  const FieldStats s = field_error(a, b);
+  EXPECT_DOUBLE_EQ(s.max_mm, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_mm, 1.0);
+}
+
+TEST(RoundTripTest, RasterizeInvertWarpRecoversImage) {
+  // End-to-end consistency: push an image through a mesh deformation and its
+  // inverse; interior voxels must come back (bandlimited by interpolation).
+  const mesh::TetMesh mesh = block_mesh(13, 1.0, 3);
+  // Smooth small deformation at the nodes.
+  std::vector<Vec3> u(static_cast<std::size_t>(mesh.num_nodes()));
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const double w = std::sin(0.3 * p.x) * std::sin(0.3 * p.y);
+    u[static_cast<std::size_t>(n)] = Vec3{0.8 * w, -0.5 * w, 0.0};
+  }
+  ImageF img({13, 13, 13});
+  for (int k = 0; k < 13; ++k)
+    for (int j = 0; j < 13; ++j)
+      for (int i = 0; i < 13; ++i)
+        img(i, j, k) = static_cast<float>(std::sin(0.5 * i) + std::cos(0.4 * j) + k);
+
+  ImageL support;
+  const ImageV forward = rasterize_displacements(mesh, u, img, &support);
+  const ImageV backward = invert_displacement_field(forward, 15);
+  const ImageF warped = warp_backward(img, backward);
+  // warped(y) = img(y + v(y)); re-warp with the forward field to undo.
+  const ImageF back = warp_backward(warped, forward);
+  double worst = 0;
+  for (int k = 3; k < 10; ++k) {
+    for (int j = 3; j < 10; ++j) {
+      for (int i = 3; i < 10; ++i) {
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(back(i, j, k)) - img(i, j, k)));
+      }
+    }
+  }
+  EXPECT_LT(worst, 0.15);
+}
+
+}  // namespace
+}  // namespace neuro::core

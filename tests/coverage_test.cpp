@@ -1,0 +1,140 @@
+// Small-surface coverage tests for APIs not exercised elsewhere: stopwatch,
+// transform edge cases, mesh statistics on degenerate inputs, solver stats
+// accessors, colormap/field rendering options, and tissue table completeness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "base/stopwatch.h"
+#include "image/transform.h"
+#include "mesh/tet_mesh.h"
+#include "mesh/tri_surface.h"
+#include "phantom/brain_phantom.h"
+#include "solver/krylov.h"
+#include "viz/colormap.h"
+
+namespace neuro {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedAndResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double t1 = sw.seconds();
+  EXPECT_GE(t1, 0.010);
+  EXPECT_LT(t1, 3.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), t1);
+}
+
+TEST(RigidTransformTest, GimbalBranchInverse) {
+  // ry = ±90° hits the cos(ry) ≈ 0 branch of the Euler extraction; the
+  // inverse must still invert the mapping.
+  RigidTransform t;
+  t.rotation = {0.2, 1.5707963267948966, 0.0};
+  t.translation = {1, 2, 3};
+  t.center = {5, 5, 5};
+  const RigidTransform ti = t.inverse();
+  for (const Vec3 p : {Vec3{0, 0, 0}, Vec3{3, -2, 7}, Vec3{10, 10, 10}}) {
+    EXPECT_LT(norm(ti.apply(t.apply(p)) - p), 1e-9);
+  }
+}
+
+TEST(RigidTransformTest, CenterChangesFixedPoint) {
+  RigidTransform t;
+  t.rotation = {0, 0, 0.5};
+  t.center = {10, 20, 30};
+  EXPECT_LT(norm(t.apply(t.center) - t.center), 1e-12);  // center is fixed
+  EXPECT_GT(norm(t.apply(Vec3{0, 0, 0})), 1.0);          // far points move
+}
+
+TEST(MeshStatsTest, EmptyMeshIsWellBehaved) {
+  mesh::TetMesh empty;
+  EXPECT_EQ(empty.num_nodes(), 0);
+  EXPECT_EQ(empty.num_tets(), 0);
+  EXPECT_DOUBLE_EQ(mesh::total_volume(empty), 0.0);
+  const mesh::QualityStats q = mesh::quality_stats(empty);
+  EXPECT_DOUBLE_EQ(q.mean_quality, 0.0);
+  EXPECT_FALSE(mesh::bounds(empty).valid());
+  mesh::TriSurface s;
+  EXPECT_DOUBLE_EQ(mesh::surface_area(s), 0.0);
+  EXPECT_TRUE(mesh::vertex_normals(s).empty());
+}
+
+TEST(MeshBoundsTest, CoversAllNodes) {
+  mesh::TetMesh mesh;
+  mesh.nodes = {{-1, 0, 5}, {3, -2, 0}, {0, 7, 1}};
+  const Aabb box = mesh::bounds(mesh);
+  EXPECT_TRUE(box.valid());
+  EXPECT_DOUBLE_EQ(box.lo.x, -1);
+  EXPECT_DOUBLE_EQ(box.hi.y, 7);
+  for (const auto& n : mesh.nodes) EXPECT_TRUE(box.contains(n));
+}
+
+TEST(SolveStatsTest, RelativeResidualGuards) {
+  solver::SolveStats s;
+  EXPECT_DOUBLE_EQ(s.relative_residual(), 0.0);  // zero initial residual
+  s.initial_residual = 10.0;
+  s.final_residual = 1.0;
+  EXPECT_DOUBLE_EQ(s.relative_residual(), 0.1);
+}
+
+TEST(WorkRecordTest, AccumulationOperator) {
+  par::WorkRecord a, b;
+  a.flops = 1;
+  a.comm_msgs = 2;
+  b.flops = 3;
+  b.coll_bytes = 4;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops, 4);
+  EXPECT_DOUBLE_EQ(a.comm_msgs, 2);
+  EXPECT_DOUBLE_EQ(a.coll_bytes, 4);
+}
+
+TEST(TissueTableTest, EveryTissueHasDistinctIntensity) {
+  using phantom::Tissue;
+  const Tissue all[] = {Tissue::kBackground, Tissue::kSkin,      Tissue::kSkullGap,
+                        Tissue::kBrain,      Tissue::kVentricle, Tissue::kFalx,
+                        Tissue::kTumor};
+  for (const auto a : all) {
+    EXPECT_GT(phantom::tissue_intensity(a), 0.0);
+    for (const auto b : all) {
+      if (a != b) {
+        EXPECT_NE(phantom::tissue_intensity(a), phantom::tissue_intensity(b));
+      }
+    }
+  }
+}
+
+TEST(FieldRenderTest, ExplicitMaxControlsScale) {
+  ImageV field({4, 4, 1});
+  field(1, 1, 0) = Vec3{1, 0, 0};
+  // With a huge explicit max, even the peak stays at the dark end.
+  const viz::RgbImage scaled = viz::render_field_magnitude(field, 0, 100.0);
+  const viz::RgbImage autoed = viz::render_field_magnitude(field, 0);
+  const double luma_scaled =
+      0.299 * scaled.at(1, 1).r + 0.587 * scaled.at(1, 1).g + 0.114 * scaled.at(1, 1).b;
+  const double luma_auto =
+      0.299 * autoed.at(1, 1).r + 0.587 * autoed.at(1, 1).g + 0.114 * autoed.at(1, 1).b;
+  EXPECT_LT(luma_scaled, luma_auto);
+}
+
+TEST(BarycentricOutsideTest, SumsToOneEverywhere) {
+  // Barycentric coordinates form an affine partition of unity even outside.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  for (const Vec3 p : {Vec3{5, 5, 5}, Vec3{-2, 0.3, 0.1}, Vec3{0.1, 0.1, 0.1}}) {
+    const auto l = mesh::barycentric(a, b, c, d, p);
+    EXPECT_NEAR(l[0] + l[1] + l[2] + l[3], 1.0, 1e-9);
+    // Reconstruction property: Σ λi vi = p.
+    const Vec3 rec = l[0] * a + l[1] * b + l[2] * c + l[3] * d;
+    EXPECT_LT(norm(rec - p), 1e-9);
+  }
+}
+
+TEST(TetVolumeDegenerateTest, CoplanarIsZero) {
+  EXPECT_DOUBLE_EQ(
+      mesh::tet_volume({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0.3, 0.3, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace neuro

@@ -1,0 +1,124 @@
+// Tests for the exact Euclidean distance transform, including a brute-force
+// property sweep over random volumes (the EDT is the foundation of the
+// paper's spatially varying localization prior, so exactness matters).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/rng.h"
+#include "image/distance.h"
+
+namespace neuro {
+namespace {
+
+/// O(n²) reference EDT.
+ImageF brute_force_edt(const ImageL& mask, double saturation) {
+  ImageF out(mask.dims(), 0.0f, mask.spacing(), mask.origin());
+  const IVec3 d = mask.dims();
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (int kk = 0; kk < d.z; ++kk) {
+          for (int jj = 0; jj < d.y; ++jj) {
+            for (int ii = 0; ii < d.x; ++ii) {
+              if (!mask(ii, jj, kk)) continue;
+              const Vec3 a = mask.voxel_to_physical(i, j, k);
+              const Vec3 b = mask.voxel_to_physical(ii, jj, kk);
+              best = std::min(best, norm(a - b));
+            }
+          }
+        }
+        if (saturation > 0) best = std::min(best, saturation);
+        out(i, j, k) = static_cast<float>(best);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(EdtTest, SinglePointIsEuclidean) {
+  ImageL mask({9, 9, 9}, 0);
+  mask.at(4, 4, 4) = 1;
+  const ImageF d = distance_from_mask(mask);
+  EXPECT_FLOAT_EQ(d.at(4, 4, 4), 0.0f);
+  EXPECT_NEAR(d.at(7, 4, 4), 3.0, 1e-5);
+  EXPECT_NEAR(d.at(7, 8, 4), 5.0, 1e-5);  // 3-4-5 triangle
+  EXPECT_NEAR(d.at(5, 5, 5), std::sqrt(3.0), 1e-5);
+}
+
+TEST(EdtTest, RespectsAnisotropicSpacing) {
+  ImageL mask({9, 9, 9}, 0, {1.0, 2.0, 3.0});
+  mask.at(4, 4, 4) = 1;
+  const ImageF d = distance_from_mask(mask);
+  EXPECT_NEAR(d.at(5, 4, 4), 1.0, 1e-5);
+  EXPECT_NEAR(d.at(4, 5, 4), 2.0, 1e-5);
+  EXPECT_NEAR(d.at(4, 4, 5), 3.0, 1e-5);
+}
+
+TEST(EdtTest, SaturationClamps) {
+  ImageL mask({16, 4, 4}, 0);
+  mask.at(0, 0, 0) = 1;
+  const ImageF d = distance_from_mask(mask, 5.0);
+  EXPECT_NEAR(d.at(15, 0, 0), 5.0, 1e-5);
+  EXPECT_NEAR(d.at(3, 0, 0), 3.0, 1e-5);
+}
+
+TEST(EdtTest, AbsentClassSaturatesEverywhere) {
+  ImageL mask({4, 4, 4}, 0);
+  const ImageF d = distance_from_mask(mask, 7.0);
+  for (const float v : d.data()) EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(EdtTest, LabelSelector) {
+  ImageL labels({5, 5, 5}, 1);
+  labels.at(2, 2, 2) = 3;
+  const ImageF d3 = distance_to_label(labels, 3);
+  EXPECT_FLOAT_EQ(d3.at(2, 2, 2), 0.0f);
+  EXPECT_NEAR(d3.at(4, 2, 2), 2.0, 1e-5);
+  const ImageF d1 = distance_to_label(labels, 1);
+  EXPECT_FLOAT_EQ(d1.at(0, 0, 0), 0.0f);
+  EXPECT_NEAR(d1.at(2, 2, 2), 1.0, 1e-5);  // nearest non-center voxel
+}
+
+TEST(SignedDistanceTest, NegativeInsidePositiveOutside) {
+  ImageL labels({12, 12, 12}, 0);
+  for (int k = 4; k < 8; ++k)
+    for (int j = 4; j < 8; ++j)
+      for (int i = 4; i < 8; ++i) labels.at(i, j, k) = 1;
+  const ImageF sd = signed_distance_to_label(labels, 1, 100.0);
+  EXPECT_LT(sd.at(5, 5, 5), 0.0f);   // interior
+  EXPECT_GT(sd.at(0, 0, 0), 0.0f);   // exterior
+  EXPECT_NEAR(sd.at(9, 5, 5), 2.0, 1e-4);   // 2 voxels outside
+  EXPECT_NEAR(sd.at(5, 5, 6), -2.0, 1e-4);  // 2 voxels inside
+}
+
+class EdtPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdtPropertyTest, MatchesBruteForceOnRandomVolumes) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const IVec3 dims{static_cast<int>(4 + rng.uniform_index(8)),
+                   static_cast<int>(4 + rng.uniform_index(8)),
+                   static_cast<int>(4 + rng.uniform_index(8))};
+  const Vec3 spacing{rng.uniform(0.5, 3.0), rng.uniform(0.5, 3.0),
+                     rng.uniform(0.5, 3.0)};
+  ImageL mask(dims, 0, spacing);
+  // Sparse features (~5%), guaranteed at least one.
+  for (auto& v : mask.data()) v = rng.uniform() < 0.05 ? 1 : 0;
+  mask.at(0, 0, 0) = 1;
+  const double saturation = seed % 2 == 0 ? 0.0 : 6.0;
+
+  const ImageF fast = distance_from_mask(mask, saturation);
+  const ImageF ref = brute_force_edt(mask, saturation);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_NEAR(fast.data()[i], ref.data()[i], 1e-4)
+        << "seed=" << seed << " voxel " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVolumes, EdtPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace neuro

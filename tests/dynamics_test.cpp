@@ -1,0 +1,150 @@
+// Tests for the explicit dynamic FEM: mass lumping, stability estimation,
+// energy behaviour, and convergence of dynamic relaxation to the static
+// solution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "fem/deformation_solver.h"
+#include "fem/dynamics.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro::fem {
+namespace {
+
+mesh::TetMesh block(int n = 5, double spacing = 2.0) {
+  ImageL labels({n, n, n}, 1, {spacing, spacing, spacing});
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  return mesh::mesh_labeled_volume(labels, cfg);
+}
+
+TEST(LumpedMassTest, TotalMassIsDensityTimesVolume) {
+  const mesh::TetMesh mesh = block();
+  const double density = 2.5;
+  const auto masses = lumped_masses(mesh, density);
+  double total = 0;
+  for (const double m : masses) total += m;
+  EXPECT_NEAR(total, density * mesh::total_volume(mesh), 1e-9);
+  for (const double m : masses) EXPECT_GT(m, 0.0);
+  EXPECT_THROW(lumped_masses(mesh, 0.0), CheckError);
+}
+
+TEST(EigenvalueTest, ScalesWithStiffnessAndMass) {
+  // λmax(M⁻¹K) scales linearly with E and inversely with density.
+  const mesh::TetMesh mesh = block();
+  const double l1 =
+      max_generalized_eigenvalue(mesh, MaterialMap(Material{100.0, 0.3}), 1.0);
+  const double l2 =
+      max_generalized_eigenvalue(mesh, MaterialMap(Material{400.0, 0.3}), 1.0);
+  const double l3 =
+      max_generalized_eigenvalue(mesh, MaterialMap(Material{100.0, 0.3}), 4.0);
+  EXPECT_NEAR(l2 / l1, 4.0, 0.1);
+  EXPECT_NEAR(l3 / l1, 0.25, 0.01);
+  EXPECT_GT(l1, 0.0);
+}
+
+TEST(DynamicsTest, DampedRelaxationConvergesToStaticSolution) {
+  const mesh::TetMesh mesh = block();
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) {
+    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    bcs.emplace_back(n, Vec3{0.0, 0.0, -0.04 * p.z});
+  }
+  const MaterialMap materials(Material{100.0, 0.3});
+
+  DeformationSolveOptions static_opt;
+  static_opt.solver.rtol = 1e-11;
+  const auto static_solution = solve_deformation(mesh, materials, bcs, static_opt);
+  ASSERT_TRUE(static_solution.stats.converged);
+
+  DynamicsOptions dyn;
+  dyn.density = 1.0;
+  dyn.damping_alpha = 4.0;  // heavily damped → relaxes to equilibrium
+  dyn.steps = 6000;
+  dyn.bc_ramp_steps = 200;
+  const auto dynamic = integrate_dynamics(mesh, materials, bcs, dyn);
+
+  double max_diff = 0, max_vel = 0;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    max_diff = std::max(
+        max_diff, norm(dynamic.displacements[static_cast<std::size_t>(n)] -
+                       static_solution.node_displacements[static_cast<std::size_t>(n)]));
+    max_vel = std::max(max_vel, norm(dynamic.velocities[static_cast<std::size_t>(n)]));
+  }
+  const double scale = 0.04 * 8.0;  // max prescribed displacement
+  EXPECT_LT(max_diff, 0.02 * scale);
+  EXPECT_LT(max_vel, 1e-3);  // settled
+  // Kinetic energy decayed to ~nothing.
+  ASSERT_FALSE(dynamic.kinetic_energy.empty());
+  EXPECT_LT(dynamic.kinetic_energy.back(),
+            1e-3 * (*std::max_element(dynamic.kinetic_energy.begin(),
+                                      dynamic.kinetic_energy.end()) + 1e-30));
+}
+
+TEST(DynamicsTest, UndampedEnergyStaysBounded) {
+  // Semi-implicit Euler is symplectic: without damping the total energy
+  // oscillates but does not blow up at a stable dt.
+  const mesh::TetMesh mesh = block();
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) {
+    if (mesh.nodes[static_cast<std::size_t>(n)].z < 0.1) bcs.emplace_back(n, Vec3{});
+  }
+  DynamicsOptions dyn;
+  dyn.density = 1.0;
+  dyn.damping_alpha = 0.0;
+  dyn.steps = 2000;
+  dyn.body_force = {0, 0, -0.01};
+  const auto result =
+      integrate_dynamics(mesh, MaterialMap(Material{100.0, 0.3}), bcs, dyn);
+  ASSERT_GT(result.kinetic_energy.size(), 20u);
+  // Total energy after the initial transient stays within a factor of the
+  // early total (no exponential growth).
+  const std::size_t probe = 5;
+  const double early = result.kinetic_energy[probe] + result.strain_energy[probe];
+  double late_max = 0;
+  for (std::size_t i = result.kinetic_energy.size() / 2;
+       i < result.kinetic_energy.size(); ++i) {
+    late_max = std::max(late_max, result.kinetic_energy[i] + result.strain_energy[i]);
+  }
+  EXPECT_LT(late_max, 3.0 * early + 1e-12);
+}
+
+TEST(DynamicsTest, AutoStepRespectsStabilityEstimate) {
+  const mesh::TetMesh mesh = block();
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs{{0, Vec3{}}};
+  DynamicsOptions dyn;
+  dyn.steps = 5;
+  const auto result =
+      integrate_dynamics(mesh, MaterialMap(Material{100.0, 0.3}), bcs, dyn);
+  EXPECT_GT(result.stable_dt_estimate, 0.0);
+  EXPECT_NEAR(result.dt_used, 0.8 * result.stable_dt_estimate, 1e-12);
+  EXPECT_EQ(result.steps_taken, 5);
+}
+
+TEST(DynamicsTest, PrescribedNodesFollowRamp) {
+  const mesh::TetMesh mesh = block();
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  const Vec3 shift{1.0, 0, 0};
+  for (const auto n : surface.mesh_nodes) bcs.emplace_back(n, shift);
+  DynamicsOptions dyn;
+  dyn.density = 1.0;
+  dyn.damping_alpha = 2.0;
+  dyn.steps = 3000;
+  dyn.bc_ramp_steps = 100;
+  const auto result =
+      integrate_dynamics(mesh, MaterialMap(Material{100.0, 0.3}), bcs, dyn);
+  // After full relaxation with a uniformly translated boundary, the whole
+  // block has translated (the dynamic analogue of the static patch test).
+  for (const auto& u : result.displacements) {
+    EXPECT_LT(norm(u - shift), 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace neuro::fem

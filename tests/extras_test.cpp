@@ -1,0 +1,162 @@
+// Tests for the confusion matrix, backward-field composition, the analytic
+// gravity-column FEM validation, and the bench scaling infrastructure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../bench/common.h"
+#include "base/check.h"
+#include "core/deformation_field.h"
+#include "fem/deformation_solver.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "seg/knn.h"
+
+namespace neuro {
+namespace {
+
+TEST(ConfusionMatrixTest, PerfectPrediction) {
+  ImageL truth({4, 4, 4}, 1);
+  truth.at(0, 0, 0) = 2;
+  const seg::ConfusionMatrix cm(truth, truth);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 1.0);
+  EXPECT_EQ(cm.count(1, 2), 0u);
+  EXPECT_EQ(cm.count(2, 2), 1u);
+}
+
+TEST(ConfusionMatrixTest, CountsAndRates) {
+  // 1-D strip: truth = [1 1 1 2 2 2], predicted = [1 1 2 2 2 1].
+  ImageL truth({6, 1, 1}, 1), pred({6, 1, 1}, 1);
+  for (int i = 3; i < 6; ++i) truth(i, 0, 0) = 2;
+  pred.at(2, 0, 0) = 2;
+  pred.at(3, 0, 0) = 2;
+  pred.at(4, 0, 0) = 2;
+  pred.at(5, 0, 0) = 1;
+  const seg::ConfusionMatrix cm(pred, truth);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(1, 2), 1u);
+  EXPECT_EQ(cm.count(2, 2), 2u);
+  EXPECT_EQ(cm.count(2, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 6.0);
+  ASSERT_EQ(cm.labels().size(), 2u);
+}
+
+TEST(ConfusionMatrixTest, AbsentLabelsAreNeutral) {
+  ImageL a({2, 2, 2}, 1);
+  const seg::ConfusionMatrix cm(a, a);
+  EXPECT_DOUBLE_EQ(cm.recall(9), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(9), 1.0);
+  EXPECT_EQ(cm.count(9, 1), 0u);
+}
+
+TEST(ComposeFieldsTest, ZeroPlusFieldIsField) {
+  ImageV v1({8, 8, 8}, Vec3{1, -2, 0.5});
+  ImageV zero({8, 8, 8});
+  const ImageV out = core::compose_backward_fields(v1, zero);
+  for (const auto& v : out.data()) {
+    EXPECT_NEAR(norm(v - Vec3{1, -2, 0.5}), 0.0, 1e-12);
+  }
+}
+
+TEST(ComposeFieldsTest, TranslationsAdd) {
+  ImageV v1({8, 8, 8}, Vec3{2, 0, 0});
+  ImageV v2({8, 8, 8}, Vec3{0, 3, 0});
+  const ImageV out = core::compose_backward_fields(v1, v2);
+  // Interior voxels (edge voxels clamp the sample of v1).
+  EXPECT_NEAR(norm(out(4, 4, 4) - Vec3{2, 3, 0}), 0.0, 1e-9);
+}
+
+TEST(ComposeFieldsTest, MatchesTwoStepWarp) {
+  // Warping through the composed field ≈ warping through v1 then v2.
+  ImageF img({16, 16, 16});
+  for (int k = 0; k < 16; ++k)
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 16; ++i)
+        img(i, j, k) = static_cast<float>(std::sin(0.5 * i) * std::cos(0.4 * j) + 0.2 * k);
+  ImageV v1({16, 16, 16}), v2({16, 16, 16});
+  for (int k = 0; k < 16; ++k) {
+    for (int j = 0; j < 16; ++j) {
+      for (int i = 0; i < 16; ++i) {
+        const double w = std::exp(-0.05 * norm2(Vec3(i - 8, j - 8, k - 8)));
+        v1(i, j, k) = Vec3{1.0 * w, 0, 0.5 * w};
+        v2(i, j, k) = Vec3{0, -0.8 * w, 0};
+      }
+    }
+  }
+  const ImageF two_step = core::warp_backward(core::warp_backward(img, v1), v2);
+  const ImageF one_step = core::warp_backward(img, core::compose_backward_fields(v1, v2));
+  double worst = 0;
+  for (int k = 3; k < 13; ++k) {
+    for (int j = 3; j < 13; ++j) {
+      for (int i = 3; i < 13; ++i) {
+        worst = std::max(worst, std::abs(static_cast<double>(two_step(i, j, k)) -
+                                         one_step(i, j, k)));
+      }
+    }
+  }
+  EXPECT_LT(worst, 0.05);  // differ only by double-interpolation smoothing
+}
+
+TEST(GravityColumnTest, MatchesAnalyticSelfWeightSolution) {
+  // A column clamped at the bottom under its own weight, ν = 0 (no lateral
+  // coupling): exact solution u_z(z) = (f/E)(L z − z²/2).
+  ImageL labels({5, 5, 13}, 1, {2, 2, 2});
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, cfg);
+  const double L = 24.0;  // column height (z in [0, 24])
+
+  std::vector<std::pair<mesh::NodeId, Vec3>> clamps;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    if (mesh.nodes[static_cast<std::size_t>(n)].z < 1e-9) clamps.emplace_back(n, Vec3{});
+  }
+  ASSERT_FALSE(clamps.empty());
+
+  const double E = 100.0, f = -0.5;  // force density (downward)
+  fem::DeformationSolveOptions opt;
+  opt.body_force = {0, 0, f};
+  opt.solver.rtol = 1e-11;
+  const auto result =
+      fem::solve_deformation(mesh, fem::MaterialMap(fem::Material{E, 0.0}), clamps, opt);
+  ASSERT_TRUE(result.stats.converged);
+
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    const double z = mesh.nodes[static_cast<std::size_t>(n)].z;
+    const double expected = (f / E) * (L * z - z * z / 2.0);
+    EXPECT_NEAR(result.node_displacements[static_cast<std::size_t>(n)].z, expected,
+                0.012 * std::abs(f / E * L * L / 2) + 1e-9)
+        << "node " << n << " z=" << z;
+    // Lateral motion at nu = 0 is purely parasitic discretization error
+    // (the 5-tet lattice is not mirror-symmetric): tiny vs. the sag scale.
+    EXPECT_NEAR(result.node_displacements[static_cast<std::size_t>(n)].x, 0.0, 0.01);
+  }
+}
+
+TEST(BenchInfraTest, BrainProblemHitsEquationTarget) {
+  const bench::BrainProblem problem = bench::make_brain_problem(9000);
+  EXPECT_NEAR(problem.num_equations, 9000, 3000);
+  EXPECT_FALSE(problem.prescribed.empty());
+  // Prescribed displacements follow the analytic shift (downward at the top).
+  double min_z = 0;
+  for (const auto& [node, u] : problem.prescribed) min_z = std::min(min_z, u.z);
+  EXPECT_LT(min_z, -4.0);
+}
+
+TEST(BenchInfraTest, PredictedTimesDecreaseWithCpus) {
+  const bench::BrainProblem problem = bench::make_brain_problem(9000);
+  const perf::PlatformModel smp = perf::ultra_hpc_6000();
+  const auto r1 = bench::run_scaling_point(problem, smp, 1);
+  const auto r4 = bench::run_scaling_point(problem, smp, 4);
+  EXPECT_LT(r4.assemble_s, r1.assemble_s);
+  EXPECT_LT(r4.solve_s, r1.solve_s);
+  EXPECT_GE(r4.assemble_imbalance, 1.0);
+  EXPECT_GT(r4.iterations, 0);
+}
+
+}  // namespace
+}  // namespace neuro

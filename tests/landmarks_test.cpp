@@ -1,0 +1,134 @@
+// Tests for landmark TRE evaluation, grid resampling and histogram matching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "core/landmarks.h"
+#include "core/pipeline.h"
+#include "image/filters.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro {
+namespace {
+
+TEST(LandmarkTest, GroundTruthSelfConsistent) {
+  // The intraop position of every landmark must map back to its preop
+  // position through the stored true backward field.
+  phantom::PhantomConfig pc;
+  pc.dims = {48, 48, 48};
+  pc.spacing = {2.8, 2.8, 2.8};
+  const auto cas = phantom::make_case(pc, phantom::ShiftConfig{});
+  const auto landmarks = core::phantom_landmarks(cas);
+  EXPECT_GE(landmarks.size(), 4u);
+  for (const auto& lm : landmarks) {
+    const Vec3 q = lm.intraop_position;
+    const Vec3 v = sample_trilinear_vec(cas.true_backward_shift,
+                                        cas.true_backward_shift.physical_to_voxel(q));
+    // Trilinear sampling of the analytic field adds sub-voxel error.
+    EXPECT_LT(norm((q + v) - lm.preop_position), 0.8) << lm.name;
+  }
+}
+
+TEST(LandmarkTest, WithRigidOffsetPositionsCompose) {
+  phantom::PhantomConfig pc;
+  pc.dims = {40, 40, 40};
+  pc.spacing = {3.0, 3.0, 3.0};
+  phantom::ShiftConfig noshift;
+  noshift.max_sink_mm = 0;
+  noshift.resection_collapse_mm = 0;
+  noshift.resect_tumor = false;
+  RigidTransform offset;
+  offset.translation = {4, -2, 1};
+  const auto cas = phantom::make_case(pc, noshift, offset);
+  for (const auto& lm : core::phantom_landmarks(cas)) {
+    // Pure rigid case: intraop position = R(preop position).
+    EXPECT_LT(norm(lm.intraop_position - offset.apply(lm.preop_position)), 1e-6)
+        << lm.name;
+  }
+}
+
+TEST(LandmarkTest, PipelineImprovesTre) {
+  phantom::PhantomConfig pc;
+  pc.dims = {56, 56, 56};
+  pc.spacing = {2.5, 2.5, 2.5};
+  const auto cas = phantom::make_case(pc, phantom::ShiftConfig{});
+  core::PipelineConfig config = core::default_pipeline_config();
+  config.do_rigid_registration = false;
+  const auto result =
+      core::run_intraop_pipeline(cas.preop, cas.preop_labels, cas.intraop, config);
+  const auto report =
+      core::evaluate_landmarks(result, core::phantom_landmarks(cas));
+  EXPECT_LT(report.mean_simulated_mm, report.mean_rigid_only_mm);
+  EXPECT_LT(report.mean_simulated_mm, 2.5);
+  EXPECT_EQ(report.entries.size(), core::phantom_landmarks(cas).size());
+}
+
+TEST(ResampleGridTest, PreservesPhysicalExtentAndValues) {
+  ImageF img({8, 8, 8}, 0.0f, {2, 2, 2});
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i)
+        img(i, j, k) = static_cast<float>(i + 2 * j + 3 * k);  // trilinear field
+  const ImageF up = resample_to_grid(img, {16, 16, 16});
+  EXPECT_EQ(up.dims(), IVec3(16, 16, 16));
+  EXPECT_DOUBLE_EQ(up.spacing().x, 1.0);
+  // Same physical point must sample (nearly) the same value.
+  for (const Vec3 p : {Vec3{5, 5, 5}, Vec3{9, 3, 7}}) {
+    EXPECT_NEAR(sample_physical(up, p), sample_physical(img, p), 0.8);
+  }
+  EXPECT_THROW(resample_to_grid(img, {0, 4, 4}), CheckError);
+}
+
+TEST(HistogramMatchTest, IdentityWhenDistributionsMatch) {
+  ImageF img({12, 12, 12});
+  Rng rng(2);
+  for (auto& v : img.data()) v = static_cast<float>(rng.uniform(0, 100));
+  const ImageF matched = match_histogram(img, img);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(matched.data()[i]) - img.data()[i]));
+  }
+  EXPECT_LT(max_diff, 100.0 / 256.0 + 0.5);  // within a bin width
+}
+
+TEST(HistogramMatchTest, UndoesGlobalGain) {
+  // moving = 2 * reference: matching must restore the reference scale.
+  ImageF ref({12, 12, 12});
+  Rng rng(3);
+  for (auto& v : ref.data()) v = static_cast<float>(rng.uniform(10, 200));
+  ImageF moving = ref;
+  for (auto& v : moving.data()) v *= 2.0f;
+  const ImageF matched = match_histogram(moving, ref);
+  double mean_ref = 0, mean_matched = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    mean_ref += ref.data()[i];
+    mean_matched += matched.data()[i];
+  }
+  EXPECT_NEAR(mean_matched / static_cast<double>(ref.size()),
+              mean_ref / static_cast<double>(ref.size()), 2.0);
+}
+
+TEST(HistogramMatchTest, MappingIsMonotone) {
+  ImageF ref({10, 10, 10});
+  ImageF moving({10, 10, 10});
+  Rng rng(4);
+  for (auto& v : ref.data()) v = static_cast<float>(std::pow(rng.uniform(), 2.0) * 90);
+  for (auto& v : moving.data()) v = static_cast<float>(rng.uniform(0, 50));
+  const ImageF matched = match_histogram(moving, ref);
+  // Monotonicity: if moving[a] < moving[b] (strictly, by more than a bin),
+  // then matched[a] <= matched[b].
+  const double bin = 50.0 / 256.0;
+  for (std::size_t a = 0; a < 300; ++a) {
+    for (std::size_t b = a + 1; b < a + 5; ++b) {
+      if (moving.data()[a] < moving.data()[b] - 2 * bin) {
+        ASSERT_LE(matched.data()[a], matched.data()[b] + 1e-6);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuro

@@ -1,0 +1,153 @@
+// Tests for marching-tetrahedra isosurface extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "base/check.h"
+#include "mesh/marching.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro::mesh {
+namespace {
+
+/// Signed distance to a sphere of radius r (analytic, exact).
+ImageF sphere_sdf(int n, double r, Vec3 c, Vec3 spacing = {1, 1, 1}) {
+  ImageF sdf({n, n, n}, 0.0f, spacing);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        sdf(i, j, k) = static_cast<float>(norm(sdf.voxel_to_physical(i, j, k) - c) - r);
+      }
+    }
+  }
+  return sdf;
+}
+
+TEST(MarchingTest, SphereVerticesLieOnSphere) {
+  const Vec3 c{12, 12, 12};
+  const double r = 7.0;
+  const TriSurface surface = marching_tetrahedra(sphere_sdf(25, r, c), 0.0);
+  ASSERT_GT(surface.num_vertices(), 100);
+  double worst = 0;
+  for (const auto& v : surface.vertices) {
+    worst = std::max(worst, std::abs(norm(v - c) - r));
+  }
+  // Linear interpolation of an exact SDF: sub-0.1-voxel placement.
+  EXPECT_LT(worst, 0.1);
+}
+
+TEST(MarchingTest, SphereAreaMatchesAnalytic) {
+  const Vec3 c{12, 12, 12};
+  const double r = 7.0;
+  const TriSurface surface = marching_tetrahedra(sphere_sdf(25, r, c), 0.0);
+  const double analytic = 4.0 * 3.14159265358979 * r * r;
+  // Faceting makes the mesh area slightly smaller.
+  EXPECT_NEAR(surface_area(surface), analytic, 0.05 * analytic);
+}
+
+TEST(MarchingTest, SurfaceIsClosed) {
+  const TriSurface surface =
+      marching_tetrahedra(sphere_sdf(21, 6.0, {10, 10, 10}), 0.0);
+  std::map<std::pair<int, int>, int> edges;
+  for (const auto& tri : surface.triangles) {
+    for (int e = 0; e < 3; ++e) {
+      int a = tri[static_cast<std::size_t>(e)];
+      int b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      ++edges[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : edges) {
+    ASSERT_EQ(count, 2);
+  }
+}
+
+TEST(MarchingTest, NormalsPointTowardIncreasingField) {
+  // SDF increases outward, so normals must point away from the center.
+  const Vec3 c{10, 10, 10};
+  const TriSurface surface = marching_tetrahedra(sphere_sdf(21, 6.0, c), 0.0);
+  const auto normals = vertex_normals(surface);
+  int outward = 0;
+  for (int v = 0; v < surface.num_vertices(); ++v) {
+    if (dot(normals[static_cast<std::size_t>(v)],
+            surface.vertices[static_cast<std::size_t>(v)] - c) > 0) {
+      ++outward;
+    }
+  }
+  EXPECT_EQ(outward, surface.num_vertices());
+}
+
+TEST(MarchingTest, NonzeroLevelShiftsRadius) {
+  const Vec3 c{12, 12, 12};
+  const TriSurface surface = marching_tetrahedra(sphere_sdf(25, 7.0, c), 2.0);
+  double mean_r = 0;
+  for (const auto& v : surface.vertices) mean_r += norm(v - c);
+  EXPECT_NEAR(mean_r / surface.num_vertices(), 9.0, 0.1);  // r + level
+}
+
+TEST(MarchingTest, StrideCoarsensButKeepsGeometry) {
+  const Vec3 c{16, 16, 16};
+  const TriSurface fine = marching_tetrahedra(sphere_sdf(33, 10.0, c), 0.0, 1);
+  const TriSurface coarse = marching_tetrahedra(sphere_sdf(33, 10.0, c), 0.0, 2);
+  EXPECT_LT(coarse.num_triangles(), fine.num_triangles() / 2);
+  double worst = 0;
+  for (const auto& v : coarse.vertices) {
+    worst = std::max(worst, std::abs(norm(v - c) - 10.0));
+  }
+  EXPECT_LT(worst, 0.6);
+}
+
+TEST(MarchingTest, RespectsAnisotropicSpacing) {
+  // Same voxel field, stretched z spacing: vertices still land on the sphere
+  // in physical coordinates.
+  const Vec3 c{12, 12, 24};
+  ImageF sdf({25, 25, 25}, 0.0f, {1, 1, 2});
+  for (int k = 0; k < 25; ++k) {
+    for (int j = 0; j < 25; ++j) {
+      for (int i = 0; i < 25; ++i) {
+        sdf(i, j, k) = static_cast<float>(norm(sdf.voxel_to_physical(i, j, k) - c) - 8.0);
+      }
+    }
+  }
+  const TriSurface surface = marching_tetrahedra(sdf, 0.0);
+  double worst = 0;
+  for (const auto& v : surface.vertices) {
+    worst = std::max(worst, std::abs(norm(v - c) - 8.0));
+  }
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(MarchingTest, EmptyAndFullFieldsProduceNothing) {
+  ImageF all_positive({8, 8, 8}, 5.0f);
+  EXPECT_EQ(marching_tetrahedra(all_positive, 0.0).num_triangles(), 0);
+  ImageF all_negative({8, 8, 8}, -5.0f);
+  EXPECT_EQ(marching_tetrahedra(all_negative, 0.0).num_triangles(), 0);
+  EXPECT_THROW(marching_tetrahedra(all_positive, 0.0, 0), CheckError);
+  EXPECT_THROW(marching_tetrahedra(all_positive, 0.0, 10), CheckError);
+}
+
+TEST(MarchingTest, MaskConvenienceProducesSmootherSurfaceThanLattice) {
+  // The MT surface of a ball mask must be closer to the true radius than the
+  // raw voxel staircase (whose corners are ~0.7 voxels off).
+  const Vec3 c{12, 12, 12};
+  ImageL mask({25, 25, 25}, 0);
+  for (int k = 0; k < 25; ++k) {
+    for (int j = 0; j < 25; ++j) {
+      for (int i = 0; i < 25; ++i) {
+        if (norm(Vec3(i, j, k) - c) <= 8.0) mask(i, j, k) = 1;
+      }
+    }
+  }
+  const TriSurface surface = isosurface_from_mask(mask);
+  ASSERT_GT(surface.num_vertices(), 100);
+  double mean_err = 0;
+  for (const auto& v : surface.vertices) {
+    mean_err += std::abs(norm(v - c) - 8.0);
+  }
+  mean_err /= surface.num_vertices();
+  EXPECT_LT(mean_err, 0.45);  // well under the ~0.7-voxel staircase error
+}
+
+}  // namespace
+}  // namespace neuro::mesh

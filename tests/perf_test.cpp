@@ -1,0 +1,120 @@
+// Unit tests for the machine/network cost models and the scaling predictor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/check.h"
+#include "perf/models.h"
+
+namespace neuro::perf {
+namespace {
+
+par::WorkRecord make_work(double flops, double mem = 0.0, double comm_bytes = 0.0,
+                          double msgs = 0.0, double rounds = 0.0,
+                          double coll_bytes = 0.0) {
+  par::WorkRecord w;
+  w.flops = flops;
+  w.mem_bytes = mem;
+  w.comm_bytes = comm_bytes;
+  w.comm_msgs = msgs;
+  w.coll_rounds = rounds;
+  w.coll_bytes = coll_bytes;
+  return w;
+}
+
+TEST(MachineModelTest, ComputeSecondsRooflineSum) {
+  const MachineModel m{"test", 1e9, 1e10};
+  const auto w = make_work(2e9, 5e10);
+  EXPECT_DOUBLE_EQ(m.compute_seconds(w), 2.0 + 5.0);
+}
+
+TEST(NetworkModelTest, P2pLatencyPlusBandwidth) {
+  const NetworkModel n{"test", 1e-4, 1e7};
+  EXPECT_DOUBLE_EQ(n.p2p_seconds(1e7, 10), 10 * 1e-4 + 1.0);
+}
+
+TEST(NetworkModelTest, CollectiveFreeOnOneRank) {
+  const NetworkModel n{"test", 1e-4, 1e7};
+  EXPECT_DOUBLE_EQ(n.collective_seconds(1, 100, 1e6), 0.0);
+}
+
+TEST(NetworkModelTest, CollectiveScalesLogarithmically) {
+  const NetworkModel n{"test", 1e-4, 1e7};
+  const double t2 = n.collective_seconds(2, 10, 0);
+  const double t4 = n.collective_seconds(4, 10, 0);
+  const double t8 = n.collective_seconds(8, 10, 0);
+  EXPECT_DOUBLE_EQ(t4, 2 * t2);
+  EXPECT_DOUBLE_EQ(t8, 3 * t2);
+}
+
+TEST(PredictTest, PerfectlyBalancedScalesInversely) {
+  const PlatformModel p = ultra_hpc_6000();
+  // Total work fixed; split evenly over P ranks; SMP network is cheap.
+  const double total_flops = 1e9;
+  std::vector<double> times;
+  for (int P : {1, 2, 4, 8}) {
+    std::vector<par::WorkRecord> work(static_cast<std::size_t>(P),
+                                      make_work(total_flops / P));
+    times.push_back(predict_phase_seconds(p, work));
+  }
+  EXPECT_NEAR(times[0] / times[1], 2.0, 0.01);
+  EXPECT_NEAR(times[0] / times[3], 8.0, 0.05);
+}
+
+TEST(PredictTest, CriticalPathIsMaxRank) {
+  const PlatformModel p = ultra_hpc_6000();
+  std::vector<par::WorkRecord> work{make_work(1e9), make_work(4e9), make_work(2e9)};
+  const double t = predict_phase_seconds(p, work);
+  std::vector<par::WorkRecord> only_max{make_work(4e9)};
+  EXPECT_NEAR(t, predict_phase_seconds(p, only_max), 1e-9);
+}
+
+TEST(PredictTest, EthernetClusterPaysMoreForCollectives) {
+  const PlatformModel eth = deep_flow_cluster();
+  const PlatformModel smp = ultra_hpc_6000();
+  // Same collective-heavy workload (no compute): Ethernet must cost more.
+  std::vector<par::WorkRecord> work(8, make_work(0, 0, 0, 0, 1000, 8000));
+  EXPECT_GT(predict_phase_seconds(eth, work), predict_phase_seconds(smp, work));
+}
+
+TEST(PredictTest, EmptyRankListRejected) {
+  const PlatformModel p = ultra_hpc_6000();
+  EXPECT_THROW(predict_phase_seconds(p, {}), CheckError);
+}
+
+TEST(ImbalanceTest, BalancedIsOne) {
+  const MachineModel m{"t", 1e9, 1e9};
+  std::vector<par::WorkRecord> work(4, make_work(100));
+  EXPECT_DOUBLE_EQ(compute_imbalance(m, work), 1.0);
+}
+
+TEST(ImbalanceTest, MaxOverMean) {
+  const MachineModel m{"t", 1e9, 1e9};
+  std::vector<par::WorkRecord> work{make_work(100), make_work(300)};
+  EXPECT_DOUBLE_EQ(compute_imbalance(m, work), 1.5);
+}
+
+TEST(PlatformsTest, FactoriesLookSane) {
+  for (const auto& p :
+       {deep_flow_cluster(), ultra_hpc_6000(), dual_ultra80_cluster()}) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.machine.flops_per_sec, 1e6);
+    EXPECT_GT(p.net.bandwidth_bytes_per_sec, 1e5);
+    EXPECT_GT(p.net.latency_sec, 0.0);
+  }
+}
+
+TEST(PlatformsTest, DualUltra80UsesBusWithinOneBox) {
+  const PlatformModel p = dual_ultra80_cluster();
+  EXPECT_EQ(p.network_for(4).name, p.intra_box_net.name);
+  EXPECT_EQ(p.network_for(8).name, p.net.name);
+}
+
+TEST(PlatformsTest, DeepFlowAlwaysCrossesEthernet) {
+  const PlatformModel p = deep_flow_cluster();
+  EXPECT_EQ(p.network_for(2).name, "Fast Ethernet");
+  EXPECT_EQ(p.network_for(16).name, "Fast Ethernet");
+}
+
+}  // namespace
+}  // namespace neuro::perf

@@ -1,0 +1,228 @@
+// Tests for the synthetic neurosurgery phantom: anatomy, intensities,
+// determinism, and the analytic brain-shift ground truth.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "phantom/brain_phantom.h"
+
+namespace neuro::phantom {
+namespace {
+
+PhantomConfig small_config() {
+  PhantomConfig c;
+  c.dims = {40, 40, 40};
+  c.spacing = {3.0, 3.0, 3.0};
+  return c;
+}
+
+TEST(GeometryTest, TissueNesting) {
+  const BrainGeometry geo(small_config());
+  const Vec3 c = geo.head_center();
+  EXPECT_EQ(geo.tissue_at(c + Vec3{1000, 0, 0}), Tissue::kBackground);
+  EXPECT_EQ(geo.tissue_at(c + Vec3{20, 0, 0}), Tissue::kBrain);
+  EXPECT_EQ(geo.tissue_at(geo.tumor_center()), Tissue::kTumor);
+}
+
+TEST(GeometryTest, FalxOnMidplaneUpperHalf) {
+  PhantomConfig cfg = small_config();
+  const BrainGeometry geo(cfg);
+  const Vec3 c = geo.head_center();
+  EXPECT_EQ(geo.tissue_at({c.x, c.y, c.z + 10}), Tissue::kFalx);
+  cfg.with_falx = false;
+  const BrainGeometry geo2(cfg);
+  EXPECT_EQ(geo2.tissue_at({c.x, c.y, c.z + 10}), Tissue::kBrain);
+}
+
+TEST(GeometryTest, TumorToggle) {
+  PhantomConfig cfg = small_config();
+  cfg.with_tumor = false;
+  const BrainGeometry geo(cfg);
+  EXPECT_NE(geo.tissue_at(geo.tumor_center()), Tissue::kTumor);
+}
+
+TEST(GeometryTest, BrainInteriorWeightProfile) {
+  const BrainGeometry geo(small_config());
+  const Vec3 c = geo.head_center();
+  EXPECT_NEAR(geo.brain_interior_weight(c), 1.0, 1e-9);
+  EXPECT_NEAR(geo.brain_interior_weight(c + Vec3{1000, 0, 0}), 0.0, 1e-9);
+}
+
+TEST(ShiftTest, ZeroAtSkullBaseMaxNearCraniotomy) {
+  const BrainGeometry geo(small_config());
+  ShiftConfig shift;
+  const Vec3 c = geo.head_center();
+  const Vec3 near_top{geo.craniotomy_center().x, geo.craniotomy_center().y,
+                      c.z + 20.0};
+  const Vec3 base{c.x, c.y, c.z - 30.0};
+  EXPECT_GT(geo.shift_at(near_top, shift).z, 1.0);
+  EXPECT_LT(norm(geo.shift_at(base, shift)), 0.8);
+  EXPECT_EQ(norm(geo.shift_at(c + Vec3{500, 0, 0}, shift)), 0.0);
+}
+
+TEST(ShiftTest, BackwardFieldPointsUp) {
+  // The brain sinks; the backward map must point from intraop points up
+  // toward where the tissue came from.
+  const BrainGeometry geo(small_config());
+  ShiftConfig shift;
+  shift.resect_tumor = false;  // isolate the sinking term
+  const Vec3 p{geo.craniotomy_center().x, geo.craniotomy_center().y,
+               geo.head_center().z + 15.0};
+  const Vec3 v = geo.shift_at(p, shift);
+  EXPECT_GT(v.z, 0.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-9);
+}
+
+TEST(ShiftTest, ResectionCollapsePointsAwayFromCavity) {
+  const BrainGeometry geo(small_config());
+  ShiftConfig shift;
+  shift.max_sink_mm = 0.0;  // isolate the collapse term
+  const Vec3 tc = geo.tumor_center();
+  const Vec3 p = tc + Vec3{-10.0, 0, 0};
+  const Vec3 v = geo.shift_at(p, shift);
+  EXPECT_LT(v.x, 0.0);  // backward field points away from the cavity
+}
+
+TEST(ShiftTest, MagnitudeBoundedByConfig) {
+  const BrainGeometry geo(small_config());
+  ShiftConfig shift;
+  const Vec3 c = geo.head_center();
+  for (double z = -40; z <= 40; z += 5) {
+    for (double x = -40; x <= 40; x += 5) {
+      const Vec3 v = geo.shift_at(c + Vec3{x, 0, z}, shift);
+      EXPECT_LE(norm(v), shift.max_sink_mm + shift.resection_collapse_mm + 1e-9);
+    }
+  }
+}
+
+TEST(IntensityTest, PaperContrastOrdering) {
+  // "the skin bright, the brain gray and the lateral ventricles dark"
+  EXPECT_GT(tissue_intensity(Tissue::kSkin), tissue_intensity(Tissue::kBrain));
+  EXPECT_GT(tissue_intensity(Tissue::kBrain), tissue_intensity(Tissue::kVentricle));
+  EXPECT_GT(tissue_intensity(Tissue::kVentricle),
+            tissue_intensity(Tissue::kBackground));
+}
+
+TEST(RenderTest, MapsLabelsToIntensities) {
+  ImageL labels({2, 2, 2}, label(Tissue::kBrain));
+  labels.at(0, 0, 0) = label(Tissue::kSkin);
+  const ImageF img = render_intensities(labels);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0),
+                  static_cast<float>(tissue_intensity(Tissue::kSkin)));
+  EXPECT_FLOAT_EQ(img.at(1, 1, 1),
+                  static_cast<float>(tissue_intensity(Tissue::kBrain)));
+}
+
+TEST(CaseTest, DeterministicForSeed) {
+  const PhantomConfig cfg = small_config();
+  ShiftConfig shift;
+  const PhantomCase a = make_case(cfg, shift);
+  const PhantomCase b = make_case(cfg, shift);
+  EXPECT_EQ(a.preop.data(), b.preop.data());
+  EXPECT_EQ(a.intraop.data(), b.intraop.data());
+  EXPECT_EQ(a.preop_labels.data(), b.preop_labels.data());
+}
+
+TEST(CaseTest, SeedChangesNoiseNotLabels) {
+  PhantomConfig cfg = small_config();
+  ShiftConfig shift;
+  const PhantomCase a = make_case(cfg, shift);
+  cfg.seed = 1234;
+  const PhantomCase b = make_case(cfg, shift);
+  EXPECT_EQ(a.preop_labels.data(), b.preop_labels.data());
+  EXPECT_NE(a.preop.data(), b.preop.data());
+}
+
+TEST(CaseTest, AllTissuesPresent) {
+  const PhantomCase c = make_case(small_config(), ShiftConfig{});
+  std::map<std::uint8_t, int> counts;
+  for (const auto l : c.preop_labels.data()) ++counts[l];
+  for (const Tissue t : {Tissue::kBackground, Tissue::kSkin, Tissue::kSkullGap,
+                         Tissue::kBrain, Tissue::kVentricle, Tissue::kFalx,
+                         Tissue::kTumor}) {
+    EXPECT_GT(counts[label(t)], 0) << "missing tissue " << static_cast<int>(label(t));
+  }
+  EXPECT_GT(counts[label(Tissue::kBrain)], counts[label(Tissue::kVentricle)]);
+}
+
+TEST(CaseTest, ResectionRemovesTumorFromIntraop) {
+  const PhantomCase c = make_case(small_config(), ShiftConfig{});
+  int tumor_voxels = 0;
+  for (const auto l : c.intraop_labels.data()) {
+    tumor_voxels += l == label(Tissue::kTumor);
+  }
+  EXPECT_EQ(tumor_voxels, 0);
+}
+
+TEST(CaseTest, NoResectionKeepsTumor) {
+  ShiftConfig shift;
+  shift.resect_tumor = false;
+  const PhantomCase c = make_case(small_config(), shift);
+  int tumor_voxels = 0;
+  for (const auto l : c.intraop_labels.data()) {
+    tumor_voxels += l == label(Tissue::kTumor);
+  }
+  EXPECT_GT(tumor_voxels, 0);
+}
+
+TEST(CaseTest, TrueShiftConsistentWithLabelWarp) {
+  // intraop_labels(y) must equal the (resection-adjusted) preop tissue at
+  // y + v_true(y) — the stored field is exactly the warp that was applied.
+  const PhantomConfig cfg = small_config();
+  const PhantomCase c = make_case(cfg, ShiftConfig{});
+  const IVec3 d = cfg.dims;
+  for (int k = 2; k < d.z - 2; k += 3) {
+    for (int j = 2; j < d.y - 2; j += 3) {
+      for (int i = 2; i < d.x - 2; i += 3) {
+        const Vec3 y = c.intraop_labels.voxel_to_physical(i, j, k);
+        const Vec3 x = y + c.true_backward_shift(i, j, k);
+        Tissue t = c.geometry.tissue_at(x);
+        if (t == Tissue::kTumor) t = Tissue::kBackground;
+        // CSF-fill rule (see make_case): intracranial points sourcing from
+        // skin/air image as CSF unless they are the resection cavity.
+        if ((t == Tissue::kSkin || t == Tissue::kBackground) &&
+            c.geometry.inside_skull(y) &&
+            !(norm(x - c.geometry.tumor_center()) <= c.geometry.tumor_radius())) {
+          t = Tissue::kSkullGap;
+        }
+        ASSERT_EQ(c.intraop_labels(i, j, k), label(t))
+            << "at voxel " << i << ',' << j << ',' << k;
+      }
+    }
+  }
+}
+
+TEST(CaseTest, RigidOffsetComposesIntoTrueField) {
+  RigidTransform offset;
+  offset.translation = {4.0, 0.0, 0.0};
+  const PhantomCase c = make_case(small_config(), ShiftConfig{}, offset);
+  // Far from the brain (background corner) the shift term vanishes, so the
+  // true backward field equals the rigid part: x - y = R⁻¹(y) - y = -t.
+  const Vec3 v = c.true_backward_shift(1, 1, 1);
+  EXPECT_NEAR(v.x, -4.0, 1e-9);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+}
+
+TEST(CaseTest, IntraopShowsSunkenSurface) {
+  // Along the craniotomy axis, the first brain voxel from the top must be
+  // lower in the intraop scan than in the preop scan.
+  const PhantomCase c = make_case(small_config(), ShiftConfig{});
+  const Vec3 cc = c.geometry.craniotomy_center();
+  const Vec3 vox = c.preop_labels.physical_to_voxel({cc.x, cc.y, 0.0});
+  const int i = static_cast<int>(vox.x + 0.5), j = static_cast<int>(vox.y + 0.5);
+  auto is_brainish = [](std::uint8_t l) { return l >= 3 && l <= 6; };
+  auto top_of_brain = [&](const ImageL& labels) {
+    for (int k = labels.dims().z - 1; k >= 0; --k) {
+      if (is_brainish(labels(i, j, k))) return k;
+    }
+    return -1;
+  };
+  const int top_pre = top_of_brain(c.preop_labels);
+  const int top_intra = top_of_brain(c.intraop_labels);
+  ASSERT_GE(top_pre, 0);
+  ASSERT_GE(top_intra, 0);
+  EXPECT_LT(top_intra, top_pre);
+}
+
+}  // namespace
+}  // namespace neuro::phantom

@@ -1,0 +1,255 @@
+// Cross-module property sweeps (parameterized): mesher invariants over
+// stride/size/label combinations, displacement-field round trips over random
+// smooth fields, collective correctness over random payload sizes, and
+// partitioner invariants over rank counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/rng.h"
+#include "core/deformation_field.h"
+#include "image/distance.h"
+#include "mesh/mesher.h"
+#include "mesh/partition.h"
+#include "mesh/refine.h"
+#include "mesh/tri_surface.h"
+#include "par/communicator.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro {
+namespace {
+
+// ---------------------------------------------------------------- mesher ---
+
+class MesherPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (dims, stride)
+
+TEST_P(MesherPropertyTest, InvariantsHoldOnPhantomAnatomy) {
+  const auto [dims, stride] = GetParam();
+  phantom::PhantomConfig pc;
+  pc.dims = {dims, dims, dims};
+  pc.spacing = {120.0 / dims, 120.0 / dims, 120.0 / dims};
+  const phantom::BrainGeometry geo(pc);
+  ImageL labels(pc.dims, 0, pc.spacing);
+  for (int k = 0; k < dims; ++k) {
+    for (int j = 0; j < dims; ++j) {
+      for (int i = 0; i < dims; ++i) {
+        labels(i, j, k) =
+            phantom::label(geo.tissue_at(labels.voxel_to_physical(i, j, k)));
+      }
+    }
+  }
+  mesh::MesherConfig cfg;
+  cfg.stride = stride;
+  cfg.keep_labels = {3, 4, 5, 6};
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, cfg);
+  ASSERT_GT(mesh.num_tets(), 0);
+
+  // Invariant 1: positive orientation everywhere.
+  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+    ASSERT_GT(mesh::tet_volume(mesh, t), 0.0);
+  }
+  // Invariant 2: conforming (faces shared at most twice).
+  std::map<std::array<mesh::NodeId, 3>, int> faces;
+  static constexpr int kF[4][3] = {{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
+  for (const auto& tet : mesh.tets) {
+    for (const auto& f : kF) {
+      std::array<mesh::NodeId, 3> key{tet[static_cast<std::size_t>(f[0])],
+                                      tet[static_cast<std::size_t>(f[1])],
+                                      tet[static_cast<std::size_t>(f[2])]};
+      std::sort(key.begin(), key.end());
+      ++faces[key];
+    }
+  }
+  for (const auto& [key, count] : faces) {
+    ASSERT_LE(count, 2);
+  }
+  // Invariant 3: the extracted surface is closed — every edge bounds an even
+  // number of boundary faces (2 on manifold patches; 4 at the voxel-scale
+  // pinches thin anatomy like the falx creates, which are legitimate).
+  const mesh::TriSurface surface = mesh::extract_boundary_surface(mesh, cfg.keep_labels);
+  std::map<std::pair<int, int>, int> edges;
+  for (const auto& tri : surface.triangles) {
+    for (int e = 0; e < 3; ++e) {
+      int a = tri[static_cast<std::size_t>(e)];
+      int b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      ++edges[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : edges) {
+    ASSERT_EQ(count % 2, 0);
+    ASSERT_LE(count, 4);
+  }
+  // Invariant 4: uniform lattice tets are well shaped.
+  EXPECT_GT(mesh::quality_stats(mesh).min_quality, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndStrides, MesherPropertyTest,
+                         ::testing::Values(std::make_tuple(32, 2),
+                                           std::make_tuple(32, 3),
+                                           std::make_tuple(40, 2),
+                                           std::make_tuple(40, 4),
+                                           std::make_tuple(48, 3)));
+
+// ----------------------------------------------------- field round trips ---
+
+class FieldRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldRoundTripTest, InvertThenComposeIsNearIdentity) {
+  // Random smooth field (sum of a few Gaussians, ≤ ~2.5 voxel displacement):
+  // composing the inverse must land within interpolation error.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 18;
+  ImageV field({n, n, n});
+  for (int blob = 0; blob < 3; ++blob) {
+    const Vec3 c{rng.uniform(4, n - 4), rng.uniform(4, n - 4), rng.uniform(4, n - 4)};
+    const Vec3 a{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const double s2 = rng.uniform(6.0, 16.0);
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          const double w = std::exp(-norm2(Vec3(i, j, k) - c) / (2 * s2));
+          field(i, j, k) += w * a;
+        }
+      }
+    }
+  }
+  const ImageV inverse = core::invert_displacement_field(field, 25);
+  double worst = 0.0;
+  for (int k = 4; k < n - 4; ++k) {
+    for (int j = 4; j < n - 4; ++j) {
+      for (int i = 4; i < n - 4; ++i) {
+        const Vec3 y{static_cast<double>(i), static_cast<double>(j),
+                     static_cast<double>(k)};
+        const Vec3 v = inverse(i, j, k);
+        const Vec3 u = sample_trilinear_vec(field, y + v);
+        worst = std::max(worst, norm(u + v));
+      }
+    }
+  }
+  EXPECT_LT(worst, 0.35) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldRoundTripTest, ::testing::Range(0, 6));
+
+// ------------------------------------------------------------ collectives ---
+
+class CollectiveStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveStressTest, MixedRandomTrafficStaysConsistent) {
+  const int seed = GetParam();
+  const int P = 2 + seed % 5;
+  par::run_spmd(P, [&](par::Communicator& comm) {
+    Rng rng(static_cast<std::uint64_t>(seed * 100 + comm.rank()));
+    Rng shared(static_cast<std::uint64_t>(seed));  // same stream on all ranks
+    for (int round = 0; round < 20; ++round) {
+      const int op = static_cast<int>(shared.uniform_index(4));
+      if (op == 0) {
+        const double v = static_cast<double>(comm.rank() + round);
+        EXPECT_DOUBLE_EQ(comm.allreduce_sum(v),
+                         P * (P - 1) / 2.0 + P * round);
+      } else if (op == 1) {
+        const std::size_t len = shared.uniform_index(16);
+        std::vector<int> mine(len, comm.rank());
+        const auto all = comm.allgatherv(std::span<const int>(mine.data(), len));
+        ASSERT_EQ(all.size(), len * static_cast<std::size_t>(P));
+        if (len > 0) {
+          EXPECT_EQ(all.front(), 0);
+          EXPECT_EQ(all.back(), P - 1);
+        }
+      } else if (op == 2) {
+        std::vector<double> data;
+        const int root = static_cast<int>(shared.uniform_index(P));
+        if (comm.rank() == root) {
+          data.assign(5, static_cast<double>(round));
+        }
+        comm.broadcast(data, root);
+        ASSERT_EQ(data.size(), 5u);
+        EXPECT_DOUBLE_EQ(data[3], round);
+      } else {
+        // Ring exchange.
+        const int next = (comm.rank() + 1) % P;
+        const int prev = (comm.rank() + P - 1) % P;
+        const std::vector<int> msg{comm.rank(), round};
+        comm.send(next, round, std::span<const int>(msg.data(), msg.size()));
+        const auto got = comm.recv<int>(prev, round);
+        ASSERT_EQ(got.size(), 2u);
+        EXPECT_EQ(got[0], prev);
+        EXPECT_EQ(got[1], round);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveStressTest, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------- partition ---
+
+class PartitionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionPropertyTest, WeightedPartitionInvariants) {
+  const int nranks = GetParam();
+  Rng rng(static_cast<std::uint64_t>(nranks));
+  const int n = 200 + static_cast<int>(rng.uniform_index(300));
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+
+  const mesh::Partition p = mesh::partition_weighted(weights, nranks);
+  ASSERT_EQ(p.nranks, nranks);
+  // Coverage, contiguity, non-emptiness.
+  int covered = 0;
+  double total = 0, max_part = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const auto [b, e] = p.ranges[static_cast<std::size_t>(r)];
+    ASSERT_EQ(b, covered);
+    ASSERT_GT(e, b);
+    covered = e;
+    double part = 0;
+    for (int i = b; i < e; ++i) part += weights[static_cast<std::size_t>(i)];
+    total += part;
+    max_part = std::max(max_part, part);
+  }
+  ASSERT_EQ(covered, n);
+  // Balance: no rank exceeds its fair share by more than one max element.
+  const double fair = total / nranks;
+  EXPECT_LT(max_part, fair + 10.0 + 1e-9);
+  // owner_of agrees with the ranges on every node.
+  for (int i = 0; i < n; i += 7) {
+    const int r = p.owner_of(i);
+    EXPECT_GE(i, p.ranges[static_cast<std::size_t>(r)].first);
+    EXPECT_LT(i, p.ranges[static_cast<std::size_t>(r)].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PartitionPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+// ------------------------------------------------------ refine + distance ---
+
+TEST(RefineDistanceProperty, RefinedSurfaceStaysOnCoarseSurface) {
+  // Refinement adds nodes only on existing faces/edges of the lattice mesh,
+  // so every refined boundary vertex lies on the coarse boundary surface —
+  // its distance to the coarse surface's zero level is ~0.
+  ImageL labels({9, 9, 9}, 1, {2, 2, 2});
+  mesh::MesherConfig cfg;
+  cfg.stride = 4;
+  const mesh::TetMesh coarse = mesh::mesh_labeled_volume(labels, cfg);
+  const mesh::TetMesh fine = mesh::refine_uniform(coarse);
+  const mesh::TriSurface coarse_surface = mesh::extract_boundary_surface(coarse, {1});
+  const mesh::TriSurface fine_surface = mesh::extract_boundary_surface(fine, {1});
+  // The block boundary is axis-aligned: check every fine vertex sits on it.
+  const Aabb box = mesh::bounds(coarse);
+  for (const auto& v : fine_surface.vertices) {
+    const double dist = std::min(
+        {std::abs(v.x - box.lo.x), std::abs(v.x - box.hi.x), std::abs(v.y - box.lo.y),
+         std::abs(v.y - box.hi.y), std::abs(v.z - box.lo.z), std::abs(v.z - box.hi.z)});
+    ASSERT_NEAR(dist, 0.0, 1e-12);
+  }
+  EXPECT_EQ(fine_surface.num_triangles(), 4 * coarse_surface.num_triangles());
+}
+
+}  // namespace
+}  // namespace neuro

@@ -1,0 +1,158 @@
+// Tests for uniform tetrahedral refinement: conformity, volume preservation,
+// counts, label inheritance, quality bounds, and FEM convergence under
+// refinement (the Fig. 9 "higher resolution mesh" pathway).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+#include "fem/deformation_solver.h"
+#include "mesh/mesher.h"
+#include "mesh/refine.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro::mesh {
+namespace {
+
+TetMesh single_tet() {
+  TetMesh mesh;
+  mesh.nodes = {{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}};
+  mesh.tets = {{0, 1, 2, 3}};
+  mesh.tet_labels = {7};
+  return mesh;
+}
+
+TetMesh block(int n = 7, int stride = 2) {
+  ImageL labels({n, n, n}, 1, {2, 2, 2});
+  MesherConfig cfg;
+  cfg.stride = stride;
+  return mesh_labeled_volume(labels, cfg);
+}
+
+TEST(RefineTest, SingleTetSplitsIntoEight) {
+  const TetMesh fine = refine_uniform(single_tet());
+  EXPECT_EQ(fine.num_tets(), 8);
+  EXPECT_EQ(fine.num_nodes(), 4 + 6);  // corners + edge midpoints
+}
+
+TEST(RefineTest, VolumeIsPreservedExactly) {
+  const TetMesh coarse = block();
+  const TetMesh fine = refine_uniform(coarse);
+  EXPECT_NEAR(total_volume(fine), total_volume(coarse), 1e-9);
+  const TetMesh finer = refine_uniform(fine);
+  EXPECT_NEAR(total_volume(finer), total_volume(coarse), 1e-9);
+}
+
+TEST(RefineTest, AllChildrenPositivelyOriented) {
+  const TetMesh fine = refine_uniform(block());
+  for (TetId t = 0; t < fine.num_tets(); ++t) {
+    EXPECT_GT(tet_volume(fine, t), 0.0);
+  }
+}
+
+TEST(RefineTest, LabelsInherited) {
+  ImageL labels({7, 7, 7}, 1, {2, 2, 2});
+  for (int k = 0; k < 7; ++k)
+    for (int j = 0; j < 7; ++j)
+      for (int i = 4; i < 7; ++i) labels(i, j, k) = 2;
+  MesherConfig cfg;
+  cfg.stride = 2;
+  const TetMesh coarse = mesh_labeled_volume(labels, cfg);
+  const TetMesh fine = refine_uniform(coarse);
+  std::map<std::uint8_t, int> coarse_counts, fine_counts;
+  for (const auto l : coarse.tet_labels) ++coarse_counts[l];
+  for (const auto l : fine.tet_labels) ++fine_counts[l];
+  for (const auto& [l, n] : coarse_counts) {
+    EXPECT_EQ(fine_counts[l], 8 * n) << "label " << static_cast<int>(l);
+  }
+}
+
+TEST(RefineTest, RefinedMeshIsConforming) {
+  const TetMesh fine = refine_uniform(block(5, 2));
+  std::map<std::array<NodeId, 3>, int> faces;
+  static constexpr int kF[4][3] = {{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
+  for (const auto& tet : fine.tets) {
+    for (const auto& f : kF) {
+      std::array<NodeId, 3> key{tet[static_cast<std::size_t>(f[0])],
+                                tet[static_cast<std::size_t>(f[1])],
+                                tet[static_cast<std::size_t>(f[2])]};
+      std::sort(key.begin(), key.end());
+      ++faces[key];
+    }
+  }
+  for (const auto& [key, count] : faces) {
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 2);
+  }
+}
+
+TEST(RefineTest, SharedEdgesShareMidpoints) {
+  // For the 5-tet lattice, refinement reuses cube corners, edge midpoints and
+  // face centers but — unlike remeshing at half the stride — never introduces
+  // cube-center nodes: node count equals the remeshed count minus one node
+  // per coarse cell.
+  const TetMesh coarse = block(9, 4);  // 2x2x2 cells
+  const TetMesh fine = refine_uniform(coarse);
+  const TetMesh remeshed = block(9, 2);
+  EXPECT_EQ(fine.num_nodes(), remeshed.num_nodes() - 8);
+  EXPECT_EQ(fine.num_tets(), 8 * coarse.num_tets());
+  // Midpoint dedup: a fully duplicated-midpoint refinement would have
+  // 4 + 6 nodes per tet; sharing must do far better.
+  EXPECT_LT(fine.num_nodes(), 10 * coarse.num_tets() / 2);
+}
+
+TEST(RefineTest, QualityBoundedBelow) {
+  // Bey-style refinement cycles through a bounded set of shapes: quality must
+  // not collapse under repeated refinement.
+  TetMesh mesh = single_tet();
+  const double q0 = quality_stats(mesh).min_quality;
+  for (int level = 0; level < 3; ++level) mesh = refine_uniform(mesh);
+  EXPECT_GT(quality_stats(mesh).min_quality, 0.4 * q0);
+}
+
+TEST(RefineTest, MultiLevelHelper) {
+  const TetMesh fine = refine_uniform(single_tet(), 2);
+  EXPECT_EQ(fine.num_tets(), 64);
+  EXPECT_EQ(refine_uniform(single_tet(), 0).num_tets(), 1);
+  EXPECT_THROW(refine_uniform(single_tet(), -1), CheckError);
+}
+
+TEST(RefineTest, FemSolutionConvergesUnderRefinement) {
+  // A smooth non-affine Dirichlet problem: the refined mesh must reproduce
+  // the boundary-driven field at least as accurately as the coarse one at
+  // shared nodes (interior interpolation error shrinks).
+  const TetMesh coarse = block(7, 2);
+  const TetMesh fine = refine_uniform(coarse);
+  auto smooth_field = [](const Vec3& p) {
+    return Vec3{0.02 * std::sin(0.3 * p.x) * p.z, 0.0, -0.03 * std::cos(0.25 * p.y)};
+  };
+  auto solve_on = [&](const TetMesh& mesh) {
+    const auto surface = extract_boundary_surface(mesh, {1});
+    std::vector<std::pair<NodeId, Vec3>> bcs;
+    for (const auto n : surface.mesh_nodes) {
+      bcs.emplace_back(n, smooth_field(mesh.nodes[static_cast<std::size_t>(n)]));
+    }
+    fem::DeformationSolveOptions opt;
+    opt.solver.rtol = 1e-10;
+    return fem::solve_deformation(mesh, fem::MaterialMap::homogeneous_brain(), bcs,
+                                  opt);
+  };
+  const auto coarse_solution = solve_on(coarse);
+  const auto fine_solution = solve_on(fine);
+  EXPECT_TRUE(coarse_solution.stats.converged);
+  EXPECT_TRUE(fine_solution.stats.converged);
+  // Original nodes keep their ids in the refined mesh; solutions there must
+  // agree to within the discretization error of the coarse mesh.
+  double max_diff = 0.0;
+  for (int n = 0; n < coarse.num_nodes(); ++n) {
+    max_diff = std::max(
+        max_diff, norm(coarse_solution.node_displacements[static_cast<std::size_t>(n)] -
+                       fine_solution.node_displacements[static_cast<std::size_t>(n)]));
+  }
+  EXPECT_LT(max_diff, 0.05);
+  EXPECT_EQ(fine_solution.num_equations, 3 * fine.num_nodes());
+}
+
+}  // namespace
+}  // namespace neuro::mesh

@@ -1,0 +1,288 @@
+// Tests for the k-NN tissue classification stack and the intraoperative
+// segmentation driver.
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "par/communicator.h"
+#include "phantom/brain_phantom.h"
+#include "seg/intraop.h"
+#include "seg/knn.h"
+
+namespace neuro::seg {
+namespace {
+
+using phantom::Tissue;
+
+TEST(FeatureStackTest, StoresChannelsWithWeights) {
+  FeatureStack stack;
+  stack.add_channel(ImageF({2, 2, 2}, 3.0f), 2.0);
+  stack.add_channel(ImageF({2, 2, 2}, 5.0f), 1.0);
+  EXPECT_EQ(stack.channels(), 2u);
+  std::vector<double> f;
+  stack.feature_at(0, 0, 0, f);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_DOUBLE_EQ(f[0], 6.0);  // weighted
+  EXPECT_DOUBLE_EQ(f[1], 5.0);
+}
+
+TEST(FeatureStackTest, RejectsMismatchedDims) {
+  FeatureStack stack;
+  stack.add_channel(ImageF({2, 2, 2}));
+  EXPECT_THROW(stack.add_channel(ImageF({3, 3, 3})), CheckError);
+  EXPECT_THROW(stack.add_channel(ImageF({2, 2, 2}), 0.0), CheckError);
+}
+
+FeatureStack two_class_stack(ImageL& truth) {
+  // Class 1 on the left half (intensity 10), class 2 on the right (intensity
+  // 100) — trivially separable by the single intensity channel.
+  truth = ImageL({8, 8, 8}, 1);
+  ImageF intensity({8, 8, 8}, 10.0f);
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 4; i < 8; ++i) {
+        truth(i, j, k) = 2;
+        intensity(i, j, k) = 100.0f;
+      }
+    }
+  }
+  FeatureStack stack;
+  stack.add_channel(std::move(intensity));
+  return stack;
+}
+
+TEST(PrototypeTest, SelectsPerClassCounts) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(1);
+  const auto protos = select_prototypes(truth, stack, 10, rng);
+  int c1 = 0, c2 = 0;
+  for (const auto& p : protos) {
+    c1 += p.label == 1;
+    c2 += p.label == 2;
+  }
+  EXPECT_EQ(c1, 10);
+  EXPECT_EQ(c2, 10);
+}
+
+TEST(PrototypeTest, DeterministicForSeed) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng1(5), rng2(5);
+  const auto a = select_prototypes(truth, stack, 5, rng1);
+  const auto b = select_prototypes(truth, stack, 5, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].voxel, b[i].voxel);
+  }
+}
+
+TEST(PrototypeTest, ExcludeSkipsClasses) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(1);
+  const auto protos = select_prototypes(truth, stack, 5, rng, {2});
+  for (const auto& p : protos) EXPECT_NE(p.label, 2);
+  EXPECT_EQ(protos.size(), 5u);
+}
+
+TEST(PrototypeTest, CapsAtClassPopulation) {
+  ImageL truth({3, 1, 1}, 1);
+  truth.at(0, 0, 0) = 2;  // class 2 has one voxel
+  FeatureStack stack;
+  stack.add_channel(ImageF({3, 1, 1}, 1.0f));
+  Rng rng(1);
+  const auto protos = select_prototypes(truth, stack, 10, rng);
+  int c2 = 0;
+  for (const auto& p : protos) c2 += p.label == 2;
+  EXPECT_EQ(c2, 1);
+}
+
+TEST(PrototypeTest, RefreshRereadsFeaturesAtRecordedLocations) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(1);
+  auto protos = select_prototypes(truth, stack, 3, rng);
+  // New scan with shifted intensities; locations persist.
+  FeatureStack stack2;
+  stack2.add_channel(ImageF({8, 8, 8}, 42.0f));
+  refresh_prototypes(protos, stack2);
+  for (const auto& p : protos) {
+    EXPECT_DOUBLE_EQ(p.features.at(0), 42.0);
+  }
+}
+
+TEST(KnnTest, ClassifiesSeparableClasses) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(2);
+  KnnClassifier knn(select_prototypes(truth, stack, 20, rng), 3);
+  EXPECT_EQ(knn.classify({15.0}), 1);
+  EXPECT_EQ(knn.classify({90.0}), 2);
+}
+
+TEST(KnnTest, KOneIsNearestNeighbour) {
+  std::vector<Prototype> protos(2);
+  protos[0] = {{0, 0, 0}, 1, {0.0}};
+  protos[1] = {{1, 0, 0}, 2, {10.0}};
+  KnnClassifier knn(std::move(protos), 1);
+  EXPECT_EQ(knn.classify({4.9}), 1);
+  EXPECT_EQ(knn.classify({5.1}), 2);
+}
+
+TEST(KnnTest, MajorityBeatsSingleCloser) {
+  // One very close prototype of class 1, two slightly farther of class 2:
+  // with k=3 the majority (class 2) wins.
+  std::vector<Prototype> protos(3);
+  protos[0] = {{0, 0, 0}, 1, {0.0}};
+  protos[1] = {{1, 0, 0}, 2, {2.0}};
+  protos[2] = {{2, 0, 0}, 2, {3.0}};
+  KnnClassifier knn(std::move(protos), 3);
+  EXPECT_EQ(knn.classify({0.5}), 2);
+}
+
+TEST(KnnTest, VolumeClassificationMatchesTruth) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(3);
+  KnnClassifier knn(select_prototypes(truth, stack, 10, rng), 3);
+  const ImageL result = knn.classify_volume(stack);
+  EXPECT_DOUBLE_EQ(label_agreement(result, truth), 1.0);
+}
+
+TEST(KnnTest, ParallelMatchesSerial) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(3);
+  KnnClassifier knn(select_prototypes(truth, stack, 10, rng), 3);
+  const ImageL serial = knn.classify_volume(stack);
+  for (const int P : {2, 3, 5}) {
+    ImageL parallel;
+    par::run_spmd(P, [&](par::Communicator& comm) {
+      const ImageL mine = knn.classify_volume_parallel(stack, comm);
+      if (comm.rank() == 0) parallel = mine;
+    });
+    EXPECT_EQ(parallel.data(), serial.data()) << "P=" << P;
+  }
+}
+
+TEST(KnnTest, DistanceWeightedOutvotesFarMajority) {
+  // k=3: one very close class-1 prototype vs two distant class-2 prototypes.
+  // Majority picks 2; distance weighting picks 1.
+  std::vector<Prototype> protos(3);
+  protos[0] = {{0, 0, 0}, 1, {0.0}};
+  protos[1] = {{1, 0, 0}, 2, {10.0}};
+  protos[2] = {{2, 0, 0}, 2, {12.0}};
+  KnnClassifier majority(protos, 3, KnnClassifier::Voting::kMajority);
+  KnnClassifier weighted(protos, 3, KnnClassifier::Voting::kDistanceWeighted);
+  EXPECT_EQ(majority.classify({0.5}), 2);
+  EXPECT_EQ(weighted.classify({0.5}), 1);
+}
+
+TEST(KnnTest, VotingModesAgreeWhenClear) {
+  ImageL truth;
+  FeatureStack stack = two_class_stack(truth);
+  Rng rng(6);
+  const auto protos = select_prototypes(truth, stack, 15, rng);
+  KnnClassifier majority(protos, 5, KnnClassifier::Voting::kMajority);
+  KnnClassifier weighted(protos, 5, KnnClassifier::Voting::kDistanceWeighted);
+  const ImageL a = majority.classify_volume(stack);
+  const ImageL b = weighted.classify_volume(stack);
+  EXPECT_DOUBLE_EQ(label_agreement(a, b), 1.0);
+}
+
+TEST(MetricsTest, DiceOfIdenticalIsOne) {
+  ImageL a({4, 4, 4}, 0);
+  a.at(1, 1, 1) = 1;
+  EXPECT_DOUBLE_EQ(dice_coefficient(a, a, 1), 1.0);
+}
+
+TEST(MetricsTest, DiceOfDisjointIsZero) {
+  ImageL a({4, 4, 4}, 0), b({4, 4, 4}, 0);
+  a.at(0, 0, 0) = 1;
+  b.at(1, 0, 0) = 1;
+  EXPECT_DOUBLE_EQ(dice_coefficient(a, b, 1), 0.0);
+}
+
+TEST(MetricsTest, DiceHalfOverlap) {
+  ImageL a({4, 1, 1}, 0), b({4, 1, 1}, 0);
+  a.at(0, 0, 0) = a.at(1, 0, 0) = 1;
+  b.at(1, 0, 0) = b.at(2, 0, 0) = 1;
+  EXPECT_DOUBLE_EQ(dice_coefficient(a, b, 1), 0.5);
+}
+
+TEST(MaskTest, SelectsRequestedLabels) {
+  ImageL labels({3, 1, 1}, 0);
+  labels.at(0, 0, 0) = 3;
+  labels.at(1, 0, 0) = 4;
+  labels.at(2, 0, 0) = 5;
+  const ImageL mask = mask_of_labels(labels, {3, 5});
+  EXPECT_EQ(mask.at(0, 0, 0), 1);
+  EXPECT_EQ(mask.at(1, 0, 0), 0);
+  EXPECT_EQ(mask.at(2, 0, 0), 1);
+}
+
+class IntraopSegTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    phantom::PhantomConfig cfg;
+    cfg.dims = {40, 40, 40};
+    cfg.spacing = {3.0, 3.0, 3.0};
+    case_ = new phantom::PhantomCase(phantom::make_case(cfg, phantom::ShiftConfig{}));
+  }
+  static void TearDownTestSuite() {
+    delete case_;
+    case_ = nullptr;
+  }
+  static IntraopSegmentationConfig config() {
+    IntraopSegmentationConfig c;
+    c.classes = {phantom::label(Tissue::kBackground), phantom::label(Tissue::kSkin),
+                 phantom::label(Tissue::kSkullGap), phantom::label(Tissue::kBrain),
+                 phantom::label(Tissue::kVentricle)};
+    c.exclude_classes = {phantom::label(Tissue::kFalx),
+                         phantom::label(Tissue::kTumor)};
+    c.dt_saturation_mm = 10.0;
+    c.dt_weight = 1.5;
+    return c;
+  }
+  static phantom::PhantomCase* case_;
+};
+phantom::PhantomCase* IntraopSegTest::case_ = nullptr;
+
+TEST_F(IntraopSegTest, BrainMaskMatchesTruth) {
+  const auto seg = segment_intraop(case_->intraop, case_->preop_labels, config());
+  const std::vector<std::uint8_t> brainish = {3, 4, 5, 6};
+  const ImageL mask = mask_of_labels(seg.labels, brainish);
+  const ImageL truth = mask_of_labels(case_->intraop_labels, brainish);
+  EXPECT_GT(dice_coefficient(mask, truth, 1), 0.85);
+}
+
+TEST_F(IntraopSegTest, PrototypeReuseReproducesModel) {
+  const auto cfg = config();
+  const auto first = segment_intraop(case_->intraop, case_->preop_labels, cfg);
+  const auto second = segment_intraop(case_->intraop, case_->preop_labels, cfg,
+                                      nullptr, &first.prototypes);
+  // Same scan + same (refreshed) prototypes ⇒ same classification.
+  EXPECT_EQ(second.labels.data(), first.labels.data());
+}
+
+TEST_F(IntraopSegTest, ParallelDriverMatchesSerial) {
+  const auto cfg = config();
+  const auto serial = segment_intraop(case_->intraop, case_->preop_labels, cfg);
+  ImageL parallel;
+  par::run_spmd(3, [&](par::Communicator& comm) {
+    const auto seg = segment_intraop(case_->intraop, case_->preop_labels, cfg, &comm);
+    if (comm.rank() == 0) parallel = seg.labels;
+  });
+  EXPECT_EQ(parallel.data(), serial.labels.data());
+}
+
+TEST_F(IntraopSegTest, ExcludedClassesNeverAppear) {
+  const auto seg = segment_intraop(case_->intraop, case_->preop_labels, config());
+  for (const auto l : seg.labels.data()) {
+    EXPECT_NE(l, phantom::label(Tissue::kFalx));
+    EXPECT_NE(l, phantom::label(Tissue::kTumor));
+  }
+}
+
+}  // namespace
+}  // namespace neuro::seg

@@ -1,0 +1,161 @@
+// Integration tests for the multi-scan SurgerySession: prototype-model reuse
+// across scans, per-scan accuracy over a progressing deformation, and the
+// aggregate timeline.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "core/surgery_session.h"
+#include "phantom/brain_phantom.h"
+
+namespace neuro::core {
+namespace {
+
+TEST(ShiftProgressTest, ScalesAmplitudes) {
+  phantom::ShiftConfig final_shift;
+  final_shift.max_sink_mm = 8.0;
+  final_shift.resection_collapse_mm = 3.0;
+
+  const auto at0 = phantom::shift_at_progress(final_shift, 0.0);
+  EXPECT_DOUBLE_EQ(at0.max_sink_mm, 0.0);
+  EXPECT_FALSE(at0.resect_tumor);
+
+  const auto at_quarter = phantom::shift_at_progress(final_shift, 0.25);
+  EXPECT_DOUBLE_EQ(at_quarter.max_sink_mm, 2.0);
+  EXPECT_FALSE(at_quarter.resect_tumor);  // before resection onset
+
+  const auto at_full = phantom::shift_at_progress(final_shift, 1.0);
+  EXPECT_DOUBLE_EQ(at_full.max_sink_mm, 8.0);
+  EXPECT_TRUE(at_full.resect_tumor);
+  EXPECT_DOUBLE_EQ(at_full.resection_collapse_mm, 3.0);
+
+  EXPECT_THROW(phantom::shift_at_progress(final_shift, 1.5), CheckError);
+}
+
+TEST(CaseSequenceTest, SharedPreopIndependentIntraop) {
+  phantom::PhantomConfig pc;
+  pc.dims = {32, 32, 32};
+  pc.spacing = {3.5, 3.5, 3.5};
+  const auto cases =
+      phantom::make_case_sequence(pc, phantom::ShiftConfig{}, {0.0, 0.5, 1.0});
+  ASSERT_EQ(cases.size(), 3u);
+  // Shared preoperative acquisition.
+  EXPECT_EQ(cases[1].preop.data(), cases[0].preop.data());
+  EXPECT_EQ(cases[2].preop_labels.data(), cases[0].preop_labels.data());
+  // Independent intraop noise.
+  EXPECT_NE(cases[1].intraop.data(), cases[0].intraop.data());
+  // Deformation grows with progress.
+  const ImageL mask = seg::mask_of_labels(cases[2].intraop_labels, {3, 4, 5, 6});
+  const double d0 = field_stats(cases[0].true_backward_shift, &mask).mean_mm;
+  const double d2 = field_stats(cases[2].true_backward_shift, &mask).mean_mm;
+  EXPECT_LT(d0, 0.3);  // first scan: before any change
+  EXPECT_GT(d2, 1.0);
+}
+
+TEST(CaseSequenceTest, RigidOffsetsPerScan) {
+  phantom::PhantomConfig pc;
+  pc.dims = {24, 24, 24};
+  pc.spacing = {4.0, 4.0, 4.0};
+  RigidTransform move;
+  move.translation = {3, 0, 0};
+  const auto cases = phantom::make_case_sequence(pc, phantom::ShiftConfig{},
+                                                 {0.0, 1.0}, {RigidTransform{}, move});
+  EXPECT_NEAR(cases[0].true_backward_shift(1, 1, 1).x, 0.0, 1e-9);
+  EXPECT_NEAR(cases[1].true_backward_shift(1, 1, 1).x, -3.0, 1e-9);
+  EXPECT_THROW(
+      phantom::make_case_sequence(pc, phantom::ShiftConfig{}, {0.0, 1.0}, {move}),
+      CheckError);
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    phantom::PhantomConfig pc;
+    pc.dims = {48, 48, 48};
+    pc.spacing = {2.8, 2.8, 2.8};
+    cases_ = new std::vector<phantom::PhantomCase>(phantom::make_case_sequence(
+        pc, phantom::ShiftConfig{}, {0.35, 0.7, 1.0}));
+
+    PipelineConfig config = default_pipeline_config();
+    config.do_rigid_registration = false;
+    session_ = new SurgerySession((*cases_)[0].preop, (*cases_)[0].preop_labels,
+                                  config);
+    for (const auto& cas : *cases_) session_->process_scan(cas.intraop);
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    delete cases_;
+    session_ = nullptr;
+    cases_ = nullptr;
+  }
+
+  static std::vector<phantom::PhantomCase>* cases_;
+  static SurgerySession* session_;
+};
+std::vector<phantom::PhantomCase>* SessionTest::cases_ = nullptr;
+SurgerySession* SessionTest::session_ = nullptr;
+
+TEST_F(SessionTest, ProcessesAllScans) {
+  EXPECT_EQ(session_->scans_processed(), 3);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_TRUE(session_->result(s).fem.stats.converged) << "scan " << s;
+  }
+  EXPECT_THROW(session_->result(3), CheckError);
+}
+
+TEST_F(SessionTest, PrototypeModelPersistsAcrossScans) {
+  // The model selected on scan 1 is reused: same voxel locations afterwards.
+  const auto& p1 = session_->result(0).segmentation.prototypes;
+  const auto& p3 = session_->result(2).segmentation.prototypes;
+  ASSERT_EQ(p1.size(), p3.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].voxel, p3[i].voxel);
+    EXPECT_EQ(p1[i].label, p3[i].label);
+  }
+  EXPECT_EQ(session_->prototypes().size(), p1.size());
+}
+
+TEST_F(SessionTest, EachScanBeatsRigidOnly) {
+  for (int s = 1; s < 3; ++s) {  // scan 0 has almost no deformation to recover
+    const auto report =
+        evaluate_against_truth(session_->result(s), (*cases_)[static_cast<std::size_t>(s)]);
+    EXPECT_LT(report.recovered_error.mean_mm, report.residual_rigid_only.mean_mm)
+        << "scan " << s;
+  }
+}
+
+TEST_F(SessionTest, RecoveredDeformationGrowsWithSurgery) {
+  // Later scans carry more brain shift; the recovered fields must order the
+  // same way.
+  const double d1 = field_stats(session_->result(0).forward_field).mean_mm;
+  const double d3 = field_stats(session_->result(2).forward_field).mean_mm;
+  EXPECT_LT(d1, d3);
+}
+
+TEST_F(SessionTest, CumulativeTimelineSumsStages) {
+  const auto total = session_->cumulative_timeline();
+  ASSERT_FALSE(total.empty());
+  double expected = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    expected += session_->result(s).stage_seconds("tissue_classification");
+  }
+  const auto it = std::find_if(total.begin(), total.end(), [](const StageTiming& t) {
+    return t.name == "tissue_classification";
+  });
+  ASSERT_NE(it, total.end());
+  EXPECT_NEAR(it->seconds, expected, 1e-9);
+}
+
+TEST(SessionConstructionTest, RejectsBadInputs) {
+  EXPECT_THROW(SurgerySession(ImageF({4, 4, 4}), ImageL({5, 5, 5}),
+                              default_pipeline_config()),
+               CheckError);
+  EXPECT_THROW(SurgerySession(ImageF({4, 4, 4}), ImageL({4, 4, 4}),
+                              PipelineConfig{}),
+               CheckError);
+  SurgerySession fresh(ImageF({4, 4, 4}), ImageL({4, 4, 4}),
+                       default_pipeline_config());
+  EXPECT_THROW(fresh.latest(), CheckError);
+}
+
+}  // namespace
+}  // namespace neuro::core

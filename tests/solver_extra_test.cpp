@@ -1,0 +1,218 @@
+// Additional solver-layer tests: IC(0) preconditioning (SPD-safe block
+// preconditioner), matrix compaction after boundary-condition substitution,
+// and their interaction with the Krylov methods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "par/communicator.h"
+#include "solver/dist_matrix.h"
+#include "solver/krylov.h"
+#include "solver/preconditioner.h"
+
+namespace neuro::solver {
+namespace {
+
+/// Banded SPD system (same generator family as solver_test).
+struct Spd {
+  int n;
+  std::vector<double> A, b;
+
+  explicit Spd(int n_, std::uint64_t seed) : n(n_) {
+    A.assign(static_cast<std::size_t>(n) * n, 0.0);
+    b.resize(static_cast<std::size_t>(n));
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j <= std::min(n - 1, i + 3); ++j) {
+        const double v = rng.uniform(-1, 1);
+        A[static_cast<std::size_t>(i) * n + j] = v;
+        A[static_cast<std::size_t>(j) * n + i] = v;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      double off = 0;
+      for (int j = 0; j < n; ++j) {
+        if (j != i) off += std::abs(A[static_cast<std::size_t>(i) * n + j]);
+      }
+      A[static_cast<std::size_t>(i) * n + i] = off + rng.uniform(0.5, 1.5);
+      b[static_cast<std::size_t>(i)] = rng.uniform(-2, 2);
+    }
+  }
+
+  [[nodiscard]] DistCsrMatrix matrix(std::pair<int, int> range) const {
+    std::vector<int> rp{0}, cols;
+    std::vector<double> vals;
+    for (int i = range.first; i < range.second; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const double v = A[static_cast<std::size_t>(i) * n + j];
+        if (v != 0.0) {
+          cols.push_back(j);
+          vals.push_back(v);
+        }
+      }
+      rp.push_back(static_cast<int>(cols.size()));
+    }
+    return DistCsrMatrix(n, range, std::move(rp), std::move(cols), std::move(vals));
+  }
+};
+
+TEST(Ic0Test, ExactForTridiagonalSpd) {
+  // Tridiagonal SPD: the Cholesky factor has the same pattern, so IC(0) is
+  // exact and one application solves the system.
+  const int n = 15;
+  std::vector<int> rp{0}, cols;
+  std::vector<double> vals;
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - 1); j <= std::min(n - 1, i + 1); ++j) {
+      cols.push_back(j);
+      vals.push_back(j == i ? 4.0 : -1.0);
+    }
+    rp.push_back(static_cast<int>(cols.size()));
+  }
+  par::run_spmd(1, [&](par::Communicator& comm) {
+    DistCsrMatrix A(n, {0, n}, rp, cols, vals);
+    BlockJacobiIc0 M(A);
+    EXPECT_DOUBLE_EQ(M.shift(), 0.0);
+    DistVector r(n, {0, n}, 1.0), z(n, {0, n}), back(n, {0, n});
+    M.apply(r, z, comm);
+    A.apply(z, back, comm);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(back[i], 1.0, 1e-12);
+  });
+}
+
+TEST(Ic0Test, CgConvergesFastWithIc0) {
+  // The whole point of IC(0): a symmetric factorization CG can trust.
+  const Spd sys(80, 3);
+  par::run_spmd(1, [&](par::Communicator& comm) {
+    DistCsrMatrix A = sys.matrix({0, 80});
+    A.setup_ghosts(comm);
+    DistVector b(80, {0, 80}), x_ic(80, {0, 80}), x_none(80, {0, 80});
+    for (int i = 0; i < 80; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    SolverConfig cfg;
+    cfg.rtol = 1e-9;
+    BlockJacobiIc0 ic(A);
+    IdentityPreconditioner none;
+    const SolveStats with_ic = cg(A, b, x_ic, ic, cfg, comm);
+    const SolveStats without = cg(A, b, x_none, none, cfg, comm);
+    EXPECT_TRUE(with_ic.converged);
+    EXPECT_TRUE(without.converged);
+    EXPECT_LT(with_ic.iterations, without.iterations);
+    EXPECT_LT(true_residual_norm(A, b, x_ic, comm), 1e-6);
+  });
+}
+
+TEST(Ic0Test, MultiRankMatchesSingleRank) {
+  const Spd sys(60, 9);
+  std::vector<double> reference(60);
+  par::run_spmd(1, [&](par::Communicator& comm) {
+    DistCsrMatrix A = sys.matrix({0, 60});
+    A.setup_ghosts(comm);
+    BlockJacobiIc0 M(A);
+    DistVector b(60, {0, 60}), x(60, {0, 60});
+    for (int i = 0; i < 60; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    SolverConfig cfg;
+    cfg.rtol = 1e-11;
+    EXPECT_TRUE(cg(A, b, x, M, cfg, comm).converged);
+    for (int i = 0; i < 60; ++i) reference[static_cast<std::size_t>(i)] = x[i];
+  });
+  for (const int P : {2, 4}) {
+    par::run_spmd(P, [&](par::Communicator& comm) {
+      const int base = 60 / P, extra = 60 % P;
+      const int begin = comm.rank() * base + std::min(comm.rank(), extra);
+      const std::pair<int, int> range{begin,
+                                      begin + base + (comm.rank() < extra ? 1 : 0)};
+      DistCsrMatrix A = sys.matrix(range);
+      A.setup_ghosts(comm);
+      BlockJacobiIc0 M(A);
+      DistVector b(60, range), x(60, range);
+      for (int g = range.first; g < range.second; ++g) {
+        b[g] = sys.b[static_cast<std::size_t>(g)];
+      }
+      SolverConfig cfg;
+      cfg.rtol = 1e-11;
+      EXPECT_TRUE(cg(A, b, x, M, cfg, comm).converged) << "P=" << P;
+      for (int g = range.first; g < range.second; ++g) {
+        EXPECT_NEAR(x[g], reference[static_cast<std::size_t>(g)], 1e-6);
+      }
+    });
+  }
+}
+
+TEST(Ic0Test, ShiftHandlesNonMMatrix) {
+  // A small SPD matrix engineered to break plain IC(0): strong positive
+  // off-diagonals (non-M-matrix). The constructor must survive via shifting
+  // and still deliver a usable preconditioner.
+  const int n = 3;
+  // A = [4 3 0; 3 4 3; 0 3 4] — SPD (eigs ~ 4±3√2/... check: det>0) but
+  // IC(0) of such patterns can lose definiteness in larger analogues; here we
+  // simply verify the shift path produces a working preconditioner.
+  std::vector<int> rp{0, 2, 5, 7};
+  std::vector<int> cols{0, 1, 0, 1, 2, 1, 2};
+  std::vector<double> vals{4, 3, 3, 4, 3, 3, 4};
+  par::run_spmd(1, [&](par::Communicator& comm) {
+    DistCsrMatrix A(n, {0, n}, rp, cols, vals);
+    A.setup_ghosts(comm);
+    BlockJacobiIc0 M(A);
+    DistVector b(n, {0, n}, 1.0), x(n, {0, n});
+    SolverConfig cfg;
+    cfg.rtol = 1e-12;
+    // Not necessarily SPD (eig 4-3√2 <0?): 4 - 3*sqrt(2) ≈ -0.24 — indefinite!
+    // CG would reject it; use GMRES, which only needs a nonsingular operator.
+    const SolveStats stats = gmres(A, b, x, M, cfg, comm);
+    EXPECT_TRUE(stats.converged);
+    EXPECT_LT(true_residual_norm(A, b, x, comm), 1e-8);
+  });
+}
+
+TEST(DropZerosTest, RemovesExplicitZerosKeepsDiagonal) {
+  std::vector<int> rp{0, 3, 6};
+  std::vector<int> cols{0, 1, 2, 0, 1, 2};
+  std::vector<double> vals{1.0, 0.0, 2.0, 0.0, 0.0, 3.0};
+  DistCsrMatrix A(3, {0, 2}, rp, cols, vals);
+  A.drop_zeros();
+  EXPECT_EQ(A.local_nnz(), 4u);  // (0,0), (0,2), (1,1) kept as diagonal, (1,2)
+  EXPECT_DOUBLE_EQ(A.value_at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.value_at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(A.value_at(1, 1), 0.0);  // diagonal survives even at zero
+  EXPECT_DOUBLE_EQ(A.value_at(1, 2), 3.0);
+  EXPECT_EQ(A.find_entry(0, 1), nullptr);
+}
+
+TEST(DropZerosTest, SpmvUnchangedByCompaction) {
+  const Spd sys(40, 11);
+  par::run_spmd(2, [&](par::Communicator& comm) {
+    const int begin = comm.rank() * 20;
+    const std::pair<int, int> range{begin, begin + 20};
+    DistCsrMatrix dense_pattern = sys.matrix(range);
+    DistCsrMatrix compacted = sys.matrix(range);
+    // Zero a few entries in both value arrays, then compact only one.
+    for (double* v : {compacted.find_entry(range.first, range.first + 1),
+                      dense_pattern.find_entry(range.first, range.first + 1)}) {
+      if (v != nullptr) *v = 0.0;
+    }
+    compacted.drop_zeros();
+    dense_pattern.setup_ghosts(comm);
+    compacted.setup_ghosts(comm);
+
+    DistVector x(40, range), y1(40, range), y2(40, range);
+    for (int g = range.first; g < range.second; ++g) x[g] = 0.1 * g;
+    dense_pattern.apply(x, y1, comm);
+    compacted.apply(x, y2, comm);
+    for (int g = range.first; g < range.second; ++g) {
+      EXPECT_NEAR(y1[g], y2[g], 1e-12);
+    }
+    EXPECT_LT(compacted.local_nnz(), dense_pattern.local_nnz());
+  });
+}
+
+TEST(FactoryTest, Ic0Registered) {
+  const Spd sys(10, 1);
+  DistCsrMatrix A = sys.matrix({0, 10});
+  EXPECT_EQ(make_preconditioner(PreconditionerKind::kBlockJacobiIc0, A)->name(),
+            "block-jacobi/ic0");
+}
+
+}  // namespace
+}  // namespace neuro::solver

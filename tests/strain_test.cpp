@@ -1,0 +1,164 @@
+// Tests for per-element strain/stress post-processing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "fem/deformation_solver.h"
+#include "fem/strain.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+
+namespace neuro::fem {
+namespace {
+
+mesh::TetMesh block(int n = 5, double spacing = 2.0) {
+  ImageL labels({n, n, n}, 1, {spacing, spacing, spacing});
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  return mesh::mesh_labeled_volume(labels, cfg);
+}
+
+std::vector<Vec3> apply_field(const mesh::TetMesh& mesh,
+                              const std::function<Vec3(const Vec3&)>& u) {
+  std::vector<Vec3> out(static_cast<std::size_t>(mesh.num_nodes()));
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    out[static_cast<std::size_t>(n)] = u(mesh.nodes[static_cast<std::size_t>(n)]);
+  }
+  return out;
+}
+
+TEST(StrainTest, ZeroDisplacementZeroStrain) {
+  const mesh::TetMesh mesh = block();
+  const auto strains =
+      element_strains(mesh, std::vector<Vec3>(static_cast<std::size_t>(mesh.num_nodes())));
+  for (const auto& e : strains) {
+    EXPECT_NEAR(e.volumetric(), 0.0, 1e-14);
+    EXPECT_NEAR(e.von_mises(), 0.0, 1e-14);
+  }
+}
+
+TEST(StrainTest, RigidMotionProducesNoStrain) {
+  const mesh::TetMesh mesh = block();
+  // Translation + small rotation about z (infinitesimal): strain-free.
+  const auto u = apply_field(mesh, [](const Vec3& p) {
+    const double w = 0.01;  // rotation angle
+    return Vec3{1.0 - w * p.y, 2.0 + w * p.x, -0.5};
+  });
+  for (const auto& e : element_strains(mesh, u)) {
+    EXPECT_NEAR(e.von_mises(), 0.0, 1e-12);
+    EXPECT_NEAR(e.volumetric(), 0.0, 1e-12);
+  }
+}
+
+TEST(StrainTest, UniaxialStretchIsExact) {
+  const mesh::TetMesh mesh = block();
+  const double a = 0.03;
+  const auto u = apply_field(mesh, [&](const Vec3& p) { return Vec3{a * p.x, 0, 0}; });
+  for (const auto& e : element_strains(mesh, u)) {
+    EXPECT_NEAR(e.strain[0], a, 1e-12);
+    EXPECT_NEAR(e.strain[1], 0.0, 1e-12);
+    EXPECT_NEAR(e.volumetric(), a, 1e-12);
+    // Von Mises of uniaxial tensor strain ε: 2ε/3.
+    EXPECT_NEAR(e.von_mises(), 2.0 * a / 3.0, 1e-12);
+  }
+}
+
+TEST(StrainTest, SimpleShearIsExact) {
+  const mesh::TetMesh mesh = block();
+  const double g = 0.02;  // engineering shear γxy
+  const auto u = apply_field(mesh, [&](const Vec3& p) { return Vec3{g * p.y, 0, 0}; });
+  for (const auto& e : element_strains(mesh, u)) {
+    EXPECT_NEAR(e.strain[3], g, 1e-12);
+    EXPECT_NEAR(e.volumetric(), 0.0, 1e-12);
+    // Von Mises of pure shear (tensor εxy = γ/2): γ/√3.
+    EXPECT_NEAR(e.von_mises(), g / std::sqrt(3.0), 1e-12);
+  }
+}
+
+TEST(StressTest, UniaxialStrainStressMatchesHooke) {
+  const mesh::TetMesh mesh = block();
+  const double a = 0.01;
+  const auto u = apply_field(mesh, [&](const Vec3& p) { return Vec3{a * p.x, 0, 0}; });
+  const auto strains = element_strains(mesh, u);
+  const Material m{1000.0, 0.3};
+  const auto stresses = von_mises_stress(mesh, strains, MaterialMap(m));
+  // Constrained uniaxial strain: σxx = a·E(1−ν)/((1+ν)(1−2ν)), σyy = σzz =
+  // a·Eν/(...): von Mises = |σxx − σyy| = a·E/(1+ν) · ... compute directly.
+  const double f = m.youngs_modulus / ((1 + m.poisson_ratio) * (1 - 2 * m.poisson_ratio));
+  const double sxx = a * f * (1 - m.poisson_ratio);
+  const double syy = a * f * m.poisson_ratio;
+  const double expected = std::abs(sxx - syy);
+  for (const double s : stresses) {
+    EXPECT_NEAR(s, expected, 1e-9 * expected + 1e-9);
+  }
+}
+
+TEST(StressTest, StiffTissueCarriesMoreStress) {
+  ImageL labels({5, 5, 5}, 3, {2, 2, 2});
+  for (int k = 0; k < 5; ++k)
+    for (int j = 0; j < 5; ++j) {
+      labels(2, j, k) = 5;  // stiff slab
+      labels(3, j, k) = 5;
+    }
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, cfg);
+  const auto u = apply_field(mesh, [](const Vec3& p) { return Vec3{0.01 * p.x, 0, 0}; });
+  const auto strains = element_strains(mesh, u);
+  const auto stresses =
+      von_mises_stress(mesh, strains, MaterialMap::heterogeneous_brain());
+  double soft = 0, stiff = 0;
+  int nsoft = 0, nstiff = 0;
+  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+    if (mesh.tet_labels[static_cast<std::size_t>(t)] == 5) {
+      stiff += stresses[static_cast<std::size_t>(t)];
+      ++nstiff;
+    } else {
+      soft += stresses[static_cast<std::size_t>(t)];
+      ++nsoft;
+    }
+  }
+  ASSERT_GT(nstiff, 0);
+  ASSERT_GT(nsoft, 0);
+  EXPECT_GT(stiff / nstiff, 5.0 * soft / nsoft);
+}
+
+TEST(SummaryTest, VolumeWeightedMeanAndMax) {
+  mesh::TetMesh mesh;
+  mesh.nodes = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {2, 0, 0}, {0, 2, 0},
+                {0, 0, 2}};
+  mesh.tets = {{0, 1, 2, 3}, {0, 4, 5, 6}};  // volumes 1/6 and 8/6
+  mesh.tet_labels = {1, 1};
+  const ScalarSummary s = summarize_per_element(mesh, {9.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.mean, 9.0 * (1.0 / 9.0), 1e-12);  // small tet is 1/9 of volume
+  EXPECT_THROW(summarize_per_element(mesh, {1.0}), CheckError);
+}
+
+TEST(PipelineIntegrationTest, DeformationStrainsAreMeaningful) {
+  // Drive a block with a squeeze and check the post-processed strain matches
+  // the prescribed boundary strain scale.
+  const mesh::TetMesh mesh = block(7, 2.0);
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
+  for (const auto n : surface.mesh_nodes) {
+    bcs.emplace_back(n, Vec3{0, 0, -0.05 * mesh.nodes[static_cast<std::size_t>(n)].z});
+  }
+  DeformationSolveOptions opt;
+  opt.solver.rtol = 1e-10;
+  const auto result = solve_deformation(mesh, MaterialMap::homogeneous_brain(), bcs, opt);
+  ASSERT_TRUE(result.stats.converged);
+  const auto strains = element_strains(mesh, result.node_displacements);
+  std::vector<double> vm(strains.size());
+  for (std::size_t t = 0; t < strains.size(); ++t) vm[t] = strains[t].von_mises();
+  const ScalarSummary s = summarize_per_element(mesh, vm);
+  EXPECT_NEAR(s.mean, 0.05 * 2.0 / 3.0, 0.01);  // uniaxial −5% squeeze
+  // Volumetric strain: uniform compression of 5% in z.
+  double mean_vol = 0;
+  for (const auto& e : strains) mean_vol += e.volumetric();
+  EXPECT_NEAR(mean_vol / static_cast<double>(strains.size()), -0.05, 0.005);
+}
+
+}  // namespace
+}  // namespace neuro::fem

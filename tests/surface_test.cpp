@@ -1,0 +1,187 @@
+// Tests for the active surface: convergence onto distance-field and
+// image-derived potentials, membrane smoothing, and FEM hand-off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.h"
+#include "image/distance.h"
+#include "image/filters.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "surface/active_surface.h"
+
+namespace neuro::surface {
+namespace {
+
+/// Binary ball mask of radius r (voxels are unit-spaced).
+ImageL ball_mask(int n, double r, Vec3 center) {
+  ImageL mask({n, n, n}, 0);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        if (norm(Vec3(i, j, k) - center) <= r) mask(i, j, k) = 1;
+      }
+    }
+  }
+  return mask;
+}
+
+/// Lattice surface of a ball of radius `r`.
+mesh::TriSurface ball_surface(int n, double r, Vec3 center) {
+  mesh::MesherConfig cfg;
+  cfg.stride = 1;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(ball_mask(n, r, center), cfg);
+  return mesh::extract_boundary_surface(mesh, {1});
+}
+
+TEST(ActiveSurfaceTest, ShrinksOntoSmallerBall) {
+  // Start on a radius-10 ball, attract to a radius-7 ball: final vertices
+  // must sit near radius 7.
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 10.0, c);
+  ASSERT_GT(initial.num_vertices(), 50);
+  const ImageF sdf = signed_distance_to_label(ball_mask(25, 7.0, c), 1, 20.0);
+
+  ActiveSurfaceConfig cfg;
+  const auto result = deform_to_distance_field(initial, sdf, cfg);
+  EXPECT_GT(result.iterations, 1);
+  double mean_r = 0;
+  for (const auto& v : result.surface.vertices) mean_r += norm(v - c);
+  mean_r /= result.surface.num_vertices();
+  EXPECT_NEAR(mean_r, 7.0, 1.0);
+  EXPECT_LT(result.mean_abs_potential, 1.0);  // residual distance in voxels
+}
+
+TEST(ActiveSurfaceTest, ExpandsOntoLargerBall) {
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 6.0, c);
+  const ImageF sdf = signed_distance_to_label(ball_mask(25, 9.0, c), 1, 20.0);
+  ActiveSurfaceConfig cfg;
+  const auto result = deform_to_distance_field(initial, sdf, cfg);
+  double mean_r = 0;
+  for (const auto& v : result.surface.vertices) mean_r += norm(v - c);
+  mean_r /= result.surface.num_vertices();
+  EXPECT_NEAR(mean_r, 9.0, 1.0);
+}
+
+TEST(ActiveSurfaceTest, AlreadyConvergedSurfaceBarelyMoves) {
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 8.0, c);
+  const ImageF sdf = signed_distance_to_label(ball_mask(25, 8.0, c), 1, 20.0);
+  ActiveSurfaceConfig cfg;
+  const auto result = deform_to_distance_field(initial, sdf, cfg);
+  double max_d = 0;
+  for (const auto& d : result.displacements) max_d = std::max(max_d, norm(d));
+  EXPECT_LT(max_d, 1.6);  // staircase corners settle by about a voxel
+}
+
+TEST(ActiveSurfaceTest, DisplacementsEqualFinalMinusInitial) {
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 9.0, c);
+  const ImageF sdf = signed_distance_to_label(ball_mask(25, 7.0, c), 1, 20.0);
+  const auto result = deform_to_distance_field(initial, sdf, ActiveSurfaceConfig{});
+  ASSERT_EQ(result.displacements.size(), initial.vertices.size());
+  for (std::size_t v = 0; v < result.displacements.size(); ++v) {
+    EXPECT_NEAR(norm(result.surface.vertices[v] -
+                     (initial.vertices[v] + result.displacements[v])),
+                0.0, 1e-12);
+  }
+}
+
+TEST(ActiveSurfaceTest, MaxStepClampHolds) {
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 10.0, c);
+  const ImageF sdf = signed_distance_to_label(ball_mask(25, 5.0, c), 1, 20.0);
+  ActiveSurfaceConfig cfg;
+  cfg.max_iterations = 1;
+  cfg.max_step_mm = 0.25;
+  const auto result = deform_to_distance_field(initial, sdf, cfg);
+  for (const auto& d : result.displacements) {
+    EXPECT_LE(norm(d), 0.25 + 1e-12);
+  }
+}
+
+TEST(ActiveSurfaceTest, TensionSmoothsNoise) {
+  // With zero external force, pure membrane tension must shrink/smooth a
+  // surface: total area decreases monotonically.
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 8.0, c);
+  ImageF flat({25, 25, 25}, 0.0f);  // zero potential ⇒ zero external force
+  ActiveSurfaceConfig cfg;
+  cfg.max_iterations = 40;
+  cfg.tension = 0.5;
+  cfg.convergence_mm = 0.0;  // run all iterations
+  const auto result = deform_to_potential(initial, flat, cfg);
+  EXPECT_LT(mesh::surface_area(result.surface), mesh::surface_area(initial));
+}
+
+TEST(ActiveSurfaceTest, RejectsEmptySurface) {
+  mesh::TriSurface empty;
+  ImageF flat({4, 4, 4});
+  EXPECT_THROW(deform_to_potential(empty, flat, ActiveSurfaceConfig{}), CheckError);
+}
+
+TEST(EdgePotentialTest, MinimaOnMatchingEdges) {
+  // Two-intensity step: the potential must be lowest near the edge, and a
+  // wrong gray-level prior must weaken (raise) that minimum.
+  ImageF img({24, 24, 24}, 20.0f);
+  for (int k = 0; k < 24; ++k)
+    for (int j = 0; j < 24; ++j)
+      for (int i = 12; i < 24; ++i) img(i, j, k) = 120.0f;
+
+  const ImageF pot_right = edge_potential_from_image(img, 120.0, 30.0, 1.0);
+  const ImageF pot_wrong = edge_potential_from_image(img, 250.0, 10.0, 1.0);
+  // Edge voxel vs flat-region voxel.
+  EXPECT_LT(pot_right.at(12, 12, 12), pot_right.at(3, 12, 12));
+  EXPECT_LT(pot_right.at(12, 12, 12), pot_right.at(21, 12, 12));
+  // The correct prior yields a deeper minimum at the edge.
+  EXPECT_LT(pot_right.at(12, 12, 12), pot_wrong.at(12, 12, 12));
+}
+
+TEST(EdgePotentialTest, SurfaceLocksOntoImageEdge) {
+  // Paper-style force: drive a surface onto an intensity step using only the
+  // image (no segmentation).
+  const Vec3 c{12, 12, 12};
+  ImageF img({25, 25, 25}, 10.0f);
+  for (int k = 0; k < 25; ++k) {
+    for (int j = 0; j < 25; ++j) {
+      for (int i = 0; i < 25; ++i) {
+        if (norm(Vec3(i, j, k) - c) <= 8.0) img(i, j, k) = 130.0f;
+      }
+    }
+  }
+  const ImageF potential = edge_potential_from_image(img, 130.0, 40.0, 1.5);
+  const mesh::TriSurface initial = ball_surface(25, 10.0, c);
+  ActiveSurfaceConfig cfg;
+  cfg.max_iterations = 600;
+  cfg.force_scale = 40.0;  // potential is O(1); amplify to voxel scale
+  const auto result = deform_to_potential(initial, potential, cfg);
+  double mean_r = 0;
+  for (const auto& v : result.surface.vertices) mean_r += norm(v - c);
+  mean_r /= result.surface.num_vertices();
+  EXPECT_NEAR(mean_r, 8.0, 1.6);
+}
+
+TEST(NodeDisplacementsTest, MapsThroughMeshNodes) {
+  const Vec3 c{12, 12, 12};
+  const mesh::TriSurface initial = ball_surface(25, 8.0, c);
+  const ImageF sdf = signed_distance_to_label(ball_mask(25, 7.0, c), 1, 20.0);
+  const auto result = deform_to_distance_field(initial, sdf, ActiveSurfaceConfig{});
+  const auto bcs = node_displacements(result);
+  ASSERT_EQ(bcs.size(), result.displacements.size());
+  for (std::size_t v = 0; v < bcs.size(); ++v) {
+    EXPECT_EQ(bcs[v].first, initial.mesh_nodes[v]);
+    EXPECT_EQ(norm(bcs[v].second - result.displacements[v]), 0.0);
+  }
+}
+
+TEST(NodeDisplacementsTest, RejectsFreeStandingSurface) {
+  ActiveSurfaceResult r;
+  r.surface.vertices = {{0, 0, 0}};
+  r.displacements = {{1, 0, 0}};
+  EXPECT_THROW(node_displacements(r), CheckError);
+}
+
+}  // namespace
+}  // namespace neuro::surface

@@ -1,0 +1,179 @@
+// Tests for the visualization substrate: colormaps, raster export, montage,
+// boundary overlay, colored PLY and arrow OBJ export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "base/check.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "viz/colormap.h"
+#include "viz/surface_export.h"
+
+namespace neuro::viz {
+namespace {
+
+std::string tmp(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ColormapTest, GrayIsLinearAndClamped) {
+  EXPECT_EQ(map_color(ColormapKind::kGray, 0.0).r, 0);
+  EXPECT_EQ(map_color(ColormapKind::kGray, 1.0).r, 255);
+  const Rgb mid = map_color(ColormapKind::kGray, 0.5);
+  EXPECT_NEAR(mid.r, 128, 1);
+  EXPECT_EQ(mid.r, mid.g);
+  EXPECT_EQ(mid.g, mid.b);
+  EXPECT_EQ(map_color(ColormapKind::kGray, -5.0).r, 0);
+  EXPECT_EQ(map_color(ColormapKind::kGray, 5.0).r, 255);
+}
+
+TEST(ColormapTest, MagnitudeRampIsMonotoneInLuma) {
+  double prev = -1.0;
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    const Rgb c = map_color(ColormapKind::kMagnitude, t);
+    const double luma = 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+    EXPECT_GT(luma, prev) << "t=" << t;
+    prev = luma;
+  }
+}
+
+TEST(ColormapTest, DivergingEndpointsAndCenter) {
+  const Rgb lo = map_color(ColormapKind::kDiverging, 0.0);
+  const Rgb mid = map_color(ColormapKind::kDiverging, 0.5);
+  const Rgb hi = map_color(ColormapKind::kDiverging, 1.0);
+  EXPECT_GT(lo.b, 200);
+  EXPECT_LT(lo.r, 50);
+  EXPECT_GT(mid.r, 240);
+  EXPECT_GT(mid.g, 240);
+  EXPECT_GT(hi.r, 200);
+  EXPECT_LT(hi.b, 50);
+}
+
+TEST(RgbImageTest, AccessAndBounds) {
+  RgbImage img(4, 3);
+  img.at(3, 2) = {1, 2, 3};
+  EXPECT_EQ(img.at(3, 2).g, 2);
+  EXPECT_THROW(img.at(4, 0), CheckError);
+  EXPECT_THROW(RgbImage(0, 5), CheckError);
+}
+
+TEST(RgbImageTest, PpmRoundTripHeader) {
+  const std::string path = tmp("neuro_viz.ppm");
+  RgbImage img(5, 4);
+  img.at(0, 0) = {255, 0, 0};
+  img.write_ppm(path);
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  f >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  f.get();  // newline
+  char rgb[3];
+  f.read(rgb, 3);
+  EXPECT_EQ(static_cast<unsigned char>(rgb[0]), 255);
+  std::remove(path.c_str());
+}
+
+TEST(RenderTest, SliceAutoWindows) {
+  ImageF img({6, 6, 2}, 10.0f);
+  img.at(3, 3, 1) = 20.0f;
+  const RgbImage panel = render_slice(img, 1, ColormapKind::kGray);
+  EXPECT_EQ(panel.at(0, 0).r, 0);    // min of window
+  EXPECT_EQ(panel.at(3, 3).r, 255);  // max of window
+  EXPECT_THROW(render_slice(img, 5, ColormapKind::kGray), CheckError);
+}
+
+TEST(RenderTest, FieldMagnitude) {
+  ImageV field({4, 4, 1});
+  field(2, 2, 0) = Vec3{3, 4, 0};  // |v| = 5
+  const RgbImage panel = render_field_magnitude(field, 0);
+  // Peak magnitude maps to the bright end of the ramp.
+  const Rgb peak = panel.at(2, 2);
+  const Rgb zero = panel.at(0, 0);
+  EXPECT_GT(static_cast<int>(peak.g), static_cast<int>(zero.g));
+}
+
+TEST(MontageTest, ConcatenatesWithSeparator) {
+  RgbImage a(3, 2), b(4, 2);
+  const RgbImage m = montage({a, b});
+  EXPECT_EQ(m.width(), 3 + 2 + 4);
+  EXPECT_EQ(m.height(), 2);
+  RgbImage c(4, 3);
+  EXPECT_THROW(montage({a, c}), CheckError);
+  EXPECT_THROW(montage({}), CheckError);
+}
+
+TEST(OverlayTest, MarksBoundaryOnly) {
+  ImageL mask({6, 6, 1}, 0);
+  for (int j = 1; j < 5; ++j)
+    for (int i = 1; i < 5; ++i) mask(i, j, 0) = 1;
+  RgbImage panel(6, 6);
+  overlay_mask_boundary(panel, mask, 0, {255, 0, 0});
+  EXPECT_EQ(panel.at(1, 1).r, 255);  // boundary voxel
+  EXPECT_EQ(panel.at(2, 2).r, 0);    // interior untouched
+  EXPECT_EQ(panel.at(0, 0).r, 0);    // outside untouched
+}
+
+mesh::TriSurface small_surface() {
+  ImageL labels({5, 5, 5}, 1);
+  mesh::MesherConfig cfg;
+  cfg.stride = 2;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, cfg);
+  return mesh::extract_boundary_surface(mesh, {1});
+}
+
+TEST(PlyExportTest, WritesValidHeaderAndCounts) {
+  const mesh::TriSurface surface = small_surface();
+  std::vector<double> scalars(static_cast<std::size_t>(surface.num_vertices()));
+  for (std::size_t i = 0; i < scalars.size(); ++i) scalars[i] = static_cast<double>(i);
+  const std::string path = tmp("neuro_viz.ply");
+  write_ply_colored(path, surface, scalars);
+
+  std::ifstream f(path);
+  std::string line;
+  int vertex_count = -1, face_count = -1;
+  while (std::getline(f, line) && line != "end_header") {
+    std::sscanf(line.c_str(), "element vertex %d", &vertex_count);
+    std::sscanf(line.c_str(), "element face %d", &face_count);
+  }
+  EXPECT_EQ(vertex_count, surface.num_vertices());
+  EXPECT_EQ(face_count, surface.num_triangles());
+  int body_lines = 0;
+  while (std::getline(f, line)) ++body_lines;
+  EXPECT_EQ(body_lines, surface.num_vertices() + surface.num_triangles());
+  std::remove(path.c_str());
+
+  std::vector<double> bad(scalars.size() + 1);
+  EXPECT_THROW(write_ply_colored(path, surface, bad), CheckError);
+}
+
+TEST(ArrowExportTest, SubsamplesLargestFirst) {
+  std::vector<Vec3> origins(10), disp(10);
+  for (int i = 0; i < 10; ++i) {
+    origins[static_cast<std::size_t>(i)] = {static_cast<double>(i), 0, 0};
+    disp[static_cast<std::size_t>(i)] = {0, 0, static_cast<double>(i)};
+  }
+  const std::string path = tmp("neuro_arrows.obj");
+  write_arrows_obj(path, origins, disp, 3);
+  std::ifstream f(path);
+  std::string line;
+  int v = 0, l = 0;
+  bool has_largest = false;
+  while (std::getline(f, line)) {
+    v += line.rfind("v ", 0) == 0;
+    l += line.rfind("l ", 0) == 0;
+    has_largest = has_largest || line == "v 9 0 0";
+  }
+  EXPECT_EQ(v, 6);
+  EXPECT_EQ(l, 3);
+  EXPECT_TRUE(has_largest);  // the i=9 arrow (largest) must be kept
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace neuro::viz

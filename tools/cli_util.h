@@ -1,0 +1,83 @@
+// Tiny argument-parsing helpers shared by the neurofem CLI subcommands.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace neuro::cli {
+
+/// Flags of the form `--key value` (every flag takes exactly one value),
+/// collected after the subcommand name.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      NEURO_REQUIRE(key.rfind("--", 0) == 0, "expected --flag, got '" << key << "'");
+      key = key.substr(2);
+      NEURO_REQUIRE(i + 1 < argc, "flag --" << key << " needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      NEURO_REQUIRE(!fallback.empty() || allow_empty_, "missing required flag --" << key);
+      return fallback;
+    }
+    used_.push_back(key);
+    return it->second;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    NEURO_REQUIRE(it != values_.end(), "missing required flag --" << key);
+    used_.push_back(key);
+    return it->second;
+  }
+
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.push_back(key);
+    return std::atoi(it->second.c_str());
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.push_back(key);
+    return std::atof(it->second.c_str());
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.push_back(key);
+    const std::string& v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+  }
+
+  /// Errors out on flags nobody consumed (typo protection).
+  void reject_unused() const {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const auto& u : used_) found = found || u == key;
+      NEURO_REQUIRE(found, "unknown flag --" << key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> used_;
+  bool allow_empty_ = true;
+};
+
+}  // namespace neuro::cli

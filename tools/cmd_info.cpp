@@ -1,0 +1,74 @@
+// `neurofem info` — volume inspection (geometry + intensity / label stats).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "image/metaimage.h"
+#include "tools/cli_util.h"
+
+namespace neuro::cli {
+
+namespace {
+
+/// Peeks the ElementType so info works on both voxel types.
+std::string element_type_of(const std::string& mhd_path) {
+  std::ifstream f(mhd_path);
+  NEURO_REQUIRE(f.good(), "info: cannot open '" << mhd_path << "'");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("ElementType", 0) == 0) {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        std::string v = line.substr(eq + 1);
+        v.erase(0, v.find_first_not_of(" \t"));
+        v.erase(v.find_last_not_of(" \t\r") + 1);
+        return v;
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int cmd_info(int argc, char** argv) {
+  const Args args(argc, argv, 2);
+  const std::string path = args.require("volume");
+  args.reject_unused();
+
+  const std::string type = element_type_of(path);
+  if (type == "MET_FLOAT") {
+    const ImageF img = read_metaimage_f(path);
+    double lo = 1e300, hi = -1e300, sum = 0;
+    for (const float v : img.data()) {
+      lo = std::min(lo, static_cast<double>(v));
+      hi = std::max(hi, static_cast<double>(v));
+      sum += v;
+    }
+    std::printf("%s: MET_FLOAT %dx%dx%d, spacing %.3g/%.3g/%.3g mm, origin "
+                "(%.3g, %.3g, %.3g)\n",
+                path.c_str(), img.dims().x, img.dims().y, img.dims().z,
+                img.spacing().x, img.spacing().y, img.spacing().z, img.origin().x,
+                img.origin().y, img.origin().z);
+    std::printf("intensity: min %.3g, max %.3g, mean %.3g over %zu voxels\n", lo, hi,
+                sum / static_cast<double>(img.size()), img.size());
+  } else if (type == "MET_UCHAR") {
+    const ImageL img = read_metaimage_l(path);
+    std::map<int, std::size_t> counts;
+    for (const auto v : img.data()) ++counts[v];
+    std::printf("%s: MET_UCHAR %dx%dx%d, spacing %.3g/%.3g/%.3g mm\n", path.c_str(),
+                img.dims().x, img.dims().y, img.dims().z, img.spacing().x,
+                img.spacing().y, img.spacing().z);
+    std::printf("labels:");
+    for (const auto& [label, count] : counts) {
+      std::printf(" %d:%zu", label, count);
+    }
+    std::printf("\n");
+  } else {
+    NEURO_CHECK_MSG(false, "info: unsupported ElementType '" << type << "'");
+  }
+  return 0;
+}
+
+}  // namespace neuro::cli

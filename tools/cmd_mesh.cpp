@@ -1,0 +1,61 @@
+// `neurofem mesh` — labeled-volume tetrahedral meshing with quality report
+// and boundary-surface export.
+#include <cstdio>
+#include <sstream>
+
+#include "image/metaimage.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
+#include "tools/cli_util.h"
+
+namespace neuro::cli {
+
+int cmd_mesh(int argc, char** argv) {
+  const Args args(argc, argv, 2);
+  const std::string labels_path = args.require("labels");
+  const std::string out = args.require("out");
+  const int stride = args.get_int("stride", 2);
+  const std::string keep = args.get("keep", "all");
+  args.reject_unused();
+
+  const ImageL labels = read_metaimage_l(labels_path);
+
+  mesh::MesherConfig config;
+  config.stride = stride;
+  if (keep != "all") {
+    std::istringstream ss(keep);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      config.keep_labels.push_back(static_cast<std::uint8_t>(std::atoi(token.c_str())));
+    }
+  }
+
+  std::printf("meshing at stride %d (keep: %s)...\n", stride, keep.c_str());
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, config);
+  const mesh::QualityStats quality = mesh::quality_stats(mesh);
+  std::printf("mesh: %d nodes, %d tets (%d equations as an elasticity system)\n",
+              mesh.num_nodes(), mesh.num_tets(), 3 * mesh.num_nodes());
+  std::printf("quality: min %.3f, mean %.3f (radius ratio); volume %.0f mm^3\n",
+              quality.min_quality, quality.mean_quality, mesh::total_volume(mesh));
+
+  const std::vector<std::uint8_t> surf_labels =
+      config.keep_labels.empty() ? [&] {
+        std::vector<std::uint8_t> all;
+        std::array<bool, 256> seen{};
+        for (const auto l : mesh.tet_labels) seen[l] = true;
+        for (int l = 0; l < 256; ++l) {
+          if (seen[static_cast<std::size_t>(l)]) {
+            all.push_back(static_cast<std::uint8_t>(l));
+          }
+        }
+        return all;
+      }()
+                                 : config.keep_labels;
+  const mesh::TriSurface surface = mesh::extract_boundary_surface(mesh, surf_labels);
+  mesh::write_obj(out + "_surface.obj", surface);
+  std::printf("wrote %s_surface.obj (%d vertices, %d triangles)\n", out.c_str(),
+              surface.num_vertices(), surface.num_triangles());
+  return 0;
+}
+
+}  // namespace neuro::cli

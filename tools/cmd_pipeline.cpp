@@ -1,0 +1,91 @@
+// `neurofem pipeline` — the full intraoperative registration run on
+// MetaImage inputs, with result volumes and visual artifacts.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "image/io.h"
+#include "image/metaimage.h"
+#include "tools/cli_util.h"
+#include "viz/colormap.h"
+#include "viz/surface_export.h"
+
+namespace neuro::cli {
+
+int cmd_pipeline(int argc, char** argv) {
+  const Args args(argc, argv, 2);
+  const std::string preop_path = args.require("preop");
+  const std::string labels_path = args.require("labels");
+  const std::string intraop_path = args.require("intraop");
+  const std::string out = args.require("out");
+  const int ranks = args.get_int("ranks", 2);
+  const int stride = args.get_int("stride", 3);
+  const bool rigid = args.get_bool("rigid", true);
+  const bool hetero = args.get_bool("hetero", false);
+  args.reject_unused();
+
+  std::printf("loading volumes...\n");
+  const ImageF preop = read_metaimage_f(preop_path);
+  const ImageL labels = read_metaimage_l(labels_path);
+  const ImageF intraop = read_metaimage_f(intraop_path);
+
+  core::PipelineConfig config = core::default_pipeline_config();
+  config.do_rigid_registration = rigid;
+  config.mesher.stride = stride;
+  config.fem.nranks = ranks;
+  config.heterogeneous_materials = hetero;
+
+  std::printf("running the pipeline (%d ranks, mesher stride %d, rigid %s)...\n",
+              ranks, stride, rigid ? "on" : "off");
+  const core::PipelineResult result =
+      core::run_intraop_pipeline(preop, labels, intraop, config);
+
+  std::printf("\ntimeline:\n");
+  for (const auto& stage : result.timeline) {
+    std::printf("  %-26s %8.2f s\n", stage.name.c_str(), stage.seconds);
+  }
+  std::printf("FEM: %d equations, %s in %d iterations\n", result.fem.num_equations,
+              result.fem.stats.converged ? "converged" : "NOT CONVERGED",
+              result.fem.stats.iterations);
+
+  write_metaimage(out + "_warped", result.warped_preop);
+  write_metaimage(out + "_segmentation", result.segmentation.labels);
+  // The recovered field, reusable via `neurofem warp` on further preop data.
+  write_volume(out + "_backward_field.nvol", result.backward_field);
+
+  // Mid-deformation axial montage: intraop | warped preop | field magnitude.
+  double peak_k = 0;
+  int best_k = intraop.dims().z / 2;
+  for (int k = 0; k < intraop.dims().z; ++k) {
+    double total = 0;
+    for (int j = 0; j < intraop.dims().y; ++j) {
+      for (int i = 0; i < intraop.dims().x; ++i) {
+        total += norm(result.forward_field(i, j, k));
+      }
+    }
+    if (total > peak_k) {
+      peak_k = total;
+      best_k = k;
+    }
+  }
+  const viz::RgbImage panel = viz::montage(
+      {viz::render_slice(intraop, best_k, viz::ColormapKind::kGray, 0, 255),
+       viz::render_slice(result.warped_preop, best_k, viz::ColormapKind::kGray, 0, 255),
+       viz::render_field_magnitude(result.forward_field, best_k)});
+  panel.write_ppm(out + "_montage.ppm");
+
+  // Deformed surface colored by displacement magnitude.
+  std::vector<double> magnitudes;
+  magnitudes.reserve(result.surface_match.displacements.size());
+  for (const auto& d : result.surface_match.displacements) {
+    magnitudes.push_back(norm(d));
+  }
+  viz::write_ply_colored(out + "_surface.ply", result.surface_match.surface,
+                         magnitudes);
+
+  std::printf("wrote %s_warped.mhd, %s_segmentation.mhd, %s_montage.ppm "
+              "(axial k=%d), %s_surface.ply\n",
+              out.c_str(), out.c_str(), out.c_str(), best_k, out.c_str());
+  return result.fem.stats.converged ? 0 : 1;
+}
+
+}  // namespace neuro::cli

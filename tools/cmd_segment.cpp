@@ -1,0 +1,50 @@
+// `neurofem segment` — intraoperative k-NN classification of one scan given
+// an atlas segmentation (rigidly pre-aligned).
+#include <cstdio>
+
+#include "image/metaimage.h"
+#include "seg/intraop.h"
+#include "tools/cli_util.h"
+
+namespace neuro::cli {
+
+int cmd_segment(int argc, char** argv) {
+  const Args args(argc, argv, 2);
+  const std::string scan_path = args.require("scan");
+  const std::string labels_path = args.require("labels");
+  const std::string out = args.require("out");
+  const int k = args.get_int("k", 5);
+  const int per_class = args.get_int("prototypes", 60);
+  const double dt_weight = args.get_double("dt-weight", 1.5);
+  const double dt_saturation = args.get_double("dt-saturation-mm", 10.0);
+  args.reject_unused();
+
+  const ImageF scan = read_metaimage_f(scan_path);
+  const ImageL atlas = read_metaimage_l(labels_path);
+
+  // Model every label present in the atlas.
+  seg::IntraopSegmentationConfig config;
+  {
+    std::array<bool, 256> seen{};
+    for (const auto l : atlas.data()) seen[l] = true;
+    for (int l = 0; l < 256; ++l) {
+      if (seen[static_cast<std::size_t>(l)]) {
+        config.classes.push_back(static_cast<std::uint8_t>(l));
+      }
+    }
+  }
+  config.k = k;
+  config.prototypes_per_class = per_class;
+  config.dt_weight = dt_weight;
+  config.dt_saturation_mm = dt_saturation;
+
+  std::printf("classifying %dx%dx%d scan with %zu classes (k=%d)...\n",
+              scan.dims().x, scan.dims().y, scan.dims().z, config.classes.size(), k);
+  const auto result = seg::segment_intraop(scan, atlas, config);
+  write_metaimage(out + "_segmentation", result.labels);
+  std::printf("wrote %s_segmentation.mhd (%zu prototypes in the model)\n",
+              out.c_str(), result.prototypes.size());
+  return 0;
+}
+
+}  // namespace neuro::cli
