@@ -10,6 +10,7 @@
 // on displacement residual; some interior misregistration remains (the paper
 // reports the same, attributing it to the homogeneous material model).
 #include <cstdio>
+#include <iostream>
 
 #include "core/evaluation.h"
 #include "core/landmarks.h"
@@ -37,12 +38,12 @@ int main() {
   NEURO_CHECK(result.fem.stats.converged);
 
   const core::AccuracyReport report = core::evaluate_against_truth(result, cas);
-  core::print_report(report);
+  core::print_report(report, std::cout);
 
   std::printf("\ntarget registration error at anatomical landmarks:\n");
   const core::TreReport tre =
       core::evaluate_landmarks(result, core::phantom_landmarks(cas));
-  core::print_tre_report(tre);
+  core::print_tre_report(tre, std::cout);
 
   std::printf("\npaper-shape checks:\n");
   std::printf("  boundary MAD improved by simulation: %s (%.2f -> %.2f)\n",

@@ -3,6 +3,7 @@
 // for spotting regressions and for sanity-checking the work accounting that
 // feeds the platform models.
 #include <benchmark/benchmark.h>
+#include <span>
 
 #include "base/rng.h"
 #include "core/deformation_field.h"
@@ -17,6 +18,7 @@
 #include "mesh/mesher.h"
 #include "mesh/refine.h"
 #include "mesh/tri_surface.h"
+#include "par/communicator.h"
 #include "phantom/brain_phantom.h"
 #include "reg/mutual_information.h"
 #include "seg/intraop.h"
@@ -317,6 +319,87 @@ void BM_HistogramMatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(cas.intraop.size()));
 }
 BENCHMARK(BM_HistogramMatch)->Unit(benchmark::kMillisecond);
+
+// Communicator micro-benchmarks: the cost of a collective round on the
+// threads-as-ranks runtime, with and without collective-order verification
+// (par/verify.h). The disabled-verifier numbers must stay within noise of the
+// pre-verifier runtime — the only added work is one predictable branch.
+par::SpmdOptions comm_opts(bool verified) {
+  par::SpmdOptions o;
+  o.verify = verified ? par::SpmdOptions::Verify::kOn : par::SpmdOptions::Verify::kOff;
+  return o;
+}
+
+void BM_CommBarrier(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const bool verified = state.range(1) != 0;
+  constexpr int kOpsPerBatch = 1000;
+  for (auto _ : state) {
+    par::run_spmd(
+        P, [&](par::Communicator& comm) {
+          for (int i = 0; i < kOpsPerBatch; ++i) comm.barrier();
+        },
+        comm_opts(verified));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_CommBarrier)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->ArgNames({"ranks", "verify"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CommAllreduce(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const bool verified = state.range(1) != 0;
+  constexpr int kOpsPerBatch = 500;
+  for (auto _ : state) {
+    par::run_spmd(
+        P, [&](par::Communicator& comm) {
+          double v = comm.rank();
+          for (int i = 0; i < kOpsPerBatch; ++i) {
+            v = comm.allreduce_sum(v) / P;
+          }
+          benchmark::DoNotOptimize(v);
+        },
+        comm_opts(verified));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_CommAllreduce)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->ArgNames({"ranks", "verify"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CommSendRecvPingPong(benchmark::State& state) {
+  const bool verified = state.range(0) != 0;
+  constexpr int kOpsPerBatch = 500;
+  const std::vector<double> payload(64, 1.0);
+  for (auto _ : state) {
+    par::run_spmd(
+        2, [&](par::Communicator& comm) {
+          for (int i = 0; i < kOpsPerBatch; ++i) {
+            if (comm.rank() == 0) {
+              comm.send(1, 0, std::span<const double>(payload.data(), payload.size()));
+              benchmark::DoNotOptimize(comm.recv<double>(1, 1));
+            } else {
+              benchmark::DoNotOptimize(comm.recv<double>(0, 0));
+              comm.send(0, 1, std::span<const double>(payload.data(), payload.size()));
+            }
+          }
+        },
+        comm_opts(verified));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_CommSendRecvPingPong)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("verify")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SsdMetric(benchmark::State& state) {
   const auto& cas = shared_case();

@@ -1,0 +1,57 @@
+# Sanitizer wiring for every target in the build.
+#
+# NEURO_SANITIZE is a semicolon-separated list of sanitizers to instrument
+# with, applied globally so libraries, tests, benches and tools all agree:
+#
+#   cmake -B build-asan -S . -DNEURO_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DNEURO_SANITIZE=thread
+#
+# (or use the asan-ubsan / tsan presets in CMakePresets.json). ThreadSanitizer
+# cannot be combined with AddressSanitizer or LeakSanitizer — the runtimes
+# share shadow memory — so that combination is rejected at configure time.
+# Suppression files live in tools/sanitize/ and are passed at *run* time:
+#
+#   TSAN_OPTIONS=suppressions=tools/sanitize/tsan.supp ctest --test-dir build-tsan
+#
+# See docs/static_analysis.md for the full workflow.
+
+set(NEURO_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: any of address;undefined;thread;leak")
+
+if(NEURO_SANITIZE)
+  set(_neuro_san_flags "")
+  set(_has_thread FALSE)
+  set(_has_addr_or_leak FALSE)
+  foreach(san IN LISTS NEURO_SANITIZE)
+    if(san STREQUAL "address")
+      list(APPEND _neuro_san_flags -fsanitize=address)
+      set(_has_addr_or_leak TRUE)
+    elseif(san STREQUAL "undefined")
+      # Recovery off: any UB report fails the test run instead of scrolling by.
+      list(APPEND _neuro_san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+    elseif(san STREQUAL "thread")
+      list(APPEND _neuro_san_flags -fsanitize=thread)
+      set(_has_thread TRUE)
+    elseif(san STREQUAL "leak")
+      list(APPEND _neuro_san_flags -fsanitize=leak)
+      set(_has_addr_or_leak TRUE)
+    else()
+      message(FATAL_ERROR
+        "NEURO_SANITIZE: unknown sanitizer '${san}' "
+        "(expected address, undefined, thread, or leak)")
+    endif()
+  endforeach()
+
+  if(_has_thread AND _has_addr_or_leak)
+    message(FATAL_ERROR
+      "NEURO_SANITIZE: 'thread' cannot be combined with 'address' or 'leak'")
+  endif()
+
+  # Frame pointers keep sanitizer stack traces usable; O1 keeps the
+  # instrumented test suite fast enough for CI without optimizing away the
+  # interleavings TSan needs to see.
+  list(APPEND _neuro_san_flags -fno-omit-frame-pointer -g)
+  add_compile_options(${_neuro_san_flags})
+  add_link_options(${_neuro_san_flags})
+  message(STATUS "neurofem: sanitizers enabled: ${NEURO_SANITIZE}")
+endif()

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/evaluation.h"
@@ -133,11 +134,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n");
-  core::print_report(report);
+  core::print_report(report, std::cout);
 
   std::printf("\ntarget registration error at anatomical landmarks:\n");
   core::print_tre_report(
-      core::evaluate_landmarks(result, core::phantom_landmarks(cas)));
+      core::evaluate_landmarks(result, core::phantom_landmarks(cas)), std::cout);
 
   // Tissue strain summary (quantitative monitoring of the recovered change).
   {

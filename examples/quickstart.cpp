@@ -8,6 +8,7 @@
 //   phantom::make_case → core::run_intraop_pipeline → core::evaluate_against_truth.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "core/evaluation.h"
 #include "core/pipeline.h"
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nAccuracy vs. phantom ground truth:\n");
   const core::AccuracyReport report = core::evaluate_against_truth(result, cas);
-  core::print_report(report);
+  core::print_report(report, std::cout);
 
   const bool ok = result.fem.stats.converged &&
                   report.recovered_error.mean_mm < report.residual_rigid_only.mean_mm;

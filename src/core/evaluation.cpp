@@ -1,7 +1,9 @@
 #include "core/evaluation.h"
 
 #include <cmath>
-#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
 
 #include "base/check.h"
 #include "image/distance.h"
@@ -65,17 +67,31 @@ AccuracyReport evaluate_against_truth(const PipelineResult& result,
   return report;
 }
 
-void print_report(const AccuracyReport& r) {
-  std::printf("  residual after rigid only : mean %6.2f mm   max %6.2f mm\n",
-              r.residual_rigid_only.mean_mm, r.residual_rigid_only.max_mm);
-  std::printf("  recovered-field error     : mean %6.2f mm   max %6.2f mm\n",
-              r.recovered_error.mean_mm, r.recovered_error.max_mm);
-  std::printf("  intensity MAD (brain)     : rigid-only %6.2f  simulated %6.2f\n",
-              r.mad_rigid_only, r.mad_simulated);
-  std::printf("  intensity MAD (boundary)  : rigid-only %6.2f  simulated %6.2f\n",
-              r.mad_boundary_rigid_only, r.mad_boundary_simulated);
-  std::printf("  intraop brain Dice        : %6.3f\n", r.brain_dice);
-  std::printf("  surface residual          : %6.2f mm\n", r.surface_residual_mm);
+void print_report(const AccuracyReport& r, std::ostream& os) {
+  // Format into a local stream so the caller's flags are never disturbed.
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(2);
+  auto f = [&oss](double v, int width = 6) -> std::ostringstream& {
+    oss << std::setw(width) << v;
+    return oss;
+  };
+  oss << "  residual after rigid only : mean ";
+  f(r.residual_rigid_only.mean_mm) << " mm   max ";
+  f(r.residual_rigid_only.max_mm) << " mm\n";
+  oss << "  recovered-field error     : mean ";
+  f(r.recovered_error.mean_mm) << " mm   max ";
+  f(r.recovered_error.max_mm) << " mm\n";
+  oss << "  intensity MAD (brain)     : rigid-only ";
+  f(r.mad_rigid_only) << "  simulated ";
+  f(r.mad_simulated) << "\n";
+  oss << "  intensity MAD (boundary)  : rigid-only ";
+  f(r.mad_boundary_rigid_only) << "  simulated ";
+  f(r.mad_boundary_simulated) << "\n";
+  oss << std::setprecision(3) << "  intraop brain Dice        : ";
+  f(r.brain_dice) << "\n";
+  oss << std::setprecision(2) << "  surface residual          : ";
+  f(r.surface_residual_mm) << " mm\n";
+  os << oss.str();
 }
 
 }  // namespace neuro::core

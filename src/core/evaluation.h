@@ -8,6 +8,8 @@
 // is the stronger form of the paper's claim.
 #pragma once
 
+#include <iosfwd>
+
 #include "core/deformation_field.h"
 #include "core/pipeline.h"
 #include "phantom/brain_phantom.h"
@@ -44,7 +46,8 @@ struct AccuracyReport {
 AccuracyReport evaluate_against_truth(const PipelineResult& result,
                                       const phantom::PhantomCase& truth);
 
-/// Pretty-prints a report (one "metric: value" row per line).
-void print_report(const AccuracyReport& report);
+/// Pretty-prints a report (one "metric: value" row per line). Callers choose
+/// the destination (std::cout in the CLI tools, a file, a test buffer).
+void print_report(const AccuracyReport& report, std::ostream& os);
 
 }  // namespace neuro::core

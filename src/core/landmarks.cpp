@@ -1,6 +1,8 @@
 #include "core/landmarks.h"
 
-#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
 
 #include "base/check.h"
 
@@ -85,14 +87,22 @@ TreReport evaluate_landmarks(const PipelineResult& result,
   return report;
 }
 
-void print_tre_report(const TreReport& report) {
-  std::printf("  %-24s | rigid-only TRE (mm) | simulated TRE (mm)\n", "landmark");
+void print_tre_report(const TreReport& report, std::ostream& os) {
+  // Format into a local stream so the caller's flags are never disturbed.
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(2);
+  auto row = [&oss](const std::string& name, double rigid, double simulated) {
+    oss << "  " << std::left << std::setw(24) << name << " | " << std::right
+        << std::setw(19) << rigid << " | " << std::setw(18) << simulated
+        << '\n';
+  };
+  oss << "  " << std::left << std::setw(24) << "landmark"
+      << " | rigid-only TRE (mm) | simulated TRE (mm)\n";
   for (const auto& e : report.entries) {
-    std::printf("  %-24s | %19.2f | %18.2f\n", e.name.c_str(), e.rigid_only_mm,
-                e.simulated_mm);
+    row(e.name, e.rigid_only_mm, e.simulated_mm);
   }
-  std::printf("  %-24s | %19.2f | %18.2f\n", "mean", report.mean_rigid_only_mm,
-              report.mean_simulated_mm);
+  row("mean", report.mean_rigid_only_mm, report.mean_simulated_mm);
+  os << oss.str();
 }
 
 }  // namespace neuro::core

@@ -7,6 +7,7 @@
 // recovered map should send q to its true preoperative origin.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,6 @@ TreReport evaluate_landmarks(const PipelineResult& result,
                              const std::vector<Landmark>& landmarks);
 
 /// Prints one row per landmark plus the summary.
-void print_tre_report(const TreReport& report);
+void print_tre_report(const TreReport& report, std::ostream& os);
 
 }  // namespace neuro::core

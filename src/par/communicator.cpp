@@ -1,39 +1,186 @@
 #include "par/communicator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 namespace neuro::par {
 
 namespace detail {
 
-Team::Team(int size) : size_(size), slots_(static_cast<std::size_t>(size)) {
+Team::Team(int size, bool verify)
+    : size_(size), verify_(verify), slots_(static_cast<std::size_t>(size)) {
   NEURO_REQUIRE(size >= 1, "Team size must be >= 1, got " << size);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  if (verify_) {
+    pending_.resize(static_cast<std::size_t>(size));
+    pending_valid_.assign(static_cast<std::size_t>(size), false);
+    history_.resize(static_cast<std::size_t>(size));
+    exited_.assign(static_cast<std::size_t>(size), false);
+  }
 }
 
-void Team::barrier() {
+void Team::push_history_locked(int rank, const CollectiveOp& op) {
+  history_[static_cast<std::size_t>(rank)].push(op);
+}
+
+std::string Team::describe_ranks_locked() const {
+  std::ostringstream oss;
+  for (int r = 0; r < size_; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    oss << "  rank " << r << ": ";
+    if (exited_[ur]) {
+      oss << "exited the SPMD body";
+    } else if (pending_valid_[ur]) {
+      oss << "at " << format_op(pending_[ur]);
+    } else {
+      oss << "no collective issued yet";
+    }
+    const auto& h = history_[ur];
+    if (h.count > 0) {
+      oss << "; recent:";
+      const std::uint64_t n = std::min<std::uint64_t>(h.count, RankHistory::kDepth);
+      for (std::uint64_t i = h.count - n; i < h.count; ++i) {
+        oss << ' ' << format_op(h.ops[i % RankHistory::kDepth]);
+      }
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void Team::fail_locked(const std::string& headline) {
+  if (!failed_) {
+    failed_ = true;
+    std::ostringstream oss;
+    oss << "neuro::par collective-order verification failed: " << headline
+        << "\n"
+        << describe_ranks_locked();
+    report_ = oss.str();
+    barrier_cv_.notify_all();
+    // Wake ranks polling inside a verified recv so they observe the failure.
+    for (auto& box : mailboxes_) box->cv.notify_all();
+  }
+  throw CollectiveMismatchError(report_);
+}
+
+void Team::check_pending_locked() {
+  // Fast path: every rank's claim matches rank 0's.
+  bool all_match = true;
+  for (int r = 0; r < size_; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    if (!pending_valid_[ur] || !ops_match(pending_[0], pending_[ur])) {
+      all_match = false;
+      break;
+    }
+  }
+  if (all_match) return;
+
+  // Divergence: find the majority signature so the report blames the
+  // minority rank(s) rather than whichever rank happens to be rank 0.
+  int ref = 0, best = -1;
+  for (int i = 0; i < size_; ++i) {
+    if (!pending_valid_[static_cast<std::size_t>(i)]) continue;
+    int matches = 0;
+    for (int j = 0; j < size_; ++j) {
+      if (pending_valid_[static_cast<std::size_t>(j)] &&
+          ops_match(pending_[static_cast<std::size_t>(i)],
+                    pending_[static_cast<std::size_t>(j)])) {
+        ++matches;
+      }
+    }
+    if (matches > best) {
+      best = matches;
+      ref = i;
+    }
+  }
+  const CollectiveOp& expected = pending_[static_cast<std::size_t>(ref)];
+  std::ostringstream oss;
+  oss << "ranks issued different collectives at seq " << expected.seq << ":";
+  for (int r = 0; r < size_; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    if (!pending_valid_[ur]) {
+      oss << " rank " << r << " issued none;";
+    } else if (!ops_match(expected, pending_[ur])) {
+      oss << " rank " << r << " issued " << format_op(pending_[ur])
+          << " while rank " << ref << " issued " << format_op(expected) << ";";
+    }
+  }
+  fail_locked(oss.str());
+}
+
+void Team::barrier(int rank, const CollectiveOp* op) {
   std::unique_lock lock(barrier_mutex_);
+  if (verify_) {
+    if (failed_) throw CollectiveMismatchError(report_);
+    if (op != nullptr) {
+      pending_[static_cast<std::size_t>(rank)] = *op;
+      pending_valid_[static_cast<std::size_t>(rank)] = true;
+      push_history_locked(rank, *op);
+    }
+    if (exited_count_ > 0) {
+      std::ostringstream oss;
+      oss << "rank " << rank << " issued "
+          << (op != nullptr ? format_op(*op) : std::string("a collective completion"))
+          << " after " << exited_count_ << " rank(s) exited the SPMD body";
+      fail_locked(oss.str());
+    }
+  }
   const bool sense = barrier_sense_;
   if (++barrier_count_ == size_) {
+    if (verify_ && op != nullptr) check_pending_locked();  // throws on mismatch
     barrier_count_ = 0;
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
+  } else if (verify_) {
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense || failed_; });
+    // If the sense flipped, this episode completed before any failure; the
+    // failure (if any) surfaces at this rank's next operation instead.
+    if (barrier_sense_ == sense) throw CollectiveMismatchError(report_);
   } else {
     barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
   }
 }
 
-void Team::publish(int rank, const void* data, std::size_t bytes) {
+void Team::publish(int rank, const void* data, std::size_t bytes,
+                   const CollectiveOp* op) {
   auto& s = slots_[static_cast<std::size_t>(rank)];
   s.data = data;
   s.bytes = bytes;
-  barrier();  // all published
+  barrier(rank, op);  // all published
 }
 
-void Team::release() {
-  barrier();  // all done reading
+void Team::release(int rank) {
+  barrier(rank);  // all done reading
+}
+
+void Team::note_p2p(int rank, const CollectiveOp& op) {
+  std::lock_guard lock(barrier_mutex_);
+  if (failed_) throw CollectiveMismatchError(report_);
+  push_history_locked(rank, op);
+}
+
+void Team::rank_exited(int rank) {
+  if (!verify_) return;
+  std::lock_guard lock(barrier_mutex_);
+  exited_[static_cast<std::size_t>(rank)] = true;
+  ++exited_count_;
+  push_history_locked(rank, CollectiveOp{OpKind::kExit, 0, -1, -1, 0});
+  if (failed_ || barrier_count_ == 0) return;
+  // Ranks are blocked at a collective this rank will never join: that is a
+  // guaranteed deadlock, so fail the team now (the waiters throw; this rank
+  // is already on its way out and must not throw from here).
+  try {
+    std::ostringstream oss;
+    oss << "rank " << rank << " exited the SPMD body while " << barrier_count_
+        << " rank(s) wait at a collective";
+    fail_locked(oss.str());
+  } catch (const CollectiveMismatchError&) {
+    // Reported via the waiting ranks.
+  }
 }
 
 void Team::send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes) {
@@ -51,10 +198,33 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
   auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock lock(box.mutex);
   auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
+  const auto ready = [&] {
     auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
-  });
+  };
+  if (verify_) {
+    // Poll instead of blocking forever so a verification failure elsewhere —
+    // or a send that never comes — turns into a report, not a hang. Lock
+    // order is box.mutex -> barrier_mutex_; nothing nests the other way.
+    const auto deadline = std::chrono::steady_clock::now() + verify_timeout();
+    while (!ready()) {
+      {
+        std::lock_guard vlock(barrier_mutex_);
+        if (failed_) throw CollectiveMismatchError(report_);
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::lock_guard vlock(barrier_mutex_);
+        std::ostringstream oss;
+        oss << "rank " << dst << " recv(from=" << src << ", tag=" << tag
+            << ") was never matched by a send (timed out after "
+            << verify_timeout().count() << " ms)";
+        fail_locked(oss.str());
+      }
+      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  } else {
+    box.cv.wait(lock, ready);
+  }
   auto& queue = box.queues[key];
   std::vector<std::byte> payload = std::move(queue.front());
   queue.pop_front();
@@ -64,9 +234,13 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
 }  // namespace detail
 
 std::vector<WorkRecord> run_spmd(int nranks,
-                                 const std::function<void(Communicator&)>& body) {
+                                 const std::function<void(Communicator&)>& body,
+                                 const SpmdOptions& options) {
   NEURO_REQUIRE(nranks >= 1, "run_spmd requires nranks >= 1, got " << nranks);
-  detail::Team team(nranks);
+  const bool verify = options.verify == SpmdOptions::Verify::kAuto
+                          ? verify_enabled_by_default()
+                          : options.verify == SpmdOptions::Verify::kOn;
+  detail::Team team(nranks, verify);
   std::vector<WorkRecord> work(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
@@ -85,21 +259,41 @@ std::vector<WorkRecord> run_spmd(int nranks,
           body(comm);
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
-          // A failing rank must not deadlock the others at the next barrier;
-          // there is no clean recovery, so terminate the whole process the
-          // way an MPI abort would. Tests exercise only rank-collective
-          // failures (all ranks throw together), which join cleanly below.
+          // A failing rank must not deadlock the others at the next barrier.
+          // With verification on, rank_exited below fails the team so blocked
+          // ranks throw a report; without it there is no clean recovery and
+          // only rank-collective failures (all ranks throw together) join.
         }
+        team.rank_exited(r);
         work[static_cast<std::size_t>(r)] = comm.work().take();
       });
     }
     for (auto& t : threads) t.join();
   }
 
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  // Prefer the root-cause application error over secondary verifier reports
+  // (ranks that threw CollectiveMismatchError only because another rank died).
+  std::exception_ptr first, first_app;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!first_app) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const CollectiveMismatchError&) {
+      } catch (...) {
+        first_app = e;
+      }
+    }
   }
+  if (first_app) std::rethrow_exception(first_app);
+  if (first) std::rethrow_exception(first);
   return work;
+}
+
+std::vector<WorkRecord> run_spmd(int nranks,
+                                 const std::function<void(Communicator&)>& body) {
+  return run_spmd(nranks, body, SpmdOptions{});
 }
 
 const std::vector<WorkRecord>& PhaseWork::phase(const std::string& name) const {

@@ -8,6 +8,11 @@
 //
 // Every operation is accounted in the rank's WorkCounter so the perf module
 // can apply a network cost model (Fast Ethernet vs. SMP bus) to the run.
+//
+// Debug builds can additionally cross-check that every rank issues the same
+// sequence of collectives (see par/verify.h): with verification on, a
+// diverging rank produces a per-rank report and a CollectiveMismatchError on
+// all ranks instead of a deadlock or silent slot corruption.
 #pragma once
 
 #include <condition_variable>
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "par/verify.h"
 #include "par/work_counter.h"
 
 namespace neuro::par {
@@ -34,36 +40,77 @@ namespace detail {
 /// State shared by all ranks of one parallel run.
 class Team {
  public:
-  explicit Team(int size);
+  explicit Team(int size, bool verify = verify_enabled_by_default());
 
   int size() const { return size_; }
+  bool verify() const { return verify_; }
 
-  /// Sense-reversing central barrier.
-  void barrier();
+  /// Sense-reversing central barrier. With verification on, `op` (when
+  /// non-null) is this rank's claim about which collective the barrier
+  /// belongs to; the last rank to arrive cross-checks all claims and fails
+  /// the whole team on a mismatch.
+  void barrier(int rank, const CollectiveOp* op = nullptr);
 
   /// Publish this rank's contribution for a collective and wait until all
   /// ranks have published; afterwards slots() may be read by everyone until
   /// the matching release().
-  void publish(int rank, const void* data, std::size_t bytes);
+  void publish(int rank, const void* data, std::size_t bytes,
+               const CollectiveOp* op = nullptr);
   struct Slot {
     const void* data = nullptr;
     std::size_t bytes = 0;
   };
   const Slot& slot(int rank) const { return slots_[static_cast<std::size_t>(rank)]; }
   /// Second barrier: all ranks done reading; slots may be reused.
-  void release();
+  void release(int rank);
 
   /// Point-to-point mailbox keyed by (src, dst, tag).
   void send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes);
   std::vector<std::byte> recv_bytes(int src, int dst, int tag);
 
+  /// Records a send/recv in the rank's history (verification only) so
+  /// divergence reports show recent point-to-point traffic. Throws if the
+  /// team has already failed verification.
+  void note_p2p(int rank, const CollectiveOp& op);
+
+  /// Called by run_spmd when a rank leaves the body (normally or by
+  /// exception). With verification on, a rank exiting while others wait at a
+  /// collective is a guaranteed deadlock and fails the team immediately.
+  void rank_exited(int rank);
+
  private:
+  /// Ring buffer of a rank's recent operations, for divergence reports.
+  struct RankHistory {
+    static constexpr std::size_t kDepth = 8;
+    CollectiveOp ops[kDepth];
+    std::uint64_t count = 0;
+    void push(const CollectiveOp& op) { ops[count++ % kDepth] = op; }
+  };
+
+  // All verification state below is guarded by barrier_mutex_; the barrier is
+  // the natural serialization point and verification is a debug mode, so the
+  // extra time under the lock is acceptable there.
+  void push_history_locked(int rank, const CollectiveOp& op);
+  void check_pending_locked();
+  [[noreturn]] void fail_locked(const std::string& headline);
+  std::string describe_ranks_locked() const;
+
   int size_;
+  bool verify_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   bool barrier_sense_ = false;
+
+  // Verification state (unused, and never touched, when verify_ is false).
+  std::vector<CollectiveOp> pending_;
+  std::vector<bool> pending_valid_;
+  std::vector<RankHistory> history_;
+  std::vector<bool> exited_;
+  int exited_count_ = 0;
+  bool failed_ = false;
+  std::string report_;
 
   std::vector<Slot> slots_;
 
@@ -81,7 +128,8 @@ class Team {
 /// every rank of the team (except send/recv, which are matched pairwise).
 class Communicator {
  public:
-  Communicator(int rank, detail::Team* team) : rank_(rank), team_(team) {}
+  Communicator(int rank, detail::Team* team)
+      : rank_(rank), team_(team), verify_(team->verify()) {}
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return team_->size(); }
@@ -91,7 +139,12 @@ class Communicator {
 
   void barrier() {
     work_.add_collective(0.0);
-    team_->barrier();
+    if (verify_) [[unlikely]] {
+      const CollectiveOp op = next_op(OpKind::kBarrier, 0);
+      team_->barrier(rank_, &op);
+    } else {
+      team_->barrier(rank_);
+    }
   }
 
   /// Broadcasts `data` (resized on non-roots) from `root` to all ranks.
@@ -100,19 +153,20 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     std::uint64_t count = data.size();
     // Size exchange + payload: one collective round for accounting purposes.
-    team_->publish(rank_, rank_ == root ? &count : nullptr,
-                   rank_ == root ? sizeof(count) : 0);
+    publish(OpKind::kBroadcast, rank_ == root ? &count : nullptr,
+            rank_ == root ? sizeof(count) : 0, root);
     if (rank_ != root) {
       count = *static_cast<const std::uint64_t*>(team_->slot(root).data);
       data.resize(count);
     }
-    team_->release();
-    team_->publish(rank_, rank_ == root ? static_cast<const void*>(data.data()) : nullptr,
-                   rank_ == root ? count * sizeof(T) : 0);
+    team_->release(rank_);
+    publish(OpKind::kBroadcast,
+            rank_ == root ? static_cast<const void*>(data.data()) : nullptr,
+            rank_ == root ? count * sizeof(T) : 0, root);
     if (rank_ != root && count > 0) {
       std::memcpy(data.data(), team_->slot(root).data, count * sizeof(T));
     }
-    team_->release();
+    team_->release(rank_);
     work_.add_collective(static_cast<double>(count * sizeof(T)));
   }
 
@@ -123,14 +177,14 @@ class Communicator {
   void allreduce_sum(std::span<T> inout) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<T> local(inout.begin(), inout.end());
-    team_->publish(rank_, local.data(), local.size() * sizeof(T));
+    publish(OpKind::kAllreduceSum, local.data(), local.size() * sizeof(T));
     for (std::size_t i = 0; i < inout.size(); ++i) inout[i] = T{};
     for (int r = 0; r < size(); ++r) {
       const auto* src = static_cast<const T*>(team_->slot(r).data);
       NEURO_CHECK(team_->slot(r).bytes == local.size() * sizeof(T));
       for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += src[i];
     }
-    team_->release();
+    team_->release(rank_);
     work_.add_collective(static_cast<double>(local.size() * sizeof(T)));
   }
 
@@ -145,13 +199,13 @@ class Communicator {
   template <typename T>
   T allreduce_max(T value) {
     T local = value;
-    team_->publish(rank_, &local, sizeof(T));
+    publish(OpKind::kAllreduceMax, &local, sizeof(T));
     T result = local;
     for (int r = 0; r < size(); ++r) {
       const T v = *static_cast<const T*>(team_->slot(r).data);
       if (v > result) result = v;
     }
-    team_->release();
+    team_->release(rank_);
     work_.add_collective(sizeof(T));
     return result;
   }
@@ -160,13 +214,13 @@ class Communicator {
   template <typename T>
   T allreduce_min(T value) {
     T local = value;
-    team_->publish(rank_, &local, sizeof(T));
+    publish(OpKind::kAllreduceMin, &local, sizeof(T));
     T result = local;
     for (int r = 0; r < size(); ++r) {
       const T v = *static_cast<const T*>(team_->slot(r).data);
       if (v < result) result = v;
     }
-    team_->release();
+    team_->release(rank_);
     work_.add_collective(sizeof(T));
     return result;
   }
@@ -177,14 +231,14 @@ class Communicator {
   std::vector<T> allgatherv(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<T> copy(local.begin(), local.end());
-    team_->publish(rank_, copy.data(), copy.size() * sizeof(T));
+    publish(OpKind::kAllgatherv, copy.data(), copy.size() * sizeof(T));
     std::vector<T> result;
     for (int r = 0; r < size(); ++r) {
       const auto& s = team_->slot(r);
       const auto* src = static_cast<const T*>(s.data);
       result.insert(result.end(), src, src + s.bytes / sizeof(T));
     }
-    team_->release();
+    team_->release(rank_);
     work_.add_collective(static_cast<double>(copy.size() * sizeof(T)));
     return result;
   }
@@ -194,14 +248,14 @@ class Communicator {
   std::vector<std::vector<T>> allgather_parts(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<T> copy(local.begin(), local.end());
-    team_->publish(rank_, copy.data(), copy.size() * sizeof(T));
+    publish(OpKind::kAllgatherParts, copy.data(), copy.size() * sizeof(T));
     std::vector<std::vector<T>> result(static_cast<std::size_t>(size()));
     for (int r = 0; r < size(); ++r) {
       const auto& s = team_->slot(r);
       const auto* src = static_cast<const T*>(s.data);
       result[static_cast<std::size_t>(r)].assign(src, src + s.bytes / sizeof(T));
     }
-    team_->release();
+    team_->release(rank_);
     work_.add_collective(static_cast<double>(copy.size() * sizeof(T)));
     return result;
   }
@@ -211,6 +265,9 @@ class Communicator {
   void send(int dst, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     NEURO_REQUIRE(dst >= 0 && dst < size(), "send: bad destination rank " << dst);
+    if (verify_) [[unlikely]] {
+      team_->note_p2p(rank_, next_op(OpKind::kSend, data.size() * sizeof(T), dst, tag));
+    }
     team_->send_bytes(rank_, dst, tag, data.data(), data.size() * sizeof(T));
     work_.add_comm(static_cast<double>(data.size() * sizeof(T)));
   }
@@ -220,22 +277,61 @@ class Communicator {
   std::vector<T> recv(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     NEURO_REQUIRE(src >= 0 && src < size(), "recv: bad source rank " << src);
+    if (verify_) [[unlikely]] {
+      team_->note_p2p(rank_, next_op(OpKind::kRecv, 0, src, tag));
+    }
     std::vector<std::byte> bytes = team_->recv_bytes(src, rank_, tag);
     NEURO_CHECK(bytes.size() % sizeof(T) == 0);
     std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) {
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+    }
     return out;
   }
 
  private:
+  // Collectives and point-to-point ops are numbered independently: every rank
+  // performs the same collectives (that is what the verifier checks), but
+  // send/recv counts legitimately differ between ranks and must not shift the
+  // collective sequence numbers being compared.
+  CollectiveOp next_op(OpKind kind, std::uint64_t bytes, int root = -1,
+                       int tag = -1) {
+    const bool p2p = kind == OpKind::kSend || kind == OpKind::kRecv;
+    return CollectiveOp{kind, p2p ? p2p_seq_++ : seq_++, root, tag, bytes};
+  }
+
+  void publish(OpKind kind, const void* data, std::size_t bytes, int root = -1) {
+    if (verify_) [[unlikely]] {
+      const CollectiveOp op = next_op(kind, bytes, root);
+      team_->publish(rank_, data, bytes, &op);
+    } else {
+      team_->publish(rank_, data, bytes);
+    }
+  }
+
   int rank_;
   detail::Team* team_;
+  bool verify_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t p2p_seq_ = 0;
   WorkCounter work_;
 };
 
+/// Options for run_spmd.
+struct SpmdOptions {
+  /// Collective-order verification (par/verify.h). kAuto follows the
+  /// NEURO_PAR_VERIFY compile definition / environment variable.
+  enum class Verify : std::uint8_t { kAuto, kOff, kOn };
+  Verify verify = Verify::kAuto;
+};
+
 /// Runs `body(comm)` on `nranks` threads. Rethrows the first exception thrown
-/// by any rank after all threads have joined. Returns the per-rank work
-/// accumulated over the whole run (whatever was not take()n inside the body).
+/// by any rank after all threads have joined (preferring application errors
+/// over secondary verifier reports). Returns the per-rank work accumulated
+/// over the whole run (whatever was not take()n inside the body).
+std::vector<WorkRecord> run_spmd(int nranks,
+                                 const std::function<void(Communicator&)>& body,
+                                 const SpmdOptions& options);
 std::vector<WorkRecord> run_spmd(int nranks,
                                  const std::function<void(Communicator&)>& body);
 

@@ -1,0 +1,83 @@
+#include "par/verify.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace neuro::par {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kBroadcast: return "broadcast";
+    case OpKind::kAllreduceSum: return "allreduce_sum";
+    case OpKind::kAllreduceMax: return "allreduce_max";
+    case OpKind::kAllreduceMin: return "allreduce_min";
+    case OpKind::kAllgatherv: return "allgatherv";
+    case OpKind::kAllgatherParts: return "allgather_parts";
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kExit: return "exit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Byte counts are part of the collective's signature only for the fixed-size
+/// reductions; broadcast payloads differ between root and non-root ranks and
+/// the gathers are variable-length by design.
+bool bytes_are_signature(OpKind kind) {
+  return kind == OpKind::kAllreduceSum || kind == OpKind::kAllreduceMax ||
+         kind == OpKind::kAllreduceMin;
+}
+
+}  // namespace
+
+bool ops_match(const CollectiveOp& a, const CollectiveOp& b) {
+  if (a.kind != b.kind || a.seq != b.seq) return false;
+  if (a.root != b.root || a.tag != b.tag) return false;
+  if (bytes_are_signature(a.kind) && a.bytes != b.bytes) return false;
+  return true;
+}
+
+std::string format_op(const CollectiveOp& op) {
+  std::ostringstream oss;
+  oss << op_kind_name(op.kind) << '#' << op.seq;
+  bool open = false;
+  auto field = [&](const char* name, auto value) {
+    oss << (open ? ", " : "(") << name << '=' << value;
+    open = true;
+  };
+  if (op.root >= 0) {
+    field(op.kind == OpKind::kSend   ? "to"
+          : op.kind == OpKind::kRecv ? "from"
+                                     : "root",
+          op.root);
+  }
+  if (op.tag >= 0) field("tag", op.tag);
+  if (bytes_are_signature(op.kind) || op.kind == OpKind::kSend ||
+      op.kind == OpKind::kRecv || op.bytes > 0) {
+    field("bytes", op.bytes);
+  }
+  if (open) oss << ')';
+  return oss.str();
+}
+
+bool verify_enabled_by_default() {
+#ifdef NEURO_PAR_VERIFY
+  return true;
+#else
+  const char* env = std::getenv("NEURO_PAR_VERIFY");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+#endif
+}
+
+std::chrono::milliseconds verify_timeout() {
+  if (const char* env = std::getenv("NEURO_PAR_VERIFY_TIMEOUT_MS")) {
+    const long ms = std::strtol(env, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::milliseconds(10000);
+}
+
+}  // namespace neuro::par

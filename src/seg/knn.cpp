@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <cstdio>
+#include <iomanip>
 #include <map>
+#include <ostream>
+#include <sstream>
 
 #include "base/check.h"
 #include "image/distance.h"
@@ -376,20 +378,23 @@ double ConfusionMatrix::accuracy() const {
   return total_ == 0 ? 1.0 : static_cast<double>(correct_) / static_cast<double>(total_);
 }
 
-void ConfusionMatrix::print() const {
-  std::printf("  truth\\pred");
-  for (const auto l : labels_) std::printf(" %8d", static_cast<int>(l));
-  std::printf("   recall\n");
+void ConfusionMatrix::print(std::ostream& os) const {
+  // Format into a local stream so the caller's flags are never disturbed.
+  std::ostringstream oss;
+  oss << "  " << std::setw(10) << "truth\\pred";
+  for (const auto l : labels_) oss << ' ' << std::setw(8) << static_cast<int>(l);
+  oss << "   recall\n" << std::fixed << std::setprecision(3);
   for (const auto t : labels_) {
-    std::printf("  %10d", static_cast<int>(t));
+    oss << "  " << std::setw(10) << static_cast<int>(t);
     for (const auto p : labels_) {
-      std::printf(" %8zu", count(t, p));
+      oss << ' ' << std::setw(8) << count(t, p);
     }
-    std::printf("   %.3f\n", recall(t));
+    oss << "   " << recall(t) << '\n';
   }
-  std::printf("  %10s", "precision");
-  for (const auto p : labels_) std::printf(" %8.3f", precision(p));
-  std::printf("   acc %.3f\n", accuracy());
+  oss << "  " << std::setw(10) << "precision";
+  for (const auto p : labels_) oss << ' ' << std::setw(8) << precision(p);
+  oss << "   acc " << accuracy() << '\n';
+  os << oss.str();
 }
 
 double dice_coefficient(const ImageL& a, const ImageL& b, std::uint8_t l) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "base/rng.h"
@@ -141,7 +142,7 @@ class ConfusionMatrix {
   [[nodiscard]] const std::vector<std::uint8_t>& labels() const { return labels_; }
 
   /// Prints rows = truth, columns = predicted, plus recall/precision.
-  void print() const;
+  void print(std::ostream& os) const;
 
  private:
   std::vector<std::uint8_t> labels_;

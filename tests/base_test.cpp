@@ -78,7 +78,7 @@ TEST(Mat3Test, DeterminantAndInverse) {
 
 TEST(Mat3Test, InverseOfSingularThrows) {
   Mat3 z;  // all zeros
-  EXPECT_THROW(z.inverse(), CheckError);
+  EXPECT_THROW(static_cast<void>(z.inverse()), CheckError);
 }
 
 TEST(Mat3Test, RotationIsOrthonormal) {

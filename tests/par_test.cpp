@@ -244,7 +244,7 @@ TEST(PhaseWorkTest, RecordsAndRetrieves) {
   EXPECT_TRUE(pw.has_phase("assemble"));
   EXPECT_FALSE(pw.has_phase("solve"));
   EXPECT_EQ(pw.phase("assemble").size(), 4u);
-  EXPECT_THROW(pw.phase("solve"), CheckError);
+  EXPECT_THROW(static_cast<void>(pw.phase("solve")), CheckError);
 }
 
 class SpmdRankCountTest : public ::testing::TestWithParam<int> {};

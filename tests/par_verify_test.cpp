@@ -1,0 +1,278 @@
+// Tests for the SPMD collective-order verifier (par/verify.h): matched
+// sequences pass, diverging ranks are detected and reported (not deadlocked),
+// and the verifier stays out of the way when disabled.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "par/communicator.h"
+#include "par/verify.h"
+
+namespace neuro::par {
+namespace {
+
+SpmdOptions verify_on() {
+  SpmdOptions o;
+  o.verify = SpmdOptions::Verify::kOn;
+  return o;
+}
+
+SpmdOptions verify_off() {
+  SpmdOptions o;
+  o.verify = SpmdOptions::Verify::kOff;
+  return o;
+}
+
+/// Runs `body` expecting a CollectiveMismatchError; returns its report text.
+std::string expect_mismatch(int nranks,
+                            const std::function<void(Communicator&)>& body) {
+  try {
+    run_spmd(nranks, body, verify_on());
+  } catch (const CollectiveMismatchError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CollectiveMismatchError";
+  return {};
+}
+
+/// Guard that pins an environment variable for one test and restores it.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ParVerifyTest, MatchedCollectiveSequencesPass) {
+  const auto work = run_spmd(
+      5,
+      [](Communicator& comm) {
+        comm.barrier();
+        std::vector<int> data;
+        if (comm.rank() == 2) data = {1, 2, 3};
+        comm.broadcast(data, 2);
+        EXPECT_EQ(data.size(), 3u);
+        const double sum = comm.allreduce_sum(1.0);
+        EXPECT_DOUBLE_EQ(sum, 5.0);
+        EXPECT_EQ(comm.allreduce_max(comm.rank()), 4);
+        EXPECT_EQ(comm.allreduce_min(comm.rank()), 0);
+        std::vector<int> mine{comm.rank()};
+        EXPECT_EQ(comm.allgatherv(std::span<const int>(mine.data(), 1)).size(), 5u);
+      },
+      verify_on());
+  ASSERT_EQ(work.size(), 5u);
+  EXPECT_GT(work[0].coll_rounds, 0.0);
+}
+
+TEST(ParVerifyTest, MatchedPointToPointPasses) {
+  run_spmd(
+      3,
+      [](Communicator& comm) {
+        const int next = (comm.rank() + 1) % comm.size();
+        const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+        const std::vector<int> mine{comm.rank()};
+        comm.send(next, 7, std::span<const int>(mine.data(), 1));
+        EXPECT_EQ(comm.recv<int>(prev, 7).at(0), prev);
+        comm.barrier();
+      },
+      verify_on());
+}
+
+TEST(ParVerifyTest, DivergingCollectiveKindIsReportedPerRank) {
+  const std::string report = expect_mismatch(4, [](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.barrier();  // everyone else reduces: divergence
+    } else {
+      comm.allreduce_sum(1.0);
+    }
+  });
+  // The report names the diverging rank and both operations.
+  EXPECT_NE(report.find("rank 1"), std::string::npos) << report;
+  EXPECT_NE(report.find("barrier"), std::string::npos) << report;
+  EXPECT_NE(report.find("allreduce_sum"), std::string::npos) << report;
+  // ... and carries one line per rank.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(report.find("rank " + std::to_string(r) + ":"), std::string::npos)
+        << report;
+  }
+}
+
+TEST(ParVerifyTest, DivergingBroadcastRootIsDetected) {
+  const std::string report = expect_mismatch(3, [](Communicator& comm) {
+    std::vector<int> data{comm.rank()};
+    comm.broadcast(data, comm.rank() == 2 ? 1 : 0);  // rank 2 names root 1
+  });
+  EXPECT_NE(report.find("broadcast"), std::string::npos) << report;
+  EXPECT_NE(report.find("rank 2"), std::string::npos) << report;
+}
+
+TEST(ParVerifyTest, MismatchedAllreduceSizeIsDetected) {
+  // Without verification this corrupts the reduction (caught later, or not at
+  // all); with it the divergent byte count is named before any slot is read.
+  const std::string report = expect_mismatch(3, [](Communicator& comm) {
+    std::vector<double> v(comm.rank() == 0 ? 2 : 1, 1.0);
+    comm.allreduce_sum(std::span<double>(v.data(), v.size()));
+  });
+  EXPECT_NE(report.find("allreduce_sum"), std::string::npos) << report;
+  EXPECT_NE(report.find("bytes"), std::string::npos) << report;
+}
+
+TEST(ParVerifyTest, RankExitingEarlyFailsWaitersInsteadOfDeadlocking) {
+  const std::string report = expect_mismatch(3, [](Communicator& comm) {
+    if (comm.rank() != 2) comm.barrier();  // rank 2 leaves without the barrier
+  });
+  EXPECT_NE(report.find("rank 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("exited"), std::string::npos) << report;
+}
+
+TEST(ParVerifyTest, CollectiveAfterAnotherRankExitedIsDetected) {
+  const std::string report = expect_mismatch(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+      comm.barrier();
+    } else {
+      comm.barrier();  // then exits; rank 0's second barrier can never complete
+    }
+  });
+  EXPECT_NE(report.find("exited"), std::string::npos) << report;
+}
+
+TEST(ParVerifyTest, UnmatchedRecvTimesOutWithReport) {
+  ScopedEnv timeout("NEURO_PAR_VERIFY_TIMEOUT_MS", "300");
+  const std::string report = expect_mismatch(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const auto got = comm.recv<int>(1, 9);  // rank 1 never sends
+      EXPECT_TRUE(got.empty());               // not reached
+    }
+  });
+  EXPECT_NE(report.find("recv"), std::string::npos) << report;
+  EXPECT_NE(report.find("tag=9"), std::string::npos) << report;
+}
+
+TEST(ParVerifyTest, ApplicationErrorPropagatesInsteadOfSecondaryReports) {
+  // One rank throws a CheckError mid-run; without verification the other
+  // ranks would deadlock at the next barrier. With it they fail fast, and
+  // run_spmd rethrows the *root cause*, not the secondary mismatch report.
+  try {
+    run_spmd(
+        3,
+        [](Communicator& comm) {
+          if (comm.rank() == 1) NEURO_CHECK_MSG(false, "application bug");
+          comm.barrier();
+        },
+        verify_on());
+    FAIL() << "expected CheckError";
+  } catch (const CollectiveMismatchError& e) {
+    FAIL() << "secondary report shadowed the root cause: " << e.what();
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("application bug"), std::string::npos);
+  }
+}
+
+TEST(ParVerifyTest, DisabledVerifierRunsIdenticalWorkloads) {
+  ScopedEnv env("NEURO_PAR_VERIFY", nullptr);
+  const auto work = run_spmd(
+      4,
+      [](Communicator& comm) {
+        comm.barrier();
+        const double sum = comm.allreduce_sum(static_cast<double>(comm.rank()));
+        EXPECT_DOUBLE_EQ(sum, 6.0);
+      },
+      verify_off());
+  // Work accounting is byte-identical whether or not verification ran.
+  const auto verified = run_spmd(
+      4,
+      [](Communicator& comm) {
+        comm.barrier();
+        const double sum = comm.allreduce_sum(static_cast<double>(comm.rank()));
+        EXPECT_DOUBLE_EQ(sum, 6.0);
+      },
+      verify_on());
+  ASSERT_EQ(work.size(), verified.size());
+  for (std::size_t r = 0; r < work.size(); ++r) {
+    EXPECT_DOUBLE_EQ(work[r].coll_rounds, verified[r].coll_rounds);
+    EXPECT_DOUBLE_EQ(work[r].coll_bytes, verified[r].coll_bytes);
+  }
+}
+
+TEST(ParVerifyTest, EnvironmentVariableEnablesVerification) {
+#ifdef NEURO_PAR_VERIFY
+  // Forced on at compile time; the env var is moot.
+  EXPECT_TRUE(verify_enabled_by_default());
+#else
+  {
+    ScopedEnv env("NEURO_PAR_VERIFY", nullptr);
+    EXPECT_FALSE(verify_enabled_by_default());
+  }
+  {
+    ScopedEnv env("NEURO_PAR_VERIFY", "0");
+    EXPECT_FALSE(verify_enabled_by_default());
+  }
+  {
+    ScopedEnv env("NEURO_PAR_VERIFY", "1");
+    EXPECT_TRUE(verify_enabled_by_default());
+  }
+  // kAuto follows the environment: a divergence is caught without passing
+  // SpmdOptions explicitly.
+  {
+    ScopedEnv env("NEURO_PAR_VERIFY", "1");
+    EXPECT_THROW(run_spmd(2,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) comm.barrier();
+                          }),
+                 CollectiveMismatchError);
+  }
+#endif
+}
+
+TEST(ParVerifyTest, FormatOpNamesEveryKind) {
+  EXPECT_EQ(format_op(CollectiveOp{OpKind::kBarrier, 3, -1, -1, 0}), "barrier#3");
+  EXPECT_EQ(format_op(CollectiveOp{OpKind::kBroadcast, 0, 2, -1, 16}),
+            "broadcast#0(root=2, bytes=16)");
+  EXPECT_EQ(format_op(CollectiveOp{OpKind::kAllreduceSum, 7, -1, -1, 8}),
+            "allreduce_sum#7(bytes=8)");
+  EXPECT_EQ(format_op(CollectiveOp{OpKind::kSend, 1, 3, 42, 64}),
+            "send#1(to=3, tag=42, bytes=64)");
+  EXPECT_EQ(format_op(CollectiveOp{OpKind::kRecv, 1, 0, 42, 0}),
+            "recv#1(from=0, tag=42, bytes=0)");
+}
+
+TEST(ParVerifyTest, OpsMatchComparesSignatures) {
+  const CollectiveOp a{OpKind::kAllreduceSum, 4, -1, -1, 8};
+  CollectiveOp b = a;
+  EXPECT_TRUE(ops_match(a, b));
+  b.bytes = 16;
+  EXPECT_FALSE(ops_match(a, b));  // reduction sizes are part of the signature
+  CollectiveOp g{OpKind::kAllgatherv, 4, -1, -1, 8};
+  CollectiveOp h = g;
+  h.bytes = 100;
+  EXPECT_TRUE(ops_match(g, h));  // gathers are legitimately ragged
+  h.kind = OpKind::kBarrier;
+  EXPECT_FALSE(ops_match(g, h));
+}
+
+}  // namespace
+}  // namespace neuro::par

@@ -55,10 +55,10 @@ TEST_F(PipelineTest, TimelineHasAllFigSixStages) {
   for (const char* stage :
        {"rigid_registration", "tissue_classification", "surface_displacement",
         "biomechanical_simulation", "visualization_resample"}) {
-    EXPECT_NO_THROW(result_->stage_seconds(stage)) << stage;
+    EXPECT_NO_THROW(static_cast<void>(result_->stage_seconds(stage))) << stage;
   }
   EXPECT_GT(result_->total_seconds, 0.0);
-  EXPECT_THROW(result_->stage_seconds("no_such_stage"), CheckError);
+  EXPECT_THROW(static_cast<void>(result_->stage_seconds("no_such_stage")), CheckError);
 }
 
 TEST_F(PipelineTest, SegmentationTracksIntraopAnatomy) {

@@ -99,7 +99,7 @@ TEST_F(SessionTest, ProcessesAllScans) {
   for (int s = 0; s < 3; ++s) {
     EXPECT_TRUE(session_->result(s).fem.stats.converged) << "scan " << s;
   }
-  EXPECT_THROW(session_->result(3), CheckError);
+  EXPECT_THROW(static_cast<void>(session_->result(3)), CheckError);
 }
 
 TEST_F(SessionTest, PrototypeModelPersistsAcrossScans) {
@@ -154,7 +154,7 @@ TEST(SessionConstructionTest, RejectsBadInputs) {
                CheckError);
   SurgerySession fresh(ImageF({4, 4, 4}), ImageL({4, 4, 4}),
                        default_pipeline_config());
-  EXPECT_THROW(fresh.latest(), CheckError);
+  EXPECT_THROW(static_cast<void>(fresh.latest()), CheckError);
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Repo-convention linter for the neurofem tree.
+
+Checks (see docs/static_analysis.md):
+  * every header uses `#pragma once` (no include guards);
+  * no `std::cout` / `printf` / C `rand()` in library code under src/ —
+    diagnostics go through base/check.h, randomness through base/rng.h, and
+    report printers take a std::ostream&;
+  * no `using namespace std;` anywhere;
+  * include order: a .cpp's first include is its own header; within each
+    blank-line-separated include block, <system> and "project" includes are
+    each sorted and not mixed;
+  * every file under src/ declares the `neuro` namespace, and namespace
+    closing braces carry a `// namespace ...` comment;
+  * no trailing whitespace, no tabs in C++ sources, files end with a newline.
+
+Exits non-zero listing every violation. Run directly:
+
+    python3 tools/lint/check_sources.py [repo-root]
+
+or via the build: `ctest -R lint` / `cmake --build build --target lint`.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CPP_DIRS = ("src", "tests", "bench", "examples", "tools")
+LIBRARY_DIR = "src"
+CPP_SUFFIXES = {".h", ".cpp"}
+
+# Library code must route output/randomness through the base/ primitives.
+BANNED_IN_SRC = [
+    (re.compile(r"\bstd::cout\b"), "std::cout (pass a std::ostream& instead)"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr (throw via base/check.h instead)"),
+    (re.compile(r"\b(?:std::)?f?printf\s*\("), "printf (pass a std::ostream& instead)"),
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), "C rand() (use base/rng.h)"),
+]
+BANNED_EVERYWHERE = [
+    (re.compile(r"\busing\s+namespace\s+std\s*;"), "using namespace std"),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure
+    so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def check_file(root: Path, path: Path) -> list[str]:
+    rel = path.relative_to(root).as_posix()
+    raw = path.read_text(encoding="utf-8")
+    errors: list[str] = []
+
+    def err(line: int, message: str) -> None:
+        errors.append(f"{rel}:{line}: {message}")
+
+    # -- whitespace hygiene ---------------------------------------------------
+    if raw and not raw.endswith("\n"):
+        err(raw.count("\n") + 1, "file does not end with a newline")
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        if line.rstrip("\n") != line.rstrip():
+            err(lineno, "trailing whitespace")
+        if "\t" in line:
+            err(lineno, "tab character (use spaces)")
+
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    raw_lines = raw.splitlines()
+
+    # -- pragma once ----------------------------------------------------------
+    if path.suffix == ".h":
+        if not re.search(r"^\s*#\s*pragma\s+once\s*$", code, re.MULTILINE):
+            err(1, "header is missing #pragma once")
+
+    # -- banned constructs ----------------------------------------------------
+    in_library = rel.startswith(LIBRARY_DIR + "/")
+    banned = BANNED_EVERYWHERE + (BANNED_IN_SRC if in_library else [])
+    for lineno, line in enumerate(code_lines, 1):
+        for pattern, what in banned:
+            if pattern.search(line):
+                err(lineno, f"banned construct: {what}")
+
+    # -- include order --------------------------------------------------------
+    # Parse from raw lines: the comment/string stripper blanks the quoted
+    # include target. Skip lines that are inside block comments by requiring
+    # the stripped line to still start with '#'.
+    includes = []  # (lineno, kind, target)
+    for lineno, line in enumerate(raw_lines, 1):
+        m = INCLUDE_RE.match(line)
+        if m and code_lines[lineno - 1].lstrip().startswith("#"):
+            includes.append((lineno, "system" if m.group(1) == "<" else "project", m.group(2)))
+
+    if includes and path.suffix == ".cpp" and in_library:
+        own = path.relative_to(root / LIBRARY_DIR).with_suffix(".h").as_posix()
+        first = includes[0]
+        if first[1] != "project" or first[2] != own:
+            if (root / LIBRARY_DIR / own).exists():
+                err(first[0], f'first include must be the file\'s own header "{own}"')
+
+    # Group includes into blank-line-separated blocks; each block must be
+    # internally sorted and must not mix <system> with "project" includes.
+    block: list[tuple[int, str, str]] = []
+
+    def flush_block() -> None:
+        if len(block) < 2:
+            block.clear()
+            return
+        kinds = {k for (_, k, _) in block}
+        if len(kinds) > 1:
+            err(block[0][0], 'include block mixes <system> and "project" includes')
+        targets = [t for (_, _, t) in block]
+        if targets != sorted(targets):
+            err(block[0][0], f"includes not sorted within block: {', '.join(targets)}")
+        block.clear()
+
+    prev_lineno = None
+    for inc in includes:
+        lineno = inc[0]
+        if prev_lineno is not None:
+            between = code_lines[prev_lineno : lineno - 1]
+            if any(not l.strip() for l in between):
+                flush_block()
+        # A .cpp's own first header is its own block.
+        if block or not (path.suffix == ".cpp" and not includes.index(inc)):
+            block.append(inc)
+        prev_lineno = lineno
+    flush_block()
+
+    # -- namespaces -----------------------------------------------------------
+    if in_library:
+        if not re.search(r"^\s*namespace\s+neuro\b", code, re.MULTILINE):
+            err(1, "library file does not declare namespace neuro")
+
+    # Track brace nesting to find the braces that close namespaces; those must
+    # carry the conventional `}  // namespace …` comment on the raw line.
+    stack: list[tuple[bool, int]] = []  # (is_namespace, open_lineno)
+    pending_namespace = False
+    for lineno, line in enumerate(code_lines, 1):
+        for tok in re.findall(r"using\s+namespace\b|namespace\b|[{};]", line):
+            if tok.startswith("using"):
+                continue  # a using-directive opens no scope
+            if tok == ";":
+                pending_namespace = False  # namespace alias / using-directive
+            elif tok == "namespace":
+                pending_namespace = True
+            elif tok == "{":
+                stack.append((pending_namespace, lineno))
+                pending_namespace = False
+            else:  # "}"
+                pending_namespace = False
+                if not stack:
+                    continue  # unbalanced (macro trickery); not this rule's job
+                was_namespace, _ = stack.pop()
+                if was_namespace and "namespace" not in raw_lines[lineno - 1]:
+                    err(lineno, "namespace-closing brace must carry a '// namespace …' comment")
+
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[2]
+    files = []
+    for d in CPP_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*")) if p.suffix in CPP_SUFFIXES)
+    all_errors: list[str] = []
+    for path in files:
+        all_errors.extend(check_file(root, path))
+    if all_errors:
+        print(f"check_sources: {len(all_errors)} violation(s) in {len(files)} files:")
+        for e in all_errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_sources: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

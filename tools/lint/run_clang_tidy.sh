@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library and
+# tool sources using the compilation database of an existing build directory.
+#
+#   tools/lint/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build directory must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI asan-ubsan job does this).
+# Exits 0 with a notice when no clang-tidy binary is installed, so the lint
+# pass stays runnable on gcc-only hosts.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy_bin=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy_bin="$candidate"
+    break
+  fi
+done
+if [ -z "$tidy_bin" ]; then
+  echo "run_clang_tidy: no clang-tidy binary found on PATH; skipping (not an error)."
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json not found." >&2
+  echo "Configure with: cmake -B $build_dir -S $repo_root -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+cd "$repo_root"
+files=$(find src tools -name '*.cpp' ! -path 'tools/lint/*' | sort)
+echo "run_clang_tidy: $tidy_bin over $(echo "$files" | wc -l) files (db: $build_dir)"
+# shellcheck disable=SC2086
+exec "$tidy_bin" -p "$build_dir" --quiet "$@" $files
