@@ -62,7 +62,7 @@ int main() {
     const double z1 = lo_z + (hi_z - lo_z) * (band + 1) / 5.0;
     double sum_dz = 0.0, sum_m = 0.0;
     int n = 0;
-    for (std::size_t v = 0; v < disp.size(); ++v) {
+    for (const mesh::VertId v : disp.ids()) {
       const double z = result.preop_surface.vertices[v].z;
       if (z < z0 || z >= z1) continue;
       sum_dz += disp[v].z;

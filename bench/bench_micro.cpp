@@ -160,9 +160,10 @@ struct SolveFixture {
   fem::LocalSystem make_system() {
     const auto part = mesh::partition_node_balanced(mesh.num_nodes(), 1);
     fem::LocalSystem sys = [&] {
+      const solver::RowRange unit{solver::GlobalRow{0}, solver::GlobalRow{1}};
       fem::LocalSystem built{
-          solver::DistCsrMatrix(1, {0, 1}, {0, 0}, {}, {}),
-          solver::DistVector(1, {0, 1})};
+          solver::DistCsrMatrix(1, unit, {0, 0}, {}, {}),
+          solver::DistVector(1, unit)};
       par::run_spmd(1, [&](par::Communicator& comm) {
         built = fem::assemble_elasticity(mesh, topo, materials, part, {}, comm);
       });
@@ -300,9 +301,9 @@ BENCHMARK(BM_Ic0Apply)->Unit(benchmark::kMillisecond);
 void BM_ElementStrains(benchmark::State& state) {
   const auto& mesh = shared_mesh();
   std::vector<Vec3> u(static_cast<std::size_t>(mesh.num_nodes()));
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
-    u[static_cast<std::size_t>(n)] = Vec3{0.01 * p.z, 0.0, -0.02 * p.z};
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    const Vec3& p = mesh.nodes[n];
+    u[n.index()] = Vec3{0.01 * p.z, 0.0, -0.02 * p.z};
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(fem::element_strains(mesh, u));

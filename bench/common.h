@@ -82,7 +82,7 @@ inline BrainProblem make_brain_problem(int target_equations) {
   const phantom::ShiftConfig shift;  // defaults: 8 mm sink + resection collapse
   problem.prescribed.reserve(surface.mesh_nodes.size());
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = problem.mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = problem.mesh.nodes[n];
     problem.prescribed.emplace_back(n, -1.0 * problem.geometry.shift_at(p, shift));
   }
   return problem;

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   const phantom::ShiftConfig shift;
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     bcs.emplace_back(n, -1.0 * geo.shift_at(p, shift));
   }
 

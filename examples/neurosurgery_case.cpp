@@ -94,8 +94,8 @@ int main(int argc, char** argv) {
     viz::write_ply_colored(out + "/fig5_surface_colored.ply",
                            result.surface_match.surface, magnitudes);
     viz::write_arrows_obj(out + "/fig5_arrows.obj",
-                          result.preop_surface.vertices,
-                          result.surface_match.displacements, 400);
+                          result.preop_surface.vertices.raw(),
+                          result.surface_match.displacements.raw(), 400);
   }
 
   mesh::write_obj(out + "/fig5_surface.obj", result.surface_match.surface);
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     std::ofstream csv(out + "/fig5_arrows.csv");
     csv << "x0,y0,z0,x1,y1,z1,magnitude_mm\n";
     const auto& surf = result.surface_match;
-    for (std::size_t v = 0; v < surf.displacements.size(); ++v) {
+    for (const mesh::VertId v : surf.displacements.ids()) {
       const Vec3 p0 = result.preop_surface.vertices[v];
       const Vec3 p1 = p0 + surf.displacements[v];
       csv << p0.x << ',' << p0.y << ',' << p0.z << ',' << p1.x << ',' << p1.y << ','

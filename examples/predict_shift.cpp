@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<mesh::NodeId, Vec3>> clamped;
   int exposed = 0;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     const double lateral = std::hypot(p.x - cc.x, p.y - cc.y);
     const bool in_window = lateral < craniotomy_radius && p.z > geo.head_center().z;
     if (in_window) {
@@ -80,24 +80,24 @@ int main(int argc, char** argv) {
 
   // Predicted sag profile.
   double max_sag = 0.0;
-  mesh::NodeId deepest = 0;
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    const double sag = -result.node_displacements[static_cast<std::size_t>(n)].z;
+  mesh::NodeId deepest{0};
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    const double sag = -result.node_displacements[n.index()].z;
     if (sag > max_sag) {
       max_sag = sag;
       deepest = n;
     }
   }
-  const Vec3 where = mesh.nodes[static_cast<std::size_t>(deepest)];
+  const Vec3 where = mesh.nodes[deepest];
   std::printf("predicted peak sag: %.1f mm at (%.0f, %.0f, %.0f) — under the "
               "craniotomy at (%.0f, %.0f)\n",
               max_sag, where.x, where.y, where.z, cc.x, cc.y);
 
   // Export the predicted deformation for inspection.
   std::vector<double> sag(static_cast<std::size_t>(surface.num_vertices()));
-  for (int v = 0; v < surface.num_vertices(); ++v) {
-    const auto n = static_cast<std::size_t>(surface.mesh_nodes[static_cast<std::size_t>(v)]);
-    sag[static_cast<std::size_t>(v)] = -result.node_displacements[n].z;
+  for (const mesh::VertId v : surface.vert_ids()) {
+    const mesh::NodeId n = surface.mesh_nodes[v];
+    sag[v.index()] = -result.node_displacements[n.index()].z;
   }
   viz::write_ply_colored("predicted_sag.ply", surface, sag);
   std::printf("wrote predicted_sag.ply (surface colored by predicted sinking)\n");

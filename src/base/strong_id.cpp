@@ -1,0 +1,11 @@
+#include "base/strong_id.h"
+
+#include "base/check.h"
+
+namespace neuro::base::detail {
+
+void id_bounds_failed() {
+  throw CheckError("strong-id bounds check failed: id outside container");
+}
+
+}  // namespace neuro::base::detail

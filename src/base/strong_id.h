@@ -1,0 +1,268 @@
+// Strong index types — compile-time separation of the repo's index spaces.
+//
+// The pipeline juggles half a dozen integer index spaces: tet-mesh nodes,
+// tetrahedra, surface vertices/triangles, per-node dofs, and the solver's
+// local/global row numbering (the 3·N-equation system the paper distributes
+// across CPUs). A raw `int` lets any of them silently stand in for any other;
+// a node/dof or local/global mix-up then compiles fine and surfaces only as a
+// wrong deformation field. StrongId<Tag> makes each space its own type:
+// construction from an integer is explicit, cross-tag assignment/comparison
+// does not compile, and the only arithmetic provided is what an index
+// legitimately supports (increment, offset by a count, distance between two
+// ids of the same space). Everything is constexpr and the representation is a
+// bare int32 — in Release builds the types compile away entirely
+// (see bench_micro's typed-indexing cases).
+//
+// Adding a new index space is one line:
+//
+//   using FooId = base::StrongId<struct FooIdTag>;
+//
+// and containers indexed by it are IdVector<FooId, T> / IdSpan<FooId, T>,
+// whose operator[] only accepts FooId (bounds-checked in debug builds, raw
+// indexing in Release). Contiguous runs of ids are IdRange<FooId>, whose
+// members are named first/second so it binds and reads like the std::pair
+// ranges it replaced. docs/static_analysis.md § "Index spaces and strong IDs"
+// has the full map of tags and conversion points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+namespace neuro::base {
+
+/// A typed integer index. `Tag` is any (possibly incomplete) type; distinct
+/// tags give unrelated, non-interconvertible id types.
+template <class Tag>
+class StrongId {
+ public:
+  using Rep = std::int32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : v_(v) {}
+  constexpr explicit StrongId(std::size_t v) : v_(static_cast<Rep>(v)) {}
+  constexpr explicit StrongId(std::int64_t v) : v_(static_cast<Rep>(v)) {}
+
+  /// The underlying integer, for arithmetic that leaves this index space
+  /// (e.g. flop accounting) — an explicit, grep-able escape hatch.
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+  /// The underlying integer as a size_t, for raw-container subscripts.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(v_);
+  }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  constexpr StrongId& operator++() {
+    ++v_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) {
+    StrongId old = *this;
+    ++v_;
+    return old;
+  }
+  constexpr StrongId& operator--() {
+    --v_;
+    return *this;
+  }
+  constexpr StrongId operator--(int) {
+    StrongId old = *this;
+    --v_;
+    return old;
+  }
+
+  /// Offset by a count stays in the same index space…
+  constexpr StrongId& operator+=(Rep d) {
+    v_ += d;
+    return *this;
+  }
+  constexpr StrongId& operator-=(Rep d) {
+    v_ -= d;
+    return *this;
+  }
+  friend constexpr StrongId operator+(StrongId a, Rep d) { return StrongId(a.v_ + d); }
+  friend constexpr StrongId operator+(Rep d, StrongId a) { return StrongId(a.v_ + d); }
+  friend constexpr StrongId operator-(StrongId a, Rep d) { return StrongId(a.v_ - d); }
+  /// …while the distance between two ids of the same space is a plain count.
+  friend constexpr Rep operator-(StrongId a, StrongId b) { return a.v_ - b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.v_;
+  }
+
+ private:
+  Rep v_{0};
+};
+
+/// Half-open run [first, second) of one id space. Members are named like
+/// std::pair's on purpose: partition and row ranges migrated from
+/// std::pair<int, int>, and `.first`/`.second` plus structured bindings keep
+/// working — now with typed ends.
+template <class Id>
+struct IdRange {
+  Id first{};
+  Id second{};
+
+  using Rep = typename Id::Rep;
+
+  [[nodiscard]] constexpr Rep size() const { return second - first; }
+  [[nodiscard]] constexpr bool empty() const { return !(first < second); }
+  [[nodiscard]] constexpr bool contains(Id id) const {
+    return first <= id && id < second;
+  }
+  /// Zero-based offset of `id` within the range (the "local" index).
+  [[nodiscard]] constexpr Rep offset_of(Id id) const { return id - first; }
+
+  friend constexpr bool operator==(IdRange, IdRange) = default;
+
+  /// Iteration yields the ids themselves: `for (NodeId n : part.ranges[r])`.
+  struct iterator {
+    Id id;
+    constexpr Id operator*() const { return id; }
+    constexpr iterator& operator++() {
+      ++id;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator, iterator) = default;
+  };
+  [[nodiscard]] constexpr iterator begin() const { return {first}; }
+  [[nodiscard]] constexpr iterator end() const { return {second}; }
+};
+
+/// The range [0, count) of an id space.
+template <class Id>
+[[nodiscard]] constexpr IdRange<Id> id_range(typename Id::Rep count) {
+  return {Id{0}, Id{count}};
+}
+
+#if defined(NDEBUG)
+#define NEURO_ID_BOUNDS_CHECK(cond) ((void)0)
+#else
+#define NEURO_ID_BOUNDS_CHECK(cond) \
+  ((cond) ? (void)0 : ::neuro::base::detail::id_bounds_failed())
+#endif
+
+namespace detail {
+[[noreturn]] void id_bounds_failed();
+}  // namespace detail
+
+/// std::vector whose operator[] takes the matching id type and nothing else.
+/// Debug builds bounds-check every access; Release compiles to raw indexing.
+/// Iteration, push_back and the wire-format escape hatch raw() are untyped on
+/// purpose — only *indexing* is where index spaces get confused.
+template <class Id, class T>
+class IdVector {
+ public:
+  using value_type = T;
+  using iterator = typename std::vector<T>::iterator;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  IdVector() = default;
+  explicit IdVector(std::size_t n, const T& fill = T{}) : v_(n, fill) {}
+  IdVector(std::initializer_list<T> init) : v_(init) {}
+  explicit IdVector(std::vector<T> v) : v_(std::move(v)) {}
+
+  [[nodiscard]] T& operator[](Id id) {
+    NEURO_ID_BOUNDS_CHECK(id.index() < v_.size());
+    return v_[id.index()];
+  }
+  [[nodiscard]] const T& operator[](Id id) const {
+    NEURO_ID_BOUNDS_CHECK(id.index() < v_.size());
+    return v_[id.index()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  /// One-past-the-last valid id.
+  [[nodiscard]] Id end_id() const { return Id{v_.size()}; }
+  /// All valid ids, for typed loops: `for (NodeId n : mesh.nodes.ids())`.
+  [[nodiscard]] IdRange<Id> ids() const { return {Id{0}, end_id()}; }
+
+  [[nodiscard]] iterator begin() { return v_.begin(); }
+  [[nodiscard]] iterator end() { return v_.end(); }
+  [[nodiscard]] const_iterator begin() const { return v_.begin(); }
+  [[nodiscard]] const_iterator end() const { return v_.end(); }
+  [[nodiscard]] T* data() { return v_.data(); }
+  [[nodiscard]] const T* data() const { return v_.data(); }
+  [[nodiscard]] T& front() { return v_.front(); }
+  [[nodiscard]] const T& front() const { return v_.front(); }
+  [[nodiscard]] T& back() { return v_.back(); }
+  [[nodiscard]] const T& back() const { return v_.back(); }
+
+  void push_back(const T& t) { v_.push_back(t); }
+  void push_back(T&& t) { v_.push_back(std::move(t)); }
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    return v_.emplace_back(std::forward<Args>(args)...);
+  }
+  void resize(std::size_t n) { v_.resize(n); }
+  void resize(std::size_t n, const T& fill) { v_.resize(n, fill); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void assign(std::size_t n, const T& fill) { v_.assign(n, fill); }
+  void clear() { v_.clear(); }
+  void swap(IdVector& other) noexcept { v_.swap(other.v_); }
+
+  /// The untyped storage, for wire formats and bulk algorithms. Indexing
+  /// through raw() is the reviewed escape hatch — keep it rare.
+  [[nodiscard]] std::vector<T>& raw() { return v_; }
+  [[nodiscard]] const std::vector<T>& raw() const { return v_; }
+
+  friend bool operator==(const IdVector&, const IdVector&) = default;
+
+ private:
+  std::vector<T> v_;
+};
+
+/// Non-owning view with the same typed operator[] as IdVector. `T` may be
+/// const-qualified for read-only views.
+template <class Id, class T>
+class IdSpan {
+ public:
+  constexpr IdSpan() = default;
+  constexpr IdSpan(T* data, std::size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): spans are views
+  constexpr IdSpan(IdVector<Id, std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): spans are views
+  constexpr IdSpan(const IdVector<Id, std::remove_const_t<T>>& v)
+    requires std::is_const_v<T>
+      : data_(v.data()), size_(v.size()) {}
+
+  [[nodiscard]] constexpr T& operator[](Id id) const {
+    NEURO_ID_BOUNDS_CHECK(id.index() < size_);
+    return data_[id.index()];
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] Id end_id() const { return Id{size_}; }
+  [[nodiscard]] IdRange<Id> ids() const { return {Id{0}, end_id()}; }
+  [[nodiscard]] constexpr T* begin() const { return data_; }
+  [[nodiscard]] constexpr T* end() const { return data_ + size_; }
+  [[nodiscard]] constexpr T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace neuro::base
+
+namespace neuro {
+
+/// A rank (CPU) of the SPMD team — used across mesh partitioning and the
+/// solver's exchange plans; par::Communicator::rank_id() bridges to it.
+using Rank = base::StrongId<struct RankTag>;
+
+}  // namespace neuro
+
+template <class Tag>
+struct std::hash<neuro::base::StrongId<Tag>> {
+  std::size_t operator()(neuro::base::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

@@ -25,12 +25,12 @@ ImageV rasterize_displacements(const mesh::TetMesh& mesh,
   // small tolerance so faces shared between tets claim their voxels exactly
   // once (last writer wins; the field is continuous across faces anyway).
   constexpr double kTol = 1e-9;
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
-    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
-    const Vec3& a = mesh.nodes[static_cast<std::size_t>(tet[0])];
-    const Vec3& b = mesh.nodes[static_cast<std::size_t>(tet[1])];
-    const Vec3& c = mesh.nodes[static_cast<std::size_t>(tet[2])];
-    const Vec3& e = mesh.nodes[static_cast<std::size_t>(tet[3])];
+  for (const mesh::TetId t : mesh.tet_ids()) {
+    const auto& tet = mesh.tets[t];
+    const Vec3& a = mesh.nodes[tet[0]];
+    const Vec3& b = mesh.nodes[tet[1]];
+    const Vec3& c = mesh.nodes[tet[2]];
+    const Vec3& e = mesh.nodes[tet[3]];
     Aabb box;
     box.expand(a);
     box.expand(b);
@@ -51,7 +51,7 @@ ImageV rasterize_displacements(const mesh::TetMesh& mesh,
           if (l[0] < -kTol || l[1] < -kTol || l[2] < -kTol || l[3] < -kTol) continue;
           Vec3 u{};
           for (std::size_t v = 0; v < 4; ++v) {
-            u += l[v] * node_displacements[static_cast<std::size_t>(tet[v])];
+            u += l[v] * node_displacements[tet[v].index()];
           }
           out(i, j, k) = u;
           if (support != nullptr) (*support)(i, j, k) = 1;

@@ -129,7 +129,7 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
       snapped.surface, sdf_intra, config.active_surface);
   // Re-express displacements relative to the snapped preop configuration and
   // restore the mesh-node bookkeeping of the original extraction.
-  for (std::size_t v = 0; v < result.surface_match.displacements.size(); ++v) {
+  for (const mesh::VertId v : result.surface_match.displacements.ids()) {
     result.surface_match.displacements[v] =
         result.surface_match.surface.vertices[v] - snapped.surface.vertices[v];
   }

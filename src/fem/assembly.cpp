@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "fem/dof.h"
 
 namespace neuro::fem {
 
@@ -10,9 +11,9 @@ MeshTopology MeshTopology::build(const mesh::TetMesh& mesh) {
   MeshTopology topo;
   topo.node_adj = mesh::node_adjacency(mesh);
   topo.node_tets.resize(static_cast<std::size_t>(mesh.num_nodes()));
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
-    for (const mesh::NodeId n : mesh.tets[static_cast<std::size_t>(t)]) {
-      topo.node_tets[static_cast<std::size_t>(n)].push_back(t);
+  for (const mesh::TetId t : mesh.tet_ids()) {
+    for (const mesh::NodeId n : mesh.tets[t]) {
+      topo.node_tets[n].push_back(t);
     }
   }
   return topo;
@@ -22,15 +23,16 @@ LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& t
                                 const MaterialMap& materials,
                                 const mesh::Partition& partition,
                                 const Vec3& body_force, par::Communicator& comm) {
-  const auto [nb, ne] = partition.ranges[static_cast<std::size_t>(comm.rank())];
-  const int num_dofs = 3 * mesh.num_nodes();
-  const std::pair<int, int> dof_range{3 * nb, 3 * ne};
+  const base::IdRange<mesh::NodeId> owned = partition.ranges[comm.rank_id()];
+  const auto [nb, ne] = owned;
+  const int num_dofs = kDofsPerNode * mesh.num_nodes();
+  const solver::RowRange dof_range = row_range_of(owned);
 
   // --- Sparsity: rows of owned dofs, 3x3 blocks over the node adjacency. ---
-  std::vector<int> row_ptr(static_cast<std::size_t>(dof_range.second - dof_range.first) + 1, 0);
+  std::vector<int> row_ptr(static_cast<std::size_t>(dof_range.size()) + 1, 0);
   std::size_t nnz = 0;
   for (mesh::NodeId n = nb; n < ne; ++n) {
-    const std::size_t row_block = topo.node_adj[static_cast<std::size_t>(n)].size() * 3;
+    const std::size_t row_block = topo.node_adj[n].size() * 3;
     for (int c = 0; c < 3; ++c) {
       nnz += row_block;
       row_ptr[static_cast<std::size_t>(3 * (n - nb) + c) + 1] = static_cast<int>(nnz);
@@ -39,12 +41,12 @@ LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& t
   std::vector<int> cols(nnz);
   std::vector<double> values(nnz, 0.0);
   for (mesh::NodeId n = nb; n < ne; ++n) {
-    const auto& adj = topo.node_adj[static_cast<std::size_t>(n)];
+    const auto& adj = topo.node_adj[n];
     for (int c = 0; c < 3; ++c) {
       int p = row_ptr[static_cast<std::size_t>(3 * (n - nb) + c)];
       for (const mesh::NodeId m : adj) {
         for (int cc = 0; cc < 3; ++cc) {
-          cols[static_cast<std::size_t>(p++)] = 3 * m + cc;
+          cols[static_cast<std::size_t>(p++)] = dof_of(m, cc).value();
         }
       }
     }
@@ -53,7 +55,7 @@ LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& t
   // Per-row column position lookup: rows share the node's adjacency, so a
   // node-level map (neighbour → slot) serves all three of its rows.
   auto col_slot = [&](mesh::NodeId n, mesh::NodeId m) {
-    const auto& adj = topo.node_adj[static_cast<std::size_t>(n)];
+    const auto& adj = topo.node_adj[n];
     const auto it = std::lower_bound(adj.begin(), adj.end(), m);
     NEURO_CHECK(it != adj.end() && *it == m);
     return static_cast<int>(it - adj.begin());
@@ -64,28 +66,25 @@ LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& t
   // --- Element loop: every tet incident to an owned node, deduplicated. ---
   std::vector<mesh::TetId> local_tets;
   for (mesh::NodeId n = nb; n < ne; ++n) {
-    local_tets.insert(local_tets.end(), topo.node_tets[static_cast<std::size_t>(n)].begin(),
-                      topo.node_tets[static_cast<std::size_t>(n)].end());
+    local_tets.insert(local_tets.end(), topo.node_tets[n].begin(),
+                      topo.node_tets[n].end());
   }
   std::sort(local_tets.begin(), local_tets.end());
   local_tets.erase(std::unique(local_tets.begin(), local_tets.end()), local_tets.end());
 
   const bool has_body_force = norm2(body_force) > 0.0;
   for (const mesh::TetId t : local_tets) {
-    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    const auto& tet = mesh.tets[t];
     const TetElement elem = TetElement::from_vertices(
-        mesh.nodes[static_cast<std::size_t>(tet[0])],
-        mesh.nodes[static_cast<std::size_t>(tet[1])],
-        mesh.nodes[static_cast<std::size_t>(tet[2])],
-        mesh.nodes[static_cast<std::size_t>(tet[3])]);
-    const auto D = elasticity_matrix(
-        materials.for_label(mesh.tet_labels[static_cast<std::size_t>(t)]));
+        mesh.nodes[tet[0]], mesh.nodes[tet[1]], mesh.nodes[tet[2]],
+        mesh.nodes[tet[3]]);
+    const auto D = elasticity_matrix(materials.for_label(mesh.tet_labels[t]));
     const auto Ke = elem.stiffness(D);
 
     // Scatter only rows of owned nodes.
     for (int a = 0; a < 4; ++a) {
       const mesh::NodeId n = tet[static_cast<std::size_t>(a)];
-      if (n < nb || n >= ne) continue;
+      if (!owned.contains(n)) continue;
       for (int bnode = 0; bnode < 4; ++bnode) {
         const mesh::NodeId m = tet[static_cast<std::size_t>(bnode)];
         const int slot = col_slot(n, m);
@@ -101,7 +100,7 @@ LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& t
       if (has_body_force) {
         const auto load = elem.body_force_load(body_force);
         for (int ca = 0; ca < 3; ++ca) {
-          b[3 * n + ca] += load[static_cast<std::size_t>(3 * a + ca)];
+          b[row_of(dof_of(n, ca))] += load[static_cast<std::size_t>(3 * a + ca)];
         }
       }
     }

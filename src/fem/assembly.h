@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "base/strong_id.h"
 #include "fem/element.h"
 #include "fem/material.h"
 #include "mesh/partition.h"
@@ -26,10 +27,11 @@ namespace neuro::fem {
 /// Read-only mesh connectivity shared by all ranks (built once, outside the
 /// SPMD region — in the paper's setting this is the replicated mesh).
 struct MeshTopology {
-  std::vector<std::vector<mesh::NodeId>> node_adj;   ///< sorted, includes self
-  std::vector<std::vector<mesh::TetId>> node_tets;   ///< incident tets per node
-
-  static MeshTopology build(const mesh::TetMesh& mesh);
+  base::IdVector<mesh::NodeId, std::vector<mesh::NodeId>> node_adj;  ///< sorted,
+                                                                     ///< incl. self
+  base::IdVector<mesh::NodeId, std::vector<mesh::TetId>> node_tets;  ///< incident
+                                                                     ///< tets
+  [[nodiscard]] static MeshTopology build(const mesh::TetMesh& mesh);
 };
 
 /// One rank's piece of the assembled system (rows of its dofs).
@@ -41,7 +43,7 @@ struct LocalSystem {
 /// Assembles the rank's rows of K u = f for linear elasticity with per-tet
 /// materials and an optional constant body force. Collective only in the
 /// trivial sense (no messages; every rank works on its own rows).
-LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& topo,
+[[nodiscard]] LocalSystem assemble_elasticity(const mesh::TetMesh& mesh, const MeshTopology& topo,
                                 const MaterialMap& materials,
                                 const mesh::Partition& partition,
                                 const Vec3& body_force, par::Communicator& comm);

@@ -18,22 +18,22 @@ std::vector<Vec3> interpolate_surface_displacements(
   std::vector<Vec3> result(static_cast<std::size_t>(mesh.num_nodes()));
   std::vector<char> fixed(static_cast<std::size_t>(mesh.num_nodes()), 0);
   for (const auto& [node, u] : prescribed) {
-    result[static_cast<std::size_t>(node)] = u;
-    fixed[static_cast<std::size_t>(node)] = 1;
+    result[node.index()] = u;
+    fixed[node.index()] = 1;
   }
 
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    if (fixed[static_cast<std::size_t>(n)]) continue;
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    if (fixed[n.index()]) continue;
+    const Vec3& p = mesh.nodes[n];
     Vec3 acc{};
     double total_weight = 0.0;
     for (const auto& [node, u] : prescribed) {
-      const double dist = norm(p - mesh.nodes[static_cast<std::size_t>(node)]);
+      const double dist = norm(p - mesh.nodes[node]);
       const double w = 1.0 / std::pow(std::max(dist, 1e-9), options.power);
       acc += w * u;
       total_weight += w;
     }
-    result[static_cast<std::size_t>(n)] = acc / total_weight;
+    result[n.index()] = acc / total_weight;
   }
   return result;
 }

@@ -25,7 +25,7 @@ struct IdwOptions {
 /// all other nodes get the inverse-distance-weighted average of the
 /// prescribed ones. The same call signature as solve_deformation's inputs,
 /// so benches can swap the two.
-std::vector<Vec3> interpolate_surface_displacements(
+[[nodiscard]] std::vector<Vec3> interpolate_surface_displacements(
     const mesh::TetMesh& mesh,
     const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
     const IdwOptions& options = {});

@@ -11,15 +11,15 @@ DirichletSet DirichletSet::from_node_displacements(
     const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed) {
   DirichletSet set;
   for (const auto& [node, u] : prescribed) {
-    set.add(3 * node + 0, u.x);
-    set.add(3 * node + 1, u.y);
-    set.add(3 * node + 2, u.z);
+    set.add(dof_of(node, 0), u.x);
+    set.add(dof_of(node, 1), u.y);
+    set.add(dof_of(node, 2), u.z);
   }
   set.finalize();
   return set;
 }
 
-void DirichletSet::add(int dof, double value) {
+void DirichletSet::add(DofId dof, double value) {
   NEURO_REQUIRE(!finalized_, "DirichletSet::add after finalize");
   dofs_.push_back(dof);
   values_.push_back(value);
@@ -30,7 +30,7 @@ void DirichletSet::finalize() {
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return dofs_[a] < dofs_[b]; });
-  std::vector<int> dofs(dofs_.size());
+  std::vector<DofId> dofs(dofs_.size());
   std::vector<double> values(values_.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     dofs[i] = dofs_[order[i]];
@@ -52,12 +52,12 @@ void DirichletSet::finalize() {
   finalized_ = true;
 }
 
-bool DirichletSet::contains(int dof) const {
+bool DirichletSet::contains(DofId dof) const {
   NEURO_CHECK(finalized_);
   return std::binary_search(dofs_.begin(), dofs_.end(), dof);
 }
 
-double DirichletSet::value_of(int dof) const {
+double DirichletSet::value_of(DofId dof) const {
   NEURO_CHECK(finalized_);
   const auto it = std::lower_bound(dofs_.begin(), dofs_.end(), dof);
   NEURO_REQUIRE(it != dofs_.end() && *it == dof,
@@ -65,7 +65,7 @@ double DirichletSet::value_of(int dof) const {
   return values_[static_cast<std::size_t>(it - dofs_.begin())];
 }
 
-int DirichletSet::count_in_range(int begin, int end) const {
+int DirichletSet::count_in_range(DofId begin, DofId end) const {
   NEURO_CHECK(finalized_);
   const auto lo = std::lower_bound(dofs_.begin(), dofs_.end(), begin);
   const auto hi = std::lower_bound(dofs_.begin(), dofs_.end(), end);
@@ -81,26 +81,26 @@ void apply_dirichlet(LocalSystem& system, const DirichletSet& bc,
   const auto& cols = A.global_cols();
   auto& values = A.values();
 
-  for (int row = rb; row < re; ++row) {
+  for (solver::GlobalRow row = rb; row < re; ++row) {
     const int r = row - rb;
-    const bool row_fixed = bc.contains(row);
+    const bool row_fixed = bc.contains(dof_of_row(row));
     if (row_fixed) {
       // Identity row carrying the prescribed value.
       for (int p = row_ptr[static_cast<std::size_t>(r)];
            p < row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
         values[static_cast<std::size_t>(p)] =
-            cols[static_cast<std::size_t>(p)] == row ? 1.0 : 0.0;
+            cols[static_cast<std::size_t>(p)] == row.value() ? 1.0 : 0.0;
       }
-      b[row] = bc.value_of(row);
+      b[row] = bc.value_of(dof_of_row(row));
       continue;
     }
     // Move fixed columns to the right-hand side and zero them, preserving
     // symmetry with the zeroed fixed rows.
     for (int p = row_ptr[static_cast<std::size_t>(r)];
          p < row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
-      const int c = cols[static_cast<std::size_t>(p)];
-      if (c != row && bc.contains(c)) {
-        b[row] -= values[static_cast<std::size_t>(p)] * bc.value_of(c);
+      const solver::GlobalRow c{cols[static_cast<std::size_t>(p)]};
+      if (c != row && bc.contains(dof_of_row(c))) {
+        b[row] -= values[static_cast<std::size_t>(p)] * bc.value_of(dof_of_row(c));
         values[static_cast<std::size_t>(p)] = 0.0;
       }
     }

@@ -13,6 +13,7 @@
 
 #include "base/vec3.h"
 #include "fem/assembly.h"
+#include "fem/dof.h"
 #include "mesh/tet_mesh.h"
 #include "par/communicator.h"
 
@@ -25,25 +26,25 @@ class DirichletSet {
   DirichletSet() = default;
 
   /// From per-node prescribed displacements (3 dofs per node).
-  static DirichletSet from_node_displacements(
+  [[nodiscard]] static DirichletSet from_node_displacements(
       const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed);
 
-  void add(int dof, double value);
+  void add(DofId dof, double value);
   /// Must be called after the last add() and before queries.
   void finalize();
 
-  [[nodiscard]] bool contains(int dof) const;
-  [[nodiscard]] double value_of(int dof) const;  ///< requires contains(dof)
+  [[nodiscard]] bool contains(DofId dof) const;
+  [[nodiscard]] double value_of(DofId dof) const;  ///< requires contains(dof)
   [[nodiscard]] std::size_t size() const { return dofs_.size(); }
-  [[nodiscard]] const std::vector<int>& dofs() const { return dofs_; }
+  [[nodiscard]] const std::vector<DofId>& dofs() const { return dofs_; }
 
-  /// Number of fixed dofs within [begin, end) — the per-rank imbalance the
-  /// paper discusses.
-  [[nodiscard]] int count_in_range(int begin, int end) const;
+  /// Number of fixed dofs within the dof image of a row range — the per-rank
+  /// imbalance the paper discusses.
+  [[nodiscard]] int count_in_range(DofId begin, DofId end) const;
 
  private:
   bool finalized_ = false;
-  std::vector<int> dofs_;
+  std::vector<DofId> dofs_;
   std::vector<double> values_;
 };
 

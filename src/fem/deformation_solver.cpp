@@ -17,8 +17,8 @@ mesh::Partition make_partition(const mesh::TetMesh& mesh, const DirichletSet& bc
       return mesh::partition_connectivity_balanced(mesh, nranks);
     case PartitionKind::kFreeNodeBalanced: {
       std::vector<std::uint8_t> fixed(static_cast<std::size_t>(mesh.num_nodes()), 0);
-      for (const int dof : bc.dofs()) {
-        fixed[static_cast<std::size_t>(dof / 3)] = 1;
+      for (const DofId dof : bc.dofs()) {
+        fixed[node_of(dof).index()] = 1;
       }
       return mesh::partition_free_node_balanced(mesh, fixed, nranks);
     }
@@ -46,10 +46,11 @@ DeformationResult solve_deformation(
   result.wall_init_s = init_watch.seconds();
   result.num_equations = 3 * mesh.num_nodes();
   result.num_fixed_dofs = static_cast<int>(bc.size());
-  for (int r = 0; r < options.nranks; ++r) {
+  for (const Rank r : partition.rank_ids()) {
     result.nodes_per_rank.push_back(partition.nodes_of(r));
-    const auto [nb, ne] = partition.ranges[static_cast<std::size_t>(r)];
-    result.fixed_dofs_per_rank.push_back(bc.count_in_range(3 * nb, 3 * ne));
+    const auto [nb, ne] = partition.ranges[r];
+    result.fixed_dofs_per_rank.push_back(
+        bc.count_in_range(dof_of(nb, 0), dof_of(ne, 0)));
   }
 
   const int P = options.nranks;
@@ -73,12 +74,12 @@ DeformationResult solve_deformation(
     LocalSystem system = assemble_elasticity(mesh, topo, materials, partition,
                                              options.body_force, comm);
     // Concentrated nodal forces (paper Eq. 1's third load type).
-    const auto [nb_own, ne_own] = partition.ranges[r];
+    const base::IdRange<mesh::NodeId> owned = partition.ranges[comm.rank_id()];
     for (const auto& [node, f] : options.nodal_loads) {
-      if (node >= nb_own && node < ne_own) {
-        system.b[3 * node + 0] += f.x;
-        system.b[3 * node + 1] += f.y;
-        system.b[3 * node + 2] += f.z;
+      if (owned.contains(node)) {
+        system.b[row_of(dof_of(node, 0))] += f.x;
+        system.b[row_of(dof_of(node, 1))] += f.y;
+        system.b[row_of(dof_of(node, 2))] += f.z;
       }
     }
     comm.barrier();
@@ -117,10 +118,10 @@ DeformationResult solve_deformation(
     solve_work[r] = comm.work().take();
 
     // --- Collect the displacement field (disjoint slabs, no locking). ---
-    const auto [nb, ne] = partition.ranges[r];
-    for (mesh::NodeId n = nb; n < ne; ++n) {
-      displacements[static_cast<std::size_t>(n)] = {x[3 * n + 0], x[3 * n + 1],
-                                                    x[3 * n + 2]};
+    for (const mesh::NodeId n : owned) {
+      displacements[n.index()] = {x[row_of(dof_of(n, 0))],
+                                  x[row_of(dof_of(n, 1))],
+                                  x[row_of(dof_of(n, 2))]};
     }
     if (rank == 0) stats = local_stats;
   });

@@ -59,13 +59,13 @@ struct DeformationResult {
 /// Solves K u = f with the displacements of `prescribed` nodes fixed.
 /// `prescribed` must pin enough of the boundary to make the system
 /// non-singular (the pipeline fixes the full brain surface).
-DeformationResult solve_deformation(
+[[nodiscard]] DeformationResult solve_deformation(
     const mesh::TetMesh& mesh, const MaterialMap& materials,
     const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
     const DeformationSolveOptions& options);
 
 /// Builds the partition an options struct asks for (exposed for benches).
-mesh::Partition make_partition(const mesh::TetMesh& mesh, const DirichletSet& bc,
+[[nodiscard]] mesh::Partition make_partition(const mesh::TetMesh& mesh, const DirichletSet& bc,
                                PartitionKind kind, int nranks);
 
 }  // namespace neuro::fem

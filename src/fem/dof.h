@@ -1,0 +1,62 @@
+// The node → degree-of-freedom expansion, as explicit typed conversions.
+//
+// Every mesh node carries three displacement dofs (x, y, z); the assembled
+// system the paper solves (77,511 equations for 25,837 nodes) is indexed by
+// dof. The expansion used to be bare `3 * node + axis` arithmetic scattered
+// across assembly, boundary conditions and result extraction — exactly the
+// arithmetic a node/dof mix-up hides in. DofId is its own strong type and
+// these functions are the only sanctioned conversions:
+//
+//   dof_of(n, axis)   node + axis → dof        (the 3× expansion)
+//   node_of(d)        dof → its node
+//   axis_of(d)        dof → its axis (0..2)
+//   row_of(d)         dof → solver GlobalRow   (the FEM/solver bridge)
+//   dof_of_row(r)     solver GlobalRow → dof
+//
+// A dof and a solver row are the same *number* but different *roles*: rows
+// exist for any distributed system, dofs only for the FEM's node×axis
+// structure. Keeping the types separate means the solver layer cannot be
+// handed a node id (or vice versa) without going through these functions.
+#pragma once
+
+#include "base/strong_id.h"
+#include "mesh/tet_mesh.h"
+#include "solver/dist_vector.h"
+
+namespace neuro::fem {
+
+/// A scalar degree of freedom: one displacement component of one mesh node.
+using DofId = base::StrongId<struct DofIdTag>;
+
+inline constexpr int kDofsPerNode = 3;
+
+/// The dof of node `n`'s displacement component `axis` (0=x, 1=y, 2=z).
+[[nodiscard]] constexpr DofId dof_of(mesh::NodeId n, int axis) {
+  return DofId{kDofsPerNode * n.value() + axis};
+}
+
+/// The node a dof belongs to.
+[[nodiscard]] constexpr mesh::NodeId node_of(DofId d) {
+  return mesh::NodeId{d.value() / kDofsPerNode};
+}
+
+/// The displacement axis (0..2) of a dof.
+[[nodiscard]] constexpr int axis_of(DofId d) { return d.value() % kDofsPerNode; }
+
+/// The global system row carrying a dof's equation.
+[[nodiscard]] constexpr solver::GlobalRow row_of(DofId d) {
+  return solver::GlobalRow{d.value()};
+}
+
+/// The dof whose equation a global row carries.
+[[nodiscard]] constexpr DofId dof_of_row(solver::GlobalRow r) {
+  return DofId{r.value()};
+}
+
+/// The system rows of all dofs of the node range [first, second) — how a node
+/// partition becomes the solver's row-block distribution.
+[[nodiscard]] constexpr solver::RowRange row_range_of(base::IdRange<mesh::NodeId> nodes) {
+  return {row_of(dof_of(nodes.first, 0)), row_of(dof_of(nodes.second, 0))};
+}
+
+}  // namespace neuro::fem

@@ -18,8 +18,9 @@ LocalSystem assemble_serial(const mesh::TetMesh& mesh, const MaterialMap& materi
                             const Vec3& body_force) {
   const MeshTopology topo = MeshTopology::build(mesh);
   const mesh::Partition part = mesh::partition_node_balanced(mesh.num_nodes(), 1);
-  LocalSystem system{solver::DistCsrMatrix(1, {0, 1}, {0, 0}, {}, {}),
-                     solver::DistVector(1, {0, 1})};
+  const solver::RowRange unit{solver::GlobalRow{0}, solver::GlobalRow{1}};
+  LocalSystem system{solver::DistCsrMatrix(1, unit, {0, 0}, {}, {}),
+                     solver::DistVector(1, unit)};
   par::run_spmd(1, [&](par::Communicator& comm) {
     system = assemble_elasticity(mesh, topo, materials, part, body_force, comm);
   });
@@ -50,10 +51,10 @@ void stiffness_apply(const solver::DistCsrMatrix& K, const std::vector<double>& 
 std::vector<double> lumped_masses(const mesh::TetMesh& mesh, double density) {
   NEURO_REQUIRE(density > 0.0, "lumped_masses: density must be positive");
   std::vector<double> mass(static_cast<std::size_t>(mesh.num_nodes()), 0.0);
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+  for (const mesh::TetId t : mesh.tet_ids()) {
     const double m = density * tet_volume(mesh, t) / 4.0;
-    for (const auto n : mesh.tets[static_cast<std::size_t>(t)]) {
-      mass[static_cast<std::size_t>(n)] += m;
+    for (const mesh::NodeId n : mesh.tets[t]) {
+      mass[n.index()] += m;
     }
   }
   for (const double m : mass) {
@@ -114,8 +115,8 @@ DynamicsResult integrate_dynamics(
   std::vector<double> target(static_cast<std::size_t>(n), 0.0);
   for (const auto& [node, u] : prescribed) {
     for (int c = 0; c < 3; ++c) {
-      fixed[static_cast<std::size_t>(3 * node + c)] = 1;
-      target[static_cast<std::size_t>(3 * node + c)] = u[static_cast<std::size_t>(c)];
+      fixed[dof_of(node, c).index()] = 1;
+      target[dof_of(node, c).index()] = u[static_cast<std::size_t>(c)];
     }
   }
 

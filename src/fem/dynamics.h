@@ -46,18 +46,18 @@ struct DynamicsResult {
 
 /// Integrates the damped equations of motion with the given prescribed
 /// (Dirichlet) displacements; free dofs start at rest. Runs serially.
-DynamicsResult integrate_dynamics(
+[[nodiscard]] DynamicsResult integrate_dynamics(
     const mesh::TetMesh& mesh, const MaterialMap& materials,
     const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
     const DynamicsOptions& options);
 
 /// Largest generalized eigenvalue λ of K x = λ M x (power iteration on
 /// M⁻¹K); the explicit stability limit is dt_crit = 2/√λ.
-double max_generalized_eigenvalue(const mesh::TetMesh& mesh,
+[[nodiscard]] double max_generalized_eigenvalue(const mesh::TetMesh& mesh,
                                   const MaterialMap& materials, double density,
                                   int iterations = 30);
 
 /// Lumped nodal masses: each tet's mass split equally over its 4 nodes.
-std::vector<double> lumped_masses(const mesh::TetMesh& mesh, double density);
+[[nodiscard]] std::vector<double> lumped_masses(const mesh::TetMesh& mesh, double density);
 
 }  // namespace neuro::fem

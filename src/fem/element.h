@@ -22,7 +22,7 @@ struct TetElement {
   std::array<Vec3, 4> grad_n{};
 
   /// Builds the element from vertex positions (positively oriented tet).
-  static TetElement from_vertices(const Vec3& p0, const Vec3& p1, const Vec3& p2,
+  [[nodiscard]] static TetElement from_vertices(const Vec3& p0, const Vec3& p1, const Vec3& p2,
                                   const Vec3& p3);
 
   /// Element stiffness Ke = V Bᵀ D B, 12×12 row-major, dof order

@@ -17,14 +17,14 @@ std::vector<std::pair<mesh::NodeId, Vec3>> accumulate_per_triangle(
                 "surface loads: patch carries no mesh-node bookkeeping");
   std::map<mesh::NodeId, Vec3> per_node;
   for (const auto& tri : patch.triangles) {
-    const Vec3& a = patch.vertices[static_cast<std::size_t>(tri[0])];
-    const Vec3& b = patch.vertices[static_cast<std::size_t>(tri[1])];
-    const Vec3& c = patch.vertices[static_cast<std::size_t>(tri[2])];
+    const Vec3& a = patch.vertices[tri[0]];
+    const Vec3& b = patch.vertices[tri[1]];
+    const Vec3& c = patch.vertices[tri[2]];
     // |cross|/2 = area; direction = outward normal for outward-oriented tris.
     const Vec3 scaled_normal = cross(b - a, c - a) * 0.5;
     const Vec3 nodal = force_of(scaled_normal) / 3.0;
-    for (const int v : tri) {
-      per_node[patch.mesh_nodes[static_cast<std::size_t>(v)]] += nodal;
+    for (const mesh::VertId v : tri) {
+      per_node[patch.mesh_nodes[v]] += nodal;
     }
   }
   std::vector<std::pair<mesh::NodeId, Vec3>> loads;

@@ -19,17 +19,17 @@ namespace neuro::fem {
 /// Consistent nodal loads for a constant traction vector `t` (force per unit
 /// area) applied to every triangle of `patch`. The surface must carry
 /// mesh-node bookkeeping; loads are returned per mesh node (accumulated).
-std::vector<std::pair<mesh::NodeId, Vec3>> traction_loads(
+[[nodiscard]] std::vector<std::pair<mesh::NodeId, Vec3>> traction_loads(
     const mesh::TriSurface& patch, const Vec3& traction);
 
 /// Consistent nodal loads for a uniform scalar pressure acting along the
 /// (outward) surface normal: positive pressure pushes inward (−n direction),
 /// as CSF or atmospheric pressure on an exposed cortex does.
-std::vector<std::pair<mesh::NodeId, Vec3>> pressure_loads(
+[[nodiscard]] std::vector<std::pair<mesh::NodeId, Vec3>> pressure_loads(
     const mesh::TriSurface& patch, double pressure);
 
 /// Merges duplicate node entries by summing their loads.
-std::vector<std::pair<mesh::NodeId, Vec3>> merge_loads(
+[[nodiscard]] std::vector<std::pair<mesh::NodeId, Vec3>> merge_loads(
     std::vector<std::pair<mesh::NodeId, Vec3>> loads);
 
 }  // namespace neuro::fem

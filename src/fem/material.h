@@ -25,7 +25,7 @@ struct Material {
 
 /// 6x6 isotropic elasticity matrix D relating engineering strain
 /// [εxx εyy εzz γxy γyz γzx] to stress.
-std::array<std::array<double, 6>, 6> elasticity_matrix(const Material& m);
+[[nodiscard]] std::array<std::array<double, 6>, 6> elasticity_matrix(const Material& m);
 
 /// Label → material table with a default for unlisted labels.
 class MaterialMap {
@@ -40,10 +40,10 @@ class MaterialMap {
   }
 
   /// The paper's configuration: every tissue shares one homogeneous material.
-  static MaterialMap homogeneous_brain();
+  [[nodiscard]] static MaterialMap homogeneous_brain();
 
   /// The future-work configuration: stiff falx, near-fluid ventricles.
-  static MaterialMap heterogeneous_brain();
+  [[nodiscard]] static MaterialMap heterogeneous_brain();
 
  private:
   Material default_;

@@ -22,17 +22,15 @@ std::vector<ElementStrain> element_strains(const mesh::TetMesh& mesh,
   NEURO_REQUIRE(static_cast<int>(displacements.size()) == mesh.num_nodes(),
                 "element_strains: displacement count != node count");
   std::vector<ElementStrain> strains(static_cast<std::size_t>(mesh.num_tets()));
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
-    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+  for (const mesh::TetId t : mesh.tet_ids()) {
+    const auto& tet = mesh.tets[t];
     const TetElement elem = TetElement::from_vertices(
-        mesh.nodes[static_cast<std::size_t>(tet[0])],
-        mesh.nodes[static_cast<std::size_t>(tet[1])],
-        mesh.nodes[static_cast<std::size_t>(tet[2])],
-        mesh.nodes[static_cast<std::size_t>(tet[3])]);
-    auto& e = strains[static_cast<std::size_t>(t)].strain;
+        mesh.nodes[tet[0]], mesh.nodes[tet[1]], mesh.nodes[tet[2]],
+        mesh.nodes[tet[3]]);
+    auto& e = strains[t.index()].strain;
     for (int n = 0; n < 4; ++n) {
       const Vec3& g = elem.grad_n[static_cast<std::size_t>(n)];
-      const Vec3& u = displacements[static_cast<std::size_t>(tet[static_cast<std::size_t>(n)])];
+      const Vec3& u = displacements[tet[static_cast<std::size_t>(n)].index()];
       e[0] += g.x * u.x;
       e[1] += g.y * u.y;
       e[2] += g.z * u.z;
@@ -50,20 +48,19 @@ std::vector<double> von_mises_stress(const mesh::TetMesh& mesh,
   NEURO_REQUIRE(strains.size() == static_cast<std::size_t>(mesh.num_tets()),
                 "von_mises_stress: strain count != tet count");
   std::vector<double> out(strains.size());
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
-    const auto D = elasticity_matrix(
-        materials.for_label(mesh.tet_labels[static_cast<std::size_t>(t)]));
+  for (const mesh::TetId t : mesh.tet_ids()) {
+    const auto D = elasticity_matrix(materials.for_label(mesh.tet_labels[t]));
     std::array<double, 6> s{};
     for (int r = 0; r < 6; ++r) {
       for (int c = 0; c < 6; ++c) {
         s[static_cast<std::size_t>(r)] +=
             D[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] *
-            strains[static_cast<std::size_t>(t)].strain[static_cast<std::size_t>(c)];
+            strains[t.index()].strain[static_cast<std::size_t>(c)];
       }
     }
     const double sxx = s[0], syy = s[1], szz = s[2];
     const double sxy = s[3], syz = s[4], szx = s[5];
-    out[static_cast<std::size_t>(t)] = std::sqrt(
+    out[t.index()] = std::sqrt(
         0.5 * ((sxx - syy) * (sxx - syy) + (syy - szz) * (syy - szz) +
                (szz - sxx) * (szz - sxx)) +
         3.0 * (sxy * sxy + syz * syz + szx * szx));
@@ -78,11 +75,11 @@ ScalarSummary summarize_per_element(const mesh::TetMesh& mesh,
   ScalarSummary s;
   double total_volume = 0.0;
   double weighted = 0.0;
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+  for (const mesh::TetId t : mesh.tet_ids()) {
     const double v = tet_volume(mesh, t);
     total_volume += v;
-    weighted += v * values[static_cast<std::size_t>(t)];
-    s.max = std::max(s.max, values[static_cast<std::size_t>(t)]);
+    weighted += v * values[t.index()];
+    s.max = std::max(s.max, values[t.index()]);
   }
   if (total_volume > 0.0) s.mean = weighted / total_volume;
   return s;

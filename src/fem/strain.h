@@ -31,11 +31,11 @@ struct ElementStrain {
 };
 
 /// Computes the (constant) strain of every element from nodal displacements.
-std::vector<ElementStrain> element_strains(const mesh::TetMesh& mesh,
+[[nodiscard]] std::vector<ElementStrain> element_strains(const mesh::TetMesh& mesh,
                                            const std::vector<Vec3>& displacements);
 
 /// Von Mises equivalent *stress* per element, using each tet's material.
-std::vector<double> von_mises_stress(const mesh::TetMesh& mesh,
+[[nodiscard]] std::vector<double> von_mises_stress(const mesh::TetMesh& mesh,
                                      const std::vector<ElementStrain>& strains,
                                      const MaterialMap& materials);
 
@@ -44,7 +44,7 @@ struct ScalarSummary {
   double mean = 0.0;
   double max = 0.0;
 };
-ScalarSummary summarize_per_element(const mesh::TetMesh& mesh,
+[[nodiscard]] ScalarSummary summarize_per_element(const mesh::TetMesh& mesh,
                                     const std::vector<double>& values);
 
 }  // namespace neuro::fem

@@ -19,24 +19,24 @@ constexpr int kTetsOdd[5][4] = {
 
 struct Builder {
   TriSurface surface;
-  std::map<std::pair<long long, long long>, int> edge_vertices;
+  std::map<std::pair<long long, long long>, VertId> edge_vertices;
 
-  int vertex_on_edge(long long id_a, long long id_b, const Vec3& pa, const Vec3& pb,
-                     double sa, double sb) {
+  VertId vertex_on_edge(long long id_a, long long id_b, const Vec3& pa,
+                        const Vec3& pb, double sa, double sb) {
     auto key = id_a < id_b ? std::make_pair(id_a, id_b) : std::make_pair(id_b, id_a);
     const auto it = edge_vertices.find(key);
     if (it != edge_vertices.end()) return it->second;
     const double t = sa / (sa - sb);  // signs differ, so sa - sb != 0
-    const int v = surface.num_vertices();
+    const VertId v = surface.vertices.end_id();
     surface.vertices.push_back(pa + t * (pb - pa));
     edge_vertices.emplace(key, v);
     return v;
   }
 
-  void add_triangle(int a, int b, int c, const Vec3& toward_positive) {
-    const Vec3& pa = surface.vertices[static_cast<std::size_t>(a)];
-    const Vec3& pb = surface.vertices[static_cast<std::size_t>(b)];
-    const Vec3& pc = surface.vertices[static_cast<std::size_t>(c)];
+  void add_triangle(VertId a, VertId b, VertId c, const Vec3& toward_positive) {
+    const Vec3& pa = surface.vertices[a];
+    const Vec3& pb = surface.vertices[b];
+    const Vec3& pc = surface.vertices[c];
     if (dot(cross(pb - pa, pc - pa), toward_positive) < 0.0) {
       surface.triangles.push_back({a, c, b});
     } else {
@@ -115,7 +115,7 @@ TriSurface marching_tetrahedra(const ImageF& field, double level, int stride) {
             const int apex = nn == 1 ? neg[0] : pos[0];
             const auto& others = nn == 1 ? pos : neg;
             const int count = 3;
-            std::array<int, 3> v{};
+            std::array<VertId, 3> v{};
             for (int i = 0; i < count; ++i) {
               v[static_cast<std::size_t>(i)] =
                   edge_vertex(apex, others[static_cast<std::size_t>(i)]);
@@ -124,10 +124,10 @@ TriSurface marching_tetrahedra(const ImageF& field, double level, int stride) {
           } else {
             // 2/2 split: quad across four edges → two triangles.
             const int a0 = neg[0], a1 = neg[1], b0 = pos[0], b1 = pos[1];
-            const int v00 = edge_vertex(a0, b0);
-            const int v01 = edge_vertex(a0, b1);
-            const int v10 = edge_vertex(a1, b0);
-            const int v11 = edge_vertex(a1, b1);
+            const VertId v00 = edge_vertex(a0, b0);
+            const VertId v01 = edge_vertex(a0, b1);
+            const VertId v10 = edge_vertex(a1, b0);
+            const VertId v11 = edge_vertex(a1, b1);
             builder.add_triangle(v00, v01, v11, toward_positive);
             builder.add_triangle(v00, v11, v10, toward_positive);
           }

@@ -21,10 +21,10 @@ namespace neuro::mesh {
 /// triangles are oriented so normals point toward increasing field values.
 /// `stride` samples the lattice every n voxels (1 = full resolution).
 /// The result has no mesh-node bookkeeping (it is not tied to a TetMesh).
-TriSurface marching_tetrahedra(const ImageF& field, double level = 0.0,
+[[nodiscard]] TriSurface marching_tetrahedra(const ImageF& field, double level = 0.0,
                                int stride = 1);
 
 /// Convenience: smooth isosurface of a binary mask (signed distance + MT).
-TriSurface isosurface_from_mask(const ImageL& mask, int stride = 1);
+[[nodiscard]] TriSurface isosurface_from_mask(const ImageL& mask, int stride = 1);
 
 }  // namespace neuro::mesh

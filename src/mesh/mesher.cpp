@@ -105,7 +105,7 @@ TetMesh mesh_labeled_volume(const ImageL& labels, const MesherConfig& config) {
             const long long lid = corner_lid[static_cast<std::size_t>(tet[c])];
             auto it = node_map.find(lid);
             if (it == node_map.end()) {
-              it = node_map.emplace(lid, mesh.num_nodes()).first;
+              it = node_map.emplace(lid, mesh.nodes.end_id()).first;
               const IVec3 v = corner_voxel[static_cast<std::size_t>(tet[c])];
               mesh.nodes.push_back(labels.voxel_to_physical(v.x, v.y, v.z));
             }
@@ -113,10 +113,8 @@ TetMesh mesh_labeled_volume(const ImageL& labels, const MesherConfig& config) {
           }
           // Enforce positive orientation (templates are consistent, but this
           // keeps the invariant independent of template bookkeeping).
-          if (tet_volume(mesh.nodes[static_cast<std::size_t>(ids[0])],
-                         mesh.nodes[static_cast<std::size_t>(ids[1])],
-                         mesh.nodes[static_cast<std::size_t>(ids[2])],
-                         mesh.nodes[static_cast<std::size_t>(ids[3])]) < 0.0) {
+          if (tet_volume(mesh.nodes[ids[0]], mesh.nodes[ids[1]], mesh.nodes[ids[2]],
+                         mesh.nodes[ids[3]]) < 0.0) {
             std::swap(ids[1], ids[2]);
           }
           mesh.tets.push_back(ids);
@@ -133,15 +131,15 @@ TetMesh mesh_labeled_volume(const ImageL& labels, const MesherConfig& config) {
   order.reserve(node_map.size());
   for (const auto& [lid, id] : node_map) order.emplace_back(lid, id);
   std::sort(order.begin(), order.end());
-  std::vector<NodeId> remap(node_map.size());
-  std::vector<Vec3> new_nodes(node_map.size());
+  base::IdVector<NodeId, NodeId> remap(node_map.size());
+  base::IdVector<NodeId, Vec3> new_nodes(node_map.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
-    remap[static_cast<std::size_t>(order[i].second)] = static_cast<NodeId>(i);
-    new_nodes[i] = mesh.nodes[static_cast<std::size_t>(order[i].second)];
+    remap[order[i].second] = NodeId{i};
+    new_nodes[NodeId{i}] = mesh.nodes[order[i].second];
   }
   mesh.nodes = std::move(new_nodes);
   for (auto& tet : mesh.tets) {
-    for (auto& n : tet) n = remap[static_cast<std::size_t>(n)];
+    for (auto& n : tet) n = remap[n];
   }
   return mesh;
 }

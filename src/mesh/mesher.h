@@ -36,13 +36,13 @@ struct MesherConfig {
 /// Meshes the labeled volume. Node coordinates are physical. Tets are
 /// positively oriented; nodes are numbered in lattice (x-fastest) order,
 /// which gives the contiguous-slab partitions spatial coherence.
-TetMesh mesh_labeled_volume(const ImageL& labels, const MesherConfig& config);
+[[nodiscard]] TetMesh mesh_labeled_volume(const ImageL& labels, const MesherConfig& config);
 
 /// Picks the largest stride (coarsest mesh) whose meshed node count is at
 /// least `min_nodes`, scanning stride = max_stride … 1. Returns the mesh.
 /// Used by the benches to hit the paper's equation counts (77,511 = 25,837
 /// nodes; 253,308 = 84,436 nodes) on the phantom anatomy.
-TetMesh mesh_with_target_nodes(const ImageL& labels, MesherConfig config,
+[[nodiscard]] TetMesh mesh_with_target_nodes(const ImageL& labels, MesherConfig config,
                                int min_nodes, int max_stride = 8);
 
 }  // namespace neuro::mesh

@@ -7,19 +7,19 @@
 
 namespace neuro::mesh {
 
-int Partition::owner_of(NodeId n) const {
+Rank Partition::owner_of(NodeId n) const {
   // ranges are contiguous and sorted; binary search the upper bound.
-  int lo = 0, hi = nranks - 1;
+  Rank lo{0};
+  Rank hi{nranks - 1};
   while (lo < hi) {
-    const int mid = (lo + hi) / 2;
-    if (n < ranges[static_cast<std::size_t>(mid)].second) {
+    const Rank mid{(lo.value() + hi.value()) / 2};
+    if (n < ranges[mid].second) {
       hi = mid;
     } else {
       lo = mid + 1;
     }
   }
-  NEURO_CHECK_MSG(n >= ranges[static_cast<std::size_t>(lo)].first &&
-                      n < ranges[static_cast<std::size_t>(lo)].second,
+  NEURO_CHECK_MSG(ranges[lo].contains(n),
                   "owner_of: node " << n << " outside partition");
   return lo;
 }
@@ -37,10 +37,10 @@ Partition partition_weighted(const std::vector<double>& node_weights, int nranks
 
   double acc = 0.0;
   int begin = 0;
-  for (int r = 0; r < nranks; ++r) {
+  for (Rank r{0}; r < Rank{nranks}; ++r) {
     // Each remaining rank must get at least one node.
-    const int max_end = n - (nranks - 1 - r);
-    const double target = total * (r + 1) / nranks;
+    const int max_end = n - (nranks - 1 - r.value());
+    const double target = total * (r.value() + 1) / nranks;
     int end = begin + 1;
     acc += node_weights[static_cast<std::size_t>(begin)];
     while (end < max_end && acc + node_weights[static_cast<std::size_t>(end)] / 2.0 <
@@ -48,8 +48,8 @@ Partition partition_weighted(const std::vector<double>& node_weights, int nranks
       acc += node_weights[static_cast<std::size_t>(end)];
       ++end;
     }
-    if (r == nranks - 1) end = n;  // last rank takes the remainder
-    part.ranges[static_cast<std::size_t>(r)] = {begin, end};
+    if (r == Rank{nranks - 1}) end = n;  // last rank takes the remainder
+    part.ranges[r] = {NodeId{begin}, NodeId{end}};
     begin = end;
   }
   return part;
@@ -61,10 +61,10 @@ Partition partition_node_balanced(int num_nodes, int nranks) {
 }
 
 Partition partition_connectivity_balanced(const TetMesh& mesh, int nranks) {
-  const std::vector<int> counts = node_tet_counts(mesh);
+  const base::IdVector<NodeId, int> counts = node_tet_counts(mesh);
   std::vector<double> w(counts.size());
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    w[i] = static_cast<double>(counts[i]);
+  for (const NodeId n : counts.ids()) {
+    w[n.index()] = static_cast<double>(counts[n]);
   }
   return partition_weighted(w, nranks);
 }

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/strong_id.h"
 #include "mesh/tet_mesh.h"
 
 namespace neuro::mesh {
@@ -25,31 +26,30 @@ namespace neuro::mesh {
 /// A contiguous-range node partition over `nranks` ranks.
 struct Partition {
   int nranks = 1;
-  std::vector<std::pair<NodeId, NodeId>> ranges;  ///< [begin, end) per rank
+  base::IdVector<Rank, base::IdRange<NodeId>> ranges;  ///< [begin, end) per rank
 
-  [[nodiscard]] int owner_of(NodeId n) const;
-  [[nodiscard]] int nodes_of(int rank) const {
-    return ranges[static_cast<std::size_t>(rank)].second -
-           ranges[static_cast<std::size_t>(rank)].first;
-  }
+  [[nodiscard]] Rank owner_of(NodeId n) const;
+  [[nodiscard]] int nodes_of(Rank rank) const { return ranges[rank].size(); }
+  [[nodiscard]] base::IdRange<Rank> rank_ids() const { return ranges.ids(); }
 };
 
 /// The paper's decomposition: equal node counts per rank.
-Partition partition_node_balanced(int num_nodes, int nranks);
+[[nodiscard]] Partition partition_node_balanced(int num_nodes, int nranks);
 
 /// Future-work variant 1: balances estimated assembly work, i.e. the number
 /// of tetrahedra incident to each rank's nodes.
-Partition partition_connectivity_balanced(const TetMesh& mesh, int nranks);
+[[nodiscard]] Partition partition_connectivity_balanced(const TetMesh& mesh,
+                                                        int nranks);
 
 /// Future-work variant 2: balances the number of *free* (non-Dirichlet) nodes
 /// per rank, equalizing solve-side work after boundary-condition substitution.
 /// `fixed` flags Dirichlet nodes.
-Partition partition_free_node_balanced(const TetMesh& mesh,
-                                       const std::vector<std::uint8_t>& fixed,
-                                       int nranks);
+[[nodiscard]] Partition partition_free_node_balanced(
+    const TetMesh& mesh, const std::vector<std::uint8_t>& fixed, int nranks);
 
 /// Generic weighted contiguous partition (exposed for tests): cuts the node
 /// sequence so each rank's weight sum approximates total/nranks.
-Partition partition_weighted(const std::vector<double>& node_weights, int nranks);
+[[nodiscard]] Partition partition_weighted(const std::vector<double>& node_weights,
+                                           int nranks);
 
 }  // namespace neuro::mesh

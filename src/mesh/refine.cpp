@@ -19,10 +19,8 @@ class MidpointCache {
     const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
-    const NodeId id = mesh_.num_nodes();
-    mesh_.nodes.push_back((mesh_.nodes[static_cast<std::size_t>(a)] +
-                           mesh_.nodes[static_cast<std::size_t>(b)]) *
-                          0.5);
+    const NodeId id = mesh_.nodes.end_id();
+    mesh_.nodes.push_back((mesh_.nodes[a] + mesh_.nodes[b]) * 0.5);
     cache_.emplace(key, id);
     return id;
   }
@@ -34,10 +32,7 @@ class MidpointCache {
 
 void emit(TetMesh& out, std::uint8_t label, NodeId a, NodeId b, NodeId c, NodeId d) {
   std::array<NodeId, 4> tet{a, b, c, d};
-  if (tet_volume(out.nodes[static_cast<std::size_t>(a)],
-                 out.nodes[static_cast<std::size_t>(b)],
-                 out.nodes[static_cast<std::size_t>(c)],
-                 out.nodes[static_cast<std::size_t>(d)]) < 0.0) {
+  if (tet_volume(out.nodes[a], out.nodes[b], out.nodes[c], out.nodes[d]) < 0.0) {
     std::swap(tet[1], tet[2]);
   }
   out.tets.push_back(tet);
@@ -53,9 +48,9 @@ TetMesh refine_uniform(const TetMesh& mesh) {
   out.tet_labels.reserve(mesh.tets.size() * 8);
   MidpointCache midpoints(out);
 
-  for (TetId t = 0; t < mesh.num_tets(); ++t) {
-    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
-    const std::uint8_t label = mesh.tet_labels[static_cast<std::size_t>(t)];
+  for (const TetId t : mesh.tet_ids()) {
+    const auto& tet = mesh.tets[t];
+    const std::uint8_t label = mesh.tet_labels[t];
     const NodeId v0 = tet[0], v1 = tet[1], v2 = tet[2], v3 = tet[3];
     const NodeId m01 = midpoints.midpoint(v0, v1);
     const NodeId m02 = midpoints.midpoint(v0, v2);
@@ -73,8 +68,7 @@ TetMesh refine_uniform(const TetMesh& mesh) {
     // Inner octahedron (m01, m02, m03, m12, m13, m23): split along the
     // shortest of its three diagonals (m01–m23, m02–m13, m03–m12).
     auto len2 = [&](NodeId a, NodeId b) {
-      return norm2(out.nodes[static_cast<std::size_t>(a)] -
-                   out.nodes[static_cast<std::size_t>(b)]);
+      return norm2(out.nodes[a] - out.nodes[b]);
     };
     const double d0 = len2(m01, m23);
     const double d1 = len2(m02, m13);

@@ -17,9 +17,9 @@ namespace neuro::mesh {
 /// One level of uniform 1→8 refinement. Children inherit the parent's label.
 /// The octahedron diagonal is chosen shortest-first, which bounds quality
 /// degradation (Bey's refinement behaves identically on our lattice tets).
-TetMesh refine_uniform(const TetMesh& mesh);
+[[nodiscard]] TetMesh refine_uniform(const TetMesh& mesh);
 
 /// `levels` applications of refine_uniform.
-TetMesh refine_uniform(const TetMesh& mesh, int levels);
+[[nodiscard]] TetMesh refine_uniform(const TetMesh& mesh, int levels);
 
 }  // namespace neuro::mesh

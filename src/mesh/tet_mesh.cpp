@@ -13,11 +13,9 @@ double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
 }
 
 double tet_volume(const TetMesh& mesh, TetId t) {
-  const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
-  return tet_volume(mesh.nodes[static_cast<std::size_t>(tet[0])],
-                    mesh.nodes[static_cast<std::size_t>(tet[1])],
-                    mesh.nodes[static_cast<std::size_t>(tet[2])],
-                    mesh.nodes[static_cast<std::size_t>(tet[3])]);
+  const auto& tet = mesh.tets[t];
+  return tet_volume(mesh.nodes[tet[0]], mesh.nodes[tet[1]], mesh.nodes[tet[2]],
+                    mesh.nodes[tet[3]]);
 }
 
 std::array<double, 4> barycentric(const Vec3& a, const Vec3& b, const Vec3& c,
@@ -50,12 +48,13 @@ double tet_quality_radius_ratio(const Vec3& a, const Vec3& b, const Vec3& c,
   return 3.0 * inradius / circumradius;
 }
 
-std::vector<std::vector<NodeId>> node_adjacency(const TetMesh& mesh) {
-  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(mesh.num_nodes()));
+base::IdVector<NodeId, std::vector<NodeId>> node_adjacency(const TetMesh& mesh) {
+  base::IdVector<NodeId, std::vector<NodeId>> adj(
+      static_cast<std::size_t>(mesh.num_nodes()));
   for (const auto& tet : mesh.tets) {
     for (const NodeId a : tet) {
       for (const NodeId b : tet) {
-        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[a].push_back(b);
       }
     }
   }
@@ -66,17 +65,17 @@ std::vector<std::vector<NodeId>> node_adjacency(const TetMesh& mesh) {
   return adj;
 }
 
-std::vector<int> node_tet_counts(const TetMesh& mesh) {
-  std::vector<int> counts(static_cast<std::size_t>(mesh.num_nodes()), 0);
+base::IdVector<NodeId, int> node_tet_counts(const TetMesh& mesh) {
+  base::IdVector<NodeId, int> counts(static_cast<std::size_t>(mesh.num_nodes()), 0);
   for (const auto& tet : mesh.tets) {
-    for (const NodeId n : tet) ++counts[static_cast<std::size_t>(n)];
+    for (const NodeId n : tet) ++counts[n];
   }
   return counts;
 }
 
 double total_volume(const TetMesh& mesh) {
   double v = 0.0;
-  for (TetId t = 0; t < mesh.num_tets(); ++t) v += tet_volume(mesh, t);
+  for (const TetId t : mesh.tet_ids()) v += tet_volume(mesh, t);
   return v;
 }
 
@@ -92,13 +91,10 @@ QualityStats quality_stats(const TetMesh& mesh) {
   s.min_volume = 1e300;
   s.max_volume = -1e300;
   double sum_q = 0.0;
-  for (TetId t = 0; t < mesh.num_tets(); ++t) {
-    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
-    const double q = tet_quality_radius_ratio(
-        mesh.nodes[static_cast<std::size_t>(tet[0])],
-        mesh.nodes[static_cast<std::size_t>(tet[1])],
-        mesh.nodes[static_cast<std::size_t>(tet[2])],
-        mesh.nodes[static_cast<std::size_t>(tet[3])]);
+  for (const TetId t : mesh.tet_ids()) {
+    const auto& tet = mesh.tets[t];
+    const double q = tet_quality_radius_ratio(mesh.nodes[tet[0]], mesh.nodes[tet[1]],
+                                              mesh.nodes[tet[2]], mesh.nodes[tet[3]]);
     const double v = tet_volume(mesh, t);
     s.min_quality = std::min(s.min_quality, q);
     sum_q += q;

@@ -13,52 +13,61 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/strong_id.h"
 #include "base/vec3.h"
 
 namespace neuro::mesh {
 
-using NodeId = int;
-using TetId = int;
+/// Index of a mesh node (vertex) — NOT a dof; see fem/dof.h for the 3× node→dof
+/// expansion.
+using NodeId = base::StrongId<struct NodeIdTag>;
+/// Index of a tetrahedron.
+using TetId = base::StrongId<struct TetIdTag>;
 
 /// Tetrahedral mesh with per-element tissue labels.
 struct TetMesh {
-  std::vector<Vec3> nodes;                    ///< physical coordinates
-  std::vector<std::array<NodeId, 4>> tets;    ///< positively oriented
-  std::vector<std::uint8_t> tet_labels;       ///< tissue label per tet
+  base::IdVector<NodeId, Vec3> nodes;                  ///< physical coordinates
+  base::IdVector<TetId, std::array<NodeId, 4>> tets;   ///< positively oriented
+  base::IdVector<TetId, std::uint8_t> tet_labels;      ///< tissue label per tet
 
   [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes.size()); }
   [[nodiscard]] int num_tets() const { return static_cast<int>(tets.size()); }
+  [[nodiscard]] base::IdRange<NodeId> node_ids() const { return nodes.ids(); }
+  [[nodiscard]] base::IdRange<TetId> tet_ids() const { return tets.ids(); }
 };
 
 /// Signed volume of a tetrahedron (positive for positively oriented tets).
-double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+[[nodiscard]] double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c,
+                                const Vec3& d);
 
 /// Signed volume of tet `t` of the mesh.
-double tet_volume(const TetMesh& mesh, TetId t);
+[[nodiscard]] double tet_volume(const TetMesh& mesh, TetId t);
 
 /// Barycentric coordinates of point p in tet (a,b,c,d); all four sum to 1.
 /// Values in [0,1] iff p lies inside.
-std::array<double, 4> barycentric(const Vec3& a, const Vec3& b, const Vec3& c,
-                                  const Vec3& d, const Vec3& p);
+[[nodiscard]] std::array<double, 4> barycentric(const Vec3& a, const Vec3& b,
+                                                const Vec3& c, const Vec3& d,
+                                                const Vec3& p);
 
 /// Radius-ratio quality of a tet: 3 * inradius / circumradius, in (0, 1];
 /// 1 for the regular tetrahedron, → 0 for slivers.
-double tet_quality_radius_ratio(const Vec3& a, const Vec3& b, const Vec3& c,
-                                const Vec3& d);
+[[nodiscard]] double tet_quality_radius_ratio(const Vec3& a, const Vec3& b,
+                                              const Vec3& c, const Vec3& d);
 
 /// Node-to-node adjacency (including self), sorted per row. This is exactly
 /// the block-sparsity pattern of the assembled stiffness matrix.
-std::vector<std::vector<NodeId>> node_adjacency(const TetMesh& mesh);
+[[nodiscard]] base::IdVector<NodeId, std::vector<NodeId>> node_adjacency(
+    const TetMesh& mesh);
 
 /// Number of tets incident to each node — the per-node assembly work that
 /// drives the paper's reported assembly load imbalance.
-std::vector<int> node_tet_counts(const TetMesh& mesh);
+[[nodiscard]] base::IdVector<NodeId, int> node_tet_counts(const TetMesh& mesh);
 
 /// Total mesh volume (sum of tet volumes).
-double total_volume(const TetMesh& mesh);
+[[nodiscard]] double total_volume(const TetMesh& mesh);
 
 /// Axis-aligned bounds of all nodes.
-Aabb bounds(const TetMesh& mesh);
+[[nodiscard]] Aabb bounds(const TetMesh& mesh);
 
 /// Quality summary over all tets.
 struct QualityStats {
@@ -67,6 +76,6 @@ struct QualityStats {
   double min_volume = 0.0;
   double max_volume = 0.0;
 };
-QualityStats quality_stats(const TetMesh& mesh);
+[[nodiscard]] QualityStats quality_stats(const TetMesh& mesh);
 
 }  // namespace neuro::mesh

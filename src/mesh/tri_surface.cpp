@@ -12,8 +12,8 @@ namespace neuro::mesh {
 TriSurface extract_boundary_surface(const TetMesh& mesh,
                                     const std::vector<std::uint8_t>& labels) {
   auto keep = [&](TetId t) {
-    return std::find(labels.begin(), labels.end(),
-                     mesh.tet_labels[static_cast<std::size_t>(t)]) != labels.end();
+    return std::find(labels.begin(), labels.end(), mesh.tet_labels[t]) !=
+           labels.end();
   };
 
   // Faces of a tet (i0,i1,i2,i3), each ordered so its normal points out of
@@ -23,9 +23,9 @@ TriSurface extract_boundary_surface(const TetMesh& mesh,
   // Count occurrences of each face among kept tets; remember one oriented copy.
   std::map<std::tuple<NodeId, NodeId, NodeId>, std::pair<int, std::array<NodeId, 3>>>
       face_count;
-  for (TetId t = 0; t < mesh.num_tets(); ++t) {
+  for (const TetId t : mesh.tet_ids()) {
     if (!keep(t)) continue;
-    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    const auto& tet = mesh.tets[t];
     for (const auto& f : kFaces) {
       std::array<NodeId, 3> tri{tet[static_cast<std::size_t>(f[0])],
                                 tet[static_cast<std::size_t>(f[1])],
@@ -39,16 +39,16 @@ TriSurface extract_boundary_surface(const TetMesh& mesh,
   }
 
   TriSurface surface;
-  std::map<NodeId, int> node_to_vertex;
+  std::map<NodeId, VertId> node_to_vertex;
   for (const auto& [key, entry] : face_count) {
     if (entry.first != 1) continue;  // interior face
-    std::array<int, 3> tri{};
+    std::array<VertId, 3> tri{};
     for (std::size_t c = 0; c < 3; ++c) {
       const NodeId n = entry.second[c];
       auto it = node_to_vertex.find(n);
       if (it == node_to_vertex.end()) {
-        it = node_to_vertex.emplace(n, surface.num_vertices()).first;
-        surface.vertices.push_back(mesh.nodes[static_cast<std::size_t>(n)]);
+        it = node_to_vertex.emplace(n, surface.vertices.end_id()).first;
+        surface.vertices.push_back(mesh.nodes[n]);
         surface.mesh_nodes.push_back(n);
       }
       tri[c] = it->second;
@@ -58,27 +58,30 @@ TriSurface extract_boundary_surface(const TetMesh& mesh,
   return surface;
 }
 
-std::vector<Vec3> vertex_normals(const TriSurface& surface) {
-  std::vector<Vec3> normals(static_cast<std::size_t>(surface.num_vertices()));
+base::IdVector<VertId, Vec3> vertex_normals(const TriSurface& surface) {
+  base::IdVector<VertId, Vec3> normals(
+      static_cast<std::size_t>(surface.num_vertices()));
   for (const auto& tri : surface.triangles) {
-    const Vec3& a = surface.vertices[static_cast<std::size_t>(tri[0])];
-    const Vec3& b = surface.vertices[static_cast<std::size_t>(tri[1])];
-    const Vec3& c = surface.vertices[static_cast<std::size_t>(tri[2])];
+    const Vec3& a = surface.vertices[tri[0]];
+    const Vec3& b = surface.vertices[tri[1]];
+    const Vec3& c = surface.vertices[tri[2]];
     const Vec3 n = cross(b - a, c - a);  // magnitude = 2*area → area weighting
-    for (const int v : tri) normals[static_cast<std::size_t>(v)] += n;
+    for (const VertId v : tri) normals[v] += n;
   }
   for (auto& n : normals) n = normalized(n);
   return normals;
 }
 
-std::vector<std::vector<int>> surface_adjacency(const TriSurface& surface) {
-  std::vector<std::vector<int>> adj(static_cast<std::size_t>(surface.num_vertices()));
+base::IdVector<VertId, std::vector<VertId>> surface_adjacency(
+    const TriSurface& surface) {
+  base::IdVector<VertId, std::vector<VertId>> adj(
+      static_cast<std::size_t>(surface.num_vertices()));
   for (const auto& tri : surface.triangles) {
     for (int e = 0; e < 3; ++e) {
-      const int a = tri[static_cast<std::size_t>(e)];
-      const int b = tri[static_cast<std::size_t>((e + 1) % 3)];
-      adj[static_cast<std::size_t>(a)].push_back(b);
-      adj[static_cast<std::size_t>(b)].push_back(a);
+      const VertId a = tri[static_cast<std::size_t>(e)];
+      const VertId b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      adj[a].push_back(b);
+      adj[b].push_back(a);
     }
   }
   for (auto& row : adj) {
@@ -91,9 +94,9 @@ std::vector<std::vector<int>> surface_adjacency(const TriSurface& surface) {
 double surface_area(const TriSurface& surface) {
   double area = 0.0;
   for (const auto& tri : surface.triangles) {
-    const Vec3& a = surface.vertices[static_cast<std::size_t>(tri[0])];
-    const Vec3& b = surface.vertices[static_cast<std::size_t>(tri[1])];
-    const Vec3& c = surface.vertices[static_cast<std::size_t>(tri[2])];
+    const Vec3& a = surface.vertices[tri[0]];
+    const Vec3& b = surface.vertices[tri[1]];
+    const Vec3& c = surface.vertices[tri[2]];
     area += 0.5 * norm(cross(b - a, c - a));
   }
   return area;

@@ -12,35 +12,46 @@
 #include <string>
 #include <vector>
 
+#include "base/strong_id.h"
 #include "base/vec3.h"
 #include "mesh/tet_mesh.h"
 
 namespace neuro::mesh {
 
+/// Index of a surface vertex — a different space from the tet-mesh NodeId it
+/// originated from (TriSurface::mesh_nodes is the bridge).
+using VertId = base::StrongId<struct VertIdTag>;
+/// Index of a surface triangle.
+using TriId = base::StrongId<struct TriIdTag>;
+
 struct TriSurface {
-  std::vector<Vec3> vertices;
-  std::vector<std::array<int, 3>> triangles;  ///< outward-oriented
-  std::vector<NodeId> mesh_nodes;  ///< originating tet-mesh node per vertex
-                                   ///< (empty for free-standing surfaces)
+  base::IdVector<VertId, Vec3> vertices;
+  base::IdVector<TriId, std::array<VertId, 3>> triangles;  ///< outward-oriented
+  base::IdVector<VertId, NodeId> mesh_nodes;  ///< originating tet-mesh node per
+                                              ///< vertex (empty for
+                                              ///< free-standing surfaces)
 
   [[nodiscard]] int num_vertices() const { return static_cast<int>(vertices.size()); }
   [[nodiscard]] int num_triangles() const { return static_cast<int>(triangles.size()); }
+  [[nodiscard]] base::IdRange<VertId> vert_ids() const { return vertices.ids(); }
+  [[nodiscard]] base::IdRange<TriId> tri_ids() const { return triangles.ids(); }
 };
 
 /// Extracts the boundary of the sub-mesh formed by tets whose label is in
 /// `labels`: faces belonging to exactly one such tet. Triangles are oriented
 /// outward (away from the kept region).
-TriSurface extract_boundary_surface(const TetMesh& mesh,
-                                    const std::vector<std::uint8_t>& labels);
+[[nodiscard]] TriSurface extract_boundary_surface(
+    const TetMesh& mesh, const std::vector<std::uint8_t>& labels);
 
 /// Area-weighted vertex normals (normalized).
-std::vector<Vec3> vertex_normals(const TriSurface& surface);
+[[nodiscard]] base::IdVector<VertId, Vec3> vertex_normals(const TriSurface& surface);
 
 /// Vertex-to-vertex adjacency from triangle edges, sorted, no self-entries.
-std::vector<std::vector<int>> surface_adjacency(const TriSurface& surface);
+[[nodiscard]] base::IdVector<VertId, std::vector<VertId>> surface_adjacency(
+    const TriSurface& surface);
 
 /// Total surface area.
-double surface_area(const TriSurface& surface);
+[[nodiscard]] double surface_area(const TriSurface& surface);
 
 /// Writes a Wavefront OBJ (for the Fig. 5-style visualizations).
 void write_obj(const std::string& path, const TriSurface& surface);

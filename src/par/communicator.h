@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/strong_id.h"
 #include "par/verify.h"
 #include "par/work_counter.h"
 
@@ -132,6 +133,9 @@ class Communicator {
       : rank_(rank), team_(team), verify_(team->verify()) {}
 
   [[nodiscard]] int rank() const { return rank_; }
+  /// This rank as a strong id (the mesh partition and the solver exchange
+  /// plans are indexed by Rank).
+  [[nodiscard]] Rank rank_id() const { return Rank{rank_}; }
   [[nodiscard]] int size() const { return team_->size(); }
 
   WorkCounter& work() { return work_; }
@@ -272,6 +276,12 @@ class Communicator {
     work_.add_comm(static_cast<double>(data.size() * sizeof(T)));
   }
 
+  /// Typed-rank overload.
+  template <typename T>
+  void send(Rank dst, int tag, std::span<const T> data) {
+    send(dst.value(), tag, data);
+  }
+
   /// Blocking point-to-point receive from `src` with `tag`.
   template <typename T>
   std::vector<T> recv(int src, int tag) {
@@ -287,6 +297,12 @@ class Communicator {
       std::memcpy(out.data(), bytes.data(), bytes.size());
     }
     return out;
+  }
+
+  /// Typed-rank overload.
+  template <typename T>
+  std::vector<T> recv(Rank src, int tag) {
+    return recv<T>(src.value(), tag);
   }
 
  private:

@@ -15,8 +15,9 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
 
   // --- Exchange the matrix structure: every rank learns the full CSR. ---
   // (Rank ranges are contiguous and ordered, so concatenation is global CSR.)
-  std::array<int, 2> my_range{range_.first, range_.second};
-  const auto ranges = comm.allgather_parts(std::span<const int>(my_range.data(), 2));
+  std::array<GlobalRow, 2> my_range{range_.first, range_.second};
+  const auto ranges =
+      comm.allgather_parts(std::span<const GlobalRow>(my_range.data(), 2));
 
   // Row lengths, then columns and values.
   std::vector<int> my_lengths(static_cast<std::size_t>(A.local_rows()));
@@ -42,36 +43,36 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
 
   // --- Grow the extended set by `overlap` adjacency layers. ---
   std::vector<char> in_set(static_cast<std::size_t>(n_global), 0);
-  std::vector<int> frontier;
-  for (int g = range_.first; g < range_.second; ++g) {
-    in_set[static_cast<std::size_t>(g)] = 1;
+  std::vector<GlobalRow> frontier;
+  for (const GlobalRow g : range_) {
+    in_set[g.index()] = 1;
     frontier.push_back(g);
   }
   for (int layer = 0; layer < overlap; ++layer) {
-    std::vector<int> next;
-    for (const int g : frontier) {
-      for (int p = global_row_ptr[static_cast<std::size_t>(g)];
-           p < global_row_ptr[static_cast<std::size_t>(g) + 1]; ++p) {
-        const int c = all_cols[static_cast<std::size_t>(p)];
-        if (!in_set[static_cast<std::size_t>(c)]) {
-          in_set[static_cast<std::size_t>(c)] = 1;
+    std::vector<GlobalRow> next;
+    for (const GlobalRow g : frontier) {
+      for (int p = global_row_ptr[g.index()]; p < global_row_ptr[g.index() + 1];
+           ++p) {
+        const GlobalRow c{all_cols[static_cast<std::size_t>(p)]};
+        if (!in_set[c.index()]) {
+          in_set[c.index()] = 1;
           next.push_back(c);
         }
       }
     }
     frontier = std::move(next);
   }
-  for (int g = 0; g < n_global; ++g) {
-    if (in_set[static_cast<std::size_t>(g)]) ext_to_global_.push_back(g);
+  for (GlobalRow g{0}; g < GlobalRow{n_global}; ++g) {
+    if (in_set[g.index()]) ext_to_global_.push_back(g);
   }
 
-  std::unordered_map<int, int> global_to_ext;
+  std::unordered_map<GlobalRow, int> global_to_ext;
   global_to_ext.reserve(ext_to_global_.size());
   for (std::size_t e = 0; e < ext_to_global_.size(); ++e) {
     global_to_ext[ext_to_global_[e]] = static_cast<int>(e);
   }
   owned_ext_positions_.reserve(static_cast<std::size_t>(A.local_rows()));
-  for (int g = range_.first; g < range_.second; ++g) {
+  for (const GlobalRow g : range_) {
     owned_ext_positions_.push_back(global_to_ext.at(g));
   }
 
@@ -80,11 +81,11 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
   std::vector<int> sub_cols;
   std::vector<double> sub_values;
   std::vector<std::pair<int, double>> row;
-  for (const int g : ext_to_global_) {
+  for (const GlobalRow g : ext_to_global_) {
     row.clear();
-    for (int p = global_row_ptr[static_cast<std::size_t>(g)];
-         p < global_row_ptr[static_cast<std::size_t>(g) + 1]; ++p) {
-      const int c = all_cols[static_cast<std::size_t>(p)];
+    for (int p = global_row_ptr[g.index()]; p < global_row_ptr[g.index() + 1];
+         ++p) {
+      const GlobalRow c{all_cols[static_cast<std::size_t>(p)]};
       const auto it = global_to_ext.find(c);
       if (it != global_to_ext.end()) {
         row.emplace_back(it->second, all_values[static_cast<std::size_t>(p)]);
@@ -103,29 +104,28 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
   comm.work().add_mem_bytes(12.0 * static_cast<double>(all_values.size()));
 
   // --- Halo-exchange plan for apply(). ---
-  std::vector<int> needed;  // halo globals, grouped by owner (set is sorted)
-  for (const int g : ext_to_global_) {
-    if (g < range_.first || g >= range_.second) needed.push_back(g);
+  std::vector<GlobalRow> needed;  // halo globals, grouped by owner (sorted)
+  for (const GlobalRow g : ext_to_global_) {
+    if (!range_.contains(g)) needed.push_back(g);
   }
-  const auto all_needed =
-      comm.allgather_parts(std::span<const int>(needed.data(), needed.size()));
-  const int me = comm.rank();
-  for (int r = 0; r < comm.size(); ++r) {
+  const auto all_needed = comm.allgather_parts(
+      std::span<const GlobalRow>(needed.data(), needed.size()));
+  const Rank me = comm.rank_id();
+  for (Rank r{0}; r < Rank{comm.size()}; ++r) {
     if (r == me) continue;
-    const int rb = ranges[static_cast<std::size_t>(r)][0];
-    const int re = ranges[static_cast<std::size_t>(r)][1];
+    const RowRange their{ranges[r.index()][0], ranges[r.index()][1]};
     Recv rc;
     rc.rank = r;
-    for (const int g : needed) {
-      if (g >= rb && g < re) rc.ext_positions.push_back(global_to_ext.at(g));
+    for (const GlobalRow g : needed) {
+      if (their.contains(g)) rc.ext_positions.push_back(global_to_ext.at(g));
     }
     if (!rc.ext_positions.empty()) recvs_.push_back(std::move(rc));
 
     Send sd;
     sd.rank = r;
-    for (const int g : all_needed[static_cast<std::size_t>(r)]) {
-      if (g >= range_.first && g < range_.second) {
-        sd.local_indices.push_back(g - range_.first);
+    for (const GlobalRow g : all_needed[r.index()]) {
+      if (range_.contains(g)) {
+        sd.local_indices.push_back(range_.offset_of(g));
       }
     }
     if (!sd.local_indices.empty()) sends_.push_back(std::move(sd));

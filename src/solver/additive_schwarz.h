@@ -33,19 +33,19 @@ class AdditiveSchwarz final : public Preconditioner {
 
  private:
   int overlap_;
-  std::pair<int, int> range_;
+  RowRange range_;
 
-  std::vector<int> ext_to_global_;  ///< sorted extended index set
+  std::vector<GlobalRow> ext_to_global_;  ///< sorted extended index set
   Ilu0Factor factor_;
 
   // Halo exchange plan for apply(): which of my owned entries each neighbour
   // needs, and where incoming values land in the extended vector.
   struct Send {
-    int rank;
+    Rank rank;
     std::vector<int> local_indices;  ///< offsets into the owned block
   };
   struct Recv {
-    int rank;
+    Rank rank;
     std::vector<int> ext_positions;  ///< slots in the extended vector
   };
   std::vector<Send> sends_;

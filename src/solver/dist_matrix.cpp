@@ -7,7 +7,7 @@
 
 namespace neuro::solver {
 
-DistCsrMatrix::DistCsrMatrix(int global_size, std::pair<int, int> range,
+DistCsrMatrix::DistCsrMatrix(int global_size, RowRange range,
                              std::vector<int> row_ptr, std::vector<int> cols,
                              std::vector<double> values)
     : global_size_(global_size),
@@ -15,8 +15,8 @@ DistCsrMatrix::DistCsrMatrix(int global_size, std::pair<int, int> range,
       row_ptr_(std::move(row_ptr)),
       global_cols_(std::move(cols)),
       values_(std::move(values)) {
-  NEURO_REQUIRE(range_.first >= 0 && range_.second >= range_.first &&
-                    range_.second <= global_size_,
+  NEURO_REQUIRE(range_.first >= GlobalRow{0} && range_.second >= range_.first &&
+                    range_.second <= GlobalRow{global_size_},
                 "DistCsrMatrix: bad row range");
   NEURO_REQUIRE(static_cast<int>(row_ptr_.size()) == local_rows() + 1,
                 "DistCsrMatrix: row_ptr size mismatch");
@@ -36,11 +36,11 @@ void DistCsrMatrix::drop_zeros() {
   new_cols.reserve(global_cols_.size());
   new_values.reserve(values_.size());
   for (int r = 0; r < nlocal; ++r) {
-    const int global_row = range_.first + r;
+    const GlobalRow global_row = global_of(range_, LocalRow{r});
     for (int p = row_ptr_[static_cast<std::size_t>(r)];
          p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
       const int c = global_cols_[static_cast<std::size_t>(p)];
-      if (values_[static_cast<std::size_t>(p)] != 0.0 || c == global_row) {
+      if (values_[static_cast<std::size_t>(p)] != 0.0 || c == global_row.value()) {
         new_cols.push_back(c);
         new_values.push_back(values_[static_cast<std::size_t>(p)]);
       }
@@ -57,45 +57,45 @@ void DistCsrMatrix::setup_ghosts(par::Communicator& comm) {
   const int nlocal = local_rows();
 
   // Collect referenced off-range (ghost) columns, sorted & unique.
-  std::vector<int> ghosts;
+  std::vector<GlobalRow> ghosts;
   for (const int c : global_cols_) {
-    if (c < range_.first || c >= range_.second) ghosts.push_back(c);
+    if (!range_.contains(GlobalRow{c})) ghosts.push_back(GlobalRow{c});
   }
   std::sort(ghosts.begin(), ghosts.end());
   ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
   ghost_globals_ = ghosts;
 
   // Remap columns to local storage: owned → [0, nlocal), ghost → slot.
-  std::unordered_map<int, int> ghost_slot;
+  std::unordered_map<GlobalRow, int> ghost_slot;
   ghost_slot.reserve(ghosts.size());
   for (std::size_t g = 0; g < ghosts.size(); ++g) {
     ghost_slot[ghosts[g]] = nlocal + static_cast<int>(g);
   }
   local_cols_.resize(global_cols_.size());
   for (std::size_t i = 0; i < global_cols_.size(); ++i) {
-    const int c = global_cols_[i];
-    local_cols_[i] = (c >= range_.first && c < range_.second)
-                         ? c - range_.first
-                         : ghost_slot.at(c);
+    const GlobalRow c{global_cols_[i]};
+    local_cols_[i] =
+        range_.contains(c) ? range_.offset_of(c) : ghost_slot.at(c);
   }
 
   // Everyone learns everyone's ownership ranges and ghost needs.
-  std::array<int, 2> my_range{range_.first, range_.second};
+  std::array<int, 2> my_range{range_.first.value(), range_.second.value()};
   auto ranges = comm.allgather_parts(std::span<const int>(my_range.data(), 2));
-  auto needs = comm.allgather_parts(std::span<const int>(ghosts.data(), ghosts.size()));
+  auto needs = comm.allgather_parts(
+      std::span<const GlobalRow>(ghosts.data(), ghosts.size()));
 
-  const int me = comm.rank();
+  const Rank me = comm.rank_id();
   // Receives: my ghosts grouped by owning rank (ghosts are sorted, ranges are
   // contiguous and ordered, so groups are contiguous runs).
   {
     std::size_t pos = 0;
-    for (int r = 0; r < comm.size(); ++r) {
+    for (Rank r{0}; r < Rank{comm.size()}; ++r) {
       if (r == me) continue;
-      const int rb = ranges[static_cast<std::size_t>(r)][0];
-      const int re = ranges[static_cast<std::size_t>(r)][1];
+      const RowRange owned{GlobalRow{ranges[r.index()][0]},
+                           GlobalRow{ranges[r.index()][1]}};
       const int offset = static_cast<int>(pos);
       int count = 0;
-      while (pos < ghosts.size() && ghosts[pos] >= rb && ghosts[pos] < re) {
+      while (pos < ghosts.size() && owned.contains(ghosts[pos])) {
         ++pos;
         ++count;
       }
@@ -105,13 +105,13 @@ void DistCsrMatrix::setup_ghosts(par::Communicator& comm) {
                     "setup_ghosts: ghost column not owned by any rank");
   }
   // Sends: entries of mine that other ranks listed as ghosts.
-  for (int r = 0; r < comm.size(); ++r) {
+  for (Rank r{0}; r < Rank{comm.size()}; ++r) {
     if (r == me) continue;
     Exchange ex;
     ex.rank = r;
-    for (const int g : needs[static_cast<std::size_t>(r)]) {
-      if (g >= range_.first && g < range_.second) {
-        ex.local_indices.push_back(g - range_.first);
+    for (const GlobalRow g : needs[r.index()]) {
+      if (range_.contains(g)) {
+        ex.local_indices.push_back(range_.offset_of(g));
       }
     }
     if (!ex.local_indices.empty()) sends_.push_back(std::move(ex));
@@ -168,26 +168,24 @@ void DistCsrMatrix::apply(const DistVector& x, DistVector& y,
                             16.0 * static_cast<double>(nlocal));
 }
 
-double DistCsrMatrix::value_at(int global_row, int global_col) const {
-  NEURO_REQUIRE(global_row >= range_.first && global_row < range_.second,
-                "value_at: row not owned");
-  const int r = global_row - range_.first;
+double DistCsrMatrix::value_at(GlobalRow global_row, GlobalRow global_col) const {
+  NEURO_REQUIRE(range_.contains(global_row), "value_at: row not owned");
+  const int r = range_.offset_of(global_row);
   for (int p = row_ptr_[static_cast<std::size_t>(r)];
        p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-    if (global_cols_[static_cast<std::size_t>(p)] == global_col) {
+    if (global_cols_[static_cast<std::size_t>(p)] == global_col.value()) {
       return values_[static_cast<std::size_t>(p)];
     }
   }
   return 0.0;
 }
 
-double* DistCsrMatrix::find_entry(int global_row, int global_col) {
-  NEURO_REQUIRE(global_row >= range_.first && global_row < range_.second,
-                "find_entry: row not owned");
-  const int r = global_row - range_.first;
+double* DistCsrMatrix::find_entry(GlobalRow global_row, GlobalRow global_col) {
+  NEURO_REQUIRE(range_.contains(global_row), "find_entry: row not owned");
+  const int r = range_.offset_of(global_row);
   for (int p = row_ptr_[static_cast<std::size_t>(r)];
        p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-    if (global_cols_[static_cast<std::size_t>(p)] == global_col) {
+    if (global_cols_[static_cast<std::size_t>(p)] == global_col.value()) {
       return &values_[static_cast<std::size_t>(p)];
     }
   }
@@ -204,9 +202,9 @@ void DistCsrMatrix::extract_diagonal_block(std::vector<int>& row_ptr,
   for (int r = 0; r < nlocal; ++r) {
     for (int p = row_ptr_[static_cast<std::size_t>(r)];
          p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-      const int c = global_cols_[static_cast<std::size_t>(p)];
-      if (c >= range_.first && c < range_.second) {
-        cols.push_back(c - range_.first);
+      const GlobalRow c{global_cols_[static_cast<std::size_t>(p)]};
+      if (range_.contains(c)) {
+        cols.push_back(range_.offset_of(c));
         values.push_back(values_[static_cast<std::size_t>(p)]);
       }
     }

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/strong_id.h"
 #include "par/communicator.h"
 #include "solver/dist_vector.h"
 
@@ -20,13 +21,14 @@ namespace neuro::solver {
 class DistCsrMatrix {
  public:
   /// Builds the local row block from CSR arrays with *global* column indices.
-  /// `row_ptr` has (range.second - range.first + 1) entries.
-  DistCsrMatrix(int global_size, std::pair<int, int> range, std::vector<int> row_ptr,
+  /// `row_ptr` has (range.size() + 1) entries. The int arrays are the CSR
+  /// wire format and stay untyped; every API above them is typed.
+  DistCsrMatrix(int global_size, RowRange range, std::vector<int> row_ptr,
                 std::vector<int> cols, std::vector<double> values);
 
   [[nodiscard]] int global_size() const { return global_size_; }
-  [[nodiscard]] std::pair<int, int> range() const { return range_; }
-  [[nodiscard]] int local_rows() const { return range_.second - range_.first; }
+  [[nodiscard]] RowRange range() const { return range_; }
+  [[nodiscard]] int local_rows() const { return range_.size(); }
   [[nodiscard]] std::size_t local_nnz() const { return values_.size(); }
 
   /// Removes explicitly-zero entries from the local rows (diagonal entries
@@ -46,11 +48,12 @@ class DistCsrMatrix {
   void apply(const DistVector& x, DistVector& y, par::Communicator& comm) const;
 
   /// Value at (global_row, global_col); row must be owned. Zero if absent.
-  [[nodiscard]] double value_at(int global_row, int global_col) const;
+  /// Columns of the square system live in the same GlobalRow space as rows.
+  [[nodiscard]] double value_at(GlobalRow global_row, GlobalRow global_col) const;
 
   /// Mutable access used by boundary-condition substitution. Row is owned.
   /// Returns nullptr when the entry is not in the sparsity pattern.
-  double* find_entry(int global_row, int global_col);
+  [[nodiscard]] double* find_entry(GlobalRow global_row, GlobalRow global_col);
 
   /// Iterates the raw local structure (global column indices preserved
   /// separately from the ghost remap).
@@ -74,7 +77,7 @@ class DistCsrMatrix {
 
  private:
   int global_size_;
-  std::pair<int, int> range_;
+  RowRange range_;
   std::vector<int> row_ptr_;
   std::vector<int> global_cols_;
   std::vector<double> values_;
@@ -82,14 +85,14 @@ class DistCsrMatrix {
   // Ghost plan (built by setup_ghosts).
   bool ghosts_ready_ = false;
   std::vector<int> local_cols_;  ///< remapped: [0, nlocal) owned, then ghosts
-  std::vector<int> ghost_globals_;  ///< global index per ghost slot
+  std::vector<GlobalRow> ghost_globals_;  ///< global index per ghost slot
   struct Exchange {
-    int rank;
+    Rank rank;
     std::vector<int> local_indices;  ///< owned entries to ship to `rank`
   };
   std::vector<Exchange> sends_;
   struct Receive {
-    int rank;
+    Rank rank;
     int ghost_offset;  ///< first ghost slot filled by this rank
     int count;
   };

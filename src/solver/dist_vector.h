@@ -3,6 +3,11 @@
 // Each rank owns the contiguous slice [begin, end) of the global vector.
 // Reductions (dot, norm) are the only communicating operations; everything
 // else is rank-local. Flop/byte accounting feeds the scaling model.
+//
+// Rows come in two index spaces that raw ints used to conflate: GlobalRow is
+// a row of the assembled 3·N-equation system, LocalRow is an offset into one
+// rank's owned block. They are distinct strong types — passing one where the
+// other is expected does not compile (tests/compile_fail/ proves it).
 #pragma once
 
 #include <cmath>
@@ -10,37 +15,71 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/strong_id.h"
 #include "par/communicator.h"
 
 namespace neuro::solver {
 
+/// A row of the global (assembled) system. In the FEM layers this is the
+/// image of a dof — fem/dof.h holds the explicit DofId ↔ GlobalRow bridge.
+using GlobalRow = base::StrongId<struct GlobalRowTag>;
+/// An offset into one rank's owned row block: local = global − range().first.
+using LocalRow = base::StrongId<struct LocalRowTag>;
+/// The contiguous run of global rows one rank owns.
+using RowRange = base::IdRange<GlobalRow>;
+
+/// The owned global rows [first, first + count).
+[[nodiscard]] constexpr RowRange row_range(GlobalRow first, int count) {
+  return {first, first + count};
+}
+
+/// Local offset of an owned global row.
+[[nodiscard]] constexpr LocalRow local_of(const RowRange& range, GlobalRow row) {
+  return LocalRow{range.offset_of(row)};
+}
+
+/// Global row of a local offset.
+[[nodiscard]] constexpr GlobalRow global_of(const RowRange& range, LocalRow row) {
+  return range.first + row.value();
+}
+
 class DistVector {
  public:
   DistVector() = default;
-  DistVector(int global_size, std::pair<int, int> range, double fill = 0.0)
+  DistVector(int global_size, RowRange range, double fill = 0.0)
       : global_size_(global_size),
         range_(range),
-        local_(static_cast<std::size_t>(range.second - range.first), fill) {
-    NEURO_REQUIRE(range.first >= 0 && range.second >= range.first &&
-                      range.second <= global_size,
+        local_(static_cast<std::size_t>(range.size()), fill) {
+    NEURO_REQUIRE(range.first >= GlobalRow{0} && range.second >= range.first &&
+                      range.second <= GlobalRow{global_size},
                   "DistVector: bad ownership range");
   }
 
   [[nodiscard]] int global_size() const { return global_size_; }
-  [[nodiscard]] std::pair<int, int> range() const { return range_; }
+  [[nodiscard]] RowRange range() const { return range_; }
   [[nodiscard]] int local_size() const { return static_cast<int>(local_.size()); }
 
   [[nodiscard]] std::vector<double>& local() { return local_; }
   [[nodiscard]] const std::vector<double>& local() const { return local_; }
 
-  /// Access by *global* index (must be owned).
-  double& operator[](int global_index) {
-    NEURO_CHECK(global_index >= range_.first && global_index < range_.second);
-    return local_[static_cast<std::size_t>(global_index - range_.first)];
+  /// Access by *global* row (must be owned).
+  double& operator[](GlobalRow row) {
+    NEURO_CHECK(range_.contains(row));
+    return local_[static_cast<std::size_t>(range_.offset_of(row))];
   }
-  double operator[](int global_index) const {
-    NEURO_CHECK(global_index >= range_.first && global_index < range_.second);
-    return local_[static_cast<std::size_t>(global_index - range_.first)];
+  double operator[](GlobalRow row) const {
+    NEURO_CHECK(range_.contains(row));
+    return local_[static_cast<std::size_t>(range_.offset_of(row))];
+  }
+
+  /// Access by local offset into the owned block.
+  double& operator[](LocalRow row) {
+    NEURO_ID_BOUNDS_CHECK(row.index() < local_.size());
+    return local_[row.index()];
+  }
+  double operator[](LocalRow row) const {
+    NEURO_ID_BOUNDS_CHECK(row.index() < local_.size());
+    return local_[row.index()];
   }
 
   void set_all(double v) { local_.assign(local_.size(), v); }
@@ -82,7 +121,7 @@ class DistVector {
 
  private:
   int global_size_ = 0;
-  std::pair<int, int> range_{0, 0};
+  RowRange range_{};
   std::vector<double> local_;
 };
 

@@ -16,13 +16,13 @@ void IdentityPreconditioner::apply(const DistVector& r, DistVector& z,
 }
 
 JacobiPreconditioner::JacobiPreconditioner(const DistCsrMatrix& A) {
-  const auto [rb, re] = A.range();
-  inv_diag_.resize(static_cast<std::size_t>(re - rb));
-  for (int r = rb; r < re; ++r) {
+  const RowRange range = A.range();
+  inv_diag_.resize(static_cast<std::size_t>(range.size()));
+  for (const GlobalRow r : range) {
     const double d = A.value_at(r, r);
     NEURO_REQUIRE(std::abs(d) > 1e-300,
                   "JacobiPreconditioner: zero diagonal at row " << r);
-    inv_diag_[static_cast<std::size_t>(r - rb)] = 1.0 / d;
+    inv_diag_[static_cast<std::size_t>(range.offset_of(r))] = 1.0 / d;
   }
 }
 

@@ -33,11 +33,11 @@ ActiveSurfaceResult run(const mesh::TriSurface& initial, const ImageF& potential
   result.surface = initial;
   const auto adjacency = mesh::surface_adjacency(initial);
   auto& verts = result.surface.vertices;
-  std::vector<Vec3> next(verts.size());
+  base::IdVector<mesh::VertId, Vec3> next(verts.size());
 
   for (int it = 0; it < config.max_iterations; ++it) {
     double total_motion = 0.0;
-    for (std::size_t v = 0; v < verts.size(); ++v) {
+    for (const mesh::VertId v : verts.ids()) {
       const Vec3& x = verts[v];
 
       // External: steepest descent on the potential.
@@ -47,7 +47,7 @@ ActiveSurfaceResult run(const mesh::TriSurface& initial, const ImageF& potential
       Vec3 lap{};
       const auto& nbrs = adjacency[v];
       if (!nbrs.empty()) {
-        for (const int n : nbrs) lap += verts[static_cast<std::size_t>(n)];
+        for (const mesh::VertId n : nbrs) lap += verts[n];
         lap = lap / static_cast<double>(nbrs.size()) - x;
       }
 
@@ -65,7 +65,7 @@ ActiveSurfaceResult run(const mesh::TriSurface& initial, const ImageF& potential
 
   result.displacements.resize(verts.size());
   double abs_pot = 0.0;
-  for (std::size_t v = 0; v < verts.size(); ++v) {
+  for (const mesh::VertId v : verts.ids()) {
     result.displacements[v] = verts[v] - initial.vertices[v];
     abs_pot += std::abs(sample_physical(potential, verts[v]));
   }
@@ -129,23 +129,24 @@ ImageF edge_potential_from_image(const ImageF& image, double expected_gray,
   return potential;
 }
 
-void smooth_vertex_vectors(const mesh::TriSurface& surface, std::vector<Vec3>& field,
+void smooth_vertex_vectors(const mesh::TriSurface& surface,
+                           base::IdVector<mesh::VertId, Vec3>& field,
                            int iterations, double lambda) {
   NEURO_REQUIRE(field.size() == surface.vertices.size(),
                 "smooth_vertex_vectors: field/vertex count mismatch");
   NEURO_REQUIRE(iterations >= 0 && lambda >= 0.0 && lambda <= 1.0,
                 "smooth_vertex_vectors: bad parameters");
   const auto adjacency = mesh::surface_adjacency(surface);
-  std::vector<Vec3> next(field.size());
+  base::IdVector<mesh::VertId, Vec3> next(field.size());
   for (int it = 0; it < iterations; ++it) {
-    for (std::size_t v = 0; v < field.size(); ++v) {
+    for (const mesh::VertId v : field.ids()) {
       const auto& nbrs = adjacency[v];
       if (nbrs.empty()) {
         next[v] = field[v];
         continue;
       }
       Vec3 mean{};
-      for (const int n : nbrs) mean += field[static_cast<std::size_t>(n)];
+      for (const mesh::VertId n : nbrs) mean += field[n];
       mean /= static_cast<double>(nbrs.size());
       next[v] = (1.0 - lambda) * field[v] + lambda * mean;
     }
@@ -160,7 +161,7 @@ std::vector<std::pair<mesh::NodeId, Vec3>> node_displacements(
   NEURO_CHECK(result.surface.mesh_nodes.size() == result.displacements.size());
   std::vector<std::pair<mesh::NodeId, Vec3>> out;
   out.reserve(result.displacements.size());
-  for (std::size_t v = 0; v < result.displacements.size(); ++v) {
+  for (const mesh::VertId v : result.displacements.ids()) {
     out.emplace_back(result.surface.mesh_nodes[v], result.displacements[v]);
   }
   return out;

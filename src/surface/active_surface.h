@@ -40,8 +40,8 @@ struct ActiveSurfaceConfig {
 };
 
 struct ActiveSurfaceResult {
-  mesh::TriSurface surface;          ///< deformed copy of the input
-  std::vector<Vec3> displacements;   ///< final − initial, per vertex
+  mesh::TriSurface surface;  ///< deformed copy of the input
+  base::IdVector<mesh::VertId, Vec3> displacements;  ///< final − initial, per vertex
   int iterations = 0;
   double final_mean_motion_mm = 0.0;
   double mean_abs_potential = 0.0;   ///< residual |potential| at vertices
@@ -69,7 +69,7 @@ ImageF edge_potential_from_image(const ImageF& image, double expected_gray,
 
 /// Converts an active-surface result into per-mesh-node prescribed
 /// displacements (requires the surface to have been extracted from a mesh).
-std::vector<std::pair<mesh::NodeId, Vec3>> node_displacements(
+[[nodiscard]] std::vector<std::pair<mesh::NodeId, Vec3>> node_displacements(
     const ActiveSurfaceResult& result);
 
 /// Graph-Laplacian smoothing of a per-vertex vector field:
@@ -77,7 +77,8 @@ std::vector<std::pair<mesh::NodeId, Vec3>> node_displacements(
 /// voxel-quantization jitter out of measured surface displacements before
 /// they become FEM boundary conditions — the anatomical signal varies over
 /// centimetres, the segmentation jitter over one voxel.
-void smooth_vertex_vectors(const mesh::TriSurface& surface, std::vector<Vec3>& field,
+void smooth_vertex_vectors(const mesh::TriSurface& surface,
+                           base::IdVector<mesh::VertId, Vec3>& field,
                            int iterations, double lambda = 0.5);
 
 }  // namespace neuro::surface

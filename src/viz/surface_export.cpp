@@ -31,10 +31,9 @@ void write_ply_colored(const std::string& path, const mesh::TriSurface& surface,
   f << "property uchar red\nproperty uchar green\nproperty uchar blue\n";
   f << "element face " << surface.num_triangles() << "\n";
   f << "property list uchar int vertex_indices\nend_header\n";
-  for (int v = 0; v < surface.num_vertices(); ++v) {
-    const Vec3& p = surface.vertices[static_cast<std::size_t>(v)];
-    const Rgb c = map_color(
-        kind, (scalars[static_cast<std::size_t>(v)] - lo) / (hi - lo));
+  for (const mesh::VertId v : surface.vert_ids()) {
+    const Vec3& p = surface.vertices[v];
+    const Rgb c = map_color(kind, (scalars[v.index()] - lo) / (hi - lo));
     f << p.x << ' ' << p.y << ' ' << p.z << ' ' << static_cast<int>(c.r) << ' '
       << static_cast<int>(c.g) << ' ' << static_cast<int>(c.b) << '\n';
   }

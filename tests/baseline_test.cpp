@@ -26,11 +26,11 @@ TEST(IdwBaselineTest, PrescribedNodesKeptExactly) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    bcs.emplace_back(n, Vec3{0.1 * n, -0.2, 0.0});
+    bcs.emplace_back(n, Vec3{0.1 * n.value(), -0.2, 0.0});
   }
   const auto u = fem::interpolate_surface_displacements(mesh, bcs);
   for (const auto& [node, v] : bcs) {
-    EXPECT_EQ(norm(u[static_cast<std::size_t>(node)] - v), 0.0);
+    EXPECT_EQ(norm(u[node.index()] - v), 0.0);
   }
 }
 
@@ -52,7 +52,7 @@ TEST(IdwBaselineTest, InteriorIsConvexCombination) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     bcs.emplace_back(n, Vec3{0.0, 0.0, -0.1 * p.z});
   }
   double lo = 1e300, hi = -1e300;
@@ -77,7 +77,7 @@ TEST(IdwBaselineTest, FemBeatsIdwOnLinearField) {
   };
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    bcs.emplace_back(n, affine(mesh.nodes[static_cast<std::size_t>(n)]));
+    bcs.emplace_back(n, affine(mesh.nodes[n]));
   }
   const auto idw = fem::interpolate_surface_displacements(mesh, bcs);
   fem::DeformationSolveOptions opt;
@@ -85,11 +85,10 @@ TEST(IdwBaselineTest, FemBeatsIdwOnLinearField) {
   const auto femr =
       fem::solve_deformation(mesh, fem::MaterialMap::homogeneous_brain(), bcs, opt);
   double idw_err = 0, fem_err = 0;
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    const Vec3 truth = affine(mesh.nodes[static_cast<std::size_t>(n)]);
-    idw_err = std::max(idw_err, norm(idw[static_cast<std::size_t>(n)] - truth));
-    fem_err = std::max(
-        fem_err, norm(femr.node_displacements[static_cast<std::size_t>(n)] - truth));
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    const Vec3 truth = affine(mesh.nodes[n]);
+    idw_err = std::max(idw_err, norm(idw[n.index()] - truth));
+    fem_err = std::max(fem_err, norm(femr.node_displacements[n.index()] - truth));
   }
   EXPECT_LT(fem_err, 1e-5);
   EXPECT_GT(idw_err, 10.0 * fem_err);

@@ -1,0 +1,15 @@
+// compile-fail: IDs from different index spaces never compare, even when the
+// underlying integers happen to be equal.
+#include "mesh/tet_mesh.h"
+
+namespace neuro {
+
+bool probe() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return mesh::NodeId{1} == mesh::NodeId{1};
+#else
+  return mesh::NodeId{1} == mesh::TetId{1};  // node vs tet: different spaces
+#endif
+}
+
+}  // namespace neuro

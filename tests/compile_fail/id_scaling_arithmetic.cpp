@@ -1,0 +1,17 @@
+// compile-fail: IDs support offset arithmetic (id ± int, id − id) but not
+// scaling — `3 * node` is the old hand-rolled node→dof expansion, which must
+// be written as fem::dof_of(node, axis).
+#include "fem/dof.h"
+
+namespace neuro {
+
+fem::DofId probe() {
+  const mesh::NodeId n{5};
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return fem::dof_of(n, 2);
+#else
+  return fem::DofId{3 * n + 2};  // hand-rolled dof expansion
+#endif
+}
+
+}  // namespace neuro

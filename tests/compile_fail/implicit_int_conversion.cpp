@@ -1,0 +1,18 @@
+// compile-fail: strong IDs are only explicitly constructible from integers —
+// an int silently becoming a NodeId is exactly the bug class this family
+// exists to stop.
+#include "mesh/tet_mesh.h"
+
+namespace neuro {
+
+mesh::NodeId probe() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  mesh::NodeId n{3};
+  return n;
+#else
+  mesh::NodeId n = 3;  // implicit int → id conversion
+  return n;
+#endif
+}
+
+}  // namespace neuro

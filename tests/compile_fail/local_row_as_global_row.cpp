@@ -1,0 +1,17 @@
+// compile-fail: LocalRow (offset into one rank's owned block) is not a
+// GlobalRow (row of the assembled system); converting needs local_of /
+// global_of with the owning range.
+#include "solver/dist_vector.h"
+
+namespace neuro {
+
+solver::LocalRow probe() {
+  const solver::RowRange range = solver::row_range(solver::GlobalRow{6}, 4);
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return local_of(range, solver::GlobalRow{7});
+#else
+  return local_of(range, solver::LocalRow{1});  // local offset is not global
+#endif
+}
+
+}  // namespace neuro

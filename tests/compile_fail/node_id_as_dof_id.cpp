@@ -1,0 +1,18 @@
+// compile-fail: a NodeId is not a DofId — the 3x node→dof expansion must go
+// through fem::dof_of(node, axis), never an implicit reinterpretation.
+#include "fem/boundary.h"
+
+namespace neuro {
+
+bool probe() {
+  fem::DirichletSet bc;
+  bc.add(fem::dof_of(mesh::NodeId{1}, 0), 1.0);
+  bc.finalize();
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return bc.contains(fem::DofId{3});
+#else
+  return bc.contains(mesh::NodeId{1});  // node used where a dof is required
+#endif
+}
+
+}  // namespace neuro

@@ -1,0 +1,15 @@
+// compile-fail: Partition::ranges maps Rank → owned node range; indexing it
+// with a NodeId inverts the mapping and must not compile.
+#include "mesh/partition.h"
+
+namespace neuro {
+
+base::IdRange<mesh::NodeId> probe(const mesh::Partition& partition) {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return partition.ranges[Rank{0}];
+#else
+  return partition.ranges[mesh::NodeId{0}];  // node id used as a rank
+#endif
+}
+
+}  // namespace neuro

@@ -1,0 +1,19 @@
+// compile-fail: IdVector's operator[] only accepts its own ID type; raw
+// integer indexing must go through the grep-able .raw() escape hatch.
+#include "base/strong_id.h"
+
+namespace neuro {
+
+using ProbeId = base::StrongId<struct ProbeIdTag>;
+
+double probe() {
+  base::IdVector<ProbeId, double> values;
+  values.push_back(4.0);
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return values[ProbeId{0}];
+#else
+  return values[0];  // raw int index into a typed container
+#endif
+}
+
+}  // namespace neuro

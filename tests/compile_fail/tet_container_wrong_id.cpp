@@ -1,0 +1,15 @@
+// compile-fail: TetMesh::tets is indexed by TetId; a NodeId — however
+// plausible the integer — is a different index space.
+#include "mesh/tet_mesh.h"
+
+namespace neuro {
+
+mesh::NodeId probe(const mesh::TetMesh& mesh) {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  return mesh.tets[mesh::TetId{0}][0];
+#else
+  return mesh.tets[mesh::NodeId{0}][0];  // node id indexing the tet array
+#endif
+}
+
+}  // namespace neuro

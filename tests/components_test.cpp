@@ -106,8 +106,9 @@ TEST(SurfaceLoadsTest, PressureOnClosedSurfaceSumsToZero) {
 }
 
 TEST(SurfaceLoadsTest, MergeSumsDuplicates) {
-  std::vector<std::pair<mesh::NodeId, Vec3>> loads{{3, {1, 0, 0}}, {3, {2, 0, 0}},
-                                                   {5, {0, 1, 0}}};
+  std::vector<std::pair<mesh::NodeId, Vec3>> loads{{mesh::NodeId{3}, {1, 0, 0}},
+                                                   {mesh::NodeId{3}, {2, 0, 0}},
+                                                   {mesh::NodeId{5}, {0, 1, 0}}};
   const auto merged = fem::merge_loads(loads);
   ASSERT_EQ(merged.size(), 2u);
   EXPECT_DOUBLE_EQ(merged[0].second.x, 3.0);
@@ -116,7 +117,8 @@ TEST(SurfaceLoadsTest, MergeSumsDuplicates) {
 TEST(SurfaceLoadsTest, RejectsFreeStandingSurface) {
   mesh::TriSurface s;
   s.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
-  s.triangles = {{0, 1, 2}};
+  using mesh::VertId;
+  s.triangles = {{VertId{0}, VertId{1}, VertId{2}}};
   EXPECT_THROW(fem::traction_loads(s, {1, 0, 0}), CheckError);
 }
 
@@ -134,8 +136,8 @@ TEST(NodalLoadSolveTest, TractionDeflectsFreeFace) {
   top.triangles.clear();
   for (const auto& tri : surface.triangles) {
     bool on_top = true;
-    for (const int v : tri) {
-      on_top = on_top && surface.vertices[static_cast<std::size_t>(v)].z > 7.9;
+    for (const mesh::VertId v : tri) {
+      on_top = on_top && surface.vertices[v].z > 7.9;
     }
     if (on_top) top.triangles.push_back(tri);
   }
@@ -143,7 +145,7 @@ TEST(NodalLoadSolveTest, TractionDeflectsFreeFace) {
 
   std::vector<std::pair<mesh::NodeId, Vec3>> clamps;
   for (const auto n : surface.mesh_nodes) {
-    if (mesh.nodes[static_cast<std::size_t>(n)].z < 0.1) clamps.emplace_back(n, Vec3{});
+    if (mesh.nodes[n].z < 0.1) clamps.emplace_back(n, Vec3{});
   }
   fem::DeformationSolveOptions opt;
   opt.nodal_loads = fem::traction_loads(top, {0, 0, 5.0});
@@ -153,9 +155,9 @@ TEST(NodalLoadSolveTest, TractionDeflectsFreeFace) {
   EXPECT_TRUE(result.stats.converged);
 
   double top_uz = -1e9, bottom_uz = 0;
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    const double z = mesh.nodes[static_cast<std::size_t>(n)].z;
-    const double uz = result.node_displacements[static_cast<std::size_t>(n)].z;
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    const double z = mesh.nodes[n].z;
+    const double uz = result.node_displacements[n.index()].z;
     if (z > 7.9) top_uz = std::max(top_uz, uz);
     if (z < 0.1) bottom_uz = std::max(bottom_uz, std::abs(uz));
   }

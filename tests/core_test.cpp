@@ -25,8 +25,8 @@ TEST(RasterizeTest, LinearNodalFieldIsExactInside) {
     return Vec3{0.1 * p.x - 0.05 * p.y, 0.2 * p.z, 0.03 * p.x + 0.01 * p.z};
   };
   std::vector<Vec3> u(static_cast<std::size_t>(mesh.num_nodes()));
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    u[static_cast<std::size_t>(n)] = affine(mesh.nodes[static_cast<std::size_t>(n)]);
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    u[n.index()] = affine(mesh.nodes[n]);
   }
   const ImageF grid({9, 9, 9});
   ImageL support;
@@ -194,10 +194,10 @@ TEST(RoundTripTest, RasterizeInvertWarpRecoversImage) {
   const mesh::TetMesh mesh = block_mesh(13, 1.0, 3);
   // Smooth small deformation at the nodes.
   std::vector<Vec3> u(static_cast<std::size_t>(mesh.num_nodes()));
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    const Vec3& p = mesh.nodes[n];
     const double w = std::sin(0.3 * p.x) * std::sin(0.3 * p.y);
-    u[static_cast<std::size_t>(n)] = Vec3{0.8 * w, -0.5 * w, 0.0};
+    u[n.index()] = Vec3{0.8 * w, -0.5 * w, 0.0};
   }
   ImageF img({13, 13, 13});
   for (int k = 0; k < 13; ++k)

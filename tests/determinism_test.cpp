@@ -41,7 +41,7 @@ TEST(DeterminismTest, ParallelSolveBitwiseRepeatable) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     bcs.emplace_back(n, Vec3{0.01 * p.y, -0.02 * p.z, 0.005 * p.x});
   }
   fem::DeformationSolveOptions opt;

@@ -51,7 +51,7 @@ TEST(DynamicsTest, DampedRelaxationConvergesToStaticSolution) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     bcs.emplace_back(n, Vec3{0.0, 0.0, -0.04 * p.z});
   }
   const MaterialMap materials(Material{100.0, 0.3});
@@ -92,7 +92,7 @@ TEST(DynamicsTest, UndampedEnergyStaysBounded) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    if (mesh.nodes[static_cast<std::size_t>(n)].z < 0.1) bcs.emplace_back(n, Vec3{});
+    if (mesh.nodes[n].z < 0.1) bcs.emplace_back(n, Vec3{});
   }
   DynamicsOptions dyn;
   dyn.density = 1.0;
@@ -116,7 +116,7 @@ TEST(DynamicsTest, UndampedEnergyStaysBounded) {
 
 TEST(DynamicsTest, AutoStepRespectsStabilityEstimate) {
   const mesh::TetMesh mesh = block();
-  std::vector<std::pair<mesh::NodeId, Vec3>> bcs{{0, Vec3{}}};
+  std::vector<std::pair<mesh::NodeId, Vec3>> bcs{{mesh::NodeId{0}, Vec3{}}};
   DynamicsOptions dyn;
   dyn.steps = 5;
   const auto result =

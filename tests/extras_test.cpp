@@ -112,8 +112,8 @@ TEST(GravityColumnTest, MatchesAnalyticSelfWeightSolution) {
   const double L = 24.0;  // column height (z in [0, 24])
 
   std::vector<std::pair<mesh::NodeId, Vec3>> clamps;
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    if (mesh.nodes[static_cast<std::size_t>(n)].z < 1e-9) clamps.emplace_back(n, Vec3{});
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    if (mesh.nodes[n].z < 1e-9) clamps.emplace_back(n, Vec3{});
   }
   ASSERT_FALSE(clamps.empty());
 
@@ -125,15 +125,15 @@ TEST(GravityColumnTest, MatchesAnalyticSelfWeightSolution) {
       fem::solve_deformation(mesh, fem::MaterialMap(fem::Material{E, 0.0}), clamps, opt);
   ASSERT_TRUE(result.stats.converged);
 
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    const double z = mesh.nodes[static_cast<std::size_t>(n)].z;
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    const double z = mesh.nodes[n].z;
     const double expected = (f / E) * (L * z - z * z / 2.0);
-    EXPECT_NEAR(result.node_displacements[static_cast<std::size_t>(n)].z, expected,
+    EXPECT_NEAR(result.node_displacements[n.index()].z, expected,
                 0.012 * std::abs(f / E * L * L / 2) + 1e-9)
         << "node " << n << " z=" << z;
     // Lateral motion at nu = 0 is purely parasitic discretization error
     // (the 5-tet lattice is not mirror-symmetric): tiny vs. the sag scale.
-    EXPECT_NEAR(result.node_displacements[static_cast<std::size_t>(n)].x, 0.0, 0.01);
+    EXPECT_NEAR(result.node_displacements[n.index()].x, 0.0, 0.01);
   }
 }
 

@@ -39,9 +39,9 @@ TEST(MaterialTest, ElasticityMatrixStructure) {
 }
 
 TEST(MaterialTest, RejectsInvalidParameters) {
-  EXPECT_THROW(elasticity_matrix(Material{-1.0, 0.3}), CheckError);
-  EXPECT_THROW(elasticity_matrix(Material{1000.0, 0.5}), CheckError);
-  EXPECT_THROW(elasticity_matrix(Material{1000.0, -1.0}), CheckError);
+  EXPECT_THROW(static_cast<void>(elasticity_matrix(Material{-1.0, 0.3})), CheckError);
+  EXPECT_THROW(static_cast<void>(elasticity_matrix(Material{1000.0, 0.5})), CheckError);
+  EXPECT_THROW(static_cast<void>(elasticity_matrix(Material{1000.0, -1.0})), CheckError);
 }
 
 TEST(MaterialTest, MapDefaultsAndOverrides) {
@@ -70,9 +70,9 @@ TEST(ElementTest, VolumeAndGradients) {
 }
 
 TEST(ElementTest, RejectsInvertedTet) {
-  EXPECT_THROW(
-      TetElement::from_vertices({0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {0, 0, 1}),
-      CheckError);
+  EXPECT_THROW(static_cast<void>(TetElement::from_vertices(
+                   {0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {0, 0, 1})),
+               CheckError);
 }
 
 TEST(ElementTest, StiffnessIsSymmetric) {
@@ -172,7 +172,8 @@ TEST(AssemblyTest, GlobalMatrixIsSymmetricWithZeroRowSums) {
       for (int p = sys.A.row_ptr()[static_cast<std::size_t>(r)];
            p < sys.A.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
         const int c = sys.A.global_cols()[static_cast<std::size_t>(p)];
-        EXPECT_NEAR(sys.A.values()[static_cast<std::size_t>(p)], sys.A.value_at(c, r),
+        EXPECT_NEAR(sys.A.values()[static_cast<std::size_t>(p)],
+                    sys.A.value_at(solver::GlobalRow{c}, solver::GlobalRow{r}),
                     1e-8);
       }
     }
@@ -219,7 +220,7 @@ TEST(AssemblyTest, ParallelRowsMatchSerial) {
       par::run_spmd(1, [&](par::Communicator& c1) {
         const auto p1 = mesh::partition_node_balanced(mesh.num_nodes(), 1);
         const LocalSystem ref = assemble_elasticity(mesh, topo, materials, p1, {}, c1);
-        serial_p = ref.A.row_ptr()[static_cast<std::size_t>(rb)];
+        serial_p = ref.A.row_ptr()[rb.index()];
       });
       for (std::size_t p = 0; p < sys.A.values().size(); ++p) {
         ASSERT_EQ(sys.A.global_cols()[p],
@@ -233,28 +234,28 @@ TEST(AssemblyTest, ParallelRowsMatchSerial) {
 
 TEST(DirichletSetTest, BuildQueryAndCount) {
   DirichletSet bc = DirichletSet::from_node_displacements(
-      {{2, Vec3{1, 2, 3}}, {0, Vec3{0, 0, 0}}});
+      {{mesh::NodeId{2}, Vec3{1, 2, 3}}, {mesh::NodeId{0}, Vec3{0, 0, 0}}});
   EXPECT_EQ(bc.size(), 6u);
-  EXPECT_TRUE(bc.contains(6));
-  EXPECT_TRUE(bc.contains(0));
-  EXPECT_FALSE(bc.contains(3));
-  EXPECT_DOUBLE_EQ(bc.value_of(7), 2.0);  // node 2, y component
-  EXPECT_EQ(bc.count_in_range(0, 3), 3);
-  EXPECT_EQ(bc.count_in_range(3, 6), 0);
-  EXPECT_THROW(static_cast<void>(bc.value_of(3)), CheckError);
+  EXPECT_TRUE(bc.contains(DofId{6}));
+  EXPECT_TRUE(bc.contains(DofId{0}));
+  EXPECT_FALSE(bc.contains(DofId{3}));
+  EXPECT_DOUBLE_EQ(bc.value_of(DofId{7}), 2.0);  // node 2, y component
+  EXPECT_EQ(bc.count_in_range(DofId{0}, DofId{3}), 3);
+  EXPECT_EQ(bc.count_in_range(DofId{3}, DofId{6}), 0);
+  EXPECT_THROW(static_cast<void>(bc.value_of(DofId{3})), CheckError);
 }
 
 TEST(DirichletSetTest, ConflictingValuesRejected) {
   DirichletSet bc;
-  bc.add(5, 1.0);
-  bc.add(5, 2.0);
+  bc.add(DofId{5}, 1.0);
+  bc.add(DofId{5}, 2.0);
   EXPECT_THROW(bc.finalize(), CheckError);
 }
 
 TEST(DirichletSetTest, DuplicateConsistentValuesDeduplicate) {
   DirichletSet bc;
-  bc.add(5, 1.0);
-  bc.add(5, 1.0);
+  bc.add(DofId{5}, 1.0);
+  bc.add(DofId{5}, 1.0);
   bc.finalize();
   EXPECT_EQ(bc.size(), 1u);
 }
@@ -288,16 +289,15 @@ TEST(SolveTest, LinearFieldReproducedExactly) {
   };
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    bcs.emplace_back(n, affine(mesh.nodes[static_cast<std::size_t>(n)]));
+    bcs.emplace_back(n, affine(mesh.nodes[n]));
   }
   DeformationSolveOptions opt;
   opt.solver.rtol = 1e-12;
   const DeformationResult result =
       solve_deformation(mesh, MaterialMap::homogeneous_brain(), bcs, opt);
   EXPECT_TRUE(result.stats.converged);
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    EXPECT_NEAR(norm(result.node_displacements[static_cast<std::size_t>(n)] -
-                     affine(mesh.nodes[static_cast<std::size_t>(n)])),
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    EXPECT_NEAR(norm(result.node_displacements[n.index()] - affine(mesh.nodes[n])),
                 0.0, 1e-5);
   }
 }
@@ -311,7 +311,7 @@ TEST_P(SolveRankSweep, ParallelMatchesSerial) {
   // A non-trivial boundary field: squeeze in z, bulge in x.
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     bcs.emplace_back(n, Vec3{0.02 * p.z, 0.0, -0.05 * p.z});
   }
   DeformationSolveOptions opt;
@@ -342,8 +342,7 @@ TEST(SolveTest, AllPartitionKindsAgree) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    bcs.emplace_back(n,
-                     Vec3{0.0, 0.0, 0.01 * mesh.nodes[static_cast<std::size_t>(n)].x});
+    bcs.emplace_back(n, Vec3{0.0, 0.0, 0.01 * mesh.nodes[n].x});
   }
   DeformationSolveOptions opt;
   opt.nranks = 4;
@@ -371,8 +370,7 @@ TEST(SolveTest, KrylovVariantsAgree) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    bcs.emplace_back(
-        n, Vec3{0.01 * mesh.nodes[static_cast<std::size_t>(n)].y, 0.0, 0.0});
+    bcs.emplace_back(n, Vec3{0.01 * mesh.nodes[n].y, 0.0, 0.0});
   }
   DeformationSolveOptions opt;
   opt.solver.rtol = 1e-11;
@@ -409,7 +407,7 @@ TEST(SolveTest, HeterogeneousMaterialsChangeInterior) {
   const auto surface = mesh::extract_boundary_surface(mesh, {3, 5});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    const Vec3& p = mesh.nodes[static_cast<std::size_t>(n)];
+    const Vec3& p = mesh.nodes[n];
     bcs.emplace_back(n, Vec3{0, 0, 0.03 * p.x});
   }
   DeformationSolveOptions opt;

@@ -49,12 +49,12 @@ TEST(MarchingTest, SphereAreaMatchesAnalytic) {
 TEST(MarchingTest, SurfaceIsClosed) {
   const TriSurface surface =
       marching_tetrahedra(sphere_sdf(21, 6.0, {10, 10, 10}), 0.0);
-  std::map<std::pair<int, int>, int> edges;
+  std::map<std::pair<VertId, VertId>, int> edges;
   for (const auto& tri : surface.triangles) {
     for (int e = 0; e < 3; ++e) {
-      int a = tri[static_cast<std::size_t>(e)];
-      int b = tri[static_cast<std::size_t>((e + 1) % 3)];
-      if (a > b) std::swap(a, b);
+      VertId a = tri[static_cast<std::size_t>(e)];
+      VertId b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      if (b < a) std::swap(a, b);
       ++edges[{a, b}];
     }
   }
@@ -69,9 +69,8 @@ TEST(MarchingTest, NormalsPointTowardIncreasingField) {
   const TriSurface surface = marching_tetrahedra(sphere_sdf(21, 6.0, c), 0.0);
   const auto normals = vertex_normals(surface);
   int outward = 0;
-  for (int v = 0; v < surface.num_vertices(); ++v) {
-    if (dot(normals[static_cast<std::size_t>(v)],
-            surface.vertices[static_cast<std::size_t>(v)] - c) > 0) {
+  for (const VertId v : surface.vert_ids()) {
+    if (dot(normals[v], surface.vertices[v] - c) > 0) {
       ++outward;
     }
   }

@@ -67,7 +67,7 @@ TEST(MesherTest, AllTetsPositivelyOriented) {
   MesherConfig cfg;
   cfg.stride = 2;
   const TetMesh mesh = mesh_labeled_volume(labels, cfg);
-  for (TetId t = 0; t < mesh.num_tets(); ++t) {
+  for (const TetId t : mesh.tet_ids()) {
     EXPECT_GT(tet_volume(mesh, t), 0.0);
   }
 }
@@ -148,9 +148,8 @@ TEST(MesherTest, NodesAreLatticeOrdered) {
   cfg.stride = 2;
   const TetMesh mesh = mesh_labeled_volume(labels, cfg);
   // x-fastest ordering ⇒ z must be non-decreasing with node id.
-  for (int n = 1; n < mesh.num_nodes(); ++n) {
-    EXPECT_GE(mesh.nodes[static_cast<std::size_t>(n)].z + 1e-9,
-              mesh.nodes[static_cast<std::size_t>(n - 1)].z);
+  for (NodeId n{1}; n < mesh.nodes.end_id(); ++n) {
+    EXPECT_GE(mesh.nodes[n].z + 1e-9, mesh.nodes[n - 1].z);
   }
 }
 
@@ -193,14 +192,15 @@ TEST(MesherTest, PhantomBrainMeshLooksAnatomical) {
 TEST(AdjacencyTest, IncludesSelfAndNeighbours) {
   TetMesh mesh;
   mesh.nodes = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}};
-  mesh.tets = {{0, 1, 2, 3}};
+  mesh.tets = {{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}}};
   mesh.tet_labels = {1};
   const auto adj = node_adjacency(mesh);
-  EXPECT_EQ(adj[0], (std::vector<NodeId>{0, 1, 2, 3}));
-  EXPECT_TRUE(adj[4].empty());  // isolated node
+  EXPECT_EQ(adj[NodeId{0}],
+            (std::vector<NodeId>{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}}));
+  EXPECT_TRUE(adj[NodeId{4}].empty());  // isolated node
   const auto counts = node_tet_counts(mesh);
-  EXPECT_EQ(counts[0], 1);
-  EXPECT_EQ(counts[4], 0);
+  EXPECT_EQ(counts[NodeId{0}], 1);
+  EXPECT_EQ(counts[NodeId{4}], 0);
 }
 
 TEST(SurfaceTest, ExtractedSurfaceIsClosedAndOutward) {
@@ -213,12 +213,12 @@ TEST(SurfaceTest, ExtractedSurfaceIsClosedAndOutward) {
   EXPECT_EQ(surface.mesh_nodes.size(), surface.vertices.size());
 
   // Closed manifold: every edge shared by exactly two triangles.
-  std::map<std::pair<int, int>, int> edges;
+  std::map<std::pair<VertId, VertId>, int> edges;
   for (const auto& tri : surface.triangles) {
     for (int e = 0; e < 3; ++e) {
-      int a = tri[static_cast<std::size_t>(e)];
-      int b = tri[static_cast<std::size_t>((e + 1) % 3)];
-      if (a > b) std::swap(a, b);
+      VertId a = tri[static_cast<std::size_t>(e)];
+      VertId b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      if (b < a) std::swap(a, b);
       ++edges[{a, b}];
     }
   }
@@ -230,9 +230,8 @@ TEST(SurfaceTest, ExtractedSurfaceIsClosedAndOutward) {
   centroid /= static_cast<double>(surface.num_vertices());
   const auto normals = vertex_normals(surface);
   int outward = 0;
-  for (int v = 0; v < surface.num_vertices(); ++v) {
-    if (dot(normals[static_cast<std::size_t>(v)],
-            surface.vertices[static_cast<std::size_t>(v)] - centroid) > 0) {
+  for (const VertId v : surface.vert_ids()) {
+    if (dot(normals[v], surface.vertices[v] - centroid) > 0) {
       ++outward;
     }
   }
@@ -248,10 +247,9 @@ TEST(SurfaceTest, MeshNodeBookkeepingIsConsistent) {
   cfg.stride = 2;
   const TetMesh mesh = mesh_labeled_volume(labels, cfg);
   const TriSurface surface = extract_boundary_surface(mesh, {1});
-  for (int v = 0; v < surface.num_vertices(); ++v) {
-    const NodeId n = surface.mesh_nodes[static_cast<std::size_t>(v)];
-    EXPECT_EQ(surface.vertices[static_cast<std::size_t>(v)],
-              mesh.nodes[static_cast<std::size_t>(n)]);
+  for (const VertId v : surface.vert_ids()) {
+    const NodeId n = surface.mesh_nodes[v];
+    EXPECT_EQ(surface.vertices[v], mesh.nodes[n]);
   }
 }
 
@@ -274,22 +272,22 @@ TEST(SurfaceTest, LabelSubsetSelectsInterface) {
 TEST(PartitionTest, NodeBalancedCoversContiguously) {
   const Partition p = partition_node_balanced(103, 4);
   EXPECT_EQ(p.nranks, 4);
-  int covered = 0;
-  for (int r = 0; r < 4; ++r) {
-    const auto [b, e] = p.ranges[static_cast<std::size_t>(r)];
+  NodeId covered{0};
+  for (const Rank r : p.rank_ids()) {
+    const auto [b, e] = p.ranges[r];
     EXPECT_EQ(b, covered);
     EXPECT_GT(e, b);
     covered = e;
     EXPECT_NEAR(p.nodes_of(r), 103.0 / 4.0, 1.1);
   }
-  EXPECT_EQ(covered, 103);
+  EXPECT_EQ(covered, NodeId{103});
 }
 
 TEST(PartitionTest, OwnerOfIsConsistent) {
   const Partition p = partition_node_balanced(50, 7);
-  for (NodeId n = 0; n < 50; ++n) {
-    const int r = p.owner_of(n);
-    const auto [b, e] = p.ranges[static_cast<std::size_t>(r)];
+  for (NodeId n{0}; n < NodeId{50}; ++n) {
+    const Rank r = p.owner_of(n);
+    const auto [b, e] = p.ranges[r];
     EXPECT_GE(n, b);
     EXPECT_LT(n, e);
   }
@@ -297,7 +295,7 @@ TEST(PartitionTest, OwnerOfIsConsistent) {
 
 TEST(PartitionTest, SingleRankOwnsEverything) {
   const Partition p = partition_node_balanced(10, 1);
-  EXPECT_EQ(p.ranges[0], (std::pair<NodeId, NodeId>{0, 10}));
+  EXPECT_EQ(p.ranges[Rank{0}], (base::IdRange<NodeId>{NodeId{0}, NodeId{10}}));
 }
 
 TEST(PartitionTest, RejectsMoreRanksThanNodes) {
@@ -310,10 +308,11 @@ TEST(PartitionTest, WeightedBalancesWeights) {
   for (int i = 0; i < 50; ++i) w[static_cast<std::size_t>(i)] = 9.0;
   const Partition p = partition_weighted(w, 2);
   // Balanced cut is far left of the midpoint.
-  EXPECT_LT(p.ranges[0].second, 40);
+  const int cut = p.ranges[Rank{0}].second.value();
+  EXPECT_LT(cut, 40);
   double w0 = 0, w1 = 0;
-  for (int i = 0; i < p.ranges[0].second; ++i) w0 += w[static_cast<std::size_t>(i)];
-  for (int i = p.ranges[0].second; i < 100; ++i) w1 += w[static_cast<std::size_t>(i)];
+  for (int i = 0; i < cut; ++i) w0 += w[static_cast<std::size_t>(i)];
+  for (int i = cut; i < 100; ++i) w1 += w[static_cast<std::size_t>(i)];
   EXPECT_NEAR(w0, w1, 10.0);
 }
 
@@ -332,11 +331,10 @@ TEST(PartitionTest, ConnectivityBalancedReducesWorkImbalance) {
 
   auto imbalance = [&](const Partition& p) {
     double max_w = 0, sum_w = 0;
-    for (int r = 0; r < p.nranks; ++r) {
+    for (const Rank r : p.rank_ids()) {
       double w = 0;
-      for (NodeId n = p.ranges[static_cast<std::size_t>(r)].first;
-           n < p.ranges[static_cast<std::size_t>(r)].second; ++n) {
-        w += counts[static_cast<std::size_t>(n)];
+      for (const NodeId n : p.ranges[r]) {
+        w += counts[n];
       }
       max_w = std::max(max_w, w);
       sum_w += w;
@@ -359,10 +357,10 @@ TEST(PartitionTest, FreeNodeBalancedEqualizesFreeCounts) {
   const Partition p = partition_free_node_balanced(mesh, fixed, 2);
   // Fixed nodes cost ~half a free node, so rank 0 (all-fixed prefix) takes
   // more than half the nodes: 100 fixed (weight 50) + ~25 free ≈ 125 nodes.
-  EXPECT_GT(p.nodes_of(0), 115);
+  EXPECT_GT(p.nodes_of(Rank{0}), 115);
   int free0 = 0;
-  for (NodeId n = p.ranges[0].first; n < p.ranges[0].second; ++n) {
-    free0 += fixed[static_cast<std::size_t>(n)] == 0;
+  for (const NodeId n : p.ranges[Rank{0}]) {
+    free0 += fixed[n.index()] == 0;
   }
   EXPECT_NEAR(free0, 25, 6);
 }

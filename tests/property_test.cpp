@@ -48,7 +48,7 @@ TEST_P(MesherPropertyTest, InvariantsHoldOnPhantomAnatomy) {
   ASSERT_GT(mesh.num_tets(), 0);
 
   // Invariant 1: positive orientation everywhere.
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
+  for (const mesh::TetId t : mesh.tet_ids()) {
     ASSERT_GT(mesh::tet_volume(mesh, t), 0.0);
   }
   // Invariant 2: conforming (faces shared at most twice).
@@ -70,12 +70,12 @@ TEST_P(MesherPropertyTest, InvariantsHoldOnPhantomAnatomy) {
   // number of boundary faces (2 on manifold patches; 4 at the voxel-scale
   // pinches thin anatomy like the falx creates, which are legitimate).
   const mesh::TriSurface surface = mesh::extract_boundary_surface(mesh, cfg.keep_labels);
-  std::map<std::pair<int, int>, int> edges;
+  std::map<std::pair<mesh::VertId, mesh::VertId>, int> edges;
   for (const auto& tri : surface.triangles) {
     for (int e = 0; e < 3; ++e) {
-      int a = tri[static_cast<std::size_t>(e)];
-      int b = tri[static_cast<std::size_t>((e + 1) % 3)];
-      if (a > b) std::swap(a, b);
+      mesh::VertId a = tri[static_cast<std::size_t>(e)];
+      mesh::VertId b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      if (b < a) std::swap(a, b);
       ++edges[{a, b}];
     }
   }
@@ -200,27 +200,65 @@ TEST_P(PartitionPropertyTest, WeightedPartitionInvariants) {
   const mesh::Partition p = mesh::partition_weighted(weights, nranks);
   ASSERT_EQ(p.nranks, nranks);
   // Coverage, contiguity, non-emptiness.
-  int covered = 0;
+  mesh::NodeId covered{0};
   double total = 0, max_part = 0;
-  for (int r = 0; r < nranks; ++r) {
-    const auto [b, e] = p.ranges[static_cast<std::size_t>(r)];
+  for (const Rank r : p.rank_ids()) {
+    const auto [b, e] = p.ranges[r];
     ASSERT_EQ(b, covered);
     ASSERT_GT(e, b);
     covered = e;
     double part = 0;
-    for (int i = b; i < e; ++i) part += weights[static_cast<std::size_t>(i)];
+    for (const mesh::NodeId i : p.ranges[r]) part += weights[i.index()];
     total += part;
     max_part = std::max(max_part, part);
   }
-  ASSERT_EQ(covered, n);
+  ASSERT_EQ(covered, mesh::NodeId{n});
   // Balance: no rank exceeds its fair share by more than one max element.
   const double fair = total / nranks;
   EXPECT_LT(max_part, fair + 10.0 + 1e-9);
   // owner_of agrees with the ranges on every node.
   for (int i = 0; i < n; i += 7) {
-    const int r = p.owner_of(i);
-    EXPECT_GE(i, p.ranges[static_cast<std::size_t>(r)].first);
-    EXPECT_LT(i, p.ranges[static_cast<std::size_t>(r)].second);
+    const mesh::NodeId node{i};
+    const Rank r = p.owner_of(node);
+    EXPECT_GE(node, p.ranges[r].first);
+    EXPECT_LT(node, p.ranges[r].second);
+  }
+}
+
+TEST_P(PartitionPropertyTest, EveryNodeOwnedByExactlyOneRank) {
+  // Round-trip property across all partitioners: owner_of is a total function
+  // NodeId → Rank, and the per-rank ranges tile [0, n) with no gaps or
+  // overlaps — i.e. every node is claimed by exactly one rank's range.
+  const int nranks = GetParam();
+  Rng rng(static_cast<std::uint64_t>(97 + nranks));
+  const int n = std::max(nranks, 150 + static_cast<int>(rng.uniform_index(200)));
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (auto& w : weights) w = rng.uniform(0.5, 2.0);
+
+  for (const mesh::Partition& p : {mesh::partition_node_balanced(n, nranks),
+                                   mesh::partition_weighted(weights, nranks)}) {
+    ASSERT_EQ(p.nranks, nranks);
+    std::vector<int> claims(static_cast<std::size_t>(n), 0);
+    for (const Rank r : p.rank_ids()) {
+      for (const mesh::NodeId node : p.ranges[r]) {
+        ASSERT_LT(node, mesh::NodeId{n});
+        ++claims[node.index()];
+        EXPECT_EQ(p.owner_of(node), r);  // range membership ⇔ ownership
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(claims[static_cast<std::size_t>(i)], 1)
+          << "node " << i << " claimed by " << claims[static_cast<std::size_t>(i)]
+          << " ranks";
+    }
+    // The local row offsets of each rank tile [0, nodes_of(rank)) in order.
+    for (const Rank r : p.rank_ids()) {
+      int expected_offset = 0;
+      for (const mesh::NodeId node : p.ranges[r]) {
+        EXPECT_EQ(p.ranges[r].offset_of(node), expected_offset++);
+      }
+      EXPECT_EQ(expected_offset, p.nodes_of(r));
+    }
   }
 }
 

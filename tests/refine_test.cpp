@@ -18,7 +18,7 @@ namespace {
 TetMesh single_tet() {
   TetMesh mesh;
   mesh.nodes = {{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}};
-  mesh.tets = {{0, 1, 2, 3}};
+  mesh.tets = {{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}}};
   mesh.tet_labels = {7};
   return mesh;
 }
@@ -46,7 +46,7 @@ TEST(RefineTest, VolumeIsPreservedExactly) {
 
 TEST(RefineTest, AllChildrenPositivelyOriented) {
   const TetMesh fine = refine_uniform(block());
-  for (TetId t = 0; t < fine.num_tets(); ++t) {
+  for (const TetId t : fine.tet_ids()) {
     EXPECT_GT(tet_volume(fine, t), 0.0);
   }
 }
@@ -131,7 +131,7 @@ TEST(RefineTest, FemSolutionConvergesUnderRefinement) {
     const auto surface = extract_boundary_surface(mesh, {1});
     std::vector<std::pair<NodeId, Vec3>> bcs;
     for (const auto n : surface.mesh_nodes) {
-      bcs.emplace_back(n, smooth_field(mesh.nodes[static_cast<std::size_t>(n)]));
+      bcs.emplace_back(n, smooth_field(mesh.nodes[n]));
     }
     fem::DeformationSolveOptions opt;
     opt.solver.rtol = 1e-10;

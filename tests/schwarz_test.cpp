@@ -41,10 +41,10 @@ struct Banded {
     }
   }
 
-  [[nodiscard]] DistCsrMatrix matrix(std::pair<int, int> range) const {
+  [[nodiscard]] DistCsrMatrix matrix(RowRange range) const {
     std::vector<int> rp{0}, cols;
     std::vector<double> vals;
-    for (int i = range.first; i < range.second; ++i) {
+    for (int i = range.first.value(); i < range.second.value(); ++i) {
       for (int j = 0; j < n; ++j) {
         const double v = A[static_cast<std::size_t>(i) * n + j];
         if (v != 0.0) {
@@ -58,10 +58,10 @@ struct Banded {
   }
 };
 
-std::pair<int, int> rank_range(int n, int nranks, int rank) {
+RowRange rank_range(int n, int nranks, int rank) {
   const int base = n / nranks, extra = n % nranks;
   const int begin = rank * base + std::min(rank, extra);
-  return {begin, begin + base + (rank < extra ? 1 : 0)};
+  return {GlobalRow{begin}, GlobalRow{begin + base + (rank < extra ? 1 : 0)}};
 }
 
 TEST(SchwarzTest, SingleRankIsGlobalIlu0) {
@@ -69,15 +69,16 @@ TEST(SchwarzTest, SingleRankIsGlobalIlu0) {
   // apply must agree with BlockJacobiIlu0 (whose single block is also global).
   const Banded sys(30, 5);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.matrix({0, 30});
+    const RowRange range = row_range(GlobalRow{0}, 30);
+    DistCsrMatrix A = sys.matrix(range);
     AdditiveSchwarz asm1(A, comm, 1);
     BlockJacobiIlu0 bj(A);
     EXPECT_EQ(asm1.extended_rows(), 30);
-    DistVector r(30, {0, 30}), z1(30, {0, 30}), z2(30, {0, 30});
-    for (int i = 0; i < 30; ++i) r[i] = std::sin(0.7 * i);
+    DistVector r(30, range), z1(30, range), z2(30, range);
+    for (const GlobalRow i : range) r[i] = std::sin(0.7 * i.value());
     asm1.apply(r, z1, comm);
     bj.apply(r, z2, comm);
-    for (int i = 0; i < 30; ++i) EXPECT_NEAR(z1[i], z2[i], 1e-12);
+    for (const GlobalRow i : range) EXPECT_NEAR(z1[i], z2[i], 1e-12);
   });
 }
 
@@ -88,12 +89,12 @@ TEST(SchwarzTest, ZeroOverlapMatchesBlockJacobi) {
     DistCsrMatrix A = sys.matrix(range);
     AdditiveSchwarz asm0(A, comm, 0);
     BlockJacobiIlu0 bj(A);
-    EXPECT_EQ(asm0.extended_rows(), range.second - range.first);
+    EXPECT_EQ(asm0.extended_rows(), range.size());
     DistVector r(40, range), z1(40, range), z2(40, range);
-    for (int g = range.first; g < range.second; ++g) r[g] = 0.3 * g - 5.0;
+    for (const GlobalRow g : range) r[g] = 0.3 * g.value() - 5.0;
     asm0.apply(r, z1, comm);
     bj.apply(r, z2, comm);
-    for (int g = range.first; g < range.second; ++g) {
+    for (const GlobalRow g : range) {
       EXPECT_NEAR(z1[g], z2[g], 1e-12);
     }
   });
@@ -121,15 +122,16 @@ TEST(SchwarzTest, GmresSolutionMatchesSerialReference) {
   const Banded sys(n, 21);
   std::vector<double> reference(static_cast<std::size_t>(n));
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.matrix({0, n});
+    const RowRange range = row_range(GlobalRow{0}, n);
+    DistCsrMatrix A = sys.matrix(range);
     A.setup_ghosts(comm);
     BlockJacobiIlu0 M(A);
-    DistVector b(n, {0, n}), x(n, {0, n});
-    for (int i = 0; i < n; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    DistVector b(n, range), x(n, range);
+    for (const GlobalRow i : range) b[i] = sys.b[i.index()];
     SolverConfig cfg;
     cfg.rtol = 1e-11;
     EXPECT_TRUE(gmres(A, b, x, M, cfg, comm).converged);
-    for (int i = 0; i < n; ++i) reference[static_cast<std::size_t>(i)] = x[i];
+    for (const GlobalRow i : range) reference[i.index()] = x[i];
   });
 
   for (const int P : {2, 4}) {
@@ -139,14 +141,14 @@ TEST(SchwarzTest, GmresSolutionMatchesSerialReference) {
       AdditiveSchwarz M(A, comm, 2);
       A.setup_ghosts(comm);
       DistVector b(n, range), x(n, range);
-      for (int g = range.first; g < range.second; ++g) {
-        b[g] = sys.b[static_cast<std::size_t>(g)];
+      for (const GlobalRow g : range) {
+        b[g] = sys.b[g.index()];
       }
       SolverConfig cfg;
       cfg.rtol = 1e-11;
       EXPECT_TRUE(gmres(A, b, x, M, cfg, comm).converged) << "P=" << P;
-      for (int g = range.first; g < range.second; ++g) {
-        EXPECT_NEAR(x[g], reference[static_cast<std::size_t>(g)], 1e-6);
+      for (const GlobalRow g : range) {
+        EXPECT_NEAR(x[g], reference[g.index()], 1e-6);
       }
     });
   }
@@ -166,8 +168,8 @@ TEST(SchwarzTest, OverlapReducesIterations) {
       AdditiveSchwarz M(A, comm, overlap);
       A.setup_ghosts(comm);
       DistVector b(n, range), x(n, range);
-      for (int g = range.first; g < range.second; ++g) {
-        b[g] = sys.b[static_cast<std::size_t>(g)];
+      for (const GlobalRow g : range) {
+        b[g] = sys.b[g.index()];
       }
       SolverConfig cfg;
       cfg.rtol = 1e-9;
@@ -190,7 +192,7 @@ TEST(SchwarzTest, FactoryRoutesThroughCommOverload) {
                                        comm, 1);
     EXPECT_EQ(p->name(), "additive-schwarz/ilu0");
   });
-  DistCsrMatrix A = sys.matrix({0, 20});
+  DistCsrMatrix A = sys.matrix(row_range(GlobalRow{0}, 20));
   EXPECT_THROW(make_preconditioner(PreconditionerKind::kAdditiveSchwarzIlu0, A),
                CheckError);
 }

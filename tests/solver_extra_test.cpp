@@ -41,10 +41,10 @@ struct Spd {
     }
   }
 
-  [[nodiscard]] DistCsrMatrix matrix(std::pair<int, int> range) const {
+  [[nodiscard]] DistCsrMatrix matrix(RowRange range) const {
     std::vector<int> rp{0}, cols;
     std::vector<double> vals;
-    for (int i = range.first; i < range.second; ++i) {
+    for (int i = range.first.value(); i < range.second.value(); ++i) {
       for (int j = 0; j < n; ++j) {
         const double v = A[static_cast<std::size_t>(i) * n + j];
         if (v != 0.0) {
@@ -72,13 +72,14 @@ TEST(Ic0Test, ExactForTridiagonalSpd) {
     rp.push_back(static_cast<int>(cols.size()));
   }
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A(n, {0, n}, rp, cols, vals);
+    const RowRange range = row_range(GlobalRow{0}, n);
+    DistCsrMatrix A(n, range, rp, cols, vals);
     BlockJacobiIc0 M(A);
     EXPECT_DOUBLE_EQ(M.shift(), 0.0);
-    DistVector r(n, {0, n}, 1.0), z(n, {0, n}), back(n, {0, n});
+    DistVector r(n, range, 1.0), z(n, range), back(n, range);
     M.apply(r, z, comm);
     A.apply(z, back, comm);
-    for (int i = 0; i < n; ++i) EXPECT_NEAR(back[i], 1.0, 1e-12);
+    for (const GlobalRow i : range) EXPECT_NEAR(back[i], 1.0, 1e-12);
   });
 }
 
@@ -86,10 +87,11 @@ TEST(Ic0Test, CgConvergesFastWithIc0) {
   // The whole point of IC(0): a symmetric factorization CG can trust.
   const Spd sys(80, 3);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.matrix({0, 80});
+    const RowRange range = row_range(GlobalRow{0}, 80);
+    DistCsrMatrix A = sys.matrix(range);
     A.setup_ghosts(comm);
-    DistVector b(80, {0, 80}), x_ic(80, {0, 80}), x_none(80, {0, 80});
-    for (int i = 0; i < 80; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    DistVector b(80, range), x_ic(80, range), x_none(80, range);
+    for (const GlobalRow i : range) b[i] = sys.b[i.index()];
     SolverConfig cfg;
     cfg.rtol = 1e-9;
     BlockJacobiIc0 ic(A);
@@ -107,34 +109,35 @@ TEST(Ic0Test, MultiRankMatchesSingleRank) {
   const Spd sys(60, 9);
   std::vector<double> reference(60);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.matrix({0, 60});
+    const RowRange range = row_range(GlobalRow{0}, 60);
+    DistCsrMatrix A = sys.matrix(range);
     A.setup_ghosts(comm);
     BlockJacobiIc0 M(A);
-    DistVector b(60, {0, 60}), x(60, {0, 60});
-    for (int i = 0; i < 60; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    DistVector b(60, range), x(60, range);
+    for (const GlobalRow i : range) b[i] = sys.b[i.index()];
     SolverConfig cfg;
     cfg.rtol = 1e-11;
     EXPECT_TRUE(cg(A, b, x, M, cfg, comm).converged);
-    for (int i = 0; i < 60; ++i) reference[static_cast<std::size_t>(i)] = x[i];
+    for (const GlobalRow i : range) reference[i.index()] = x[i];
   });
   for (const int P : {2, 4}) {
     par::run_spmd(P, [&](par::Communicator& comm) {
       const int base = 60 / P, extra = 60 % P;
       const int begin = comm.rank() * base + std::min(comm.rank(), extra);
-      const std::pair<int, int> range{begin,
-                                      begin + base + (comm.rank() < extra ? 1 : 0)};
+      const RowRange range = row_range(
+          GlobalRow{begin}, base + (comm.rank() < extra ? 1 : 0));
       DistCsrMatrix A = sys.matrix(range);
       A.setup_ghosts(comm);
       BlockJacobiIc0 M(A);
       DistVector b(60, range), x(60, range);
-      for (int g = range.first; g < range.second; ++g) {
-        b[g] = sys.b[static_cast<std::size_t>(g)];
+      for (const GlobalRow g : range) {
+        b[g] = sys.b[g.index()];
       }
       SolverConfig cfg;
       cfg.rtol = 1e-11;
       EXPECT_TRUE(cg(A, b, x, M, cfg, comm).converged) << "P=" << P;
-      for (int g = range.first; g < range.second; ++g) {
-        EXPECT_NEAR(x[g], reference[static_cast<std::size_t>(g)], 1e-6);
+      for (const GlobalRow g : range) {
+        EXPECT_NEAR(x[g], reference[g.index()], 1e-6);
       }
     });
   }
@@ -152,10 +155,11 @@ TEST(Ic0Test, ShiftHandlesNonMMatrix) {
   std::vector<int> cols{0, 1, 0, 1, 2, 1, 2};
   std::vector<double> vals{4, 3, 3, 4, 3, 3, 4};
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A(n, {0, n}, rp, cols, vals);
+    const RowRange range = row_range(GlobalRow{0}, n);
+    DistCsrMatrix A(n, range, rp, cols, vals);
     A.setup_ghosts(comm);
     BlockJacobiIc0 M(A);
-    DistVector b(n, {0, n}, 1.0), x(n, {0, n});
+    DistVector b(n, range, 1.0), x(n, range);
     SolverConfig cfg;
     cfg.rtol = 1e-12;
     // Not necessarily SPD (eig 4-3√2 <0?): 4 - 3*sqrt(2) ≈ -0.24 — indefinite!
@@ -170,21 +174,21 @@ TEST(DropZerosTest, RemovesExplicitZerosKeepsDiagonal) {
   std::vector<int> rp{0, 3, 6};
   std::vector<int> cols{0, 1, 2, 0, 1, 2};
   std::vector<double> vals{1.0, 0.0, 2.0, 0.0, 0.0, 3.0};
-  DistCsrMatrix A(3, {0, 2}, rp, cols, vals);
+  DistCsrMatrix A(3, row_range(GlobalRow{0}, 2), rp, cols, vals);
   A.drop_zeros();
   EXPECT_EQ(A.local_nnz(), 4u);  // (0,0), (0,2), (1,1) kept as diagonal, (1,2)
-  EXPECT_DOUBLE_EQ(A.value_at(0, 0), 1.0);
-  EXPECT_DOUBLE_EQ(A.value_at(0, 2), 2.0);
-  EXPECT_DOUBLE_EQ(A.value_at(1, 1), 0.0);  // diagonal survives even at zero
-  EXPECT_DOUBLE_EQ(A.value_at(1, 2), 3.0);
-  EXPECT_EQ(A.find_entry(0, 1), nullptr);
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{0}, GlobalRow{0}), 1.0);
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{0}, GlobalRow{2}), 2.0);
+  // Diagonal survives even at zero:
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{1}, GlobalRow{1}), 0.0);
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{1}, GlobalRow{2}), 3.0);
+  EXPECT_EQ(A.find_entry(GlobalRow{0}, GlobalRow{1}), nullptr);
 }
 
 TEST(DropZerosTest, SpmvUnchangedByCompaction) {
   const Spd sys(40, 11);
   par::run_spmd(2, [&](par::Communicator& comm) {
-    const int begin = comm.rank() * 20;
-    const std::pair<int, int> range{begin, begin + 20};
+    const RowRange range = row_range(GlobalRow{20 * comm.rank()}, 20);
     DistCsrMatrix dense_pattern = sys.matrix(range);
     DistCsrMatrix compacted = sys.matrix(range);
     // Zero a few entries in both value arrays, then compact only one.
@@ -197,10 +201,10 @@ TEST(DropZerosTest, SpmvUnchangedByCompaction) {
     compacted.setup_ghosts(comm);
 
     DistVector x(40, range), y1(40, range), y2(40, range);
-    for (int g = range.first; g < range.second; ++g) x[g] = 0.1 * g;
+    for (const GlobalRow g : range) x[g] = 0.1 * g.value();
     dense_pattern.apply(x, y1, comm);
     compacted.apply(x, y2, comm);
-    for (int g = range.first; g < range.second; ++g) {
+    for (const GlobalRow g : range) {
       EXPECT_NEAR(y1[g], y2[g], 1e-12);
     }
     EXPECT_LT(compacted.local_nnz(), dense_pattern.local_nnz());
@@ -209,7 +213,7 @@ TEST(DropZerosTest, SpmvUnchangedByCompaction) {
 
 TEST(FactoryTest, Ic0Registered) {
   const Spd sys(10, 1);
-  DistCsrMatrix A = sys.matrix({0, 10});
+  DistCsrMatrix A = sys.matrix(row_range(GlobalRow{0}, 10));
   EXPECT_EQ(make_preconditioner(PreconditionerKind::kBlockJacobiIc0, A)->name(),
             "block-jacobi/ic0");
 }

@@ -64,11 +64,11 @@ struct DenseSystem {
     return s;
   }
 
-  [[nodiscard]] DistCsrMatrix local_block(std::pair<int, int> range) const {
+  [[nodiscard]] DistCsrMatrix local_block(RowRange range) const {
     std::vector<int> row_ptr{0};
     std::vector<int> cols;
     std::vector<double> values;
-    for (int i = range.first; i < range.second; ++i) {
+    for (int i = range.first.value(); i < range.second.value(); ++i) {
       for (int j = 0; j < n; ++j) {
         const double v = A[static_cast<std::size_t>(i) * n + j];
         if (v != 0.0) {
@@ -94,20 +94,20 @@ struct DenseSystem {
   }
 };
 
-std::pair<int, int> rank_range(int n, int nranks, int rank) {
+RowRange rank_range(int n, int nranks, int rank) {
   const int base = n / nranks, extra = n % nranks;
   const int begin = rank * base + std::min(rank, extra);
-  return {begin, begin + base + (rank < extra ? 1 : 0)};
+  return {GlobalRow{begin}, GlobalRow{begin + base + (rank < extra ? 1 : 0)}};
 }
 
 TEST(DistVectorTest, LocalOpsAndReductions) {
   par::run_spmd(3, [](par::Communicator& comm) {
     const auto range = rank_range(10, 3, comm.rank());
     DistVector x(10, range);
-    for (int g = range.first; g < range.second; ++g) x[g] = g;
+    for (const GlobalRow g : range) x[g] = g.value();
     DistVector y(10, range, 1.0);
     y.axpy(2.0, x, comm);  // y = 1 + 2g
-    EXPECT_DOUBLE_EQ(y[range.first], 1.0 + 2.0 * range.first);
+    EXPECT_DOUBLE_EQ(y[range.first], 1.0 + 2.0 * range.first.value());
     // dot(x, 1-vector) = sum of 0..9 = 45
     DistVector ones(10, range, 1.0);
     EXPECT_DOUBLE_EQ(x.dot(ones, comm), 45.0);
@@ -119,10 +119,10 @@ TEST(DistVectorTest, LocalOpsAndReductions) {
 }
 
 TEST(DistVectorTest, GlobalIndexBoundsChecked) {
-  DistVector x(10, {2, 5});
-  EXPECT_NO_THROW(x[3]);
-  EXPECT_THROW(x[1], CheckError);
-  EXPECT_THROW(x[5], CheckError);
+  DistVector x(10, {GlobalRow{2}, GlobalRow{5}});
+  EXPECT_NO_THROW(x[GlobalRow{3}]);
+  EXPECT_THROW(x[GlobalRow{1}], CheckError);
+  EXPECT_THROW(x[GlobalRow{5}], CheckError);
 }
 
 class SpmvRankSweep : public ::testing::TestWithParam<int> {};
@@ -140,12 +140,12 @@ TEST_P(SpmvRankSweep, MatchesDenseReference) {
     DistCsrMatrix A = sys.local_block(range);
     A.setup_ghosts(comm);
     DistVector x(37, range), y(37, range);
-    for (int g = range.first; g < range.second; ++g) {
-      x[g] = x_ref[static_cast<std::size_t>(g)];
+    for (const GlobalRow g : range) {
+      x[g] = x_ref[g.index()];
     }
     A.apply(x, y, comm);
-    for (int g = range.first; g < range.second; ++g) {
-      EXPECT_NEAR(y[g], y_ref[static_cast<std::size_t>(g)], 1e-10);
+    for (const GlobalRow g : range) {
+      EXPECT_NEAR(y[g], y_ref[g.index()], 1e-10);
     }
   });
 }
@@ -154,19 +154,20 @@ INSTANTIATE_TEST_SUITE_P(Ranks, SpmvRankSweep, ::testing::Values(1, 2, 3, 5, 8))
 
 TEST(DistMatrixTest, ValueAtAndFindEntry) {
   const DenseSystem sys = DenseSystem::random_spd(10, 2);
-  DistCsrMatrix A = sys.local_block({0, 10});
-  EXPECT_DOUBLE_EQ(A.value_at(3, 3), sys.A[33]);
-  EXPECT_DOUBLE_EQ(A.value_at(0, 9), 0.0);  // outside band, not stored
-  double* e = A.find_entry(2, 3);
+  DistCsrMatrix A = sys.local_block(row_range(GlobalRow{0}, 10));
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{3}, GlobalRow{3}), sys.A[33]);
+  // Outside band, not stored:
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{0}, GlobalRow{9}), 0.0);
+  double* e = A.find_entry(GlobalRow{2}, GlobalRow{3});
   ASSERT_NE(e, nullptr);
   *e = 42.0;
-  EXPECT_DOUBLE_EQ(A.value_at(2, 3), 42.0);
-  EXPECT_EQ(A.find_entry(0, 9), nullptr);
+  EXPECT_DOUBLE_EQ(A.value_at(GlobalRow{2}, GlobalRow{3}), 42.0);
+  EXPECT_EQ(A.find_entry(GlobalRow{0}, GlobalRow{9}), nullptr);
 }
 
 TEST(DistMatrixTest, DiagonalBlockExtraction) {
   const DenseSystem sys = DenseSystem::random_spd(12, 5);
-  DistCsrMatrix A = sys.local_block({4, 8});
+  DistCsrMatrix A = sys.local_block(row_range(GlobalRow{4}, 4));
   std::vector<int> rp, cols;
   std::vector<double> vals;
   A.extract_diagonal_block(rp, cols, vals);
@@ -188,12 +189,13 @@ TEST(DistMatrixTest, DiagonalBlockExtraction) {
 TEST(PreconditionerTest, JacobiDividesByDiagonal) {
   const DenseSystem sys = DenseSystem::random_spd(8, 7);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.local_block({0, 8});
+    const RowRange range = row_range(GlobalRow{0}, 8);
+    DistCsrMatrix A = sys.local_block(range);
     JacobiPreconditioner M(A);
-    DistVector r(8, {0, 8}, 1.0), z(8, {0, 8});
+    DistVector r(8, range, 1.0), z(8, range);
     M.apply(r, z, comm);
-    for (int i = 0; i < 8; ++i) {
-      EXPECT_NEAR(z[i], 1.0 / sys.A[static_cast<std::size_t>(i) * 8 + i], 1e-14);
+    for (const GlobalRow i : range) {
+      EXPECT_NEAR(z[i], 1.0 / sys.A[i.index() * 8 + i.index()], 1e-14);
     }
   });
 }
@@ -214,18 +216,19 @@ TEST(PreconditionerTest, Ilu0IsExactForTriangularPattern) {
     rp.push_back(static_cast<int>(cols.size()));
   }
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A(n, {0, n}, rp, cols, vals);
+    const RowRange range = row_range(GlobalRow{0}, n);
+    DistCsrMatrix A(n, range, rp, cols, vals);
     BlockJacobiIlu0 M(A);
-    DistVector r(n, {0, n}, 1.0), z(n, {0, n}), back(n, {0, n});
+    DistVector r(n, range, 1.0), z(n, range), back(n, range);
     M.apply(r, z, comm);
     A.apply(z, back, comm);  // should reproduce r
-    for (int i = 0; i < n; ++i) EXPECT_NEAR(back[i], 1.0, 1e-12);
+    for (const GlobalRow i : range) EXPECT_NEAR(back[i], 1.0, 1e-12);
   });
 }
 
 TEST(PreconditionerTest, FactoryProducesAllKinds) {
   const DenseSystem sys = DenseSystem::random_spd(6, 9);
-  DistCsrMatrix A = sys.local_block({0, 6});
+  DistCsrMatrix A = sys.local_block(row_range(GlobalRow{0}, 6));
   EXPECT_EQ(make_preconditioner(PreconditionerKind::kNone, A)->name(), "none");
   EXPECT_EQ(make_preconditioner(PreconditionerKind::kJacobi, A)->name(), "jacobi");
   EXPECT_EQ(make_preconditioner(PreconditionerKind::kBlockJacobiIlu0, A)->name(),
@@ -252,17 +255,18 @@ TEST_P(KrylovSolverTest, SolvesAndMatchesSerial) {
   // Serial reference solution.
   std::vector<double> x_serial(static_cast<std::size_t>(n));
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.local_block({0, n});
+    const RowRange range = row_range(GlobalRow{0}, n);
+    DistCsrMatrix A = sys.local_block(range);
     A.setup_ghosts(comm);
     BlockJacobiIlu0 M(A);
-    DistVector b(n, {0, n}), x(n, {0, n});
-    for (int i = 0; i < n; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    DistVector b(n, range), x(n, range);
+    for (const GlobalRow i : range) b[i] = sys.b[i.index()];
     SolverConfig cfg;
     cfg.rtol = 1e-10;
     const SolveStats stats = method.solve(A, b, x, M, cfg, comm);
     EXPECT_TRUE(stats.converged) << method.name;
     EXPECT_LT(true_residual_norm(A, b, x, comm), 1e-7);
-    for (int i = 0; i < n; ++i) x_serial[static_cast<std::size_t>(i)] = x[i];
+    for (const GlobalRow i : range) x_serial[i.index()] = x[i];
   });
 
   // Parallel must agree.
@@ -272,15 +276,15 @@ TEST_P(KrylovSolverTest, SolvesAndMatchesSerial) {
     A.setup_ghosts(comm);
     BlockJacobiIlu0 M(A);
     DistVector b(n, range), x(n, range);
-    for (int g = range.first; g < range.second; ++g) {
-      b[g] = sys.b[static_cast<std::size_t>(g)];
+    for (const GlobalRow g : range) {
+      b[g] = sys.b[g.index()];
     }
     SolverConfig cfg;
     cfg.rtol = 1e-10;
     const SolveStats stats = method.solve(A, b, x, M, cfg, comm);
     EXPECT_TRUE(stats.converged) << method.name << " P=" << P;
-    for (int g = range.first; g < range.second; ++g) {
-      EXPECT_NEAR(x[g], x_serial[static_cast<std::size_t>(g)], 1e-6)
+    for (const GlobalRow g : range) {
+      EXPECT_NEAR(x[g], x_serial[g.index()], 1e-6)
           << method.name << " P=" << P;
     }
   });
@@ -301,15 +305,16 @@ TEST(KrylovTest, PreconditioningReducesIterations) {
   const int n = 80;
   const DenseSystem sys = DenseSystem::random_spd(n, 33);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.local_block({0, n});
+    const RowRange range = row_range(GlobalRow{0}, n);
+    DistCsrMatrix A = sys.local_block(range);
     A.setup_ghosts(comm);
-    DistVector b(n, {0, n});
-    for (int i = 0; i < n; ++i) b[i] = sys.b[static_cast<std::size_t>(i)];
+    DistVector b(n, range);
+    for (const GlobalRow i : range) b[i] = sys.b[i.index()];
     SolverConfig cfg;
     cfg.rtol = 1e-8;
 
     auto iterations = [&](const Preconditioner& M) {
-      DistVector x(n, {0, n});
+      DistVector x(n, range);
       const SolveStats s = gmres(A, b, x, M, cfg, comm);
       EXPECT_TRUE(s.converged);
       return s.iterations;
@@ -325,10 +330,11 @@ TEST(KrylovTest, PreconditioningReducesIterations) {
 TEST(KrylovTest, ZeroRhsConvergesImmediately) {
   const DenseSystem sys = DenseSystem::random_spd(10, 4);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.local_block({0, 10});
+    const RowRange range = row_range(GlobalRow{0}, 10);
+    DistCsrMatrix A = sys.local_block(range);
     A.setup_ghosts(comm);
     IdentityPreconditioner M;
-    DistVector b(10, {0, 10}), x(10, {0, 10});
+    DistVector b(10, range), x(10, range);
     const SolveStats s = gmres(A, b, x, M, SolverConfig{}, comm);
     EXPECT_TRUE(s.converged);
     EXPECT_EQ(s.iterations, 0);
@@ -344,8 +350,8 @@ TEST(KrylovTest, RestartedGmresStillConverges) {
     A.setup_ghosts(comm);
     JacobiPreconditioner M(A);
     DistVector b(n, range), x(n, range);
-    for (int g = range.first; g < range.second; ++g) {
-      b[g] = sys.b[static_cast<std::size_t>(g)];
+    for (const GlobalRow g : range) {
+      b[g] = sys.b[g.index()];
     }
     SolverConfig cfg;
     cfg.gmres_restart = 5;  // force several restart cycles
@@ -359,10 +365,11 @@ TEST(KrylovTest, RestartedGmresStillConverges) {
 TEST(KrylovTest, HistoryIsMonotoneForCg) {
   const DenseSystem sys = DenseSystem::random_spd(40, 6);
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A = sys.local_block({0, 40});
+    const RowRange range = row_range(GlobalRow{0}, 40);
+    DistCsrMatrix A = sys.local_block(range);
     A.setup_ghosts(comm);
     BlockJacobiIlu0 M(A);
-    DistVector b(40, {0, 40}, 1.0), x(40, {0, 40});
+    DistVector b(40, range, 1.0), x(40, range);
     SolverConfig cfg;
     cfg.record_history = true;
     const SolveStats s = cg(A, b, x, M, cfg, comm);
@@ -378,10 +385,11 @@ TEST(KrylovTest, CgRejectsIndefiniteMatrix) {
   std::vector<int> cols{0, 1, 2};
   std::vector<double> vals{-1.0, -1.0, -1.0};
   par::run_spmd(1, [&](par::Communicator& comm) {
-    DistCsrMatrix A(3, {0, 3}, rp, cols, vals);
+    const RowRange range = row_range(GlobalRow{0}, 3);
+    DistCsrMatrix A(3, range, rp, cols, vals);
     A.setup_ghosts(comm);
     IdentityPreconditioner M;
-    DistVector b(3, {0, 3}, 1.0), x(3, {0, 3});
+    DistVector b(3, range, 1.0), x(3, range);
     EXPECT_THROW(cg(A, b, x, M, SolverConfig{}, comm), CheckError);
   });
 }

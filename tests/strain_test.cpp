@@ -22,8 +22,8 @@ mesh::TetMesh block(int n = 5, double spacing = 2.0) {
 std::vector<Vec3> apply_field(const mesh::TetMesh& mesh,
                               const std::function<Vec3(const Vec3&)>& u) {
   std::vector<Vec3> out(static_cast<std::size_t>(mesh.num_nodes()));
-  for (int n = 0; n < mesh.num_nodes(); ++n) {
-    out[static_cast<std::size_t>(n)] = u(mesh.nodes[static_cast<std::size_t>(n)]);
+  for (const mesh::NodeId n : mesh.node_ids()) {
+    out[n.index()] = u(mesh.nodes[n]);
   }
   return out;
 }
@@ -110,12 +110,12 @@ TEST(StressTest, StiffTissueCarriesMoreStress) {
       von_mises_stress(mesh, strains, MaterialMap::heterogeneous_brain());
   double soft = 0, stiff = 0;
   int nsoft = 0, nstiff = 0;
-  for (mesh::TetId t = 0; t < mesh.num_tets(); ++t) {
-    if (mesh.tet_labels[static_cast<std::size_t>(t)] == 5) {
-      stiff += stresses[static_cast<std::size_t>(t)];
+  for (const mesh::TetId t : mesh.tet_ids()) {
+    if (mesh.tet_labels[t] == 5) {
+      stiff += stresses[t.index()];
       ++nstiff;
     } else {
-      soft += stresses[static_cast<std::size_t>(t)];
+      soft += stresses[t.index()];
       ++nsoft;
     }
   }
@@ -128,12 +128,14 @@ TEST(SummaryTest, VolumeWeightedMeanAndMax) {
   mesh::TetMesh mesh;
   mesh.nodes = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {2, 0, 0}, {0, 2, 0},
                 {0, 0, 2}};
-  mesh.tets = {{0, 1, 2, 3}, {0, 4, 5, 6}};  // volumes 1/6 and 8/6
+  using mesh::NodeId;
+  mesh.tets = {{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}},
+               {NodeId{0}, NodeId{4}, NodeId{5}, NodeId{6}}};  // volumes 1/6 and 8/6
   mesh.tet_labels = {1, 1};
   const ScalarSummary s = summarize_per_element(mesh, {9.0, 0.0});
   EXPECT_DOUBLE_EQ(s.max, 9.0);
   EXPECT_NEAR(s.mean, 9.0 * (1.0 / 9.0), 1e-12);  // small tet is 1/9 of volume
-  EXPECT_THROW(summarize_per_element(mesh, {1.0}), CheckError);
+  EXPECT_THROW(static_cast<void>(summarize_per_element(mesh, {1.0})), CheckError);
 }
 
 TEST(PipelineIntegrationTest, DeformationStrainsAreMeaningful) {
@@ -143,7 +145,7 @@ TEST(PipelineIntegrationTest, DeformationStrainsAreMeaningful) {
   const auto surface = mesh::extract_boundary_surface(mesh, {1});
   std::vector<std::pair<mesh::NodeId, Vec3>> bcs;
   for (const auto n : surface.mesh_nodes) {
-    bcs.emplace_back(n, Vec3{0, 0, -0.05 * mesh.nodes[static_cast<std::size_t>(n)].z});
+    bcs.emplace_back(n, Vec3{0, 0, -0.05 * mesh.nodes[n].z});
   }
   DeformationSolveOptions opt;
   opt.solver.rtol = 1e-10;

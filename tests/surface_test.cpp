@@ -82,7 +82,7 @@ TEST(ActiveSurfaceTest, DisplacementsEqualFinalMinusInitial) {
   const ImageF sdf = signed_distance_to_label(ball_mask(25, 7.0, c), 1, 20.0);
   const auto result = deform_to_distance_field(initial, sdf, ActiveSurfaceConfig{});
   ASSERT_EQ(result.displacements.size(), initial.vertices.size());
-  for (std::size_t v = 0; v < result.displacements.size(); ++v) {
+  for (const mesh::VertId v : initial.vert_ids()) {
     EXPECT_NEAR(norm(result.surface.vertices[v] -
                      (initial.vertices[v] + result.displacements[v])),
                 0.0, 1e-12);
@@ -170,9 +170,9 @@ TEST(NodeDisplacementsTest, MapsThroughMeshNodes) {
   const auto result = deform_to_distance_field(initial, sdf, ActiveSurfaceConfig{});
   const auto bcs = node_displacements(result);
   ASSERT_EQ(bcs.size(), result.displacements.size());
-  for (std::size_t v = 0; v < bcs.size(); ++v) {
-    EXPECT_EQ(bcs[v].first, initial.mesh_nodes[v]);
-    EXPECT_EQ(norm(bcs[v].second - result.displacements[v]), 0.0);
+  for (const mesh::VertId v : initial.vert_ids()) {
+    EXPECT_EQ(bcs[v.index()].first, initial.mesh_nodes[v]);
+    EXPECT_EQ(norm(bcs[v.index()].second - result.displacements[v]), 0.0);
   }
 }
 

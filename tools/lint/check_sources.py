@@ -12,6 +12,10 @@ Checks (see docs/static_analysis.md):
     each sorted and not mixed;
   * every file under src/ declares the `neuro` namespace, and namespace
     closing braces carry a `// namespace ...` comment;
+  * no raw `std::vector<int>` index members in src/fem/ and src/solver/
+    headers — index bookkeeping there uses the strong ID types of
+    base/strong_id.h; only the grandfathered CSR wire format and per-rank
+    count tables in VECTOR_INT_MEMBER_ALLOWLIST may stay flat ints;
   * no trailing whitespace, no tabs in C++ sources, files end with a newline.
 
 Exits non-zero listing every violation. Run directly:
@@ -43,6 +47,36 @@ BANNED_EVERYWHERE = [
 ]
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+
+# Index bookkeeping in the FEM and solver layers must use the strong ID types
+# of base/strong_id.h (NodeId, DofId, GlobalRow, ...) so that index-space
+# mix-ups fail to compile (see docs/static_analysis.md, "Index spaces and
+# strong IDs"). New raw std::vector<int> *members* in headers under these
+# directories are banned; the allowlist grandfathers the CSR wire format
+# (row_ptr/cols position streams shipped flat across ranks by design) and
+# per-rank count tables, which hold counts, not indices.
+TYPED_INDEX_HEADER_DIRS = ("src/fem/", "src/solver/")
+VECTOR_INT_MEMBER_RE = re.compile(r"^\s*(?:const\s+)?std::vector<int>\s+(\w+)\s*[;={]")
+VECTOR_INT_MEMBER_ALLOWLIST = {
+    # CSR wire format: positions into the value stream, not row/col indices.
+    ("src/solver/dist_matrix.h", "row_ptr_"),
+    ("src/solver/dist_matrix.h", "global_cols_"),
+    ("src/solver/dist_matrix.h", "local_cols_"),
+    ("src/solver/dist_matrix.h", "local_indices"),  # Exchange plan entries
+    ("src/solver/ilu_kernels.h", "row_ptr_"),
+    ("src/solver/ilu_kernels.h", "cols_"),
+    ("src/solver/ilu_kernels.h", "diag_pos_"),
+    ("src/solver/preconditioner.h", "row_ptr_"),
+    ("src/solver/preconditioner.h", "cols_"),
+    ("src/solver/preconditioner.h", "diag_pos_"),
+    # Halo-exchange plans: offsets into packed send/recv buffers.
+    ("src/solver/additive_schwarz.h", "local_indices"),
+    ("src/solver/additive_schwarz.h", "ext_positions"),
+    ("src/solver/additive_schwarz.h", "owned_ext_positions_"),
+    # Per-rank counts for the scaling report (values, not indices).
+    ("src/fem/deformation_solver.h", "nodes_per_rank"),
+    ("src/fem/deformation_solver.h", "fixed_dofs_per_rank"),
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -181,6 +215,16 @@ def check_file(root: Path, path: Path) -> list[str]:
             block.append(inc)
         prev_lineno = lineno
     flush_block()
+
+    # -- strong IDs over raw index members (fem/solver headers) ---------------
+    if path.suffix == ".h" and rel.startswith(TYPED_INDEX_HEADER_DIRS):
+        for lineno, line in enumerate(code_lines, 1):
+            m = VECTOR_INT_MEMBER_RE.match(line)
+            if m and (rel, m.group(1)) not in VECTOR_INT_MEMBER_ALLOWLIST:
+                err(lineno,
+                    f"raw std::vector<int> index member '{m.group(1)}' — use a "
+                    "strong ID container from base/strong_id.h, or allowlist "
+                    "genuine wire-format arrays in check_sources.py")
 
     # -- namespaces -----------------------------------------------------------
     if in_library:
