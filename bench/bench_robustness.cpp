@@ -7,16 +7,38 @@
 // Expected shape: accuracy degrades gracefully with noise; the simulation
 // keeps beating rigid-only registration across the clinical range of brain
 // shift (a few mm to ~1.5 cm peak).
+//
+// Second section (docs/robustness.md): seeded fault campaigns against the
+// degradation ladder. For each fault class this reports the time to a
+// *usable* (validated) field and the ladder rung that produced it — the
+// operative robustness metric: not "did the solve succeed" but "how fast did
+// the surgeon get a field they can trust, and at what fidelity".
+//
+// Usage:
+//   bench_robustness                      # noise sweep + fault section
+//   bench_robustness --faults drop,stall  # restrict the fault campaigns
+//   bench_robustness --faults none --json out.json
+//       # machine-readable fault section only (CI; an env campaign from
+//       # NEURO_FAULT_INJECT may still inject into the "none" run)
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "base/stopwatch.h"
 #include "core/evaluation.h"
 #include "core/landmarks.h"
 #include "core/pipeline.h"
+#include "fem/degradation.h"
+#include "mesh/mesher.h"
+#include "mesh/tri_surface.h"
 #include "phantom/brain_phantom.h"
 
-int main() {
-  using namespace neuro;
+namespace {
 
+using namespace neuro;
+
+void noise_sweep() {
   std::printf("== Robustness sweep: noise level x deformation magnitude ==\n");
   std::printf(
       " noise | sink(mm) | residual(mm) | recovered(mm) | TRE rigid/sim (mm) | "
@@ -54,6 +76,156 @@ int main() {
               "insensitive (the DT priors and surface\nsmoothing absorb it). "
               "Landmark TRE improves strongly for clinically large\nshifts "
               "(8–12 mm) and breaks even at small ones, where there is little\n"
-              "deformation left to recover.\n");
+              "deformation left to recover.\n\n");
+}
+
+// --- fault campaigns vs the degradation ladder -------------------------------
+
+struct FaultRow {
+  std::string name;
+  bool usable = false;           ///< a validated field was delivered
+  double seconds = 0.0;          ///< time to that field (the clinical metric)
+  std::string rung = "-";        ///< ladder rung that produced it
+  bool degraded = false;
+  std::string trigger;           ///< typed reason the ladder left rung 0
+  int attempts = 0;
+};
+
+par::FaultConfig campaign(const std::string& name) {
+  par::FaultConfig fault;
+  fault.seed = 7;
+  fault.recv_timeout_ms = 200.0;
+  if (name == "drop") {
+    fault.kind = par::FaultKind::kDrop;
+  } else if (name == "delay") {
+    fault.kind = par::FaultKind::kDelay;
+    fault.probability = 0.2;
+    fault.delay_ms = 5.0;
+    fault.recv_timeout_ms = 1000.0;
+  } else if (name == "bit_flip") {
+    fault.kind = par::FaultKind::kBitFlip;
+  } else if (name == "stall") {
+    fault.kind = par::FaultKind::kStallRank;
+    fault.rank = 1;
+    fault.delay_ms = 500.0;
+  } else {
+    NEURO_REQUIRE(name == "none",
+                  "bench_robustness: unknown fault campaign '" << name << "'");
+  }
+  return fault;
+}
+
+FaultRow run_campaign(const mesh::TetMesh& mesh,
+                      const std::vector<std::pair<mesh::NodeId, Vec3>>& prescribed,
+                      const std::string& name) {
+  fem::DeformationSolveOptions options;
+  options.nranks = 2;
+  options.fault_injection = campaign(name);
+
+  FaultRow row;
+  row.name = name;
+  Stopwatch sw;
+  const auto outcome = fem::solve_deformation_with_fallback(
+      mesh, fem::MaterialMap::homogeneous_brain(), prescribed, options, {},
+      base::DeadlineBudget(10.0));
+  row.seconds = sw.seconds();
+  if (outcome.ok()) {
+    const fem::DegradationReport& report = outcome.value().report;
+    row.usable = true;
+    row.rung = fem::degradation_rung_name(report.rung);
+    row.degraded = report.degraded;
+    row.trigger = report.degraded ? report.trigger.to_string() : "-";
+    row.attempts = static_cast<int>(report.attempts.size());
+  } else {
+    row.trigger = outcome.status().to_string();
+  }
+  return row;
+}
+
+void write_json(const std::vector<FaultRow>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  NEURO_REQUIRE(f != nullptr, "bench_robustness: cannot open " << path);
+  std::fprintf(f, "{\n  \"fault_campaigns\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FaultRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"fault\": \"%s\", \"usable_field\": %s, "
+                 "\"time_to_usable_field_s\": %.6f, \"rung\": \"%s\", "
+                 "\"degraded\": %s, \"trigger\": \"%s\", \"attempts\": %d}%s\n",
+                 r.name.c_str(), r.usable ? "true" : "false", r.seconds,
+                 r.rung.c_str(), r.degraded ? "true" : "false",
+                 r.trigger.c_str(), r.attempts, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> faults{"none", "drop", "delay", "bit_flip", "stall"};
+  std::string json_path;
+  bool sweep = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults = split_csv(argv[++i]);
+      sweep = false;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      sweep = false;
+    } else {
+      std::printf("usage: %s [--faults none|drop,delay,bit_flip,stall] "
+                  "[--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (sweep) noise_sweep();
+
+  // A modest solid block: big enough for real 2-rank halo traffic, small
+  // enough that the TSan CI job finishes each campaign in seconds.
+  ImageL labels({13, 13, 13}, 1, {1.0, 1.0, 1.0});
+  mesh::MesherConfig mc;
+  mc.stride = 2;
+  const mesh::TetMesh mesh = mesh::mesh_labeled_volume(labels, mc);
+  const auto surface = mesh::extract_boundary_surface(mesh, {1});
+  std::vector<std::pair<mesh::NodeId, Vec3>> prescribed;
+  for (const auto n : surface.mesh_nodes) {
+    prescribed.emplace_back(n, Vec3{0.1, -0.05, 0.08});
+  }
+
+  std::printf("== Fault campaigns vs the degradation ladder "
+              "(%d nodes, 2 ranks) ==\n", mesh.num_nodes());
+  std::printf(" fault     | usable | time-to-field(s) | rung                   "
+              "| trigger\n");
+  std::vector<FaultRow> rows;
+  for (const std::string& name : faults) {
+    rows.push_back(run_campaign(mesh, prescribed, name));
+    const FaultRow& r = rows.back();
+    std::printf(" %-9s | %-6s | %16.3f | %-22s | %s\n", r.name.c_str(),
+                r.usable ? "yes" : "NO", r.seconds, r.rung.c_str(),
+                r.trigger.c_str());
+  }
+  if (!json_path.empty()) write_json(rows, json_path);
+
+  std::printf("\nexpected shape: the fault-free run stays on full_solve; a "
+              "total drop or a\nstalled rank exhausts both solve rungs and "
+              "lands on baseline_interpolation\nwithin ~2 recv timeouts; a "
+              "mild delay is absorbed by rung 0. Every row\nreports a usable "
+              "validated field — the ladder never aborts.\n");
   return 0;
 }

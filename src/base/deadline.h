@@ -1,0 +1,81 @@
+// Wall-clock budgets for the intraoperative deadline.
+//
+// The paper's clinical constraint is a hard one: the surgeon needs a usable
+// deformation field within ~10 s of the intraoperative scan, not the exact
+// field eventually. DeadlineBudget represents that contract as a value the
+// pipeline threads through its stages: construct it when the scan arrives,
+// ask each stage to take an allotment of what remains, and let the solver
+// watchdog and the degradation ladder (docs/robustness.md) consult it to
+// decide when to stop polishing and start degrading. A default-constructed
+// budget is unlimited and costs nothing to consult — the fault-free,
+// no-deadline path behaves exactly as before.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+#include "base/status.h"
+
+namespace neuro::base {
+
+class DeadlineBudget {
+ public:
+  /// Unlimited budget: never expires, remaining() is +inf.
+  DeadlineBudget() = default;
+
+  /// Budget of `total_seconds` starting now. Non-positive totals mean
+  /// "unlimited" so configs can use 0 as the off switch.
+  explicit DeadlineBudget(double total_seconds)
+      : total_(total_seconds > 0.0 ? total_seconds
+                                   : std::numeric_limits<double>::infinity()) {}
+
+  [[nodiscard]] static DeadlineBudget unlimited() { return DeadlineBudget{}; }
+
+  /// True when this budget actually constrains anything.
+  [[nodiscard]] bool limited() const {
+    return total_ != std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] double total_seconds() const { return total_; }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Seconds left before the deadline; +inf when unlimited, clamped at 0.
+  [[nodiscard]] double remaining_seconds() const {
+    if (!limited()) return std::numeric_limits<double>::infinity();
+    return std::max(0.0, total_ - elapsed_seconds());
+  }
+
+  [[nodiscard]] bool expired() const {
+    return limited() && elapsed_seconds() >= total_;
+  }
+
+  /// A stage's share of what is left: min(remaining, fraction * total).
+  /// +inf when unlimited, so `budget.limited()` gates whether the consumer
+  /// arms a finite watchdog deadline.
+  [[nodiscard]] double stage_allotment(double fraction) const {
+    if (!limited()) return std::numeric_limits<double>::infinity();
+    return std::min(remaining_seconds(), fraction * total_);
+  }
+
+  /// kDeadlineExceeded naming `stage` when the budget has run out, OK status
+  /// otherwise — the between-stage check the pipeline performs.
+  [[nodiscard]] Status check(const char* stage) const {
+    if (!expired()) return {};
+    std::ostringstream oss;
+    oss << stage << ": budget of " << total_ << " s exhausted after "
+        << elapsed_seconds() << " s";
+    return {StatusCode::kDeadlineExceeded, oss.str()};
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_ = clock::now();
+  double total_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace neuro::base

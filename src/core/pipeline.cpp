@@ -45,12 +45,14 @@ double PipelineResult::stage_seconds(const std::string& name) const {
 PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_labels,
                                     const ImageF& intraop,
                                     const PipelineConfig& config,
-                                    const std::vector<seg::Prototype>* reuse_prototypes) {
+                                    const std::vector<seg::Prototype>* reuse_prototypes,
+                                    const std::vector<Vec3>* last_good) {
   NEURO_REQUIRE(preop.dims() == preop_labels.dims(),
                 "pipeline: preop image/labels dims mismatch");
   NEURO_REQUIRE(!config.brain_labels.empty(), "pipeline: brain_labels unset — "
                                               "start from default_pipeline_config()");
   PipelineResult result;
+  const base::DeadlineBudget budget(config.deadline_seconds);
   Stopwatch total;
   Stopwatch stage;
 
@@ -147,9 +149,29 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
                              ? fem::MaterialMap::heterogeneous_brain()
                              : fem::MaterialMap::homogeneous_brain();
   const auto prescribed = surface::node_displacements(result.surface_match);
-  result.fem = fem::solve_deformation(result.brain_mesh, materials, prescribed,
-                                      config.fem);
+  fem::DegradationOptions degrade = config.degradation;
+  if (last_good != nullptr) degrade.last_good = last_good;
+  // The FEM stage gets its share of whatever pipeline budget remains; the
+  // ladder splits that share across its rungs.
+  const base::DeadlineBudget fem_budget(
+      budget.limited() ? budget.stage_allotment(config.fem_budget_fraction)
+                       : 0.0);
+  auto fem_outcome = fem::solve_deformation_with_fallback(
+      result.brain_mesh, materials, prescribed, config.fem, degrade, fem_budget);
+  // Fail loudly when no rung produced a validated field: an unusable
+  // deformation must never silently reach the visualization stage.
+  if (!fem_outcome.ok()) throw base::StatusError(fem_outcome.status());
+  result.fem = std::move(fem_outcome.value().deformation);
+  result.degradation = std::move(fem_outcome.value().report);
   result.timeline.push_back({"biomechanical_simulation", stage.seconds()});
+  if (result.degradation.degraded) {
+    for (const auto& attempt : result.degradation.attempts) {
+      result.timeline.push_back(
+          {std::string("fem_fallback:") +
+               fem::degradation_rung_name(attempt.rung),
+           attempt.seconds});
+    }
+  }
 
   // --- 5. Visualization resample (the paper's ~0.5 s step). ---
   stage.reset();

@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.h"
 #include "fem/deformation_solver.h"
+#include "fem/degradation.h"
 #include "image/image3d.h"
 #include "image/transform.h"
 #include "mesh/mesher.h"
@@ -53,6 +55,17 @@ struct PipelineConfig {
   /// Keep only the largest connected component of each surface-target mask
   /// (stray misclassified voxels otherwise become spurious SDF attractors).
   bool clean_masks = true;
+
+  /// Wall-clock budget for the whole intraoperative pipeline (paper's ~10 s
+  /// clinical constraint); 0 = unlimited. When set, the FEM stage receives
+  /// `fem_budget_fraction` of whatever remains when it starts and arms the
+  /// solver watchdog with it; the degradation ladder spends that budget.
+  double deadline_seconds = 0.0;
+  double fem_budget_fraction = 0.6;
+
+  /// Degradation ladder configuration (fem/degradation.h). The last_good
+  /// field is supplied per call by run_intraop_pipeline, not here.
+  fem::DegradationOptions degradation;
 };
 
 /// Fills defaulted config fields (brain label set, seg classes, mesher keep
@@ -82,11 +95,17 @@ struct PipelineResult {
   mesh::TriSurface preop_surface;
   surface::ActiveSurfaceResult surface_match;
   fem::DeformationResult fem;
+  /// How the FEM field was obtained: undegraded full solve, or which ladder
+  /// rung produced it and why (fem/degradation.h).
+  fem::DegradationReport degradation;
   ImageV forward_field;    ///< u: aligned-preop → intraop displacement
   ImageV backward_field;   ///< inverse, used for warping
   ImageF warped_preop;     ///< the "simulated deformation" image (Fig. 4c)
 
-  std::vector<StageTiming> timeline;  ///< Fig. 6 rows
+  /// Fig. 6 rows. When the FEM stage degraded, one extra row per ladder
+  /// attempt ("fem_fallback:<rung>") follows "biomechanical_simulation"; the
+  /// fault-free timeline is unchanged.
+  std::vector<StageTiming> timeline;
   double total_seconds = 0.0;
 
   [[nodiscard]] double stage_seconds(const std::string& name) const;
@@ -95,11 +114,15 @@ struct PipelineResult {
 /// Runs the full pipeline on one intraoperative scan. When
 /// `reuse_prototypes` is non-null the statistical model is not re-selected:
 /// the recorded prototype locations are refreshed against the new scan (the
-/// paper's automatic model update for follow-up acquisitions).
+/// paper's automatic model update for follow-up acquisitions). `last_good`
+/// (one Vec3 per mesh node, typically the previous scan's validated field)
+/// arms the ladder's final rung. Throws base::StatusError only when every
+/// ladder rung failed — no usable field exists at all.
 PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_labels,
                                     const ImageF& intraop,
                                     const PipelineConfig& config,
                                     const std::vector<seg::Prototype>* reuse_prototypes
-                                    = nullptr);
+                                    = nullptr,
+                                    const std::vector<Vec3>* last_good = nullptr);
 
 }  // namespace neuro::core

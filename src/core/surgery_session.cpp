@@ -21,10 +21,14 @@ SurgerySession::SurgerySession(ImageF preop, ImageL preop_labels,
 const PipelineResult& SurgerySession::process_scan(const ImageF& intraop) {
   const std::vector<seg::Prototype>* reuse =
       prototypes_.empty() ? nullptr : &prototypes_;
-  results_.push_back(
-      run_intraop_pipeline(preop_, preop_labels_, intraop, config_, reuse));
-  // Carry the (refreshed) model forward.
+  const std::vector<Vec3>* last_good =
+      last_good_field_.empty() ? nullptr : &last_good_field_;
+  results_.push_back(run_intraop_pipeline(preop_, preop_labels_, intraop,
+                                          config_, reuse, last_good));
+  // Carry the (refreshed) model and the validated field forward. The ladder
+  // ignores a checkpoint whose size no longer matches the scan's mesh.
   prototypes_ = results_.back().segmentation.prototypes;
+  last_good_field_ = results_.back().fem.node_displacements;
   return results_.back();
 }
 

@@ -38,6 +38,13 @@ class SurgerySession {
     return prototypes_;
   }
 
+  /// The last validated deformation field (empty before the first scan).
+  /// Every accepted ladder rung passes the validation gate, so this is
+  /// always safe to hand to the next scan as the ladder's final fallback.
+  [[nodiscard]] const std::vector<Vec3>& last_good_field() const {
+    return last_good_field_;
+  }
+
   /// Stage-by-stage seconds summed over all processed scans.
   [[nodiscard]] std::vector<StageTiming> cumulative_timeline() const;
 
@@ -49,6 +56,7 @@ class SurgerySession {
   PipelineConfig config_;
   std::vector<seg::Prototype> prototypes_;
   std::vector<PipelineResult> results_;
+  std::vector<Vec3> last_good_field_;  ///< checkpoint for the kLastGood rung
 };
 
 }  // namespace neuro::core

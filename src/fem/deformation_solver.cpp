@@ -63,6 +63,8 @@ DeformationResult solve_deformation(
   std::vector<Vec3> displacements(static_cast<std::size_t>(mesh.num_nodes()));
   solver::SolveStats stats;
 
+  par::SpmdOptions spmd;
+  spmd.fault = options.fault_injection;
   par::run_spmd(P, [&](par::Communicator& comm) {
     const int rank = comm.rank();
     const auto r = static_cast<std::size_t>(rank);
@@ -124,7 +126,7 @@ DeformationResult solve_deformation(
                                   x[row_of(dof_of(n, 2))]};
     }
     if (rank == 0) stats = local_stats;
-  });
+  }, spmd);
 
   result.node_displacements = std::move(displacements);
   result.stats = stats;

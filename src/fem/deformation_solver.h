@@ -37,6 +37,11 @@ struct DeformationSolveOptions {
   solver::SolverConfig solver;
   Vec3 body_force{};  ///< optional gravity-style load
 
+  /// Seeded fault campaign applied to the SPMD run (par/fault_inject.h);
+  /// inactive by default. Tests and benches use this to exercise the
+  /// degradation ladder deterministically.
+  par::FaultConfig fault_injection;
+
   /// Concentrated nodal forces (e.g. from fem::traction_loads /
   /// fem::pressure_loads), added to the right-hand side after assembly.
   std::vector<std::pair<mesh::NodeId, Vec3>> nodal_loads;

@@ -1,0 +1,60 @@
+#include "fem/field_validation.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace neuro::fem {
+
+FieldValidationReport validate_displacement_field(
+    const mesh::TetMesh& mesh, const std::vector<Vec3>& displacements,
+    const FieldValidationOptions& options) {
+  NEURO_REQUIRE(static_cast<int>(displacements.size()) == mesh.num_nodes(),
+                "validate_displacement_field: " << displacements.size()
+                                                << " displacements for "
+                                                << mesh.num_nodes() << " nodes");
+  FieldValidationReport report;
+  const Aabb box = mesh::bounds(mesh);
+  report.mesh_diagonal = norm(box.hi - box.lo);
+
+  for (const Vec3& u : displacements) {
+    const double mag = norm(u);
+    if (!std::isfinite(mag)) {
+      report.finite = false;
+      report.status = {base::StatusCode::kNumericalInvalid,
+                       "displacement field contains NaN/Inf components"};
+      return report;
+    }
+    if (mag > report.max_displacement) report.max_displacement = mag;
+  }
+  if (report.max_displacement >
+      options.max_displacement_factor * report.mesh_diagonal) {
+    std::ostringstream oss;
+    oss << "max displacement " << report.max_displacement << " exceeds "
+        << options.max_displacement_factor << " x mesh diagonal ("
+        << report.mesh_diagonal << ")";
+    report.status = {base::StatusCode::kValidationFailed, oss.str()};
+    return report;
+  }
+
+  for (const mesh::TetId t : mesh.tet_ids()) {
+    const auto& tet = mesh.tets[t];
+    const double rest = mesh::tet_volume(mesh, t);
+    const double deformed = mesh::tet_volume(
+        mesh.nodes[tet[0]] + displacements[tet[0].index()],
+        mesh.nodes[tet[1]] + displacements[tet[1].index()],
+        mesh.nodes[tet[2]] + displacements[tet[2].index()],
+        mesh.nodes[tet[3]] + displacements[tet[3].index()]);
+    if (deformed <= options.min_volume_ratio * rest) ++report.inverted_tets;
+  }
+  if (report.inverted_tets > options.max_inverted_tets) {
+    std::ostringstream oss;
+    oss << report.inverted_tets << " tet(s) inverted by the field (allowed: "
+        << options.max_inverted_tets << ")";
+    report.status = {base::StatusCode::kValidationFailed, oss.str()};
+  }
+  return report;
+}
+
+}  // namespace neuro::fem

@@ -1,0 +1,48 @@
+// Acceptance gate for candidate deformation fields.
+//
+// Every rung of the degradation ladder (fem/degradation.h) must pass this
+// gate before its field reaches the operating-room display: a degraded answer
+// is acceptable, a wrong one is not. The gate is deliberately cheap — one
+// pass over the nodes, one pass over the tets — and purely local (no
+// communication), so it can run after any solve, including a partial one.
+#pragma once
+
+#include <vector>
+
+#include "base/status.h"
+#include "base/vec3.h"
+#include "mesh/tet_mesh.h"
+
+namespace neuro::fem {
+
+struct FieldValidationOptions {
+  /// Maximum admissible |u| as a fraction of the mesh bounding-box diagonal.
+  /// Brain shift is centimetres on a decimetre-scale mesh; a displacement
+  /// comparable to the whole head is a solver artifact, not anatomy.
+  double max_displacement_factor = 0.5;
+  /// Tets whose deformed signed volume falls to or below this fraction of
+  /// their rest volume count as inverted (0 = only true inversions).
+  double min_volume_ratio = 0.0;
+  /// How many inverted tets the field may contain and still pass. The meshes
+  /// here carry no slivers, so the default is strict.
+  int max_inverted_tets = 0;
+};
+
+struct FieldValidationReport {
+  bool finite = true;          ///< no NaN/Inf component anywhere
+  double max_displacement = 0.0;
+  double mesh_diagonal = 0.0;
+  int inverted_tets = 0;
+  base::Status status;         ///< kOk, kNumericalInvalid, or kValidationFailed
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+};
+
+/// Validates one displacement field (one Vec3 per mesh node) against the
+/// mesh geometry. Never throws on bad data — bad data is exactly what it is
+/// for; the verdict comes back as the report's status.
+[[nodiscard]] FieldValidationReport validate_displacement_field(
+    const mesh::TetMesh& mesh, const std::vector<Vec3>& displacements,
+    const FieldValidationOptions& options = {});
+
+}  // namespace neuro::fem

@@ -10,17 +10,34 @@ namespace neuro::par {
 
 namespace detail {
 
-Team::Team(int size, bool verify)
+Team::Team(int size, bool verify, FaultConfig fault)
     : size_(size), verify_(verify), slots_(static_cast<std::size_t>(size)) {
   NEURO_REQUIRE(size >= 1, "Team size must be >= 1, got " << size);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  exited_.assign(static_cast<std::size_t>(size), false);
   if (verify_) {
     pending_.resize(static_cast<std::size_t>(size));
     pending_valid_.assign(static_cast<std::size_t>(size), false);
     history_.resize(static_cast<std::size_t>(size));
-    exited_.assign(static_cast<std::size_t>(size), false);
   }
+  if (fault.active()) injector_ = std::make_unique<FaultInjector>(fault);
+}
+
+double Team::recv_timeout_ms() const {
+  if (injector_ != nullptr && injector_->config().recv_timeout_ms > 0.0) {
+    return injector_->config().recv_timeout_ms;
+  }
+  return default_recv_timeout_ms();
+}
+
+void Team::declare_comm_fault_locked(const std::string& reason) {
+  if (comm_fault_) return;
+  comm_fault_ = true;
+  comm_fault_report_ = "neuro::par communication fault: " + reason;
+  barrier_cv_.notify_all();
+  // Wake ranks polling inside recv so they observe the fault.
+  for (auto& box : mailboxes_) box->cv.notify_all();
 }
 
 void Team::push_history_locked(int rank, const CollectiveOp& op) {
@@ -128,6 +145,15 @@ void Team::barrier(int rank, const CollectiveOp* op) {
           << " after " << exited_count_ << " rank(s) exited the SPMD body";
       fail_locked(oss.str());
     }
+  } else {
+    if (comm_fault_) throw CommFaultError(comm_fault_report_);
+    if (exited_count_ > 0) {
+      std::ostringstream oss;
+      oss << "rank " << rank << " entered a collective after " << exited_count_
+          << " rank(s) exited the SPMD body";
+      declare_comm_fault_locked(oss.str());
+      throw CommFaultError(comm_fault_report_);
+    }
   }
   const bool sense = barrier_sense_;
   if (++barrier_count_ == size_) {
@@ -141,7 +167,8 @@ void Team::barrier(int rank, const CollectiveOp* op) {
     // failure (if any) surfaces at this rank's next operation instead.
     if (barrier_sense_ == sense) throw CollectiveMismatchError(report_);
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense || comm_fault_; });
+    if (barrier_sense_ == sense) throw CommFaultError(comm_fault_report_);
   }
 }
 
@@ -163,33 +190,72 @@ void Team::note_p2p(int rank, const CollectiveOp& op) {
   push_history_locked(rank, op);
 }
 
-void Team::rank_exited(int rank) {
-  if (!verify_) return;
+void Team::rank_exited(int rank, bool failed) {
   std::lock_guard lock(barrier_mutex_);
   exited_[static_cast<std::size_t>(rank)] = true;
   ++exited_count_;
-  push_history_locked(rank, CollectiveOp{OpKind::kExit, 0, -1, -1, 0});
-  if (failed_ || barrier_count_ == 0) return;
-  // Ranks are blocked at a collective this rank will never join: that is a
-  // guaranteed deadlock, so fail the team now (the waiters throw; this rank
-  // is already on its way out and must not throw from here).
-  try {
-    std::ostringstream oss;
-    oss << "rank " << rank << " exited the SPMD body while " << barrier_count_
-        << " rank(s) wait at a collective";
-    fail_locked(oss.str());
-  } catch (const CollectiveMismatchError&) {
-    // Reported via the waiting ranks.
+  std::ostringstream oss;
+  oss << "rank " << rank << (failed ? " failed out of" : " exited")
+      << " the SPMD body while " << barrier_count_
+      << " rank(s) wait at a collective";
+  if (verify_) {
+    push_history_locked(rank, CollectiveOp{OpKind::kExit, 0, -1, -1, 0});
+    if (failed_ || barrier_count_ == 0) return;
+    // Ranks are blocked at a collective this rank will never join: that is a
+    // guaranteed deadlock, so fail the team now (the waiters throw; this rank
+    // is already on its way out and must not throw from here).
+    try {
+      fail_locked(oss.str());
+    } catch (const CollectiveMismatchError&) {
+      // Reported via the waiting ranks.
+    }
+    return;
+  }
+  // Without verification: a rank that threw can never rejoin, so any future
+  // collective or recv involving it would deadlock — fault the team now and
+  // wake everyone. A clean exit only faults the team when ranks are already
+  // blocked at a barrier (they would otherwise wait forever); waking recv
+  // pollers is still needed so a recv from this rank fails fast.
+  if (failed || barrier_count_ > 0) {
+    declare_comm_fault_locked(oss.str());
+  } else {
+    for (auto& box : mailboxes_) box->cv.notify_all();
   }
 }
 
 void Team::send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes) {
   std::vector<std::byte> payload(bytes);
   if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  int copies = 1;
+  if (injector_ != nullptr) [[unlikely]] {
+    if (injector_->should_stall(src)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(injector_->config().delay_ms));
+    }
+    switch (injector_->on_send(src, dst, tag)) {
+      case FaultInjector::Action::kDeliver:
+        break;
+      case FaultInjector::Action::kDrop:
+        return;  // silently lost; the matching recv times out
+      case FaultInjector::Action::kDelay:
+        // Link-style delay: the sender blocks, delivery happens late.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(injector_->config().delay_ms));
+        break;
+      case FaultInjector::Action::kDuplicate:
+        copies = 2;
+        break;
+      case FaultInjector::Action::kCorrupt:
+        injector_->corrupt(payload, src, dst, tag);
+        break;
+    }
+  }
   auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mutex);
-    box.queues[{src, tag}].push_back(std::move(payload));
+    auto& queue = box.queues[{src, tag}];
+    for (int c = 1; c < copies; ++c) queue.push_back(payload);
+    queue.push_back(std::move(payload));
   }
   box.cv.notify_all();
 }
@@ -206,7 +272,15 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
     // Poll instead of blocking forever so a verification failure elsewhere —
     // or a send that never comes — turns into a report, not a hang. Lock
     // order is box.mutex -> barrier_mutex_; nothing nests the other way.
-    const auto deadline = std::chrono::steady_clock::now() + verify_timeout();
+    // A fault campaign's recv timeout override applies here too, so injected
+    // faults fail fast under verification as well.
+    const double override_ms =
+        injector_ != nullptr ? injector_->config().recv_timeout_ms : 0.0;
+    const auto timeout =
+        override_ms > 0.0
+            ? std::chrono::milliseconds(static_cast<long>(override_ms))
+            : verify_timeout();
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (!ready()) {
       {
         std::lock_guard vlock(barrier_mutex_);
@@ -217,13 +291,43 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
         std::ostringstream oss;
         oss << "rank " << dst << " recv(from=" << src << ", tag=" << tag
             << ") was never matched by a send (timed out after "
-            << verify_timeout().count() << " ms)";
+            << timeout.count() << " ms)";
         fail_locked(oss.str());
       }
       box.cv.wait_for(lock, std::chrono::milliseconds(50));
     }
   } else {
-    box.cv.wait(lock, ready);
+    // Bounded wait: a dropped message or dead sender must surface as a typed
+    // kCommFault the degradation ladder can catch, never as a deadlock. Same
+    // lock order as above (box.mutex -> barrier_mutex_).
+    const double timeout_ms = recv_timeout_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+    while (!ready()) {
+      {
+        std::lock_guard vlock(barrier_mutex_);
+        if (comm_fault_) throw CommFaultError(comm_fault_report_);
+        if (exited_[static_cast<std::size_t>(src)]) {
+          // Sends are enqueued before the sender exits, so an empty queue
+          // from an exited rank can never be filled.
+          std::ostringstream oss;
+          oss << "neuro::par communication fault: rank " << dst
+              << " recv(from=" << src << ", tag=" << tag
+              << "): source rank exited without sending";
+          throw CommFaultError(oss.str());
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::ostringstream oss;
+        oss << "neuro::par communication fault: rank " << dst
+            << " recv(from=" << src << ", tag=" << tag << ") timed out after "
+            << timeout_ms << " ms (message dropped or sender stalled)";
+        throw CommFaultError(oss.str());
+      }
+      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
   }
   auto& queue = box.queues[key];
   std::vector<std::byte> payload = std::move(queue.front());
@@ -240,7 +344,10 @@ std::vector<WorkRecord> run_spmd(int nranks,
   const bool verify = options.verify == SpmdOptions::Verify::kAuto
                           ? verify_enabled_by_default()
                           : options.verify == SpmdOptions::Verify::kOn;
-  detail::Team team(nranks, verify);
+  // A programmatic campaign wins; otherwise the environment campaign applies.
+  const FaultConfig fault =
+      options.fault.active() ? options.fault : fault_config_from_env();
+  detail::Team team(nranks, verify, fault);
   std::vector<WorkRecord> work(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
@@ -259,21 +366,22 @@ std::vector<WorkRecord> run_spmd(int nranks,
           body(comm);
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
-          // A failing rank must not deadlock the others at the next barrier.
-          // With verification on, rank_exited below fails the team so blocked
-          // ranks throw a report; without it there is no clean recovery and
-          // only rank-collective failures (all ranks throw together) join.
+          // A failing rank must not deadlock the others: rank_exited below
+          // fails the team (a verification report with verification on, a
+          // CommFaultError otherwise) so blocked ranks unwind promptly.
         }
-        team.rank_exited(r);
+        team.rank_exited(r, errors[static_cast<std::size_t>(r)] != nullptr);
         work[static_cast<std::size_t>(r)] = comm.work().take();
       });
     }
     for (auto& t : threads) t.join();
   }
 
-  // Prefer the root-cause application error over secondary verifier reports
-  // (ranks that threw CollectiveMismatchError only because another rank died).
-  std::exception_ptr first, first_app;
+  // Prefer the root-cause application error over secondary team-failure
+  // reports: ranks that threw CollectiveMismatchError or CommFaultError only
+  // because another rank died. A CommFaultError still outranks a mismatch
+  // report (it names the p2p operation that actually failed).
+  std::exception_ptr first, first_comm, first_app;
   for (const auto& e : errors) {
     if (!e) continue;
     if (!first) first = e;
@@ -281,12 +389,15 @@ std::vector<WorkRecord> run_spmd(int nranks,
       try {
         std::rethrow_exception(e);
       } catch (const CollectiveMismatchError&) {
+      } catch (const CommFaultError&) {
+        if (!first_comm) first_comm = e;
       } catch (...) {
         first_app = e;
       }
     }
   }
   if (first_app) std::rethrow_exception(first_app);
+  if (first_comm) std::rethrow_exception(first_comm);
   if (first) std::rethrow_exception(first);
   return work;
 }

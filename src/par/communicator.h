@@ -29,6 +29,7 @@
 
 #include "base/check.h"
 #include "base/strong_id.h"
+#include "par/fault_inject.h"
 #include "par/verify.h"
 #include "par/work_counter.h"
 
@@ -41,7 +42,8 @@ namespace detail {
 /// State shared by all ranks of one parallel run.
 class Team {
  public:
-  explicit Team(int size, bool verify = verify_enabled_by_default());
+  explicit Team(int size, bool verify = verify_enabled_by_default(),
+                FaultConfig fault = fault_config_from_env());
 
   int size() const { return size_; }
   bool verify() const { return verify_; }
@@ -65,7 +67,11 @@ class Team {
   /// Second barrier: all ranks done reading; slots may be reused.
   void release(int rank);
 
-  /// Point-to-point mailbox keyed by (src, dst, tag).
+  /// Point-to-point mailbox keyed by (src, dst, tag). Both directions pass
+  /// through the fault injector when one is configured; recv waits are
+  /// bounded (fault-config override, else NEURO_COMM_TIMEOUT_MS, default
+  /// 30 s) and surface CommFaultError instead of deadlocking on a message
+  /// that was dropped or whose sender exited.
   void send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes);
   std::vector<std::byte> recv_bytes(int src, int dst, int tag);
 
@@ -75,9 +81,12 @@ class Team {
   void note_p2p(int rank, const CollectiveOp& op);
 
   /// Called by run_spmd when a rank leaves the body (normally or by
-  /// exception). With verification on, a rank exiting while others wait at a
-  /// collective is a guaranteed deadlock and fails the team immediately.
-  void rank_exited(int rank);
+  /// exception; `failed` marks the exception case). A rank exiting while
+  /// others wait at a collective is a guaranteed deadlock and fails the team
+  /// immediately — as a CollectiveMismatchError report under verification,
+  /// as a CommFaultError otherwise. A failed exit faults the team either way
+  /// so blocked ranks unwind promptly instead of waiting out their timeouts.
+  void rank_exited(int rank, bool failed = false);
 
  private:
   /// Ring buffer of a rank's recent operations, for divergence reports.
@@ -95,6 +104,11 @@ class Team {
   void check_pending_locked();
   [[noreturn]] void fail_locked(const std::string& headline);
   std::string describe_ranks_locked() const;
+  /// Non-verify failure path: marks the team faulted (kCommFault) and wakes
+  /// every blocked rank so the fault propagates instead of deadlocking.
+  void declare_comm_fault_locked(const std::string& reason);
+  /// The effective bounded-recv wait for this team.
+  [[nodiscard]] double recv_timeout_ms() const;
 
   int size_;
   bool verify_;
@@ -104,14 +118,24 @@ class Team {
   int barrier_count_ = 0;
   bool barrier_sense_ = false;
 
+  // Rank-exit bookkeeping (always on: recv's early-exit detection needs it).
+  std::vector<bool> exited_;
+  int exited_count_ = 0;
+
+  // Non-verify fault state: set once, after which every collective entry and
+  // recv poll throws CommFaultError carrying the report.
+  bool comm_fault_ = false;
+  std::string comm_fault_report_;
+
   // Verification state (unused, and never touched, when verify_ is false).
   std::vector<CollectiveOp> pending_;
   std::vector<bool> pending_valid_;
   std::vector<RankHistory> history_;
-  std::vector<bool> exited_;
-  int exited_count_ = 0;
   bool failed_ = false;
   std::string report_;
+
+  // Fault injection (null unless a campaign is configured).
+  std::unique_ptr<FaultInjector> injector_;
 
   std::vector<Slot> slots_;
 
@@ -339,6 +363,9 @@ struct SpmdOptions {
   /// NEURO_PAR_VERIFY compile definition / environment variable.
   enum class Verify : std::uint8_t { kAuto, kOff, kOn };
   Verify verify = Verify::kAuto;
+  /// Seeded fault campaign for this run (par/fault_inject.h). Inactive by
+  /// default, in which case the environment campaign (if any) applies.
+  FaultConfig fault;
 };
 
 /// Runs `body(comm)` on `nranks` threads. Rethrows the first exception thrown

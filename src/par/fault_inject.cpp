@@ -1,0 +1,161 @@
+#include "par/fault_inject.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/rng.h"
+
+namespace neuro::par {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kStallRank: return "stall_rank";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultKind kind_from_name(const std::string& name) {
+  for (const FaultKind k : {FaultKind::kNone, FaultKind::kDrop, FaultKind::kDelay,
+                            FaultKind::kDuplicate, FaultKind::kBitFlip,
+                            FaultKind::kStallRank}) {
+    if (name == fault_kind_name(k)) return k;
+  }
+  NEURO_REQUIRE(false, "fault spec: unknown fault kind '" << name << "'");
+  return FaultKind::kNone;
+}
+
+/// splitmix64-style mix: one well-scrambled 64-bit hash of the decision key,
+/// so each message's fate is independent of every other's.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig config;
+  std::istringstream iss(spec);
+  std::string field;
+  bool first = true;
+  while (std::getline(iss, field, ':')) {
+    if (first) {
+      config.kind = kind_from_name(field);
+      first = false;
+      continue;
+    }
+    const auto eq = field.find('=');
+    NEURO_REQUIRE(eq != std::string::npos,
+                  "fault spec: field '" << field << "' is not key=value");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "p") {
+      config.probability = std::stod(value);
+    } else if (key == "seed") {
+      config.seed = std::stoull(value);
+    } else if (key == "rank") {
+      config.rank = std::stoi(value);
+    } else if (key == "tag") {
+      config.tag = std::stoi(value);
+    } else if (key == "max") {
+      config.max_faults = std::stoi(value);
+    } else if (key == "delay_ms") {
+      config.delay_ms = std::stod(value);
+    } else if (key == "timeout_ms") {
+      config.recv_timeout_ms = std::stod(value);
+    } else {
+      NEURO_REQUIRE(false, "fault spec: unknown key '" << key << "'");
+    }
+  }
+  NEURO_REQUIRE(!first, "fault spec: empty specification");
+  return config;
+}
+
+FaultConfig fault_config_from_env() {
+#ifdef NEURO_FAULT_INJECT
+  if (const char* env = std::getenv("NEURO_FAULT_INJECT")) {
+    if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+      return parse_fault_spec(env);
+    }
+  }
+#endif
+  return {};
+}
+
+double default_recv_timeout_ms() {
+  if (const char* env = std::getenv("NEURO_COMM_TIMEOUT_MS")) {
+    const double ms = std::strtod(env, nullptr);
+    if (ms > 0.0) return ms;
+  }
+  return 30000.0;
+}
+
+bool FaultInjector::matches(int src, int tag) const {
+  if (config_.rank >= 0 && src != config_.rank) return false;
+  if (config_.tag >= 0 && tag != config_.tag) return false;
+  return true;
+}
+
+FaultInjector::Action FaultInjector::on_send(int src, int dst, int tag) {
+  if (config_.kind == FaultKind::kNone || config_.kind == FaultKind::kStallRank ||
+      !matches(src, tag)) {
+    return Action::kDeliver;
+  }
+  std::lock_guard lock(mutex_);
+  if (config_.max_faults >= 0 && injected_ >= config_.max_faults) {
+    return Action::kDeliver;
+  }
+  const std::uint64_t count = stream_counts_[{src, dst, tag}]++;
+  std::uint64_t h = mix(config_.seed, 0x6661756c74ull);  // "fault"
+  h = mix(h, static_cast<std::uint64_t>(src));
+  h = mix(h, static_cast<std::uint64_t>(dst));
+  h = mix(h, static_cast<std::uint64_t>(tag) + 1);  // tags may be 0
+  h = mix(h, count);
+  if (Rng(h).uniform() >= config_.probability) return Action::kDeliver;
+  ++injected_;
+  switch (config_.kind) {
+    case FaultKind::kDrop: return Action::kDrop;
+    case FaultKind::kDelay: return Action::kDelay;
+    case FaultKind::kDuplicate: return Action::kDuplicate;
+    case FaultKind::kBitFlip: return Action::kCorrupt;
+    case FaultKind::kNone:
+    case FaultKind::kStallRank: break;
+  }
+  return Action::kDeliver;
+}
+
+void FaultInjector::corrupt(std::vector<std::byte>& payload, int src, int dst,
+                            int tag) const {
+  if (payload.empty()) return;
+  std::uint64_t h = mix(config_.seed, 0x62697466ull);  // "bitf"
+  h = mix(h, static_cast<std::uint64_t>(src));
+  h = mix(h, static_cast<std::uint64_t>(dst));
+  h = mix(h, static_cast<std::uint64_t>(tag) + 1);
+  const std::size_t pos = static_cast<std::size_t>(h % payload.size());
+  payload[pos] ^= std::byte{0xFF};
+}
+
+bool FaultInjector::should_stall(int rank) {
+  if (config_.kind != FaultKind::kStallRank || rank != config_.rank) return false;
+  std::lock_guard lock(mutex_);
+  if (stalled_) return false;
+  stalled_ = true;
+  ++injected_;
+  return true;
+}
+
+int FaultInjector::faults_injected() const {
+  std::lock_guard lock(mutex_);
+  return injected_;
+}
+
+}  // namespace neuro::par

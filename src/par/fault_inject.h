@@ -1,0 +1,123 @@
+// Seeded fault injection for the SPMD runtime.
+//
+// The intraoperative pipeline must survive the failure modes a real cluster
+// exhibits mid-surgery: a dropped or delayed message, a duplicated delivery, a
+// flipped bit in a payload, a rank stalled by a paging storm. This harness
+// injects exactly those faults into Team::send_bytes / recv_bytes, keyed by a
+// fixed seed so every injected run is reproducible: the decision for a given
+// message depends only on (seed, src, dst, tag, per-stream message count),
+// never on thread scheduling. The degradation ladder's matrix test replays
+// each fault class and asserts the pipeline lands on the documented rung.
+//
+// Activation (off by default; the hot path pays one pointer test per message):
+//   * programmatically: SpmdOptions{.fault = FaultConfig{...}} — always
+//     available, used by tests and benches;
+//   * via environment: compile with -DNEURO_FAULT_INJECT (CMake option
+//     NEURO_FAULT_INJECT=ON), then set NEURO_FAULT_INJECT to a spec such as
+//       NEURO_FAULT_INJECT="drop:p=0.5:seed=7:rank=1:tag=3:timeout_ms=200"
+//     Builds without the compile definition ignore the variable, so a
+//     production binary cannot be fault-injected from the environment.
+//
+// A faulted run must degrade, not deadlock: recv gains a bounded wait (see
+// Team::recv_bytes) that surfaces kCommFault through CommFaultError instead
+// of blocking forever on a message that was dropped or whose sender died.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/status.h"
+
+namespace neuro::par {
+
+/// Thrown by the communicator when a point-to-point operation cannot complete
+/// (recv timeout, peer rank exited, team already faulted). run_spmd rethrows
+/// it; the degradation ladder maps it to StatusCode::kCommFault.
+class CommFaultError : public base::StatusError {
+ public:
+  explicit CommFaultError(std::string what)
+      : base::StatusError(
+            base::Status(base::StatusCode::kCommFault, std::move(what))) {}
+};
+
+/// The injectable fault classes.
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kDrop,       ///< message silently discarded
+  kDelay,      ///< delivery delayed by delay_ms (sender blocks, link-style)
+  kDuplicate,  ///< message delivered twice
+  kBitFlip,    ///< one payload byte XORed with 0xFF
+  kStallRank,  ///< the configured rank sleeps delay_ms before its next sends
+};
+
+/// Short stable name, e.g. "bit_flip".
+const char* fault_kind_name(FaultKind kind);
+
+/// One fault campaign. Message faults apply to sends matching the optional
+/// rank/tag filters with probability `probability` (decided deterministically
+/// from the seed); kStallRank stalls the configured rank instead.
+struct FaultConfig {
+  FaultKind kind = FaultKind::kNone;
+  double probability = 1.0;      ///< per-message fault probability
+  std::uint64_t seed = 0;        ///< reproducibility key
+  int rank = -1;                 ///< sender (or stalled rank); -1 = any
+  int tag = -1;                  ///< only messages with this tag; -1 = any
+  int max_faults = -1;           ///< stop injecting after this many; -1 = unlimited
+  double delay_ms = 20.0;        ///< kDelay / kStallRank sleep duration
+  double recv_timeout_ms = 0.0;  ///< overrides the bounded recv wait when > 0
+
+  [[nodiscard]] bool active() const { return kind != FaultKind::kNone; }
+};
+
+/// Parses a spec string: "<kind>[:p=<prob>][:seed=<n>][:rank=<r>][:tag=<t>]
+/// [:max=<n>][:delay_ms=<ms>][:timeout_ms=<ms>]". Unknown keys and malformed
+/// values are a precondition failure (the env var is operator input).
+[[nodiscard]] FaultConfig parse_fault_spec(const std::string& spec);
+
+/// The environment-configured campaign: parses NEURO_FAULT_INJECT in builds
+/// compiled with the NEURO_FAULT_INJECT definition, inactive otherwise.
+[[nodiscard]] FaultConfig fault_config_from_env();
+
+/// How long a recv waits before declaring the message lost, when no
+/// FaultConfig override applies: NEURO_COMM_TIMEOUT_MS, default 30 000.
+[[nodiscard]] double default_recv_timeout_ms();
+
+/// Per-Team injector. Thread-safe; decisions are deterministic in the message
+/// stream (per (src, dst, tag) counters), independent of rank interleaving.
+class FaultInjector {
+ public:
+  enum class Action : std::uint8_t { kDeliver, kDrop, kDelay, kDuplicate, kCorrupt };
+
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Decides the fate of one message (kStallRank campaigns always deliver).
+  Action on_send(int src, int dst, int tag);
+
+  /// XORs one deterministically chosen payload byte with 0xFF.
+  void corrupt(std::vector<std::byte>& payload, int src, int dst, int tag) const;
+
+  /// True exactly once for the configured rank of a kStallRank campaign:
+  /// the caller sleeps config().delay_ms before proceeding.
+  bool should_stall(int rank);
+
+  /// Messages faulted so far (telemetry for benches and reports).
+  [[nodiscard]] int faults_injected() const;
+
+ private:
+  [[nodiscard]] bool matches(int src, int tag) const;
+
+  FaultConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::tuple<int, int, int>, std::uint64_t> stream_counts_;
+  int injected_ = 0;
+  bool stalled_ = false;
+};
+
+}  // namespace neuro::par

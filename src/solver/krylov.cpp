@@ -1,17 +1,103 @@
 #include "solver/krylov.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <deque>
+#include <sstream>
 
 #include "base/check.h"
 
 namespace neuro::solver {
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kMaxIterations: return "max_iterations";
+    case StopReason::kStagnated: return "stagnated";
+    case StopReason::kDiverged: return "diverged";
+    case StopReason::kNumericalInvalid: return "numerical_invalid";
+    case StopReason::kDeadlineExceeded: return "deadline_exceeded";
+    case StopReason::kBreakdown: return "breakdown";
+  }
+  return "unknown";
+}
 
 namespace {
 
 DistVector like(const DistVector& v) {
   return DistVector(v.global_size(), v.range());
 }
+
+/// One watchdog per solve (see WatchdogConfig). poll() returns kConverged
+/// while the iteration may continue, the stop reason otherwise; message()
+/// then carries the diagnostic detail. Every test except the deadline runs on
+/// collective-identical residuals, so all ranks reach the same verdict at the
+/// same sample without communicating; the deadline is a collective vote.
+class Watchdog {
+ public:
+  Watchdog(const WatchdogConfig& config, par::Communicator& comm)
+      : config_(config), comm_(comm) {}
+
+  StopReason poll(double residual, double initial_residual) {
+    ++samples_;
+    if (config_.check_finite && !std::isfinite(residual)) {
+      std::ostringstream oss;
+      oss << "residual became non-finite (" << residual << ") at sample "
+          << samples_;
+      message_ = oss.str();
+      return StopReason::kNumericalInvalid;
+    }
+    if (config_.divergence_factor > 0.0 && initial_residual > 0.0 &&
+        residual > config_.divergence_factor * initial_residual) {
+      std::ostringstream oss;
+      oss << "residual " << residual << " exceeded " << config_.divergence_factor
+          << " x initial (" << initial_residual << ")";
+      message_ = oss.str();
+      return StopReason::kDiverged;
+    }
+    if (config_.stagnation_window > 0) {
+      window_.push_back(residual);
+      const auto span = static_cast<std::size_t>(config_.stagnation_window) + 1;
+      if (window_.size() > span) window_.pop_front();
+      if (window_.size() == span &&
+          window_.back() >
+              (1.0 - config_.stagnation_min_decrease) * window_.front()) {
+        std::ostringstream oss;
+        oss << "residual plateaued at " << residual << " over the last "
+            << config_.stagnation_window << " iterations";
+        message_ = oss.str();
+        return StopReason::kStagnated;
+      }
+    }
+    if (config_.deadline_seconds > 0.0 &&
+        samples_ % std::max(1, config_.deadline_check_interval) == 0) {
+      // Wall clocks differ between ranks; vote so every rank stops together.
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+              .count();
+      const int expired = elapsed >= config_.deadline_seconds ? 1 : 0;
+      if (comm_.allreduce_max(expired) != 0) {
+        std::ostringstream oss;
+        oss << "solve deadline of " << config_.deadline_seconds
+            << " s passed after " << samples_ << " iterations";
+        message_ = oss.str();
+        return StopReason::kDeadlineExceeded;
+      }
+    }
+    return StopReason::kConverged;
+  }
+
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  WatchdogConfig config_;
+  par::Communicator& comm_;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+  std::deque<double> window_;
+  int samples_ = 0;
+  std::string message_;
+};
 
 }  // namespace
 
@@ -45,9 +131,12 @@ SolveStats gmres(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
   if (config.record_history) stats.history.push_back(beta);
   if (beta <= config.atol) {
     stats.converged = true;
+    stats.stop_reason = StopReason::kConverged;
     return stats;
   }
   const double target = std::max(config.rtol * beta, config.atol);
+  Watchdog watchdog(config.watchdog, comm);
+  StopReason stop = StopReason::kConverged;
 
   std::vector<DistVector> V(static_cast<std::size_t>(m) + 1, like(b));
   // Hessenberg (column-major: H[j] has j+2 entries) and Givens rotations.
@@ -115,6 +204,13 @@ SolveStats gmres(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
         ++j;
         break;
       }
+      // The column is complete, so a watchdog stop here still yields a valid
+      // best-so-far iterate from the back-substitution below.
+      stop = watchdog.poll(rho, stats.initial_residual);
+      if (stop != StopReason::kConverged) {
+        ++j;
+        break;
+      }
       V[static_cast<std::size_t>(j) + 1] = w;
       V[static_cast<std::size_t>(j) + 1].scale(1.0 / hlast, comm);
     }
@@ -144,10 +240,26 @@ SolveStats gmres(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
     stats.final_residual = beta;
     if (beta <= target) {
       stats.converged = true;
+      stats.stop_reason = StopReason::kConverged;
+      return stats;
+    }
+    if (stop != StopReason::kConverged) {
+      // Watchdog stop: x already holds the best-so-far iterate.
+      stats.stop_reason = stop;
+      stats.stop_message = watchdog.message();
       return stats;
     }
   }
   stats.converged = stats.final_residual <= target;
+  if (stats.converged) {
+    stats.stop_reason = StopReason::kConverged;
+  } else {
+    std::ostringstream oss;
+    oss << "gmres: " << config.max_iterations
+        << " iterations exhausted at relative residual "
+        << stats.relative_residual();
+    stats.stop_message = oss.str();
+  }
   return stats;
 }
 
@@ -165,9 +277,11 @@ SolveStats cg(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
   if (config.record_history) stats.history.push_back(stats.initial_residual);
   if (stats.initial_residual <= config.atol) {
     stats.converged = true;
+    stats.stop_reason = StopReason::kConverged;
     return stats;
   }
   const double target = std::max(config.rtol * stats.initial_residual, config.atol);
+  Watchdog watchdog(config.watchdog, comm);
 
   M.apply(r, z, comm);
   p = z;
@@ -177,8 +291,16 @@ SolveStats cg(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
     A.apply(p, Ap, comm);
     ++stats.iterations;
     const double pAp = p.dot(Ap, comm);
-    NEURO_CHECK_MSG(pAp > 0.0, "cg: matrix is not positive definite (pᵀAp = "
-                                   << pAp << ")");
+    if (pAp <= 0.0) {
+      // Indefinite (or numerically indefinite) operator: CG's contract is
+      // broken, but that is an input-class failure, not invariant corruption —
+      // report it as a typed breakdown so the caller can switch solvers.
+      std::ostringstream oss;
+      oss << "cg: matrix is not positive definite (pAp = " << pAp << ")";
+      stats.stop_reason = StopReason::kBreakdown;
+      stats.stop_message = oss.str();
+      return stats;
+    }
     const double alpha = rz / pAp;
     x.axpy(alpha, p, comm);
     r.axpy(-alpha, Ap, comm);
@@ -188,6 +310,13 @@ SolveStats cg(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
     if (config.record_history) stats.history.push_back(rnorm);
     if (rnorm <= target) {
       stats.converged = true;
+      stats.stop_reason = StopReason::kConverged;
+      return stats;
+    }
+    const StopReason stop = watchdog.poll(rnorm, stats.initial_residual);
+    if (stop != StopReason::kConverged) {
+      stats.stop_reason = stop;
+      stats.stop_message = watchdog.message();
       return stats;
     }
 
@@ -199,6 +328,10 @@ SolveStats cg(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
     p.scale(betak, comm);
     p.axpy(1.0, z, comm);
   }
+  std::ostringstream oss;
+  oss << "cg: " << config.max_iterations
+      << " iterations exhausted at relative residual " << stats.relative_residual();
+  stats.stop_message = oss.str();
   return stats;
 }
 
@@ -217,16 +350,26 @@ SolveStats bicgstab(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
   if (config.record_history) stats.history.push_back(stats.initial_residual);
   if (stats.initial_residual <= config.atol) {
     stats.converged = true;
+    stats.stop_reason = StopReason::kConverged;
     return stats;
   }
   const double target = std::max(config.rtol * stats.initial_residual, config.atol);
+  Watchdog watchdog(config.watchdog, comm);
 
   r0 = r;
   double rho = 1.0, alpha = 1.0, omega = 1.0;
 
+  const auto breakdown = [&stats](const char* what) {
+    stats.stop_reason = StopReason::kBreakdown;
+    stats.stop_message = std::string("bicgstab: breakdown (") + what + ")";
+  };
+
   while (stats.iterations < config.max_iterations) {
     const double rho_new = r0.dot(r, comm);
-    if (std::abs(rho_new) < 1e-300) break;  // breakdown
+    if (std::abs(rho_new) < 1e-300) {
+      breakdown("rho -> 0");
+      break;
+    }
     if (stats.iterations == 0) {
       p = r;
     } else {
@@ -242,7 +385,10 @@ SolveStats bicgstab(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
     A.apply(ph, v, comm);
     ++stats.iterations;
     const double r0v = r0.dot(v, comm);
-    if (std::abs(r0v) < 1e-300) break;
+    if (std::abs(r0v) < 1e-300) {
+      breakdown("r0.v -> 0");
+      break;
+    }
     alpha = rho / r0v;
 
     s = r;
@@ -253,13 +399,17 @@ SolveStats bicgstab(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
       stats.final_residual = snorm;
       if (config.record_history) stats.history.push_back(snorm);
       stats.converged = true;
+      stats.stop_reason = StopReason::kConverged;
       return stats;
     }
 
     M.apply(s, sh, comm);
     A.apply(sh, t, comm);
     const double tt = t.dot(t, comm);
-    if (tt < 1e-300) break;
+    if (tt < 1e-300) {
+      breakdown("t.t -> 0");
+      break;
+    }
     omega = t.dot(s, comm) / tt;
 
     x.axpy(alpha, ph, comm);
@@ -272,9 +422,27 @@ SolveStats bicgstab(const DistCsrMatrix& A, const DistVector& b, DistVector& x,
     if (config.record_history) stats.history.push_back(rnorm);
     if (rnorm <= target) {
       stats.converged = true;
+      stats.stop_reason = StopReason::kConverged;
       return stats;
     }
-    if (std::abs(omega) < 1e-300) break;
+    const StopReason stop = watchdog.poll(rnorm, stats.initial_residual);
+    if (stop != StopReason::kConverged) {
+      stats.stop_reason = stop;
+      stats.stop_message = watchdog.message();
+      return stats;
+    }
+    if (std::abs(omega) < 1e-300) {
+      breakdown("omega -> 0");
+      break;
+    }
+  }
+  if (stats.stop_reason == StopReason::kMaxIterations &&
+      stats.stop_message.empty()) {
+    std::ostringstream oss;
+    oss << "bicgstab: " << config.max_iterations
+        << " iterations exhausted at relative residual "
+        << stats.relative_residual();
+    stats.stop_message = oss.str();
   }
   return stats;
 }

@@ -380,7 +380,9 @@ TEST(KrylovTest, HistoryIsMonotoneForCg) {
 }
 
 TEST(KrylovTest, CgRejectsIndefiniteMatrix) {
-  // -I is negative definite: CG must detect pᵀAp <= 0.
+  // -I is negative definite: CG must detect pᵀAp <= 0 and report it as a
+  // typed breakdown (an input-class failure the caller can react to), not an
+  // invariant abort.
   std::vector<int> rp{0, 1, 2, 3};
   std::vector<int> cols{0, 1, 2};
   std::vector<double> vals{-1.0, -1.0, -1.0};
@@ -390,7 +392,10 @@ TEST(KrylovTest, CgRejectsIndefiniteMatrix) {
     A.setup_ghosts(comm);
     IdentityPreconditioner M;
     DistVector b(3, range, 1.0), x(3, range);
-    EXPECT_THROW(cg(A, b, x, M, SolverConfig{}, comm), CheckError);
+    const SolveStats s = cg(A, b, x, M, SolverConfig{}, comm);
+    EXPECT_FALSE(s.converged);
+    EXPECT_EQ(s.stop_reason, StopReason::kBreakdown);
+    EXPECT_NE(s.stop_message.find("positive definite"), std::string::npos);
   });
 }
 

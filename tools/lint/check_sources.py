@@ -16,6 +16,12 @@ Checks (see docs/static_analysis.md):
     headers — index bookkeeping there uses the strong ID types of
     base/strong_id.h; only the grandfathered CSR wire format and per-rank
     count tables in VECTOR_INT_MEMBER_ALLOWLIST may stay flat ints;
+  * no new NEURO_CHECK / NEURO_CHECK_MSG in src/core/ and src/solver/ —
+    recoverable failures (convergence, deadlines, communication, bad input
+    data) are reported as base::Status / base::Outcome (see
+    docs/robustness.md); NEURO_CHECK is reserved for genuine invariant
+    corruption, and the existing invariant checks are grandfathered in
+    NEURO_CHECK_BUDGET;
   * no trailing whitespace, no tabs in C++ sources, files end with a newline.
 
 Exits non-zero listing every violation. Run directly:
@@ -76,6 +82,28 @@ VECTOR_INT_MEMBER_ALLOWLIST = {
     # Per-rank counts for the scaling report (values, not indices).
     ("src/fem/deformation_solver.h", "nodes_per_rank"),
     ("src/fem/deformation_solver.h", "fixed_dofs_per_rank"),
+}
+
+# Failure-taxonomy discipline (docs/robustness.md): inside the intraoperative
+# pipeline (src/core/) and the solver (src/solver/), a failure that can happen
+# in a correct program — a solve that stagnates, a deadline that expires, a
+# peer that drops a message, data that arrives non-finite — must surface as a
+# typed base::Status / base::Outcome so the degradation ladder can act on it.
+# NEURO_CHECK aborts the computation and is reserved for invariant corruption
+# (indexing bugs, broken exchange plans). The budget below grandfathers the
+# audited invariant checks; adding a NEURO_CHECK to these directories trips
+# the lint until the budget is raised — which is the code review prompt to
+# argue the new check really is an invariant and not a recoverable failure.
+NEURO_CHECK_DIRS = ("src/core/", "src/solver/")
+NEURO_CHECK_RE = re.compile(r"\bNEURO_CHECK(?:_MSG)?\s*\(")
+NEURO_CHECK_BUDGET = {
+    "src/core/pipeline.cpp": 2,        # unknown stage name; empty brain mesh
+    "src/core/landmarks.cpp": 1,       # < 4 landmarks cannot define a frame
+    "src/solver/dist_vector.h": 4,     # row-range ownership invariants
+    "src/solver/preconditioner.cpp": 8,  # size invariants + factorization pivots
+    "src/solver/dist_matrix.cpp": 6,   # exchange-plan lifecycle invariants
+    "src/solver/ilu_kernels.cpp": 3,   # CSR structure + pivot invariants
+    "src/solver/additive_schwarz.cpp": 3,  # halo-plan size invariants
 }
 
 
@@ -225,6 +253,19 @@ def check_file(root: Path, path: Path) -> list[str]:
                     f"raw std::vector<int> index member '{m.group(1)}' — use a "
                     "strong ID container from base/strong_id.h, or allowlist "
                     "genuine wire-format arrays in check_sources.py")
+
+    # -- NEURO_CHECK budget (core/solver failure taxonomy) --------------------
+    if rel.startswith(NEURO_CHECK_DIRS):
+        hits = [lineno for lineno, line in enumerate(code_lines, 1)
+                if NEURO_CHECK_RE.search(line)]
+        budget = NEURO_CHECK_BUDGET.get(rel, 0)
+        if len(hits) > budget:
+            err(hits[-1],
+                f"{len(hits)} NEURO_CHECK uses exceed this file's budget of "
+                f"{budget} — recoverable failures (convergence, deadline, "
+                "comm, bad data) must return base::Status/Outcome (see "
+                "docs/robustness.md); raise NEURO_CHECK_BUDGET in "
+                "check_sources.py only for genuine invariant checks")
 
     # -- namespaces -----------------------------------------------------------
     if in_library:
