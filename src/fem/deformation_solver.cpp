@@ -1,6 +1,7 @@
 #include "fem/deformation_solver.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "base/check.h"
 #include "base/stopwatch.h"
@@ -73,15 +74,26 @@ DeformationResult solve_deformation(
     // --- Assemble ---
     comm.barrier();
     Stopwatch sw;
-    LocalSystem system = assemble_elasticity(mesh, topo, materials, partition,
-                                             options.body_force, comm);
+    // Both backends carry the same pipeline; exactly one is engaged. The BSR
+    // system assembles natively (no scalar detour) with bit-identical values.
+    const bool use_bsr = options.backend == MatrixBackend::kBsr;
+    std::optional<LocalSystem> csr;
+    std::optional<LocalBsrSystem> bsr;
+    if (use_bsr) {
+      bsr.emplace(assemble_elasticity_bsr(mesh, topo, materials, partition,
+                                          options.body_force, comm));
+    } else {
+      csr.emplace(assemble_elasticity(mesh, topo, materials, partition,
+                                      options.body_force, comm));
+    }
+    solver::DistVector& rhs = use_bsr ? bsr->b : csr->b;
     // Concentrated nodal forces (paper Eq. 1's third load type).
     const base::IdRange<mesh::NodeId> owned = partition.ranges[comm.rank_id()];
     for (const auto& [node, f] : options.nodal_loads) {
       if (owned.contains(node)) {
-        system.b[row_of(dof_of(node, 0))] += f.x;
-        system.b[row_of(dof_of(node, 1))] += f.y;
-        system.b[row_of(dof_of(node, 2))] += f.z;
+        rhs[row_of(dof_of(node, 0))] += f.x;
+        rhs[row_of(dof_of(node, 1))] += f.y;
+        rhs[row_of(dof_of(node, 2))] += f.z;
       }
     }
     comm.barrier();
@@ -90,29 +102,42 @@ DeformationResult solve_deformation(
 
     // --- Boundary conditions ---
     sw.reset();
-    apply_dirichlet(system, bc, comm);
+    if (use_bsr) {
+      apply_dirichlet(*bsr, bc, comm);
+    } else {
+      apply_dirichlet(*csr, bc, comm);
+    }
     comm.barrier();
     bc_s[r] = sw.seconds();
     bc_work[r] = comm.work().take();
 
     // --- Solve ---
     sw.reset();
-    system.A.drop_zeros();  // shrink to the true unknown set (paper's BC path)
-    system.A.setup_ghosts(comm);
-    const auto precond = solver::make_preconditioner(options.preconditioner, system.A,
+    // Shrink to the true unknown set (paper's BC path), then build the ghost
+    // exchange plan.
+    if (use_bsr) {
+      bsr->A.drop_zero_blocks();
+      bsr->A.setup_ghosts(comm);
+    } else {
+      csr->A.drop_zeros();
+      csr->A.setup_ghosts(comm);
+    }
+    const solver::LinearOperator& A =
+        use_bsr ? static_cast<const solver::LinearOperator&>(bsr->A)
+                : static_cast<const solver::LinearOperator&>(csr->A);
+    const auto precond = solver::make_preconditioner(options.preconditioner, A,
                                                      comm, options.schwarz_overlap);
-    solver::DistVector x(system.b.global_size(), system.b.range(), 0.0);
+    solver::DistVector x(rhs.global_size(), rhs.range(), 0.0);
     solver::SolveStats local_stats;
     switch (options.krylov) {
       case KrylovKind::kGmres:
-        local_stats = solver::gmres(system.A, system.b, x, *precond, options.solver, comm);
+        local_stats = solver::gmres(A, rhs, x, *precond, options.solver, comm);
         break;
       case KrylovKind::kCg:
-        local_stats = solver::cg(system.A, system.b, x, *precond, options.solver, comm);
+        local_stats = solver::cg(A, rhs, x, *precond, options.solver, comm);
         break;
       case KrylovKind::kBicgstab:
-        local_stats =
-            solver::bicgstab(system.A, system.b, x, *precond, options.solver, comm);
+        local_stats = solver::bicgstab(A, rhs, x, *precond, options.solver, comm);
         break;
     }
     comm.barrier();

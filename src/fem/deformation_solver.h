@@ -21,6 +21,11 @@
 namespace neuro::fem {
 
 enum class KrylovKind { kGmres, kCg, kBicgstab };
+/// Which operator backend carries the assembled system through the solve.
+enum class MatrixBackend {
+  kCsrReference,  ///< scalar CSR, the bitwise-stable reference path
+  kBsr,           ///< 3x3 block CSR with overlapped halo exchange (fast path)
+};
 enum class PartitionKind {
   kNodeBalanced,          ///< the paper's: equal node counts
   kConnectivityBalanced,  ///< future-work: balance assembly work
@@ -34,6 +39,7 @@ struct DeformationSolveOptions {
       solver::PreconditionerKind::kBlockJacobiIlu0;
   int schwarz_overlap = 1;  ///< used by kAdditiveSchwarzIlu0 only
   KrylovKind krylov = KrylovKind::kGmres;  ///< the paper's solver
+  MatrixBackend backend = MatrixBackend::kCsrReference;
   solver::SolverConfig solver;
   Vec3 body_force{};  ///< optional gravity-style load
 

@@ -329,6 +329,68 @@ class Communicator {
     return recv<T>(src.value(), tag);
   }
 
+  /// Handle for a nonblocking receive posted with irecv(); complete it with
+  /// wait(). Handles must not outlive the Communicator that issued them.
+  struct PendingRecv {
+    int src = -1;
+    int tag = -1;
+    bool completed = false;
+  };
+
+  /// Nonblocking point-to-point send. The mailbox runtime buffers eagerly, so
+  /// the payload is enqueued (through the fault injector, like send()) and the
+  /// call returns immediately; there is no send-side wait. Accounted as
+  /// overlappable traffic so the cost model can hide it behind compute.
+  template <typename T>
+  void isend(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NEURO_REQUIRE(dst >= 0 && dst < size(), "isend: bad destination rank " << dst);
+    if (verify_) [[unlikely]] {
+      team_->note_p2p(rank_, next_op(OpKind::kIsend, data.size() * sizeof(T), dst, tag));
+    }
+    team_->send_bytes(rank_, dst, tag, data.data(), data.size() * sizeof(T));
+    work_.add_comm_overlapped(static_cast<double>(data.size() * sizeof(T)));
+  }
+
+  /// Typed-rank overload.
+  template <typename T>
+  void isend(Rank dst, int tag, std::span<const T> data) {
+    isend(dst.value(), tag, data);
+  }
+
+  /// Posts a nonblocking receive from `src` with `tag`. The message is not
+  /// consumed until the matching wait(); posting records the operation (for
+  /// verifier divergence reports) and lets the caller compute while the
+  /// sender's payload is in flight.
+  [[nodiscard]] PendingRecv irecv(int src, int tag) {
+    NEURO_REQUIRE(src >= 0 && src < size(), "irecv: bad source rank " << src);
+    if (verify_) [[unlikely]] {
+      team_->note_p2p(rank_, next_op(OpKind::kIrecv, 0, src, tag));
+    }
+    return PendingRecv{src, tag, false};
+  }
+
+  /// Typed-rank overload.
+  [[nodiscard]] PendingRecv irecv(Rank src, int tag) {
+    return irecv(src.value(), tag);
+  }
+
+  /// Completes a posted irecv and returns its payload. Blocks (bounded, fault
+  /// aware — see Team::recv_bytes) only if the message has not yet arrived.
+  template <typename T>
+  std::vector<T> wait(PendingRecv& pending) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NEURO_REQUIRE(!pending.completed, "wait: receive already completed");
+    std::vector<std::byte> bytes = team_->recv_bytes(pending.src, rank_, pending.tag);
+    pending.completed = true;
+    NEURO_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!bytes.empty()) {
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+    }
+    return out;
+  }
+
  private:
   // Collectives and point-to-point ops are numbered independently: every rank
   // performs the same collectives (that is what the verifier checks), but
@@ -336,7 +398,8 @@ class Communicator {
   // collective sequence numbers being compared.
   CollectiveOp next_op(OpKind kind, std::uint64_t bytes, int root = -1,
                        int tag = -1) {
-    const bool p2p = kind == OpKind::kSend || kind == OpKind::kRecv;
+    const bool p2p = kind == OpKind::kSend || kind == OpKind::kRecv ||
+                     kind == OpKind::kIsend || kind == OpKind::kIrecv;
     return CollectiveOp{kind, p2p ? p2p_seq_++ : seq_++, root, tag, bytes};
   }
 

@@ -16,6 +16,8 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kAllgatherParts: return "allgather_parts";
     case OpKind::kSend: return "send";
     case OpKind::kRecv: return "recv";
+    case OpKind::kIsend: return "isend";
+    case OpKind::kIrecv: return "irecv";
     case OpKind::kExit: return "exit";
   }
   return "unknown";
@@ -49,14 +51,14 @@ std::string format_op(const CollectiveOp& op) {
     open = true;
   };
   if (op.root >= 0) {
-    field(op.kind == OpKind::kSend   ? "to"
-          : op.kind == OpKind::kRecv ? "from"
-                                     : "root",
+    field(op.kind == OpKind::kSend || op.kind == OpKind::kIsend   ? "to"
+          : op.kind == OpKind::kRecv || op.kind == OpKind::kIrecv ? "from"
+                                                                  : "root",
           op.root);
   }
   if (op.tag >= 0) field("tag", op.tag);
   if (bytes_are_signature(op.kind) || op.kind == OpKind::kSend ||
-      op.kind == OpKind::kRecv || op.bytes > 0) {
+      op.kind == OpKind::kRecv || op.kind == OpKind::kIsend || op.bytes > 0) {
     field("bytes", op.bytes);
   }
   if (open) oss << ')';

@@ -39,7 +39,9 @@ enum class OpKind : std::uint8_t {
   kAllgatherParts,
   kSend,
   kRecv,
-  kExit,  ///< rank left the SPMD body (normally or by exception)
+  kIsend,  ///< nonblocking send posted (completion is eager in this runtime)
+  kIrecv,  ///< nonblocking recv posted; the matching wait() completes it
+  kExit,   ///< rank left the SPMD body (normally or by exception)
 };
 
 /// Human-readable name, e.g. "allreduce_sum".

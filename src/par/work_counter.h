@@ -24,6 +24,11 @@ struct WorkRecord {
   double comm_msgs = 0.0;    ///< point-to-point messages sent by this rank
   double coll_rounds = 0.0;  ///< collective operations participated in
   double coll_bytes = 0.0;   ///< payload bytes contributed to collectives
+  /// Nonblocking point-to-point traffic (isend/irecv). Kept apart from the
+  /// blocking counters because the cost model may hide it behind compute
+  /// (perf::predict_phase_seconds charges only the exposed remainder).
+  double overlap_comm_bytes = 0.0;  ///< payload bytes sent via isend
+  double overlap_comm_msgs = 0.0;   ///< messages sent via isend
 
   WorkRecord& operator+=(const WorkRecord& o) {
     flops += o.flops;
@@ -32,6 +37,8 @@ struct WorkRecord {
     comm_msgs += o.comm_msgs;
     coll_rounds += o.coll_rounds;
     coll_bytes += o.coll_bytes;
+    overlap_comm_bytes += o.overlap_comm_bytes;
+    overlap_comm_msgs += o.overlap_comm_msgs;
     return *this;
   }
 };
@@ -44,6 +51,12 @@ class WorkCounter {
   void add_comm(double bytes, double msgs = 1.0) {
     current_.comm_bytes += bytes;
     current_.comm_msgs += msgs;
+  }
+  /// Nonblocking variant: the payload may overlap with compute, so it is
+  /// tracked separately and priced as max(0, transfer - compute) by perf.
+  void add_comm_overlapped(double bytes, double msgs = 1.0) {
+    current_.overlap_comm_bytes += bytes;
+    current_.overlap_comm_msgs += msgs;
   }
   void add_collective(double bytes) {
     current_.coll_rounds += 1.0;

@@ -49,8 +49,16 @@ double predict_phase_seconds(const PlatformModel& platform,
   double coll_rounds = 0.0;
   double coll_bytes = 0.0;
   for (const auto& w : per_rank) {
-    const double t = platform.machine.compute_seconds(w) +
-                     (nranks > 1 ? net.p2p_seconds(w.comm_bytes, w.comm_msgs) : 0.0);
+    const double compute = platform.machine.compute_seconds(w);
+    double t = compute;
+    if (nranks > 1) {
+      t += net.p2p_seconds(w.comm_bytes, w.comm_msgs);
+      // Nonblocking traffic proceeds while the rank computes; only the part
+      // of the transfer that the compute cannot hide is charged.
+      const double overlapped =
+          net.p2p_seconds(w.overlap_comm_bytes, w.overlap_comm_msgs);
+      t += std::max(0.0, overlapped - compute);
+    }
     critical_path = std::max(critical_path, t);
     coll_rounds = std::max(coll_rounds, w.coll_rounds);
     coll_bytes = std::max(coll_bytes, w.coll_bytes);

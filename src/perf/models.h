@@ -84,6 +84,12 @@ PlatformModel dual_ultra80_cluster();
 
 /// Predicted wall-clock for one phase executed by `per_rank.size()` ranks:
 ///   max over ranks of (compute + point-to-point) + collective cost.
+/// Blocking point-to-point traffic (comm_bytes/comm_msgs) is charged in full;
+/// nonblocking traffic (overlap_comm_bytes/overlap_comm_msgs, from isend) is
+/// assumed to progress while the rank computes, so only the exposed remainder
+/// max(0, transfer - compute) is charged. Batched allreduces show up as fewer
+/// coll_rounds with larger coll_bytes, which the tree model prices as fewer
+/// latency-bound hops — the honest cost of the fused Krylov reductions.
 double predict_phase_seconds(const PlatformModel& platform,
                              std::span<const par::WorkRecord> per_rank);
 

@@ -65,17 +65,20 @@ void DistCsrMatrix::setup_ghosts(par::Communicator& comm) {
   ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
   ghost_globals_ = ghosts;
 
-  // Remap columns to local storage: owned → [0, nlocal), ghost → slot.
-  std::unordered_map<GlobalRow, int> ghost_slot;
-  ghost_slot.reserve(ghosts.size());
-  for (std::size_t g = 0; g < ghosts.size(); ++g) {
-    ghost_slot[ghosts[g]] = nlocal + static_cast<int>(g);
-  }
+  // Remap columns to local storage: owned → [0, nlocal), ghost → slot. The
+  // ghost list is sorted and built once, so a binary search over it beats a
+  // throwaway hash map (no allocation churn, no hashing).
   local_cols_.resize(global_cols_.size());
   for (std::size_t i = 0; i < global_cols_.size(); ++i) {
     const GlobalRow c{global_cols_[i]};
-    local_cols_[i] =
-        range_.contains(c) ? range_.offset_of(c) : ghost_slot.at(c);
+    if (range_.contains(c)) {
+      local_cols_[i] = range_.offset_of(c);
+    } else {
+      const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), c);
+      NEURO_REQUIRE(it != ghosts.end() && *it == c,
+                    "setup_ghosts: ghost column missing from slot table");
+      local_cols_[i] = nlocal + static_cast<int>(it - ghosts.begin());
+    }
   }
 
   // Everyone learns everyone's ownership ranges and ghost needs.

@@ -8,17 +8,17 @@
 // scaling reflects.
 #pragma once
 
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "base/strong_id.h"
 #include "par/communicator.h"
 #include "solver/dist_vector.h"
+#include "solver/operator.h"
 
 namespace neuro::solver {
 
-class DistCsrMatrix {
+class DistCsrMatrix : public LinearOperator {
  public:
   /// Builds the local row block from CSR arrays with *global* column indices.
   /// `row_ptr` has (range.size() + 1) entries. The int arrays are the CSR
@@ -26,8 +26,8 @@ class DistCsrMatrix {
   DistCsrMatrix(int global_size, RowRange range, std::vector<int> row_ptr,
                 std::vector<int> cols, std::vector<double> values);
 
-  [[nodiscard]] int global_size() const { return global_size_; }
-  [[nodiscard]] RowRange range() const { return range_; }
+  [[nodiscard]] int global_size() const override { return global_size_; }
+  [[nodiscard]] RowRange range() const override { return range_; }
   [[nodiscard]] int local_rows() const { return range_.size(); }
   [[nodiscard]] std::size_t local_nnz() const { return values_.size(); }
 
@@ -45,11 +45,13 @@ class DistCsrMatrix {
   void setup_ghosts(par::Communicator& comm);
 
   /// y = A x (collective). x and y must share this matrix's row layout.
-  void apply(const DistVector& x, DistVector& y, par::Communicator& comm) const;
+  void apply(const DistVector& x, DistVector& y,
+             par::Communicator& comm) const override;
 
   /// Value at (global_row, global_col); row must be owned. Zero if absent.
   /// Columns of the square system live in the same GlobalRow space as rows.
-  [[nodiscard]] double value_at(GlobalRow global_row, GlobalRow global_col) const;
+  [[nodiscard]] double value_at(GlobalRow global_row,
+                                GlobalRow global_col) const override;
 
   /// Mutable access used by boundary-condition substitution. Row is owned.
   /// Returns nullptr when the entry is not in the sparsity pattern.
@@ -73,7 +75,7 @@ class DistCsrMatrix {
 
   /// Extracts a copy of the diagonal block with local column indices.
   void extract_diagonal_block(std::vector<int>& row_ptr, std::vector<int>& cols,
-                              std::vector<double>& values) const;
+                              std::vector<double>& values) const override;
 
  private:
   int global_size_;

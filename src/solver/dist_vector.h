@@ -99,14 +99,23 @@ class DistVector {
     comm.work().add_mem_bytes(16.0 * static_cast<double>(local_.size()));
   }
 
-  /// Global dot product (collective).
-  [[nodiscard]] double dot(const DistVector& x, par::Communicator& comm) const {
-    NEURO_CHECK(x.local_size() == local_size());
+  /// Rank-local partial dot product (no communication). Building block for
+  /// batched reductions: callers collect several partials into one buffer and
+  /// fuse them into a single allreduce_sum. Summing the per-rank partials in
+  /// rank order — which allreduce_sum does — reproduces dot() bit for bit.
+  [[nodiscard]] double dot_local(const DistVector& x,
+                                 par::Communicator& comm) const {
+    NEURO_REQUIRE(x.local_size() == local_size(), "dot_local: layout mismatch");
     double local = 0.0;
     for (std::size_t i = 0; i < local_.size(); ++i) local += local_[i] * x.local_[i];
     comm.work().add_flops(2.0 * static_cast<double>(local_.size()));
     comm.work().add_mem_bytes(16.0 * static_cast<double>(local_.size()));
-    return comm.allreduce_sum(local);
+    return local;
+  }
+
+  /// Global dot product (collective).
+  [[nodiscard]] double dot(const DistVector& x, par::Communicator& comm) const {
+    return comm.allreduce_sum(dot_local(x, comm));
   }
 
   /// Global 2-norm (collective).

@@ -1,0 +1,51 @@
+// Abstract distributed linear operator.
+//
+// The Krylov solvers and the local preconditioners need exactly y = A x plus
+// access to the owned diagonal block; expressing that as an interface lets
+// the scalar CSR reference backend and the 3x3 block-CSR backend share every
+// solver layered above them (PETSc's Mat/PC split, reduced to what this
+// library uses). Backends distribute rows in contiguous per-rank blocks and
+// apply() is collective across the communicator.
+#pragma once
+
+#include <vector>
+
+#include "par/communicator.h"
+#include "solver/dist_vector.h"
+
+namespace neuro::solver {
+
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Number of rows (== columns) of the global square system.
+  [[nodiscard]] virtual int global_size() const = 0;
+
+  /// The contiguous block of rows this rank owns.
+  [[nodiscard]] virtual RowRange range() const = 0;
+
+  /// y = A x (collective). x and y must share this operator's row layout.
+  virtual void apply(const DistVector& x, DistVector& y,
+                     par::Communicator& comm) const = 0;
+
+  /// Value at (owned global row, global col); zero when outside the pattern.
+  [[nodiscard]] virtual double value_at(GlobalRow global_row,
+                                        GlobalRow global_col) const = 0;
+
+  /// Copies the owned diagonal block (columns within range()) as a scalar CSR
+  /// triple with local column indices — the input format of the local
+  /// ILU(0)/IC(0)/SSOR preconditioners.
+  virtual void extract_diagonal_block(std::vector<int>& row_ptr,
+                                      std::vector<int>& cols,
+                                      std::vector<double>& values) const = 0;
+
+ protected:
+  LinearOperator() = default;
+  LinearOperator(const LinearOperator&) = default;
+  LinearOperator& operator=(const LinearOperator&) = default;
+  LinearOperator(LinearOperator&&) = default;
+  LinearOperator& operator=(LinearOperator&&) = default;
+};
+
+}  // namespace neuro::solver

@@ -224,6 +224,42 @@ TEST(WorkCounterTest, CommunicatorAccountsCollectives) {
   }
 }
 
+TEST(SendRecvTest, NonblockingExchangeOverlapsCompute) {
+  auto work = run_spmd(2, [](Communicator& comm) {
+    const int other = 1 - comm.rank();
+    const std::vector<double> payload{comm.rank() + 1.0, 7.0};
+    // Post the receive, ship the halo, "compute", then complete.
+    auto pending = comm.irecv(other, 42);
+    comm.isend(other, 42, std::span<const double>(payload.data(), payload.size()));
+    double acc = 0.0;
+    for (int i = 0; i < 100; ++i) acc += i;
+    const auto got = comm.wait<double>(pending);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_DOUBLE_EQ(got[0], other + 1.0);
+    EXPECT_DOUBLE_EQ(got[1], 7.0);
+    EXPECT_DOUBLE_EQ(acc, 4950.0);
+  });
+  // Nonblocking traffic lands in the overlap counters, not the blocking ones:
+  // the cost model may hide it behind compute.
+  for (const auto& w : work) {
+    EXPECT_DOUBLE_EQ(w.overlap_comm_bytes, 16.0);
+    EXPECT_DOUBLE_EQ(w.overlap_comm_msgs, 1.0);
+    EXPECT_DOUBLE_EQ(w.comm_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(w.comm_msgs, 0.0);
+  }
+}
+
+TEST(SendRecvTest, WaitCompletesExactlyOnce) {
+  run_spmd(2, [](Communicator& comm) {
+    const int other = 1 - comm.rank();
+    const std::vector<int> payload{comm.rank()};
+    auto pending = comm.irecv(other, 3);
+    comm.isend(other, 3, std::span<const int>(payload.data(), payload.size()));
+    ASSERT_EQ(comm.wait<int>(pending).size(), 1u);
+    EXPECT_THROW(static_cast<void>(comm.wait<int>(pending)), CheckError);
+  });
+}
+
 TEST(WorkCounterTest, SendAccountsBytes) {
   auto work = run_spmd(2, [](Communicator& comm) {
     if (comm.rank() == 0) {

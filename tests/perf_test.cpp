@@ -77,6 +77,54 @@ TEST(PredictTest, EthernetClusterPaysMoreForCollectives) {
   EXPECT_GT(predict_phase_seconds(eth, work), predict_phase_seconds(smp, work));
 }
 
+TEST(PredictTest, OverlappedTrafficHidesBehindCompute) {
+  const PlatformModel p = deep_flow_cluster();
+  // Compute dominates: a small overlapped halo is free, while the same halo
+  // sent blocking adds its full p2p time.
+  par::WorkRecord base = make_work(1e9);
+  par::WorkRecord overlapped = base;
+  overlapped.overlap_comm_bytes = 100.0;
+  overlapped.overlap_comm_msgs = 1.0;
+  par::WorkRecord blocking = make_work(1e9, 0, 100.0, 1.0);
+  const std::vector<par::WorkRecord> w_base(2, base);
+  const std::vector<par::WorkRecord> w_ov(2, overlapped);
+  const std::vector<par::WorkRecord> w_bl(2, blocking);
+  EXPECT_DOUBLE_EQ(predict_phase_seconds(p, w_ov), predict_phase_seconds(p, w_base));
+  EXPECT_GT(predict_phase_seconds(p, w_bl), predict_phase_seconds(p, w_ov));
+}
+
+TEST(PredictTest, OverlappedTrafficPaysOnlyTheExcess) {
+  const PlatformModel p = deep_flow_cluster();
+  // No compute to hide behind: overlapped and blocking cost the same.
+  par::WorkRecord overlapped;
+  overlapped.overlap_comm_bytes = 1e7;
+  overlapped.overlap_comm_msgs = 10.0;
+  const par::WorkRecord blocking = make_work(0, 0, 1e7, 10.0);
+  const std::vector<par::WorkRecord> w_ov(2, overlapped);
+  const std::vector<par::WorkRecord> w_bl(2, blocking);
+  EXPECT_DOUBLE_EQ(predict_phase_seconds(p, w_ov), predict_phase_seconds(p, w_bl));
+}
+
+TEST(PredictTest, OverlapIsFreeOnOneRank) {
+  const PlatformModel p = deep_flow_cluster();
+  par::WorkRecord w = make_work(1e6);
+  w.overlap_comm_bytes = 1e9;
+  w.overlap_comm_msgs = 100.0;
+  const std::vector<par::WorkRecord> one_overlapped{w};
+  const std::vector<par::WorkRecord> one_plain{make_work(1e6)};
+  EXPECT_DOUBLE_EQ(predict_phase_seconds(p, one_overlapped),
+                   predict_phase_seconds(p, one_plain));
+}
+
+TEST(PredictTest, BatchedAllreducesCostLessThanSeparateOnes) {
+  const PlatformModel eth = deep_flow_cluster();
+  // Krylov fusion trades rounds for bytes: 30 scalar allreduces vs one
+  // 30-component allreduce. Latency-bound Ethernet must prefer the batch.
+  const std::vector<par::WorkRecord> separate(4, make_work(0, 0, 0, 0, 30.0, 240.0));
+  const std::vector<par::WorkRecord> batched(4, make_work(0, 0, 0, 0, 1.0, 240.0));
+  EXPECT_GT(predict_phase_seconds(eth, separate), predict_phase_seconds(eth, batched));
+}
+
 TEST(PredictTest, EmptyRankListRejected) {
   const PlatformModel p = ultra_hpc_6000();
   EXPECT_THROW(predict_phase_seconds(p, {}), CheckError);

@@ -238,7 +238,7 @@ TEST(PreconditionerTest, FactoryProducesAllKinds) {
 
 struct KrylovCase {
   const char* name;
-  SolveStats (*solve)(const DistCsrMatrix&, const DistVector&, DistVector&,
+  SolveStats (*solve)(const LinearOperator&, const DistVector&, DistVector&,
                       const Preconditioner&, const SolverConfig&, par::Communicator&);
   bool needs_spd;
 };

@@ -22,7 +22,12 @@ Checks (see docs/static_analysis.md):
     docs/robustness.md); NEURO_CHECK is reserved for genuine invariant
     corruption, and the existing invariant checks are grandfathered in
     NEURO_CHECK_BUDGET;
-  * no trailing whitespace, no tabs in C++ sources, files end with a newline.
+  * no trailing whitespace, no tabs in C++ sources, files end with a newline;
+  * the grandfather lists themselves may not drift: a
+    VECTOR_INT_MEMBER_ALLOWLIST entry whose file or member no longer exists,
+    or a NEURO_CHECK_BUDGET entry whose file is gone or whose budget exceeds
+    the file's actual NEURO_CHECK count, is a lint error — stale slack in an
+    allowlist is how new violations creep in unreviewed.
 
 Exits non-zero listing every violation. Run directly:
 
@@ -99,7 +104,7 @@ NEURO_CHECK_RE = re.compile(r"\bNEURO_CHECK(?:_MSG)?\s*\(")
 NEURO_CHECK_BUDGET = {
     "src/core/pipeline.cpp": 2,        # unknown stage name; empty brain mesh
     "src/core/landmarks.cpp": 1,       # < 4 landmarks cannot define a frame
-    "src/solver/dist_vector.h": 4,     # row-range ownership invariants
+    "src/solver/dist_vector.h": 3,     # row-range ownership invariants
     "src/solver/preconditioner.cpp": 8,  # size invariants + factorization pivots
     "src/solver/dist_matrix.cpp": 6,   # exchange-plan lifecycle invariants
     "src/solver/ilu_kernels.cpp": 3,   # CSR structure + pivot invariants
@@ -298,6 +303,57 @@ def check_file(root: Path, path: Path) -> list[str]:
     return errors
 
 
+def check_allowlist_drift(root: Path) -> list[str]:
+    """The grandfather lists are ratchets, not suggestions: every entry must
+    still correspond to code that exists, and every budget must be exactly the
+    file's current NEURO_CHECK count. A deleted file, a renamed member, or a
+    refactor that removed a check leaves slack under which a *new* violation
+    could land without tripping the lint — so the stale entry itself is the
+    violation, and the fix is to shrink the list, never to grow into it."""
+    errors: list[str] = []
+
+    by_file: dict[str, set[str]] = {}
+    for rel, member in VECTOR_INT_MEMBER_ALLOWLIST:
+        by_file.setdefault(rel, set()).add(member)
+    for rel in sorted(by_file):
+        path = root / rel
+        if not path.is_file():
+            errors.append(
+                f"check_sources.py: stale VECTOR_INT_MEMBER_ALLOWLIST entries for "
+                f"deleted file {rel} — remove them")
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        present = {m.group(1) for line in code.splitlines()
+                   if (m := VECTOR_INT_MEMBER_RE.match(line))}
+        for member in sorted(by_file[rel] - present):
+            errors.append(
+                f"check_sources.py: stale VECTOR_INT_MEMBER_ALLOWLIST entry "
+                f"('{rel}', '{member}') — no such std::vector<int> member; "
+                "remove the entry")
+
+    for rel in sorted(NEURO_CHECK_BUDGET):
+        budget = NEURO_CHECK_BUDGET[rel]
+        path = root / rel
+        if not path.is_file():
+            errors.append(
+                f"check_sources.py: stale NEURO_CHECK_BUDGET entry for deleted "
+                f"file {rel} — remove it")
+            continue
+        if not rel.startswith(NEURO_CHECK_DIRS):
+            errors.append(
+                f"check_sources.py: NEURO_CHECK_BUDGET entry {rel} is outside "
+                f"the checked directories {NEURO_CHECK_DIRS} — remove it")
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        used = sum(1 for line in code.splitlines() if NEURO_CHECK_RE.search(line))
+        if used < budget:
+            errors.append(
+                f"check_sources.py: NEURO_CHECK_BUDGET for {rel} is {budget} but "
+                f"the file uses only {used} — lower the budget to {used} so the "
+                "freed slack cannot absorb new checks unreviewed")
+    return errors
+
+
 def main(argv: list[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[2]
     files = []
@@ -308,6 +364,7 @@ def main(argv: list[str]) -> int:
     all_errors: list[str] = []
     for path in files:
         all_errors.extend(check_file(root, path))
+    all_errors.extend(check_allowlist_drift(root))
     if all_errors:
         print(f"check_sources: {len(all_errors)} violation(s) in {len(files)} files:")
         for e in all_errors:

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate the solver microbenchmark record produced by bench_micro.
+
+Reads a google-benchmark JSON file (BENCH_solver.json in CI) and enforces
+the two perf contracts of the block-CSR work:
+
+  1. BM_BsrSpMV must process rows at least 1.5x faster than BM_SpMV
+     (items_per_second; both kernels apply the same matrix, so rows/s is
+     directly comparable).  bytes_per_second is reported for context
+     only -- the block layout deliberately moves fewer bytes per row, so
+     a bandwidth ratio understates the speedup.
+  2. Classical Gram-Schmidt GMRES (BM_GmresAllreduces/cgs:1) must batch
+     its reductions: at most 3 allreduce rounds per iteration (the
+     orthogonalization batch, the cancellation-guard fallback, and the
+     residual check), and strictly fewer than modified Gram-Schmidt
+     (cgs:0), whose round count grows with the Krylov basis.
+
+Usage: check_bench_solver.py BENCH_solver.json
+"""
+
+import json
+import sys
+
+BSR_MIN_SPEEDUP = 1.5
+CGS_MAX_ROUNDS_PER_ITER = 3.0
+
+
+def main(path):
+    with open(path) as f:
+        record = json.load(f)
+    by_name = {b["name"]: b for b in record.get("benchmarks", [])}
+
+    def need(name):
+        if name not in by_name:
+            raise SystemExit(f"FAIL: benchmark {name!r} missing from {path}")
+        return by_name[name]
+
+    csr = need("BM_SpMV")
+    bsr = need("BM_BsrSpMV")
+    speedup = bsr["items_per_second"] / csr["items_per_second"]
+    print(f"SpMV effective bandwidth: CSR {csr['bytes_per_second'] / 1e9:.2f} GB/s, "
+          f"BSR {bsr['bytes_per_second'] / 1e9:.2f} GB/s")
+    print(f"SpMV row throughput: CSR {csr['items_per_second'] / 1e9:.2f} Grows/s, "
+          f"BSR {bsr['items_per_second'] / 1e9:.2f} Grows/s ({speedup:.2f}x)")
+
+    mgs = need("BM_GmresAllreduces/cgs:0")
+    cgs = need("BM_GmresAllreduces/cgs:1")
+    mgs_rounds = mgs["allreduces_per_iter"]
+    cgs_rounds = cgs["allreduces_per_iter"]
+    print(f"GMRES allreduce rounds per iteration: MGS {mgs_rounds:.2f}, "
+          f"CGS {cgs_rounds:.2f}")
+
+    failures = []
+    if speedup < BSR_MIN_SPEEDUP:
+        failures.append(
+            f"BSR SpMV speedup {speedup:.2f}x below gate {BSR_MIN_SPEEDUP}x")
+    if cgs_rounds > CGS_MAX_ROUNDS_PER_ITER:
+        failures.append(
+            f"CGS rounds/iter {cgs_rounds:.2f} above gate {CGS_MAX_ROUNDS_PER_ITER}")
+    if cgs_rounds >= mgs_rounds:
+        failures.append(
+            f"CGS rounds/iter {cgs_rounds:.2f} not below MGS {mgs_rounds:.2f}")
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK: BSR speedup and GMRES reduction batching within contract")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    sys.exit(main(sys.argv[1]))
