@@ -3,17 +3,53 @@
 // → biomechanical simulation → visualization). Runs the full pipeline on a
 // clinically-sized phantom and prints per-stage wall-clock on this host,
 // including the ~0.5 s visualization resample the paper quotes.
+//
+// --json out.json      structured stage timings. Every row is a view over the
+//                      same root obs::Span the human table prints, so the
+//                      bench output and an exported trace cannot disagree.
+// --trace-out t.json   enable tracing and export the merged Chrome trace.
+// --dims N / --stride N / --ranks N   shrink or grow the phantom run (the
+//                      defaults are the paper-shape 96³ / 3 / 2).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/pipeline.h"
+#include "obs/trace.h"
 #include "phantom/brain_phantom.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace neuro;
+
+  std::string json_path;
+  std::string trace_path;
+  int dims = 96;
+  int stride = 3;
+  int ranks = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dims") == 0 && i + 1 < argc) {
+      dims = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
+      stride = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--json out.json] [--trace-out trace.json] "
+                  "[--dims N] [--stride N] [--ranks N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) obs::global().set_enabled(true);
 
   std::printf("== Fig. 6: intraoperative processing timeline ==\n");
   phantom::PhantomConfig pcfg;
-  pcfg.dims = {96, 96, 96};
+  pcfg.dims = {dims, dims, dims};
   pcfg.spacing = {2.5, 2.5, 2.5};
   RigidTransform repositioning;
   repositioning.translation = {4.0, -2.0, 1.0};  // patient repositioning
@@ -21,8 +57,8 @@ int main() {
       phantom::make_case(pcfg, phantom::ShiftConfig{}, repositioning);
 
   core::PipelineConfig config = core::default_pipeline_config();
-  config.mesher.stride = 3;
-  config.fem.nranks = 2;
+  config.mesher.stride = stride;
+  config.fem.nranks = ranks;
   const core::PipelineResult result =
       core::run_intraop_pipeline(cas.preop, cas.preop_labels, cas.intraop, config);
 
@@ -40,5 +76,36 @@ int main() {
               "interactive-scale;\nthe resample step is ~%.1f s (paper: ~0.5 s "
               "on 1999 hardware).\n",
               result.stage_seconds("visualization_resample"));
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::printf("ERROR: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    os << "{\n  \"dims\": " << dims << ",\n  \"stride\": " << stride
+       << ",\n  \"ranks\": " << ranks << ",\n  \"stages\": [\n";
+    for (std::size_t i = 0; i < result.timeline.size(); ++i) {
+      const auto& stage = result.timeline[i];
+      os << "    {\"name\": \"" << stage.name << "\", \"seconds\": "
+         << stage.seconds << (i + 1 < result.timeline.size() ? "},\n" : "}\n");
+    }
+    os << "  ],\n  \"total_seconds\": " << result.total_seconds
+       << ",\n  \"fem\": {\"equations\": " << result.fem.num_equations
+       << ", \"iterations\": " << result.fem.stats.iterations
+       << ", \"converged\": " << (result.fem.stats.converged ? "true" : "false")
+       << "}\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path, std::ios::binary);
+    if (!os) {
+      std::printf("ERROR: cannot open %s for writing\n", trace_path.c_str());
+      return 1;
+    }
+    obs::global().write_chrome_trace(os);
+    std::printf("wrote %s (%zu trace events; open in ui.perfetto.dev)\n",
+                trace_path.c_str(), obs::global().event_count());
+  }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "mesh/mesher.h"
 #include "mesh/refine.h"
 #include "mesh/tri_surface.h"
+#include "obs/trace.h"
 #include "par/communicator.h"
 #include "phantom/brain_phantom.h"
 #include "reg/mutual_information.h"
@@ -496,6 +497,60 @@ void BM_SsdMetric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SsdMetric)->Unit(benchmark::kMillisecond);
+
+// Span cost on the instrumented hot paths. enabled:0 is the clinical default
+// — one relaxed atomic load and an inert Span, the price every Krylov
+// iteration and comm op pays permanently; enabled:1 adds two steady_clock
+// reads and a lock-free stream append. tools/perf/check_bench_solver.py gates
+// the disabled path against the enabled one so instrumentation can never
+// quietly grow a cost on runs that aren't being traced.
+void BM_SpanOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::Tracer tracer(enabled);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    {
+      obs::Span span = tracer.span("bench.span");
+      benchmark::DoNotOptimize(span);
+    }
+    // Recorded events accumulate; drain periodically OUTSIDE the timed region
+    // so long benchmark runs stay memory-bounded without polluting the
+    // measurement (the per-stream cap would otherwise truncate silently).
+    if (enabled && ++count % 65536 == 0) {
+      state.PauseTiming();
+      tracer.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1)->ArgName("enabled");
+
+// The attribute-carrying variant the solver loops use: span + three attrs
+// (ints and a double), matching the per-iteration telemetry payload.
+void BM_SpanWithAttrsOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::Tracer tracer(enabled);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    {
+      obs::Span span = tracer.span("bench.iteration");
+      if (span.active()) {
+        span.attr("iteration", static_cast<std::int64_t>(count));
+        span.attr("residual", 1e-5);
+        span.attr("allreduces", 3);
+      }
+      benchmark::DoNotOptimize(span);
+    }
+    if (enabled && ++count % 65536 == 0) {
+      state.PauseTiming();
+      tracer.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanWithAttrsOverhead)->Arg(0)->Arg(1)->ArgName("enabled");
 
 }  // namespace
 

@@ -3,11 +3,12 @@
 #include <algorithm>
 
 #include "base/check.h"
-#include "base/stopwatch.h"
 #include "core/deformation_field.h"
 #include "image/components.h"
 #include "image/distance.h"
 #include "image/filters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phantom/brain_phantom.h"
 
 namespace neuro::core {
@@ -53,46 +54,59 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
                                               "start from default_pipeline_config()");
   PipelineResult result;
   const base::DeadlineBudget budget(config.deadline_seconds);
-  Stopwatch total;
-  Stopwatch stage;
+  // The Fig. 6 StageTiming rows are views over these root spans: each stage's
+  // published duration IS the span duration, so the human timeline and the
+  // exported trace can never disagree (docs/observability.md).
+  obs::Span total = obs::timed_span("pipeline");
+  obs::Span stage = obs::timed_span("pipeline.rigid_registration");
 
   // --- 1. Rigid registration: align preop data to the intraop frame. ---
-  stage.reset();
   if (config.do_rigid_registration) {
+    obs::Span sub = obs::global_span("pipeline.rigid.register_mi");
     const auto rigid = reg::register_rigid_mi(intraop, preop, config.rigid);
     result.rigid = rigid.transform;
     result.rigid_mi = rigid.mutual_information;
   } else {
     result.rigid = RigidTransform{};
   }
-  result.aligned_preop = resample_rigid(preop, intraop, result.rigid);
   {
+    obs::Span sub = obs::global_span("pipeline.rigid.resample");
+    result.aligned_preop = resample_rigid(preop, intraop, result.rigid);
     ImageL grid(intraop.dims(), 0, intraop.spacing(), intraop.origin());
     result.aligned_preop_labels =
         resample_rigid_labels(preop_labels, grid, result.rigid);
   }
-  result.timeline.push_back({"rigid_registration", stage.seconds()});
+  result.timeline.push_back({"rigid_registration", stage.close()});
 
   // --- 2. Tissue classification of the intraoperative scan. ---
-  stage.reset();
-  result.segmentation = seg::segment_intraop(intraop, result.aligned_preop_labels,
-                                             config.seg, nullptr, reuse_prototypes);
-  result.intraop_brain_mask =
-      seg::mask_of_labels(result.segmentation.labels, config.brain_labels);
+  stage = obs::timed_span("pipeline.tissue_classification");
+  {
+    obs::Span sub = obs::global_span("pipeline.seg.intraop");
+    result.segmentation = seg::segment_intraop(intraop, result.aligned_preop_labels,
+                                               config.seg, nullptr, reuse_prototypes);
+    result.intraop_brain_mask =
+        seg::mask_of_labels(result.segmentation.labels, config.brain_labels);
+  }
   // Classify the aligned preop scan with the same model (recorded prototype
   // locations, features refreshed — the paper's automatic model update), so
   // the two surface-target masks share one boundary bias.
-  result.preop_classified_labels =
-      seg::segment_intraop(result.aligned_preop, result.aligned_preop_labels,
-                           config.seg, nullptr, &result.segmentation.prototypes)
-          .labels;
-  result.timeline.push_back({"tissue_classification", stage.seconds()});
+  {
+    obs::Span sub = obs::global_span("pipeline.seg.preop");
+    result.preop_classified_labels =
+        seg::segment_intraop(result.aligned_preop, result.aligned_preop_labels,
+                             config.seg, nullptr, &result.segmentation.prototypes)
+            .labels;
+  }
+  result.timeline.push_back({"tissue_classification", stage.close()});
 
   // --- 3. Surface displacement via the active surface. ---
-  stage.reset();
+  stage = obs::timed_span("pipeline.surface_displacement");
   mesh::MesherConfig mesher = config.mesher;
   if (mesher.keep_labels.empty()) mesher.keep_labels = config.brain_labels;
-  result.brain_mesh = mesh::mesh_labeled_volume(result.aligned_preop_labels, mesher);
+  {
+    obs::Span sub = obs::global_span("pipeline.surface.mesh");
+    result.brain_mesh = mesh::mesh_labeled_volume(result.aligned_preop_labels, mesher);
+  }
   NEURO_CHECK_MSG(result.brain_mesh.num_tets() > 0,
                   "pipeline: empty brain mesh — check labels/stride");
   result.preop_surface =
@@ -118,17 +132,21 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
     preop_brain_mask = keep_largest_component(preop_brain_mask);
     intraop_match_mask = keep_largest_component(intraop_match_mask);
   }
+  obs::Span sdf_span = obs::global_span("pipeline.surface.sdf");
   ImageF sdf_pre = signed_distance_to_label(preop_brain_mask, 1,
                                             config.sdf_saturation_mm);
   ImageF sdf_intra = signed_distance_to_label(intraop_match_mask, 1,
                                               config.sdf_saturation_mm);
   sdf_pre = gaussian_smooth(sdf_pre, 0.8);    // soften voxel staircase
   sdf_intra = gaussian_smooth(sdf_intra, 0.8);
+  sdf_span.close();
 
+  obs::Span snap_span = obs::global_span("pipeline.surface.active_surface");
   const auto snapped = surface::deform_to_distance_field(
       result.preop_surface, sdf_pre, config.active_surface);
   result.surface_match = surface::deform_to_distance_field(
       snapped.surface, sdf_intra, config.active_surface);
+  snap_span.close();
   // Re-express displacements relative to the snapped preop configuration and
   // restore the mesh-node bookkeeping of the original extraction.
   for (const mesh::VertId v : result.surface_match.displacements.ids()) {
@@ -141,10 +159,10 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
   surface::smooth_vertex_vectors(result.surface_match.surface,
                                  result.surface_match.displacements,
                                  config.surface_smoothing_iterations);
-  result.timeline.push_back({"surface_displacement", stage.seconds()});
+  result.timeline.push_back({"surface_displacement", stage.close()});
 
   // --- 4. Biomechanical simulation: volumetric FEM solve. ---
-  stage.reset();
+  stage = obs::timed_span("pipeline.biomechanical_simulation");
   const auto materials = config.heterogeneous_materials
                              ? fem::MaterialMap::heterogeneous_brain()
                              : fem::MaterialMap::homogeneous_brain();
@@ -163,7 +181,7 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
   if (!fem_outcome.ok()) throw base::StatusError(fem_outcome.status());
   result.fem = std::move(fem_outcome.value().deformation);
   result.degradation = std::move(fem_outcome.value().report);
-  result.timeline.push_back({"biomechanical_simulation", stage.seconds()});
+  result.timeline.push_back({"biomechanical_simulation", stage.close()});
   if (result.degradation.degraded) {
     for (const auto& attempt : result.degradation.attempts) {
       result.timeline.push_back(
@@ -174,10 +192,13 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
   }
 
   // --- 5. Visualization resample (the paper's ~0.5 s step). ---
-  stage.reset();
+  stage = obs::timed_span("pipeline.visualization_resample");
   ImageL support;
-  result.forward_field = rasterize_displacements(
-      result.brain_mesh, result.fem.node_displacements, intraop, &support);
+  {
+    obs::Span sub = obs::global_span("pipeline.viz.rasterize");
+    result.forward_field = rasterize_displacements(
+        result.brain_mesh, result.fem.node_displacements, intraop, &support);
+  }
   // Extend past the mesh boundary so the inversion sees a smooth continuation
   // across the brain-shift gap (≈ max surface displacement wide).
   ImageV extended = result.forward_field;
@@ -185,12 +206,27 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
   const double min_spacing =
       std::min({intraop.spacing().x, intraop.spacing().y, intraop.spacing().z});
   const int passes = std::min(24, static_cast<int>(max_disp / min_spacing) + 3);
-  extend_displacement_field(extended, support, passes);
-  result.backward_field = invert_displacement_field(extended);
-  result.warped_preop = warp_backward(result.aligned_preop, result.backward_field);
-  result.timeline.push_back({"visualization_resample", stage.seconds()});
+  {
+    obs::Span sub = obs::global_span("pipeline.viz.extend");
+    extend_displacement_field(extended, support, passes);
+  }
+  {
+    obs::Span sub = obs::global_span("pipeline.viz.invert");
+    result.backward_field = invert_displacement_field(extended);
+  }
+  {
+    obs::Span sub = obs::global_span("pipeline.viz.warp");
+    result.warped_preop = warp_backward(result.aligned_preop, result.backward_field);
+  }
+  result.timeline.push_back({"visualization_resample", stage.close()});
 
-  result.total_seconds = total.seconds();
+  result.total_seconds = total.close();
+  auto& m = obs::metrics();
+  m.counter("pipeline.runs").add();
+  for (const auto& s : result.timeline) {
+    m.gauge("pipeline." + s.name + ".seconds").set(s.seconds);
+  }
+  m.gauge("pipeline.total_seconds").set(result.total_seconds);
   return result;
 }
 

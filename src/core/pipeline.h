@@ -73,6 +73,9 @@ struct PipelineConfig {
 /// conventions set the fields explicitly instead.
 PipelineConfig default_pipeline_config();
 
+/// One Fig. 6 timeline row. `seconds` is a view over the stage's root
+/// obs::Span — the exact duration the tracer records for "pipeline.<name>" —
+/// so the printed timeline and an exported trace can never disagree.
 struct StageTiming {
   std::string name;
   double seconds = 0.0;

@@ -4,7 +4,7 @@
 #include <optional>
 
 #include "base/check.h"
-#include "base/stopwatch.h"
+#include "obs/trace.h"
 #include "par/communicator.h"
 
 namespace neuro::fem {
@@ -37,14 +37,14 @@ DeformationResult solve_deformation(
                 "solve_deformation: no prescribed displacements — system singular");
 
   DeformationResult result;
-  Stopwatch init_watch;
+  obs::Span init_span = obs::timed_span("fem.setup");
 
   const DirichletSet bc = DirichletSet::from_node_displacements(prescribed);
   const mesh::Partition partition =
       make_partition(mesh, bc, options.partition, options.nranks);
   const MeshTopology topo = MeshTopology::build(mesh);
 
-  result.wall_init_s = init_watch.seconds();
+  result.wall_init_s = init_span.close();
   result.num_equations = 3 * mesh.num_nodes();
   result.num_fixed_dofs = static_cast<int>(bc.size());
   for (const Rank r : partition.rank_ids()) {
@@ -73,7 +73,7 @@ DeformationResult solve_deformation(
 
     // --- Assemble ---
     comm.barrier();
-    Stopwatch sw;
+    obs::Span phase = obs::timed_span("fem.assemble");
     // Both backends carry the same pipeline; exactly one is engaged. The BSR
     // system assembles natively (no scalar detour) with bit-identical values.
     const bool use_bsr = options.backend == MatrixBackend::kBsr;
@@ -97,22 +97,22 @@ DeformationResult solve_deformation(
       }
     }
     comm.barrier();
-    assemble_s[r] = sw.seconds();
+    assemble_s[r] = phase.close();
     assemble_work[r] = comm.work().take();
 
     // --- Boundary conditions ---
-    sw.reset();
+    phase = obs::timed_span("fem.bc");
     if (use_bsr) {
       apply_dirichlet(*bsr, bc, comm);
     } else {
       apply_dirichlet(*csr, bc, comm);
     }
     comm.barrier();
-    bc_s[r] = sw.seconds();
+    bc_s[r] = phase.close();
     bc_work[r] = comm.work().take();
 
     // --- Solve ---
-    sw.reset();
+    phase = obs::timed_span("fem.solve");
     // Shrink to the true unknown set (paper's BC path), then build the ghost
     // exchange plan.
     if (use_bsr) {
@@ -141,7 +141,11 @@ DeformationResult solve_deformation(
         break;
     }
     comm.barrier();
-    solve_s[r] = sw.seconds();
+    if (phase.active()) {
+      phase.attr("iterations", local_stats.iterations);
+      phase.attr("residual", local_stats.final_residual);
+    }
+    solve_s[r] = phase.close();
     solve_work[r] = comm.work().take();
 
     // --- Collect the displacement field (disjoint slabs, no locking). ---

@@ -4,7 +4,8 @@
 #include <utility>
 
 #include "base/check.h"
-#include "base/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/verify.h"
 
 namespace neuro::fem {
@@ -107,7 +108,17 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
   DegradationReport& report = out.report;
   const auto record = [&report](DegradationRung rung, base::Status status,
                                 double seconds) {
+    obs::metrics()
+        .counter(std::string("fem.rung_attempts.") + degradation_rung_name(rung))
+        .add();
     report.attempts.push_back({rung, std::move(status), seconds});
+  };
+  // Each attempted rung gets one "fem.rung" span whose duration is exactly
+  // the seconds recorded in the DegradationReport (span-as-stopwatch).
+  const auto open_rung = [](DegradationRung rung) {
+    obs::Span span = obs::timed_span("fem.rung");
+    if (span.active()) span.attr("rung", degradation_rung_name(rung));
+    return span;
   };
   const auto accept = [&](DegradationRung rung, AttemptOutcome&& attempt,
                           double seconds) {
@@ -124,15 +135,16 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
       opts.solver.watchdog.deadline_seconds =
           budget.stage_allotment(degrade.full_solve_fraction);
     }
-    Stopwatch sw;
+    obs::Span sw = open_rung(DegradationRung::kFullSolve);
     AttemptOutcome attempt = run_solve_rung(mesh, materials, prescribed, opts,
                                             false, degrade.validation);
+    if (sw.active()) sw.attr("accepted", attempt.accepted ? 1 : 0);
     if (attempt.accepted) {
-      accept(DegradationRung::kFullSolve, std::move(attempt), sw.seconds());
+      accept(DegradationRung::kFullSolve, std::move(attempt), sw.close());
       return out;
     }
     report.trigger = attempt.status;
-    record(DegradationRung::kFullSolve, std::move(attempt.status), sw.seconds());
+    record(DegradationRung::kFullSolve, std::move(attempt.status), sw.close());
   }
   report.degraded = true;
 
@@ -146,15 +158,16 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
       opts.solver.watchdog.deadline_seconds =
           budget.stage_allotment(degrade.relaxed_solve_fraction);
     }
-    Stopwatch sw;
+    obs::Span sw = open_rung(DegradationRung::kRelaxedSolve);
     AttemptOutcome attempt = run_solve_rung(mesh, materials, prescribed, opts,
                                             true, degrade.validation);
+    if (sw.active()) sw.attr("accepted", attempt.accepted ? 1 : 0);
     if (attempt.accepted) {
-      accept(DegradationRung::kRelaxedSolve, std::move(attempt), sw.seconds());
+      accept(DegradationRung::kRelaxedSolve, std::move(attempt), sw.close());
       return out;
     }
     record(DegradationRung::kRelaxedSolve, std::move(attempt.status),
-           sw.seconds());
+           sw.close());
   } else {
     record(DegradationRung::kRelaxedSolve,
            budget.check("fem_fallback:relaxed_solve"), 0.0);
@@ -163,20 +176,21 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
   // Rung 2: geometric baseline. Purely local and cheap; runs even past the
   // deadline — a late usable field still beats none.
   if (degrade.allow_baseline) {
-    Stopwatch sw;
+    obs::Span sw = open_rung(DegradationRung::kBaselineInterpolation);
     AttemptOutcome attempt;
     attempt.result.node_displacements =
         interpolate_surface_displacements(mesh, prescribed);
     attempt.result.num_equations = 3 * mesh.num_nodes();
     attempt.validation = validate_displacement_field(
         mesh, attempt.result.node_displacements, degrade.validation);
+    if (sw.active()) sw.attr("accepted", attempt.validation.ok() ? 1 : 0);
     if (attempt.validation.ok()) {
       accept(DegradationRung::kBaselineInterpolation, std::move(attempt),
-             sw.seconds());
+             sw.close());
       return out;
     }
     record(DegradationRung::kBaselineInterpolation, attempt.validation.status,
-           sw.seconds());
+           sw.close());
   } else {
     record(DegradationRung::kBaselineInterpolation,
            {base::StatusCode::kUnavailable, "baseline rung disabled"}, 0.0);
@@ -187,17 +201,18 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
   // a wrong-size or stale field must not slip through.
   if (degrade.last_good != nullptr &&
       static_cast<int>(degrade.last_good->size()) == mesh.num_nodes()) {
-    Stopwatch sw;
+    obs::Span sw = open_rung(DegradationRung::kLastGood);
     AttemptOutcome attempt;
     attempt.result.node_displacements = *degrade.last_good;
     attempt.result.num_equations = 3 * mesh.num_nodes();
     attempt.validation = validate_displacement_field(
         mesh, attempt.result.node_displacements, degrade.validation);
+    if (sw.active()) sw.attr("accepted", attempt.validation.ok() ? 1 : 0);
     if (attempt.validation.ok()) {
-      accept(DegradationRung::kLastGood, std::move(attempt), sw.seconds());
+      accept(DegradationRung::kLastGood, std::move(attempt), sw.close());
       return out;
     }
-    record(DegradationRung::kLastGood, attempt.validation.status, sw.seconds());
+    record(DegradationRung::kLastGood, attempt.validation.status, sw.close());
   } else {
     record(DegradationRung::kLastGood,
            {base::StatusCode::kUnavailable, "no last-good field checkpointed"},

@@ -1,0 +1,140 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace neuro::obs {
+
+namespace {
+
+/// Doubles exported with max_digits10 so NDJSON round-trips exactly.
+void write_double(std::ostream& os, double v) {
+  std::ostringstream num;
+  num << std::setprecision(17) << v;
+  os << num.str();
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)),
+      counts_(std::make_unique<std::atomic<std::int64_t>[]>(edges_.size())) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  // First edge >= value, "le"-inclusive; past the last edge is overflow.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  if (it == edges_.end()) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counts_[static_cast<std::size_t>(it - edges_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  }
+  if (it->second.counter == nullptr) {
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  }
+  if (it->second.gauge == nullptr) {
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  }
+  if (it->second.histogram == nullptr) {
+    it->second.histogram = std::make_unique<Histogram>(std::move(upper_edges));
+  }
+  return *it->second.histogram;
+}
+
+void MetricsRegistry::write_ndjson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      os << R"({"name":)";
+      write_json_string(os, name);
+      os << R"(,"type":"counter","value":)" << entry.counter->value() << "}\n";
+    }
+    if (entry.gauge != nullptr) {
+      os << R"({"name":)";
+      write_json_string(os, name);
+      os << R"(,"type":"gauge","value":)";
+      write_double(os, entry.gauge->value());
+      os << "}\n";
+    }
+    if (entry.histogram != nullptr) {
+      const Histogram& h = *entry.histogram;
+      os << R"({"name":)";
+      write_json_string(os, name);
+      os << R"(,"type":"histogram","buckets":[)";
+      for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+        if (i > 0) os << ',';
+        os << R"({"le":)";
+        write_double(os, h.upper_edge(i));
+        os << R"(,"count":)" << h.count_in_bucket(i) << '}';
+      }
+      os << R"(],"overflow":)" << h.overflow_count() << R"(,"count":)"
+         << h.total_count() << R"(,"sum":)";
+      write_double(os, h.sum());
+      os << "}\n";
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    n += (entry.counter != nullptr ? 1u : 0u) +
+         (entry.gauge != nullptr ? 1u : 0u) +
+         (entry.histogram != nullptr ? 1u : 0u);
+  }
+  return n;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace neuro::obs

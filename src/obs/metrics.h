@@ -1,0 +1,121 @@
+// Process-wide metrics: counters, gauges, fixed-bucket histograms, NDJSON
+// export (docs/observability.md). Complements obs::Tracer — the trace answers
+// "when and where did time go", metrics answer "how often and how much" and
+// survive as one small machine-readable file per run.
+//
+// All instruments are lock-free on the update path (atomics); the registry
+// takes a mutex only to create or look up an instrument, so hot loops should
+// capture the reference once. Export is deterministic: instruments sorted by
+// name, one JSON object per line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neuro::obs {
+
+/// Monotonically increasing integer count (events, retries, iterations).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written floating-point value (a level, not a rate).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= upper_edges[i] (first matching edge wins, Prometheus "le"
+/// convention); larger observations land in the overflow bucket. Edges are
+/// fixed at construction and must be strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void observe(double value);
+
+  [[nodiscard]] std::size_t bucket_count() const { return edges_.size(); }
+  [[nodiscard]] double upper_edge(std::size_t i) const { return edges_[i]; }
+  [[nodiscard]] std::int64_t count_in_bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t total_count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> overflow_{0};
+  std::atomic<std::int64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owns named instruments. Lookup creates on first use and returns a stable
+/// reference; re-looking-up an existing name returns the same instrument (a
+/// histogram's edges are fixed by whoever created it first).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> upper_edges);
+
+  /// One JSON object per line, instruments sorted by name:
+  ///   {"name":...,"type":"counter","value":N}
+  ///   {"name":...,"type":"gauge","value":X}
+  ///   {"name":...,"type":"histogram","buckets":[{"le":E,"count":N},...],
+  ///    "overflow":N,"count":N,"sum":X}
+  void write_ndjson(std::ostream& os) const;
+
+  /// Number of registered instruments.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// The process-wide registry used by the hot-path instrumentation. Always
+/// live (metric updates are cheap enough to leave unconditional); tools decide
+/// whether to export it.
+MetricsRegistry& metrics();
+
+}  // namespace neuro::obs

@@ -1,0 +1,387 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace neuro::obs {
+
+namespace {
+
+thread_local int t_thread_rank = -1;
+
+/// Maps a rank to its Chrome-trace thread id: the main thread is tid 0,
+/// rank r is tid r+1, so every rank gets its own Perfetto track.
+int tid_of_rank(int rank) { return rank + 1; }
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Attribute values round-trip through max_digits10 so a residual read back
+/// from the trace equals the one the solver saw.
+void write_attr_value(std::ostream& os, const Attr& attr) {
+  switch (attr.kind) {
+    case Attr::Kind::kDouble: {
+      std::ostringstream num;
+      num << std::setprecision(17) << attr.d;
+      os << num.str();
+      break;
+    }
+    case Attr::Kind::kInt:
+      os << attr.i;
+      break;
+    case Attr::Kind::kString:
+      write_json_string(os, attr.s);
+      break;
+  }
+}
+
+void write_timestamp(std::ostream& os, double us) {
+  std::ostringstream num;
+  num << std::fixed << std::setprecision(3) << us;
+  os << num.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::Span(Tracer* tracer, std::string_view name, bool timed)
+    : tracer_(tracer), timed_(timed) {
+  if (tracer_ != nullptr) name_ = name;
+  if (timed_) start_ = std::chrono::steady_clock::now();
+}
+
+void Span::move_from(Span& other) noexcept {
+  tracer_ = other.tracer_;
+  timed_ = other.timed_;
+  closed_ = other.closed_;
+  seconds_ = other.seconds_;
+  start_ = other.start_;
+  name_ = std::move(other.name_);
+  attrs_ = std::move(other.attrs_);
+  other.tracer_ = nullptr;
+  other.timed_ = false;
+  other.closed_ = true;
+}
+
+double Span::seconds() const {
+  if (closed_ || !timed_) return seconds_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Span::close() {
+  if (closed_) return seconds_;
+  closed_ = true;
+  if (!timed_) return 0.0;
+  const auto end = std::chrono::steady_clock::now();
+  seconds_ = std::chrono::duration<double>(end - start_).count();
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.kind = TraceEvent::Kind::kSpan;
+    event.ts_us =
+        std::chrono::duration<double, std::micro>(start_ - tracer_->epoch_)
+            .count();
+    event.dur_us = seconds_ * 1e6;
+    event.rank = t_thread_rank;
+    event.attrs = std::move(attrs_);
+    tracer_->record(std::move(event));
+    tracer_ = nullptr;
+  }
+  return seconds_;
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (tracer_ == nullptr || closed_) return;
+  Attr a;
+  a.key = key;
+  a.kind = Attr::Kind::kDouble;
+  a.d = value;
+  attrs_.push_back(std::move(a));
+}
+
+void Span::attr(std::string_view key, std::int64_t value) {
+  if (tracer_ == nullptr || closed_) return;
+  Attr a;
+  a.key = key;
+  a.kind = Attr::Kind::kInt;
+  a.i = value;
+  attrs_.push_back(std::move(a));
+}
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr || closed_) return;
+  Attr a;
+  a.key = key;
+  a.kind = Attr::Kind::kString;
+  a.s = value;
+  attrs_.push_back(std::move(a));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+/// One thread's append-only event buffer. The owning thread appends without
+/// locking; the registration list is the only shared state under a mutex.
+struct Tracer::Stream {
+  std::thread::id owner;
+  std::vector<TraceEvent> events;
+  std::uint64_t seq = 0;
+  std::uint64_t dropped = 0;
+};
+
+namespace {
+
+/// Thread-local stream cache, keyed by process-unique tracer id so a
+/// destroyed tracer's slot can never alias a live one. Two entries cover the
+/// common case (the global tracer plus one local tracer per thread).
+struct StreamCacheEntry {
+  std::uint64_t tracer_id = 0;
+  Tracer::Stream* stream = nullptr;
+};
+thread_local StreamCacheEntry t_stream_cache[2];
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(bool enabled) : Tracer(enabled, Options{}) {}
+
+Tracer::Tracer(bool enabled, Options options)
+    : options_(options),
+      id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {
+  set_enabled(enabled);
+}
+
+Tracer::~Tracer() = default;
+
+void Tracer::set_enabled(bool enabled) {
+#ifdef NEURO_OBS_DISABLED
+  (void)enabled;
+#else
+  enabled_.store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+Tracer::Stream* Tracer::stream_for_this_thread() {
+  for (auto& entry : t_stream_cache) {
+    if (entry.tracer_id == id_) return entry.stream;
+  }
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  const auto self = std::this_thread::get_id();
+  Stream* stream = nullptr;
+  for (const auto& s : streams_) {
+    if (s->owner == self) {
+      stream = s.get();
+      break;
+    }
+  }
+  if (stream == nullptr) {
+    streams_.push_back(std::make_unique<Stream>());
+    stream = streams_.back().get();
+    stream->owner = self;
+  }
+  // Evict the stalest slot (round-robin is fine at two entries).
+  static thread_local std::size_t next_slot = 0;
+  t_stream_cache[next_slot % 2] = {id_, stream};
+  ++next_slot;
+  return stream;
+}
+
+void Tracer::record(TraceEvent event) {
+  Stream* stream = stream_for_this_thread();
+  if (stream->events.size() >= options_.max_events_per_stream) {
+    ++stream->dropped;
+    return;
+  }
+  event.seq = stream->seq++;
+  stream->events.push_back(std::move(event));
+}
+
+void Tracer::counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.ts_us = now_us();
+  event.value = value;
+  event.rank = t_thread_rank;
+  record(std::move(event));
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::size_t n = 0;
+  for (const auto& s : streams_) n += s->events.size();
+  return n;
+}
+
+std::size_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::size_t n = 0;
+  for (const auto& s : streams_) n += s->dropped;
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    for (const auto& s : streams_) {
+      merged.insert(merged.end(), s->events.begin(), s->events.end());
+    }
+  }
+  // Deterministic merge order regardless of stream registration order:
+  // by rank track, then time; ties put the longer (enclosing) span first so
+  // viewers nest complete events correctly.
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.name < b.name;
+            });
+  return merged;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::vector<int> ranks;
+  for (const auto& e : events) {
+    if (std::find(ranks.begin(), ranks.end(), e.rank) == ranks.end()) {
+      ranks.push_back(e.rank);
+    }
+  }
+  std::sort(ranks.begin(), ranks.end());
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << R"({"ph":"M","pid":0,"tid":0,"name":"process_name",)"
+     << R"("args":{"name":"neurofem"}})";
+  for (const int rank : ranks) {
+    sep();
+    os << R"({"ph":"M","pid":0,"tid":)" << tid_of_rank(rank)
+       << R"(,"name":"thread_name","args":{"name":")"
+       << (rank < 0 ? std::string("main") : "rank " + std::to_string(rank))
+       << "\"}}";
+  }
+  const std::size_t dropped = dropped_count();
+  if (dropped > 0) {
+    sep();
+    os << R"({"ph":"I","pid":0,"tid":0,"ts":0,"s":"g",)"
+       << R"("name":"trace_truncated","args":{"dropped":)" << dropped << "}}";
+  }
+
+  for (const auto& e : events) {
+    sep();
+    if (e.kind == TraceEvent::Kind::kSpan) {
+      os << R"({"ph":"X","pid":0,"tid":)" << tid_of_rank(e.rank) << R"(,"ts":)";
+      write_timestamp(os, e.ts_us);
+      os << R"(,"dur":)";
+      write_timestamp(os, e.dur_us);
+      os << R"(,"name":)";
+      write_json_string(os, e.name);
+      if (!e.attrs.empty()) {
+        os << R"(,"args":{)";
+        for (std::size_t i = 0; i < e.attrs.size(); ++i) {
+          if (i > 0) os << ',';
+          write_json_string(os, e.attrs[i].key);
+          os << ':';
+          write_attr_value(os, e.attrs[i]);
+        }
+        os << '}';
+      }
+      os << '}';
+    } else {
+      os << R"({"ph":"C","pid":0,"tid":)" << tid_of_rank(e.rank) << R"(,"ts":)";
+      write_timestamp(os, e.ts_us);
+      os << R"(,"name":)";
+      write_json_string(os, e.name);
+      os << R"(,"args":{"value":)";
+      std::ostringstream num;
+      num << std::setprecision(17) << e.value;
+      os << num.str() << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  for (auto& s : streams_) {
+    s->events.clear();
+    s->seq = 0;
+    s->dropped = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Globals and rank binding
+
+Tracer& global() {
+  static Tracer tracer(trace_enabled_by_env());
+  return tracer;
+}
+
+bool trace_enabled_by_env() {
+#ifdef NEURO_OBS_DISABLED
+  return false;
+#else
+  const char* env = std::getenv("NEURO_TRACE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+#endif
+}
+
+ScopedThreadRank::ScopedThreadRank(int rank) : previous_(t_thread_rank) {
+  t_thread_rank = rank;
+}
+
+ScopedThreadRank::~ScopedThreadRank() { t_thread_rank = previous_; }
+
+int thread_rank() { return t_thread_rank; }
+
+}  // namespace neuro::obs

@@ -352,7 +352,9 @@ std::vector<WorkRecord> run_spmd(int nranks,
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   if (nranks == 1) {
-    // Run inline: keeps single-rank paths easy to debug and profile.
+    // Run inline: keeps single-rank paths easy to debug and profile. The rank
+    // binding is scoped so the caller's trace attribution is restored after.
+    obs::ScopedThreadRank trace_rank(0);
     Communicator comm(0, &team);
     body(comm);
     work[0] = comm.work().take();
@@ -361,6 +363,7 @@ std::vector<WorkRecord> run_spmd(int nranks,
     threads.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
       threads.emplace_back([&, r] {
+        obs::ScopedThreadRank trace_rank(r);
         Communicator comm(r, &team);
         try {
           body(comm);

@@ -29,6 +29,7 @@
 
 #include "base/check.h"
 #include "base/strong_id.h"
+#include "obs/trace.h"
 #include "par/fault_inject.h"
 #include "par/verify.h"
 #include "par/work_counter.h"
@@ -293,6 +294,12 @@ class Communicator {
   void send(int dst, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     NEURO_REQUIRE(dst >= 0 && dst < size(), "send: bad destination rank " << dst);
+    obs::Span span = obs::global_span("comm.send");
+    if (span.active()) [[unlikely]] {
+      span.attr("dst", dst);
+      span.attr("tag", tag);
+      span.attr("bytes", static_cast<std::int64_t>(data.size() * sizeof(T)));
+    }
     if (verify_) [[unlikely]] {
       team_->note_p2p(rank_, next_op(OpKind::kSend, data.size() * sizeof(T), dst, tag));
     }
@@ -311,10 +318,18 @@ class Communicator {
   std::vector<T> recv(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     NEURO_REQUIRE(src >= 0 && src < size(), "recv: bad source rank " << src);
+    obs::Span span = obs::global_span("comm.recv");
+    if (span.active()) [[unlikely]] {
+      span.attr("src", src);
+      span.attr("tag", tag);
+    }
     if (verify_) [[unlikely]] {
       team_->note_p2p(rank_, next_op(OpKind::kRecv, 0, src, tag));
     }
     std::vector<std::byte> bytes = team_->recv_bytes(src, rank_, tag);
+    if (span.active()) [[unlikely]] {
+      span.attr("bytes", static_cast<std::int64_t>(bytes.size()));
+    }
     NEURO_CHECK(bytes.size() % sizeof(T) == 0);
     std::vector<T> out(bytes.size() / sizeof(T));
     if (!bytes.empty()) {
@@ -345,6 +360,12 @@ class Communicator {
   void isend(int dst, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     NEURO_REQUIRE(dst >= 0 && dst < size(), "isend: bad destination rank " << dst);
+    obs::Span span = obs::global_span("comm.isend");
+    if (span.active()) [[unlikely]] {
+      span.attr("dst", dst);
+      span.attr("tag", tag);
+      span.attr("bytes", static_cast<std::int64_t>(data.size() * sizeof(T)));
+    }
     if (verify_) [[unlikely]] {
       team_->note_p2p(rank_, next_op(OpKind::kIsend, data.size() * sizeof(T), dst, tag));
     }
@@ -364,6 +385,11 @@ class Communicator {
   /// sender's payload is in flight.
   [[nodiscard]] PendingRecv irecv(int src, int tag) {
     NEURO_REQUIRE(src >= 0 && src < size(), "irecv: bad source rank " << src);
+    obs::Span span = obs::global_span("comm.irecv");
+    if (span.active()) [[unlikely]] {
+      span.attr("src", src);
+      span.attr("tag", tag);
+    }
     if (verify_) [[unlikely]] {
       team_->note_p2p(rank_, next_op(OpKind::kIrecv, 0, src, tag));
     }
@@ -381,8 +407,16 @@ class Communicator {
   std::vector<T> wait(PendingRecv& pending) {
     static_assert(std::is_trivially_copyable_v<T>);
     NEURO_REQUIRE(!pending.completed, "wait: receive already completed");
+    obs::Span span = obs::global_span("comm.wait");
+    if (span.active()) [[unlikely]] {
+      span.attr("src", pending.src);
+      span.attr("tag", pending.tag);
+    }
     std::vector<std::byte> bytes = team_->recv_bytes(pending.src, rank_, pending.tag);
     pending.completed = true;
+    if (span.active()) [[unlikely]] {
+      span.attr("bytes", static_cast<std::int64_t>(bytes.size()));
+    }
     NEURO_CHECK(bytes.size() % sizeof(T) == 0);
     std::vector<T> out(bytes.size() / sizeof(T));
     if (!bytes.empty()) {

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "obs/trace.h"
 
 namespace neuro::solver {
 
@@ -155,6 +156,13 @@ SolveStats gmres(const LinearOperator& A, const DistVector& b, DistVector& x,
 
     int j = 0;
     for (; j < m && stats.iterations < config.max_iterations; ++j) {
+      // Per-iteration telemetry: the span covers the full Arnoldi step and
+      // carries the residual plus the allreduce count actually spent on it
+      // (WorkCounter delta), making the MGS-vs-CGS collective budget visible
+      // per iteration in the trace.
+      obs::Span iter_span = obs::global_span("gmres.iteration");
+      const double rounds_before =
+          iter_span.active() ? comm.work().current().coll_rounds : 0.0;
       // w = A M⁻¹ v_j (right preconditioning).
       M.apply(V[static_cast<std::size_t>(j)], z, comm);
       A.apply(z, w, comm);
@@ -247,6 +255,14 @@ SolveStats gmres(const LinearOperator& A, const DistVector& b, DistVector& x,
       const double rho = std::abs(g[static_cast<std::size_t>(j) + 1]);
       stats.final_residual = rho;
       if (config.record_history) stats.history.push_back(rho);
+      if (iter_span.active()) {
+        iter_span.attr("iteration", stats.iterations);
+        iter_span.attr("residual", rho);
+        iter_span.attr("allreduces",
+                       static_cast<std::int64_t>(
+                           comm.work().current().coll_rounds - rounds_before));
+        obs::counter("gmres.residual", rho);
+      }
 
       if (hlast <= 1e-300 || rho <= target) {
         ++j;
@@ -336,6 +352,9 @@ SolveStats cg(const LinearOperator& A, const DistVector& b, DistVector& x,
   double rz = r.dot(z, comm);
 
   while (stats.iterations < config.max_iterations) {
+    obs::Span iter_span = obs::global_span("cg.iteration");
+    const double rounds_before =
+        iter_span.active() ? comm.work().current().coll_rounds : 0.0;
     A.apply(p, Ap, comm);
     ++stats.iterations;
     const double pAp = p.dot(Ap, comm);
@@ -372,6 +391,14 @@ SolveStats cg(const LinearOperator& A, const DistVector& b, DistVector& x,
     }
     stats.final_residual = rnorm;
     if (config.record_history) stats.history.push_back(rnorm);
+    if (iter_span.active()) {
+      iter_span.attr("iteration", stats.iterations);
+      iter_span.attr("residual", rnorm);
+      iter_span.attr("allreduces",
+                     static_cast<std::int64_t>(
+                         comm.work().current().coll_rounds - rounds_before));
+      obs::counter("cg.residual", rnorm);
+    }
     if (rnorm <= target) {
       stats.converged = true;
       stats.stop_reason = StopReason::kConverged;
@@ -436,6 +463,9 @@ SolveStats bicgstab(const LinearOperator& A, const DistVector& b, DistVector& x,
   };
 
   while (stats.iterations < config.max_iterations) {
+    obs::Span iter_span = obs::global_span("bicgstab.iteration");
+    const double rounds_before =
+        iter_span.active() ? comm.work().current().coll_rounds : 0.0;
     // Fused: r0ᵀr was batched into the allreduce that ended the previous
     // iteration (or equals rr0 on entry), so the loop head is collective-free.
     const double rho_new =
@@ -472,6 +502,14 @@ SolveStats bicgstab(const LinearOperator& A, const DistVector& b, DistVector& x,
       x.axpy(alpha, ph, comm);
       stats.final_residual = snorm;
       if (config.record_history) stats.history.push_back(snorm);
+      if (iter_span.active()) {
+        iter_span.attr("iteration", stats.iterations);
+        iter_span.attr("residual", snorm);
+        iter_span.attr("allreduces",
+                       static_cast<std::int64_t>(
+                           comm.work().current().coll_rounds - rounds_before));
+        obs::counter("bicgstab.residual", snorm);
+      }
       stats.converged = true;
       stats.stop_reason = StopReason::kConverged;
       return stats;
@@ -515,6 +553,14 @@ SolveStats bicgstab(const LinearOperator& A, const DistVector& b, DistVector& x,
     }
     stats.final_residual = rnorm;
     if (config.record_history) stats.history.push_back(rnorm);
+    if (iter_span.active()) {
+      iter_span.attr("iteration", stats.iterations);
+      iter_span.attr("residual", rnorm);
+      iter_span.attr("allreduces",
+                     static_cast<std::int64_t>(
+                         comm.work().current().coll_rounds - rounds_before));
+      obs::counter("bicgstab.residual", rnorm);
+    }
     if (rnorm <= target) {
       stats.converged = true;
       stats.stop_reason = StopReason::kConverged;

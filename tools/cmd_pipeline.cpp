@@ -1,10 +1,16 @@
 // `neurofem pipeline` — the full intraoperative registration run on
-// MetaImage inputs, with result volumes and visual artifacts.
+// MetaImage inputs, with result volumes and visual artifacts. Pass
+// --trace-out trace.json (or set NEURO_TRACE=1 with --trace-out) for a
+// Chrome trace of the run and --metrics-out metrics.ndjson for the metric
+// snapshot (docs/observability.md).
 #include <cstdio>
+#include <fstream>
 
 #include "core/pipeline.h"
 #include "image/io.h"
 #include "image/metaimage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tools/cli_util.h"
 #include "viz/colormap.h"
 #include "viz/surface_export.h"
@@ -21,7 +27,14 @@ int cmd_pipeline(int argc, char** argv) {
   const int stride = args.get_int("stride", 3);
   const bool rigid = args.get_bool("rigid", true);
   const bool hetero = args.get_bool("hetero", false);
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
   args.reject_unused();
+
+  // Tracing turns on when a trace destination is given or NEURO_TRACE asks
+  // for it; a trace collected because of the env var still needs --trace-out
+  // to land anywhere.
+  if (!trace_out.empty()) obs::global().set_enabled(true);
 
   std::printf("loading volumes...\n");
   const ImageF preop = read_metaimage_f(preop_path);
@@ -85,6 +98,26 @@ int cmd_pipeline(int argc, char** argv) {
   std::printf("wrote %s_warped.mhd, %s_segmentation.mhd, %s_montage.ppm "
               "(axial k=%d), %s_surface.ply\n",
               out.c_str(), out.c_str(), out.c_str(), best_k, out.c_str());
+
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out, std::ios::binary);
+    if (!os) {
+      std::printf("ERROR: cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    obs::global().write_chrome_trace(os);
+    std::printf("wrote %s (%zu trace events; open in ui.perfetto.dev)\n",
+                trace_out.c_str(), obs::global().event_count());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out, std::ios::binary);
+    if (!os) {
+      std::printf("ERROR: cannot open %s for writing\n", metrics_out.c_str());
+      return 1;
+    }
+    obs::metrics().write_ndjson(os);
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
   return result.fem.stats.converged ? 0 : 1;
 }
 

@@ -16,6 +16,11 @@ Checks (see docs/static_analysis.md):
     headers — index bookkeeping there uses the strong ID types of
     base/strong_id.h; only the grandfathered CSR wire format and per-rank
     count tables in VECTOR_INT_MEMBER_ALLOWLIST may stay flat ints;
+  * no raw base/stopwatch.h timing in src/core/ and src/fem/ — durations
+    reported from the pipeline and the FEM layer flow through obs::Span
+    (obs::timed_span) so that every number in a report is also a span in an
+    exported trace and the two can never disagree (docs/observability.md);
+    timing that genuinely must stay out of traces goes in STOPWATCH_ALLOWLIST;
   * no new NEURO_CHECK / NEURO_CHECK_MSG in src/core/ and src/solver/ —
     recoverable failures (convergence, deadlines, communication, bad input
     data) are reported as base::Status / base::Outcome (see
@@ -88,6 +93,18 @@ VECTOR_INT_MEMBER_ALLOWLIST = {
     ("src/fem/deformation_solver.h", "nodes_per_rank"),
     ("src/fem/deformation_solver.h", "fixed_dofs_per_rank"),
 }
+
+# Timing discipline (docs/observability.md): the pipeline (src/core/) and the
+# FEM layer (src/fem/) report stage durations that are *views over trace
+# spans* — StageTiming, DegradationReport and the wall_*_s fields all read
+# obs::Span/obs::timed_span, so a Fig. 6 table and an exported Chrome trace
+# are the same measurement. A raw base/stopwatch.h Stopwatch there would be a
+# second clock that can silently drift from the trace. The allowlist is empty
+# today; adding to it is the review prompt to argue the timing really must
+# not appear in traces.
+STOPWATCH_DIRS = ("src/core/", "src/fem/")
+STOPWATCH_TOKEN_RE = re.compile(r"\bStopwatch\b")
+STOPWATCH_ALLOWLIST: set[str] = set()
 
 # Failure-taxonomy discipline (docs/robustness.md): inside the intraoperative
 # pipeline (src/core/) and the solver (src/solver/), a failure that can happen
@@ -259,6 +276,23 @@ def check_file(root: Path, path: Path) -> list[str]:
                     "strong ID container from base/strong_id.h, or allowlist "
                     "genuine wire-format arrays in check_sources.py")
 
+    # -- no raw Stopwatch in core/fem (span-as-stopwatch discipline) ----------
+    if rel.startswith(STOPWATCH_DIRS) and rel not in STOPWATCH_ALLOWLIST:
+        for lineno, _, target in includes:
+            if target == "base/stopwatch.h":
+                err(lineno,
+                    "raw base/stopwatch.h in core/fem — time through "
+                    "obs::timed_span so the duration is also a trace span "
+                    "(docs/observability.md), or add the file to "
+                    "STOPWATCH_ALLOWLIST in check_sources.py")
+        for lineno, line in enumerate(code_lines, 1):
+            if STOPWATCH_TOKEN_RE.search(line):
+                err(lineno,
+                    "raw Stopwatch in core/fem — time through obs::timed_span "
+                    "so the duration is also a trace span "
+                    "(docs/observability.md), or add the file to "
+                    "STOPWATCH_ALLOWLIST in check_sources.py")
+
     # -- NEURO_CHECK budget (core/solver failure taxonomy) --------------------
     if rel.startswith(NEURO_CHECK_DIRS):
         hits = [lineno for lineno, line in enumerate(code_lines, 1)
@@ -330,6 +364,25 @@ def check_allowlist_drift(root: Path) -> list[str]:
                 f"check_sources.py: stale VECTOR_INT_MEMBER_ALLOWLIST entry "
                 f"('{rel}', '{member}') — no such std::vector<int> member; "
                 "remove the entry")
+
+    for rel in sorted(STOPWATCH_ALLOWLIST):
+        path = root / rel
+        if not path.is_file():
+            errors.append(
+                f"check_sources.py: stale STOPWATCH_ALLOWLIST entry for deleted "
+                f"file {rel} — remove it")
+            continue
+        if not rel.startswith(STOPWATCH_DIRS):
+            errors.append(
+                f"check_sources.py: STOPWATCH_ALLOWLIST entry {rel} is outside "
+                f"the checked directories {STOPWATCH_DIRS} — remove it")
+            continue
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(raw)
+        if not STOPWATCH_TOKEN_RE.search(code) and "base/stopwatch.h" not in raw:
+            errors.append(
+                f"check_sources.py: stale STOPWATCH_ALLOWLIST entry {rel} — the "
+                "file no longer uses Stopwatch; remove the entry")
 
     for rel in sorted(NEURO_CHECK_BUDGET):
         budget = NEURO_CHECK_BUDGET[rel]

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by neuro::obs.
+
+Checks, in order:
+
+  1. Schema: top-level {"traceEvents": [...]}, every event a dict with a
+     known phase ("M" metadata, "X" complete span, "C" counter, "I" instant),
+     required fields per phase, non-negative ts/dur.
+  2. Thread naming: every pid/tid that carries span or counter events has a
+     thread_name metadata event; tid 0 is "main", tid N+1 is "rank N" --
+     exactly one Perfetto thread per rank.
+  3. Monotonic timestamps: within each (pid, tid), events appear in
+     non-decreasing ts order (the exporter's deterministic merge order).
+  4. Balanced spans: within each thread, complete events either nest
+     (child fully contained in parent) or are disjoint; partial overlap
+     means a Span outlived its parent scope and the trace would render
+     nonsense in Perfetto.
+  5. Truncation: a "trace_truncated" instant event (emitted when the
+     per-stream cap dropped events) fails validation unless
+     --allow-truncated is given.
+
+With --expect-pipeline the trace must additionally look like a full
+run_intraop_pipeline run (ISSUE 5 acceptance): one span per pipeline stage,
+at least one "fem.rung" span per degradation rung attempted, and at least one
+Krylov per-iteration span carrying a "residual" attribute.
+
+Usage: check_trace.py trace.json [--expect-pipeline] [--allow-truncated]
+"""
+
+import json
+import sys
+
+# Nesting comparisons tolerate the exporter's 3-decimal microsecond rounding.
+EPS_US = 0.002
+
+PIPELINE_STAGES = [
+    "pipeline.rigid_registration",
+    "pipeline.tissue_classification",
+    "pipeline.surface_displacement",
+    "pipeline.biomechanical_simulation",
+    "pipeline.visualization_resample",
+]
+KRYLOV_SPANS = ("gmres.iteration", "cg.iteration", "bicgstab.iteration")
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def check_schema(events, errors):
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(errors, f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("M", "X", "C", "I"):
+            fail(errors, f"event {i}: unknown phase {ph!r}")
+            continue
+        if "name" not in e or not isinstance(e["name"], str):
+            fail(errors, f"event {i}: missing name")
+        if ph in ("X", "C", "I"):
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(errors, f"event {i} ({e.get('name')}): bad ts {ts!r}")
+            if "tid" not in e or "pid" not in e:
+                fail(errors, f"event {i} ({e.get('name')}): missing pid/tid")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(errors, f"event {i} ({e.get('name')}): bad dur {dur!r}")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or "value" not in args:
+                fail(errors, f"event {i} ({e.get('name')}): counter missing args.value")
+
+
+def check_threads(events, errors):
+    thread_names = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            key = (e.get("pid"), e.get("tid"))
+            name = e.get("args", {}).get("name")
+            if key in thread_names:
+                fail(errors, f"duplicate thread_name for pid/tid {key}")
+            thread_names[key] = name
+
+    used = set()
+    for e in events:
+        if e.get("ph") in ("X", "C"):
+            used.add((e.get("pid"), e.get("tid")))
+    for key in sorted(used, key=str):
+        if key not in thread_names:
+            fail(errors, f"pid/tid {key} has events but no thread_name metadata")
+            continue
+        pid, tid = key
+        name = thread_names[key]
+        expected = "main" if tid == 0 else f"rank {tid - 1}"
+        if name != expected:
+            fail(errors, f"tid {tid} named {name!r}, expected {expected!r} "
+                         "(one thread per rank)")
+
+    names = [v for k, v in thread_names.items()]
+    if len(names) != len(set(names)):
+        fail(errors, "thread names are not unique (two tids share a rank)")
+    return used
+
+
+def check_monotonic_and_nesting(events, errors):
+    by_thread = {}
+    for e in events:
+        if e.get("ph") in ("X", "C"):
+            by_thread.setdefault((e.get("pid"), e.get("tid")), []).append(e)
+
+    for key, evs in sorted(by_thread.items(), key=str):
+        last_ts = -1.0
+        for e in evs:
+            ts = e.get("ts", 0)
+            if ts < last_ts:
+                fail(errors, f"tid {key[1]}: ts not monotonic at "
+                             f"{e.get('name')} ({ts} after {last_ts})")
+                break
+            last_ts = ts
+
+        # Balanced-span check via containment: sweep in (ts, -dur) order with
+        # a stack of open intervals.
+        spans = [e for e in evs if e["ph"] == "X"]
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_ts, name)
+        for e in spans:
+            start, end = e["ts"], e["ts"] + e["dur"]
+            while stack and stack[-1][0] <= start + EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][0] + EPS_US:
+                fail(errors, f"tid {key[1]}: span {e['name']!r} "
+                             f"[{start:.3f}, {end:.3f}] partially overlaps "
+                             f"enclosing {stack[-1][1]!r} (ends {stack[-1][0]:.3f})")
+                break
+            stack.append((end, e["name"]))
+
+
+def check_pipeline_expectations(events, errors):
+    spans = [e for e in events if e.get("ph") == "X"]
+    names = {}
+    for e in spans:
+        names.setdefault(e["name"], []).append(e)
+
+    for stage in PIPELINE_STAGES:
+        if stage not in names:
+            fail(errors, f"expected a span for pipeline stage {stage!r}")
+    if "pipeline" not in names:
+        fail(errors, "expected the 'pipeline' root span")
+    if "fem.rung" not in names:
+        fail(errors, "expected at least one 'fem.rung' degradation-rung span")
+    else:
+        for e in names["fem.rung"]:
+            if "rung" not in e.get("args", {}):
+                fail(errors, "a 'fem.rung' span is missing its 'rung' attribute")
+
+    iters = [e for n in KRYLOV_SPANS for e in names.get(n, [])]
+    if not iters:
+        fail(errors, f"expected at least one Krylov iteration span {KRYLOV_SPANS}")
+    for e in iters:
+        args = e.get("args", {})
+        if "residual" not in args:
+            fail(errors, f"{e['name']} span at ts {e['ts']} lacks a "
+                         "'residual' attribute")
+            break
+
+
+def main(argv):
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--expect-pipeline", "--allow-truncated"}
+    if len(paths) != 1 or unknown:
+        raise SystemExit(__doc__)
+
+    with open(paths[0]) as f:
+        trace = json.load(f)
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        raise SystemExit("FAIL: top level is not {\"traceEvents\": [...]}")
+    events = trace["traceEvents"]
+
+    errors = []
+    check_schema(events, errors)
+    if not errors:
+        used = check_threads(events, errors)
+        check_monotonic_and_nesting(events, errors)
+        truncated = [e for e in events if e.get("name") == "trace_truncated"]
+        if truncated and "--allow-truncated" not in flags:
+            dropped = truncated[0].get("args", {}).get("dropped", "?")
+            fail(errors, f"trace is truncated ({dropped} events dropped by the "
+                         "per-stream cap)")
+        if "--expect-pipeline" in flags:
+            check_pipeline_expectations(events, errors)
+
+    for msg in errors:
+        print(f"FAIL: {msg}")
+    if errors:
+        return 1
+    n_spans = sum(1 for e in events if e.get("ph") == "X")
+    n_counters = sum(1 for e in events if e.get("ph") == "C")
+    n_threads = len({(e.get('pid'), e.get('tid'))
+                     for e in events if e.get("ph") in ("X", "C")})
+    print(f"OK: {n_spans} spans, {n_counters} counter samples across "
+          f"{n_threads} threads; schema, nesting and thread naming valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

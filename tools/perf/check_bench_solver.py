@@ -2,7 +2,7 @@
 """Gate the solver microbenchmark record produced by bench_micro.
 
 Reads a google-benchmark JSON file (BENCH_solver.json in CI) and enforces
-the two perf contracts of the block-CSR work:
+the perf contracts of the block-CSR and observability work:
 
   1. BM_BsrSpMV must process rows at least 1.5x faster than BM_SpMV
      (items_per_second; both kernels apply the same matrix, so rows/s is
@@ -14,6 +14,14 @@ the two perf contracts of the block-CSR work:
      orthogonalization batch, the cancellation-guard fallback, and the
      residual check), and strictly fewer than modified Gram-Schmidt
      (cgs:0), whose round count grows with the Krylov basis.
+  3. obs::Span must be free when tracing is off and cheap when it is on:
+     a disabled span (BM_SpanOverhead/enabled:0 -- one relaxed atomic
+     load) must cost at most 50 ns, and an enabled span with the solver's
+     three-attribute payload (BM_SpanWithAttrsOverhead/enabled:1 -- two
+     clock reads plus a buffered record) at most 5 us.  The bounds are
+     deliberately loose absolute ceilings, not ratios: they catch a lock
+     or allocation sneaking onto the hot path without flaking on CI
+     machine variance.
 
 Usage: check_bench_solver.py BENCH_solver.json
 """
@@ -23,6 +31,14 @@ import sys
 
 BSR_MIN_SPEEDUP = 1.5
 CGS_MAX_ROUNDS_PER_ITER = 3.0
+DISABLED_SPAN_MAX_NS = 50.0
+ENABLED_ATTR_SPAN_MAX_NS = 5000.0
+
+NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def cpu_ns(bench):
+    return bench["cpu_time"] * NS_PER_UNIT[bench.get("time_unit", "ns")]
 
 
 def main(path):
@@ -50,7 +66,23 @@ def main(path):
     print(f"GMRES allreduce rounds per iteration: MGS {mgs_rounds:.2f}, "
           f"CGS {cgs_rounds:.2f}")
 
+    span_off = need("BM_SpanOverhead/enabled:0")
+    span_on = need("BM_SpanOverhead/enabled:1")
+    attr_on = need("BM_SpanWithAttrsOverhead/enabled:1")
+    print(f"span overhead: disabled {cpu_ns(span_off):.1f} ns, enabled "
+          f"{cpu_ns(span_on):.1f} ns, enabled+attrs {cpu_ns(attr_on):.1f} ns")
+
     failures = []
+    if cpu_ns(span_off) > DISABLED_SPAN_MAX_NS:
+        failures.append(
+            f"disabled span costs {cpu_ns(span_off):.1f} ns, above gate "
+            f"{DISABLED_SPAN_MAX_NS:.0f} ns -- the off path must stay a "
+            "single relaxed load")
+    if cpu_ns(attr_on) > ENABLED_ATTR_SPAN_MAX_NS:
+        failures.append(
+            f"enabled span with attrs costs {cpu_ns(attr_on):.1f} ns, above "
+            f"gate {ENABLED_ATTR_SPAN_MAX_NS:.0f} ns -- a lock or allocation "
+            "has crept onto the record path")
     if speedup < BSR_MIN_SPEEDUP:
         failures.append(
             f"BSR SpMV speedup {speedup:.2f}x below gate {BSR_MIN_SPEEDUP}x")
@@ -64,7 +96,8 @@ def main(path):
         print(f"FAIL: {msg}")
     if failures:
         return 1
-    print("OK: BSR speedup and GMRES reduction batching within contract")
+    print("OK: BSR speedup, GMRES reduction batching and span overhead "
+          "within contract")
     return 0
 
 
