@@ -1,0 +1,90 @@
+// Clang thread-safety capability annotations (no-ops on other compilers).
+//
+// These macros attach locking contracts to types, members and functions so
+// that Clang's -Wthread-safety analysis can prove, at compile time, that
+// every access to shared mutable state happens under the lock that guards it
+// — the concurrency analogue of the strong-ID layer (base/strong_id.h): a
+// locking mistake becomes a compile error instead of a TSan report that
+// depends on hitting the right interleaving in a test.
+//
+// Usage pattern (see base/mutex.h for the annotated primitives):
+//
+//   class Registry {
+//    public:
+//     void add(int v) {
+//       base::MutexLock lock(&mutex_);
+//       values_.push_back(v);             // OK: mutex_ held
+//     }
+//    private:
+//     base::Mutex mutex_;
+//     std::vector<int> values_ NEURO_GUARDED_BY(mutex_);
+//   };
+//
+// Private helper functions that assume the caller holds the lock are
+// annotated NEURO_REQUIRES(mutex_) — the repo convention is to also suffix
+// them `_locked`. State that is intentionally synchronized by some other
+// mechanism (atomics, a barrier protocol, thread-confinement) is left
+// unannotated with a comment explaining the exemption; the inventory of such
+// exemptions lives in docs/static_analysis.md ("Capability annotations").
+//
+// The analysis runs in the clang-static CI job (-Werror=thread-safety) and
+// its negative space is pinned by tests/compile_fail/ts_*.cpp. GCC and
+// MSVC compile the macros away entirely, so non-Clang builds are unaffected.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define NEURO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NEURO_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (lockable). The string names the capability
+/// kind in diagnostics, conventionally "mutex".
+#define NEURO_CAPABILITY(x) NEURO_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (base::MutexLock).
+#define NEURO_SCOPED_CAPABILITY NEURO_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member readable/writable only while `x` is held.
+#define NEURO_GUARDED_BY(x) NEURO_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define NEURO_PT_GUARDED_BY(x) NEURO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while the listed capabilities are held
+/// (and they remain held on return). The `_locked` helper convention.
+#define NEURO_REQUIRES(...) \
+  NEURO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and does not release them.
+#define NEURO_ACQUIRE(...) \
+  NEURO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held).
+#define NEURO_RELEASE(...) \
+  NEURO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability if (and only if) it returns the
+/// stated value (try_lock).
+#define NEURO_TRY_ACQUIRE(...) \
+  NEURO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while the listed capabilities are held —
+/// it acquires them itself; calling with one held is a self-deadlock.
+#define NEURO_EXCLUDES(...) NEURO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Documents (and teaches the analysis) that a function returns a reference
+/// to the given capability.
+#define NEURO_RETURN_CAPABILITY(x) NEURO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts at runtime that the capability is held; the analysis trusts it.
+/// Reserved for code reached from contexts the analysis cannot see.
+#define NEURO_ASSERT_CAPABILITY(x) \
+  NEURO_THREAD_ANNOTATION(assert_capability(x))
+
+/// Turns the analysis off for one function. Every use must carry a comment
+/// explaining which out-of-band mechanism provides the synchronization.
+#define NEURO_NO_THREAD_SAFETY_ANALYSIS \
+  NEURO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -50,7 +50,7 @@ void Histogram::observe(double value) {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
@@ -62,7 +62,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
@@ -75,7 +75,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_edges) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
@@ -87,7 +87,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::write_ndjson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) {
       os << R"({"name":)";
@@ -121,7 +121,7 @@ void MetricsRegistry::write_ndjson(std::ostream& os) const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [name, entry] : entries_) {
     (void)name;

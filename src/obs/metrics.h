@@ -14,10 +14,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace neuro::obs {
 
@@ -87,20 +89,21 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  [[nodiscard]] Counter& counter(std::string_view name);
-  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Counter& counter(std::string_view name) NEURO_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge& gauge(std::string_view name) NEURO_EXCLUDES(mutex_);
   [[nodiscard]] Histogram& histogram(std::string_view name,
-                                     std::vector<double> upper_edges);
+                                     std::vector<double> upper_edges)
+      NEURO_EXCLUDES(mutex_);
 
   /// One JSON object per line, instruments sorted by name:
   ///   {"name":...,"type":"counter","value":N}
   ///   {"name":...,"type":"gauge","value":X}
   ///   {"name":...,"type":"histogram","buckets":[{"le":E,"count":N},...],
   ///    "overflow":N,"count":N,"sum":X}
-  void write_ndjson(std::ostream& os) const;
+  void write_ndjson(std::ostream& os) const NEURO_EXCLUDES(mutex_);
 
   /// Number of registered instruments.
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const NEURO_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -109,8 +112,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  // mutex_ guards the instrument map only. The Counter/Gauge/Histogram
+  // objects it owns are annotation-exempt by design: their update paths are
+  // lock-free relaxed atomics (the whole point of capturing the reference
+  // once outside hot loops), and entries are never removed, so a returned
+  // reference stays valid without the lock.
+  mutable base::Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_ NEURO_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry used by the hot-path instrumentation. Always

@@ -198,7 +198,7 @@ Tracer::Stream* Tracer::stream_for_this_thread() {
   for (auto& entry : t_stream_cache) {
     if (entry.tracer_id == id_) return entry.stream;
   }
-  std::lock_guard<std::mutex> lock(streams_mutex_);
+  base::MutexLock lock(streams_mutex_);
   const auto self = std::this_thread::get_id();
   Stream* stream = nullptr;
   for (const auto& s : streams_) {
@@ -247,14 +247,14 @@ double Tracer::now_us() const {
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(streams_mutex_);
+  base::MutexLock lock(streams_mutex_);
   std::size_t n = 0;
   for (const auto& s : streams_) n += s->events.size();
   return n;
 }
 
 std::size_t Tracer::dropped_count() const {
-  std::lock_guard<std::mutex> lock(streams_mutex_);
+  base::MutexLock lock(streams_mutex_);
   std::size_t n = 0;
   for (const auto& s : streams_) n += s->dropped;
   return n;
@@ -263,7 +263,7 @@ std::size_t Tracer::dropped_count() const {
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> merged;
   {
-    std::lock_guard<std::mutex> lock(streams_mutex_);
+    base::MutexLock lock(streams_mutex_);
     for (const auto& s : streams_) {
       merged.insert(merged.end(), s->events.begin(), s->events.end());
     }
@@ -351,7 +351,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(streams_mutex_);
+  base::MutexLock lock(streams_mutex_);
   for (auto& s : streams_) {
     s->events.clear();
     s->seq = 0;

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace neuro::obs {
 
@@ -160,13 +162,15 @@ class Tracer {
   void counter(std::string_view name, double value);
 
   /// Number of events recorded so far across all streams (quiescent only).
-  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t event_count() const NEURO_EXCLUDES(streams_mutex_);
   /// Events dropped by the per-stream cap (quiescent only).
-  [[nodiscard]] std::size_t dropped_count() const;
+  [[nodiscard]] std::size_t dropped_count() const
+      NEURO_EXCLUDES(streams_mutex_);
 
   /// Deterministic merged copy of all streams: sorted by (rank, ts, -dur,
   /// seq). Call only while no thread is recording.
-  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const
+      NEURO_EXCLUDES(streams_mutex_);
 
   /// Writes the merged Chrome trace-event JSON ({"traceEvents": [...]}):
   /// thread-name metadata per rank, spans as `X`, counters as `C`. The
@@ -176,7 +180,7 @@ class Tracer {
 
   /// Discards all collected events (quiescent only). Streams registered by
   /// live threads stay registered.
-  void clear();
+  void clear() NEURO_EXCLUDES(streams_mutex_);
 
   /// Opaque per-thread event buffer (defined in trace.cpp).
   struct Stream;
@@ -189,12 +193,18 @@ class Tracer {
   void record(TraceEvent event);
   [[nodiscard]] double now_us() const;
 
+  // enabled_ is the lock-free fast-path switch (annotation-exempt: a relaxed
+  // atomic, see the cost model above). streams_mutex_ guards only the
+  // registration list; the Stream buffers it points to are annotation-exempt
+  // by design — each is appended to exclusively by its owning thread, and
+  // cross-thread reads (snapshot/export) are restricted to quiescent points
+  // after run_spmd has joined its rank threads (the export contract above).
   std::atomic<bool> enabled_{false};
   Options options_;
   std::uint64_t id_ = 0;  ///< process-unique, keys the thread-local cache
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex streams_mutex_;
-  std::vector<std::unique_ptr<Stream>> streams_;
+  mutable base::Mutex streams_mutex_;
+  std::vector<std::unique_ptr<Stream>> streams_ NEURO_GUARDED_BY(streams_mutex_);
 };
 
 /// The process-wide tracer used by the hot-path instrumentation (Krylov

@@ -130,7 +130,7 @@ void Team::check_pending_locked() {
 }
 
 void Team::barrier(int rank, const CollectiveOp* op) {
-  std::unique_lock lock(barrier_mutex_);
+  base::MutexLock lock(barrier_mutex_);
   if (verify_) {
     if (failed_) throw CollectiveMismatchError(report_);
     if (op != nullptr) {
@@ -162,12 +162,16 @@ void Team::barrier(int rank, const CollectiveOp* op) {
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
   } else if (verify_) {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense || failed_; });
+    // Explicit predicate loops: the thread-safety analysis sees the guarded
+    // reads in this scope (a predicate lambda would be an opaque function).
+    while (barrier_sense_ == sense && !failed_) barrier_cv_.wait(barrier_mutex_);
     // If the sense flipped, this episode completed before any failure; the
     // failure (if any) surfaces at this rank's next operation instead.
     if (barrier_sense_ == sense) throw CollectiveMismatchError(report_);
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense || comm_fault_; });
+    while (barrier_sense_ == sense && !comm_fault_) {
+      barrier_cv_.wait(barrier_mutex_);
+    }
     if (barrier_sense_ == sense) throw CommFaultError(comm_fault_report_);
   }
 }
@@ -185,13 +189,13 @@ void Team::release(int rank) {
 }
 
 void Team::note_p2p(int rank, const CollectiveOp& op) {
-  std::lock_guard lock(barrier_mutex_);
+  base::MutexLock lock(barrier_mutex_);
   if (failed_) throw CollectiveMismatchError(report_);
   push_history_locked(rank, op);
 }
 
 void Team::rank_exited(int rank, bool failed) {
-  std::lock_guard lock(barrier_mutex_);
+  base::MutexLock lock(barrier_mutex_);
   exited_[static_cast<std::size_t>(rank)] = true;
   ++exited_count_;
   std::ostringstream oss;
@@ -252,7 +256,7 @@ void Team::send_bytes(int src, int dst, int tag, const void* data, std::size_t b
   }
   auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
-    std::lock_guard lock(box.mutex);
+    base::MutexLock lock(box.mutex);
     auto& queue = box.queues[{src, tag}];
     for (int c = 1; c < copies; ++c) queue.push_back(payload);
     queue.push_back(std::move(payload));
@@ -260,14 +264,16 @@ void Team::send_bytes(int src, int dst, int tag, const void* data, std::size_t b
   box.cv.notify_all();
 }
 
+bool Team::has_message_locked(const Mailbox& box,
+                              const std::pair<int, int>& key) {
+  const auto it = box.queues.find(key);
+  return it != box.queues.end() && !it->second.empty();
+}
+
 std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
   auto& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock lock(box.mutex);
-  auto key = std::make_pair(src, tag);
-  const auto ready = [&] {
-    auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  };
+  base::MutexLock lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
   if (verify_) {
     // Poll instead of blocking forever so a verification failure elsewhere —
     // or a send that never comes — turns into a report, not a hang. Lock
@@ -281,20 +287,20 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
             ? std::chrono::milliseconds(static_cast<long>(override_ms))
             : verify_timeout();
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    while (!ready()) {
+    while (!has_message_locked(box, key)) {
       {
-        std::lock_guard vlock(barrier_mutex_);
+        base::MutexLock vlock(barrier_mutex_);
         if (failed_) throw CollectiveMismatchError(report_);
       }
       if (std::chrono::steady_clock::now() >= deadline) {
-        std::lock_guard vlock(barrier_mutex_);
+        base::MutexLock vlock(barrier_mutex_);
         std::ostringstream oss;
         oss << "rank " << dst << " recv(from=" << src << ", tag=" << tag
             << ") was never matched by a send (timed out after "
             << timeout.count() << " ms)";
         fail_locked(oss.str());
       }
-      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+      box.cv.wait_for(box.mutex, std::chrono::milliseconds(50));
     }
   } else {
     // Bounded wait: a dropped message or dead sender must surface as a typed
@@ -305,9 +311,9 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(timeout_ms));
-    while (!ready()) {
+    while (!has_message_locked(box, key)) {
       {
-        std::lock_guard vlock(barrier_mutex_);
+        base::MutexLock vlock(barrier_mutex_);
         if (comm_fault_) throw CommFaultError(comm_fault_report_);
         if (exited_[static_cast<std::size_t>(src)]) {
           // Sends are enqueued before the sender exits, so an empty queue
@@ -326,7 +332,7 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
             << timeout_ms << " ms (message dropped or sender stalled)";
         throw CommFaultError(oss.str());
       }
-      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+      box.cv.wait_for(box.mutex, std::chrono::milliseconds(50));
     }
   }
   auto& queue = box.queues[key];

@@ -15,7 +15,6 @@
 // all ranks instead of a deadlock or silent slot corruption.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -23,12 +22,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "base/check.h"
+#include "base/mutex.h"
 #include "base/strong_id.h"
+#include "base/thread_annotations.h"
 #include "obs/trace.h"
 #include "par/fault_inject.h"
 #include "par/verify.h"
@@ -53,20 +53,21 @@ class Team {
   /// non-null) is this rank's claim about which collective the barrier
   /// belongs to; the last rank to arrive cross-checks all claims and fails
   /// the whole team on a mismatch.
-  void barrier(int rank, const CollectiveOp* op = nullptr);
+  void barrier(int rank, const CollectiveOp* op = nullptr)
+      NEURO_EXCLUDES(barrier_mutex_);
 
   /// Publish this rank's contribution for a collective and wait until all
   /// ranks have published; afterwards slots() may be read by everyone until
   /// the matching release().
   void publish(int rank, const void* data, std::size_t bytes,
-               const CollectiveOp* op = nullptr);
+               const CollectiveOp* op = nullptr) NEURO_EXCLUDES(barrier_mutex_);
   struct Slot {
     const void* data = nullptr;
     std::size_t bytes = 0;
   };
   const Slot& slot(int rank) const { return slots_[static_cast<std::size_t>(rank)]; }
   /// Second barrier: all ranks done reading; slots may be reused.
-  void release(int rank);
+  void release(int rank) NEURO_EXCLUDES(barrier_mutex_);
 
   /// Point-to-point mailbox keyed by (src, dst, tag). Both directions pass
   /// through the fault injector when one is configured; recv waits are
@@ -74,12 +75,14 @@ class Team {
   /// 30 s) and surface CommFaultError instead of deadlocking on a message
   /// that was dropped or whose sender exited.
   void send_bytes(int src, int dst, int tag, const void* data, std::size_t bytes);
-  std::vector<std::byte> recv_bytes(int src, int dst, int tag);
+  std::vector<std::byte> recv_bytes(int src, int dst, int tag)
+      NEURO_EXCLUDES(barrier_mutex_);
 
   /// Records a send/recv in the rank's history (verification only) so
   /// divergence reports show recent point-to-point traffic. Throws if the
   /// team has already failed verification.
-  void note_p2p(int rank, const CollectiveOp& op);
+  void note_p2p(int rank, const CollectiveOp& op)
+      NEURO_EXCLUDES(barrier_mutex_);
 
   /// Called by run_spmd when a rank leaves the body (normally or by
   /// exception; `failed` marks the exception case). A rank exiting while
@@ -87,7 +90,8 @@ class Team {
   /// immediately — as a CollectiveMismatchError report under verification,
   /// as a CommFaultError otherwise. A failed exit faults the team either way
   /// so blocked ranks unwind promptly instead of waiting out their timeouts.
-  void rank_exited(int rank, bool failed = false);
+  void rank_exited(int rank, bool failed = false)
+      NEURO_EXCLUDES(barrier_mutex_);
 
  private:
   /// Ring buffer of a rank's recent operations, for divergence reports.
@@ -98,53 +102,72 @@ class Team {
     void push(const CollectiveOp& op) { ops[count++ % kDepth] = op; }
   };
 
+  struct Mailbox {
+    base::Mutex mutex;
+    base::CondVar cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues
+        NEURO_GUARDED_BY(mutex);
+  };
+
   // All verification state below is guarded by barrier_mutex_; the barrier is
   // the natural serialization point and verification is a debug mode, so the
-  // extra time under the lock is acceptable there.
-  void push_history_locked(int rank, const CollectiveOp& op);
-  void check_pending_locked();
-  [[noreturn]] void fail_locked(const std::string& headline);
-  std::string describe_ranks_locked() const;
+  // extra time under the lock is acceptable there. The _locked helpers carry
+  // NEURO_REQUIRES so calling one without the lock is a compile error under
+  // Clang's thread-safety analysis.
+  void push_history_locked(int rank, const CollectiveOp& op)
+      NEURO_REQUIRES(barrier_mutex_);
+  void check_pending_locked() NEURO_REQUIRES(barrier_mutex_);
+  [[noreturn]] void fail_locked(const std::string& headline)
+      NEURO_REQUIRES(barrier_mutex_);
+  std::string describe_ranks_locked() const NEURO_REQUIRES(barrier_mutex_);
   /// Non-verify failure path: marks the team faulted (kCommFault) and wakes
   /// every blocked rank so the fault propagates instead of deadlocking.
-  void declare_comm_fault_locked(const std::string& reason);
+  void declare_comm_fault_locked(const std::string& reason)
+      NEURO_REQUIRES(barrier_mutex_);
+  /// True when `box` holds a deliverable message for (src, tag) = `key`.
+  static bool has_message_locked(const Mailbox& box,
+                                 const std::pair<int, int>& key)
+      NEURO_REQUIRES(box.mutex);
   /// The effective bounded-recv wait for this team.
   [[nodiscard]] double recv_timeout_ms() const;
 
   int size_;
   bool verify_;
 
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  bool barrier_sense_ = false;
+  // Lock order: a Mailbox mutex may be held when barrier_mutex_ is acquired
+  // (recv polling checks team state); never the other way around.
+  base::Mutex barrier_mutex_;
+  base::CondVar barrier_cv_;
+  int barrier_count_ NEURO_GUARDED_BY(barrier_mutex_) = 0;
+  bool barrier_sense_ NEURO_GUARDED_BY(barrier_mutex_) = false;
 
   // Rank-exit bookkeeping (always on: recv's early-exit detection needs it).
-  std::vector<bool> exited_;
-  int exited_count_ = 0;
+  std::vector<bool> exited_ NEURO_GUARDED_BY(barrier_mutex_);
+  int exited_count_ NEURO_GUARDED_BY(barrier_mutex_) = 0;
 
   // Non-verify fault state: set once, after which every collective entry and
   // recv poll throws CommFaultError carrying the report.
-  bool comm_fault_ = false;
-  std::string comm_fault_report_;
+  bool comm_fault_ NEURO_GUARDED_BY(barrier_mutex_) = false;
+  std::string comm_fault_report_ NEURO_GUARDED_BY(barrier_mutex_);
 
   // Verification state (unused, and never touched, when verify_ is false).
-  std::vector<CollectiveOp> pending_;
-  std::vector<bool> pending_valid_;
-  std::vector<RankHistory> history_;
-  bool failed_ = false;
-  std::string report_;
+  std::vector<CollectiveOp> pending_ NEURO_GUARDED_BY(barrier_mutex_);
+  std::vector<bool> pending_valid_ NEURO_GUARDED_BY(barrier_mutex_);
+  std::vector<RankHistory> history_ NEURO_GUARDED_BY(barrier_mutex_);
+  bool failed_ NEURO_GUARDED_BY(barrier_mutex_) = false;
+  std::string report_ NEURO_GUARDED_BY(barrier_mutex_);
 
-  // Fault injection (null unless a campaign is configured).
+  // Fault injection. Annotation-exempt: set once in the constructor, const
+  // thereafter; the injector is internally synchronized (par/fault_inject.h).
   std::unique_ptr<FaultInjector> injector_;
 
+  // Annotation-exempt by design: a rank's slot is written only between that
+  // rank's publish() and the matching release() barriers, and read by others
+  // only inside that window — the sense-reversing barrier provides both the
+  // exclusion and the happens-before edges (docs/parallel_model.md). A mutex
+  // here would serialize the very protocol that makes collectives scale.
   std::vector<Slot> slots_;
 
-  struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
-  };
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // indexed by dst
 };
 

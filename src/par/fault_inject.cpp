@@ -110,7 +110,7 @@ FaultInjector::Action FaultInjector::on_send(int src, int dst, int tag) {
       !matches(src, tag)) {
     return Action::kDeliver;
   }
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (config_.max_faults >= 0 && injected_ >= config_.max_faults) {
     return Action::kDeliver;
   }
@@ -146,7 +146,7 @@ void FaultInjector::corrupt(std::vector<std::byte>& payload, int src, int dst,
 
 bool FaultInjector::should_stall(int rank) {
   if (config_.kind != FaultKind::kStallRank || rank != config_.rank) return false;
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (stalled_) return false;
   stalled_ = true;
   ++injected_;
@@ -154,7 +154,7 @@ bool FaultInjector::should_stall(int rank) {
 }
 
 int FaultInjector::faults_injected() const {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   return injected_;
 }
 

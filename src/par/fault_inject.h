@@ -26,12 +26,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace neuro::par {
 
@@ -98,26 +99,27 @@ class FaultInjector {
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 
   /// Decides the fate of one message (kStallRank campaigns always deliver).
-  Action on_send(int src, int dst, int tag);
+  Action on_send(int src, int dst, int tag) NEURO_EXCLUDES(mutex_);
 
   /// XORs one deterministically chosen payload byte with 0xFF.
   void corrupt(std::vector<std::byte>& payload, int src, int dst, int tag) const;
 
   /// True exactly once for the configured rank of a kStallRank campaign:
   /// the caller sleeps config().delay_ms before proceeding.
-  bool should_stall(int rank);
+  bool should_stall(int rank) NEURO_EXCLUDES(mutex_);
 
   /// Messages faulted so far (telemetry for benches and reports).
-  [[nodiscard]] int faults_injected() const;
+  [[nodiscard]] int faults_injected() const NEURO_EXCLUDES(mutex_);
 
  private:
   [[nodiscard]] bool matches(int src, int tag) const;
 
-  FaultConfig config_;
-  mutable std::mutex mutex_;
-  std::map<std::tuple<int, int, int>, std::uint64_t> stream_counts_;
-  int injected_ = 0;
-  bool stalled_ = false;
+  FaultConfig config_;  // const after construction; read without the lock
+  mutable base::Mutex mutex_;
+  std::map<std::tuple<int, int, int>, std::uint64_t> stream_counts_
+      NEURO_GUARDED_BY(mutex_);
+  int injected_ NEURO_GUARDED_BY(mutex_) = 0;
+  bool stalled_ NEURO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace neuro::par

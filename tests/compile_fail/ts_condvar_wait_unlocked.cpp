@@ -1,0 +1,41 @@
+// compile-fail (thread-safety): base::CondVar::wait() releases and
+// reacquires the paired mutex, so the caller must hold it — waiting on an
+// unlocked mutex (a classic lost-wakeup/UB bug with the raw std primitives)
+// is rejected at compile time.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace neuro {
+
+class Latch {
+ public:
+  void wait_ready() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+    base::MutexLock lock(mutex_);
+    while (!ready_) cv_.wait(mutex_);
+#else
+    cv_.wait(mutex_);  // wait() requires mutex_ held; nothing holds it
+#endif
+  }
+
+  void open() {
+    {
+      base::MutexLock lock(mutex_);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  base::Mutex mutex_;
+  base::CondVar cv_;
+  bool ready_ NEURO_GUARDED_BY(mutex_) = false;
+};
+
+void probe() {
+  Latch latch;
+  latch.open();
+  latch.wait_ready();
+}
+
+}  // namespace neuro

@@ -1,0 +1,29 @@
+// compile-fail (thread-safety): acquiring a mutex the thread already holds
+// is a guaranteed self-deadlock with std::mutex; the analysis rejects the
+// second acquisition at compile time.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace neuro {
+
+class Queue {
+ public:
+  void push(int v) {
+    base::MutexLock lock(mutex_);
+#ifndef NEURO_COMPILE_FAIL_CONTROL
+    base::MutexLock again(mutex_);  // mutex_ is already held: self-deadlock
+#endif
+    head_ = v;
+  }
+
+ private:
+  base::Mutex mutex_;
+  int head_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+void probe() {
+  Queue queue;
+  queue.push(7);
+}
+
+}  // namespace neuro

@@ -1,0 +1,35 @@
+// compile-fail (thread-safety): a NEURO_EXCLUDES(mutex_) function acquires
+// the mutex itself (e.g. Team::barrier, MetricsRegistry::counter); calling
+// it while already holding that mutex is a self-deadlock, caught statically.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace neuro {
+
+class Widget {
+ public:
+  void refresh() NEURO_EXCLUDES(mutex_) {
+    base::MutexLock lock(mutex_);
+    ++generation_;
+  }
+
+  void tick() {
+    base::MutexLock lock(mutex_);
+    ++generation_;
+#ifndef NEURO_COMPILE_FAIL_CONTROL
+    refresh();  // refresh() re-acquires mutex_, which this scope holds
+#endif
+  }
+
+ private:
+  base::Mutex mutex_;
+  int generation_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+void probe() {
+  Widget widget;
+  widget.tick();
+  widget.refresh();
+}
+
+}  // namespace neuro

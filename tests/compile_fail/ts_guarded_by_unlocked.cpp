@@ -1,0 +1,30 @@
+// compile-fail (thread-safety): a NEURO_GUARDED_BY member may only be
+// touched while its mutex is held — an unlocked read is a data race waiting
+// for the right interleaving, and the capability analysis rejects it.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace neuro {
+
+class Registry {
+ public:
+  int get() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+    base::MutexLock lock(mutex_);
+    return value_;
+#else
+    return value_;  // guarded member read with no lock held
+#endif
+  }
+
+ private:
+  base::Mutex mutex_;
+  int value_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+int probe() {
+  Registry registry;
+  return registry.get();
+}
+
+}  // namespace neuro

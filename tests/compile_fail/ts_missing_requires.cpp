@@ -1,0 +1,32 @@
+// compile-fail (thread-safety): a NEURO_REQUIRES(mutex_) helper (the
+// `_locked` convention, e.g. Team::fail_locked) asserts that its caller
+// already holds the lock; calling one from an unlocked context is rejected.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace neuro {
+
+class Tally {
+ public:
+  void add(int v) {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+    base::MutexLock lock(mutex_);
+    add_locked(v);
+#else
+    add_locked(v);  // REQUIRES(mutex_) helper called with no lock held
+#endif
+  }
+
+ private:
+  void add_locked(int v) NEURO_REQUIRES(mutex_) { total_ += v; }
+
+  base::Mutex mutex_;
+  int total_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+void probe() {
+  Tally tally;
+  tally.add(1);
+}
+
+}  // namespace neuro

@@ -1,0 +1,31 @@
+// compile-fail (thread-safety): unlock() releases the mutex capability, so
+// calling it on a mutex the thread does not hold is undefined behavior with
+// std::mutex — rejected at compile time.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace neuro {
+
+class Gate {
+ public:
+  void pass() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+    mutex_.lock();
+    ++crossings_;
+    mutex_.unlock();
+#else
+    mutex_.unlock();  // releasing a mutex that was never acquired
+#endif
+  }
+
+ private:
+  base::Mutex mutex_;
+  int crossings_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+void probe() {
+  Gate gate;
+  gate.pass();
+}
+
+}  // namespace neuro

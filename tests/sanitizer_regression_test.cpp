@@ -1,15 +1,21 @@
-// Stress tests for the Communicator's concurrency-critical paths, written so
-// ThreadSanitizer has real interleavings to examine in CI: high rank counts,
-// randomized message sizes, mixed collectives and point-to-point traffic.
-// The assertions double as correctness checks in uninstrumented builds.
+// Stress tests for the concurrency-critical paths — the Communicator plus
+// the obs instrumentation it drives — written so ThreadSanitizer has real
+// interleavings to examine in CI: high rank counts, randomized message
+// sizes, mixed collectives and point-to-point traffic, racing instrument
+// registration. They cross-validate dynamically what the Clang thread-safety
+// annotations (base/thread_annotations.h) enforce statically. The assertions
+// double as correctness checks in uninstrumented builds.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <numeric>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "base/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/communicator.h"
 
 namespace neuro::par {
@@ -124,6 +130,79 @@ TEST(SanitizerRegressionTest, MixedCollectivesAndTrafficWithVerification) {
         }
       },
       opts);
+}
+
+TEST(SanitizerRegressionTest, MetricsRegistryLookupAndRecordStorm) {
+  // Every rank hammers the same small set of instrument names, so creation
+  // races on the registry mutex while established ranks record through the
+  // lock-free instrument atomics, and periodic re-lookups overlap both. This
+  // is the dynamic counterpart of the NEURO_GUARDED_BY(mutex_) annotation on
+  // the instrument map.
+  constexpr int P = 16;
+  constexpr int kRounds = 200;
+  obs::MetricsRegistry registry;
+  run_spmd(P, [&](Communicator& comm) {
+    const std::vector<double> edges = {1.0, 8.0, 64.0};
+    obs::Histogram& mine =
+        registry.histogram("storm.latency", edges);  // captured once, hot path
+    for (int round = 0; round < kRounds; ++round) {
+      mine.observe(static_cast<double>(round % 100));
+      // Re-lookup storm: same name from all ranks, plus a rank-striped name
+      // so the map keeps growing while others read it.
+      registry.counter("storm.events").add();
+      registry.histogram("storm.latency", edges)
+          .observe(static_cast<double>(comm.rank()));
+      registry
+          .counter("storm.rank." + std::to_string(comm.rank() % 4))
+          .add();
+      if (round % 50 == 0) {
+        EXPECT_GE(registry.size(), 2u);
+      }
+    }
+  });
+  EXPECT_EQ(registry.counter("storm.events").value(),
+            static_cast<std::int64_t>(P) * kRounds);
+  EXPECT_EQ(registry.histogram("storm.latency", {1.0, 8.0, 64.0}).total_count(),
+            2 * static_cast<std::int64_t>(P) * kRounds);
+  EXPECT_EQ(registry.size(), 2u + 4u);  // latency + events + 4 striped
+}
+
+TEST(SanitizerRegressionTest, TracerParallelStreamRegistration) {
+  // All rank threads hit stream_for_this_thread() at once on their first
+  // span, racing the registration list guarded by streams_mutex_; the
+  // per-thread buffers themselves are owner-thread-only by design. Snapshot
+  // and clear run strictly after run_spmd joins (the quiescence contract).
+  constexpr int P = 24;
+  constexpr int kSpans = 64;
+  // Under -DNEURO_OBS=OFF every span/counter is compiled out and nothing
+  // registers or records; the storm still runs, the counts are just zero.
+#ifdef NEURO_OBS_DISABLED
+  constexpr std::size_t kPerRankEvents = 0;
+  constexpr std::size_t kPerRankTimed = 0;
+#else
+  constexpr std::size_t kPerRankEvents = static_cast<std::size_t>(kSpans) * 2;
+  constexpr std::size_t kPerRankTimed = 1;
+#endif
+  obs::Tracer tracer(/*enabled=*/true);
+  run_spmd(P, [&](Communicator& comm) {
+    for (int i = 0; i < kSpans; ++i) {
+      obs::Span span = tracer.span("storm.work");
+      tracer.counter("storm.gauge", static_cast<double>(comm.rank()));
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(tracer.event_count(), P * kPerRankEvents);
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+  const auto events = tracer.snapshot();
+  EXPECT_EQ(events.size(), tracer.event_count());
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  // A second team re-registers fresh streams against the surviving tracer.
+  run_spmd(P, [&](Communicator& comm) {
+    obs::Span span = tracer.timed_span("storm.second");
+    comm.barrier();
+  });
+  EXPECT_EQ(tracer.event_count(), P * kPerRankTimed);
 }
 
 TEST(SanitizerRegressionTest, RepeatedTeamsDoNotLeak) {

@@ -1,0 +1,66 @@
+// check_spmd fixture: legitimate SPMD patterns that must NOT be flagged —
+// rank-derived data partitioning, rank-derived peer selection with uniform
+// tags, collectives on the uniform path after balanced branches, and a
+// deliberately divergent collective carrying a NEURO_SPMD_OK suppression.
+//
+// EXPECT-CLEAN
+#include "par/communicator.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+namespace neuro {
+
+// Rank-derived *indices* are the normal way to split work; no control flow
+// depends on them here.
+double slab_partition(par::Communicator& comm, std::span<const double> all) {
+  const int nranks = comm.size();
+  const int rank = comm.rank();
+  const std::size_t chunk = all.size() / static_cast<std::size_t>(nranks);
+  const std::size_t begin = static_cast<std::size_t>(rank) * chunk;
+  const std::size_t end = std::min(all.size(), begin + chunk);
+  double local = 0.0;
+  for (std::size_t i = begin; i < end; ++i) local += all[i];
+  return comm.allreduce_sum(local);
+}
+
+// Neighbor exchange: the peer is rank-derived (that is the point of p2p),
+// but the tag is uniform, so send/recv keys match.
+std::vector<double> ring_shift(par::Communicator& comm, std::span<const double> data) {
+  constexpr int kTag = 42;
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  comm.isend(next, kTag, data);
+  return comm.recv<double>(prev, kTag);
+}
+
+// Branching on replicated state is fine: every rank takes the same branch,
+// so the collectives inside are still reached by the whole team.
+double replicated_branch(par::Communicator& comm, bool use_fast_path, double local) {
+  if (use_fast_path) {
+    return comm.allreduce_sum(local);
+  }
+  comm.barrier();
+  return comm.allreduce_max(local);
+}
+
+// Root-only work that contains no collective is the canonical safe use of a
+// rank conditional.
+void root_only_bookkeeping(par::Communicator& comm, std::vector<double>& log) {
+  const double total = comm.allreduce_sum(1.0);
+  if (comm.rank() == 0) {
+    log.push_back(total);
+  }
+}
+
+// A genuinely divergent collective the author has proven safe out of band:
+// only the suppression marker keeps this out of the report.
+void suppressed_divergence(par::Communicator& comm) {
+  if (comm.rank() == 0 && comm.size() == 1) {
+    // NEURO_SPMD_OK(size()==1 makes rank 0 the whole team)
+    comm.barrier();
+  }
+}
+
+}  // namespace neuro

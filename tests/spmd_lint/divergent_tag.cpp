@@ -1,0 +1,30 @@
+// check_spmd fixture: point-to-point calls whose tag is computed from the
+// rank. The mailbox matches on (src, dst, tag); a rank-dependent tag means
+// the sender and receiver compute different keys and the recv times out.
+//
+// EXPECT: divergent-tag@16
+// EXPECT: divergent-tag@22
+// EXPECT: divergent-tag@27
+#include "par/communicator.h"
+
+#include <span>
+#include <vector>
+
+namespace neuro {
+
+void send_rank_tag(par::Communicator& comm, std::span<const double> data) {
+  comm.send(0, 100 + comm.rank(), data);  // receiver expects a fixed tag
+}
+
+std::vector<double> recv_rank_tag(par::Communicator& comm) {
+  const int me = comm.rank();
+  const int tag = me * 7;
+  return comm.recv<double>(0, tag);  // sender tagged with its own rank math
+}
+
+void isend_rank_tag(par::Communicator& comm, std::span<const int> data) {
+  const int next = (comm.rank() + 1) % comm.size();
+  comm.isend(next, next, data);  // rank-derived dst is fine; rank-derived tag is not
+}
+
+}  // namespace neuro

@@ -1,0 +1,30 @@
+// check_spmd fixture: rank-dependent return/throw paths that bail out of
+// the SPMD body while the remaining ranks proceed into a collective.
+//
+// EXPECT: early-exit-past-collective@14
+// EXPECT: early-exit-past-collective@24
+#include "par/communicator.h"
+
+#include <stdexcept>
+
+namespace neuro {
+
+double bail_before_reduce(par::Communicator& comm, double local) {
+  if (comm.rank() > 2) {
+    return local;  // ranks 3+ leave; ranks 0..2 block in allreduce below
+  }
+  return comm.allreduce_sum(local);
+}
+
+double throw_before_barrier(par::Communicator& comm, double local) {
+  const int me = comm.rank();
+  const int quota = 8 / (me + 1);
+  if (quota < 2) {
+    // Only high ranks trip this, so low ranks wait at the barrier forever.
+    throw std::runtime_error("quota exhausted");
+  }
+  comm.barrier();
+  return local;
+}
+
+}  // namespace neuro

@@ -1,0 +1,40 @@
+// check_spmd fixture: collectives gated on the rank. Every seeded bug line
+// is declared below; tools/lint/check_spmd.py --self-test fails if any is
+// missed or if anything else in this file is flagged.
+//
+// EXPECT: rank-conditional-collective@19
+// EXPECT: rank-conditional-collective@27
+// EXPECT: rank-conditional-collective@33
+#include "par/communicator.h"
+
+#include <span>
+#include <vector>
+
+namespace neuro {
+
+void helper_reduce(std::vector<double>& data, par::Communicator& comm);
+
+void direct_gate(par::Communicator& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // only rank 0 arrives: the team deadlocks
+  }
+}
+
+void tainted_local_gate(par::Communicator& comm) {
+  const int me = comm.rank();
+  double x = 1.0;
+  if (me % 2 == 0) {
+    x = comm.allreduce_sum(x);  // odd ranks never publish
+  }
+  (void)x;
+}
+
+void indirect_gate(par::Communicator& comm, std::vector<double>& data) {
+  if (comm.rank() < 2) helper_reduce(data, comm);  // callee runs collectives
+}
+
+void helper_reduce(std::vector<double>& data, par::Communicator& comm) {
+  comm.allreduce_sum(std::span<double>(data));
+}
+
+}  // namespace neuro

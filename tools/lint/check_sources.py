@@ -16,6 +16,13 @@ Checks (see docs/static_analysis.md):
     headers — index bookkeeping there uses the strong ID types of
     base/strong_id.h; only the grandfathered CSR wire format and per-rank
     count tables in VECTOR_INT_MEMBER_ALLOWLIST may stay flat ints;
+  * no raw std::mutex / std::lock_guard / std::unique_lock /
+    std::condition_variable in src/ — shared state is synchronized through
+    the annotated base::Mutex / base::MutexLock / base::CondVar family
+    (base/mutex.h) so Clang's thread-safety analysis can prove the locking
+    discipline (docs/static_analysis.md, "Capability annotations"); the only
+    grandfathered user of the raw primitives is base/mutex.h itself
+    (RAW_SYNC_ALLOWLIST, drift-checked);
   * no raw base/stopwatch.h timing in src/core/ and src/fem/ — durations
     reported from the pipeline and the FEM layer flow through obs::Span
     (obs::timed_span) so that every number in a report is also a span in an
@@ -63,6 +70,23 @@ BANNED_EVERYWHERE = [
 ]
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+
+# Macro-only headers define no symbols, so the namespace-neuro rule does not
+# apply to them.
+MACRO_ONLY_HEADERS = {"src/base/thread_annotations.h"}
+
+# Locking discipline (docs/static_analysis.md, "Capability annotations"):
+# library code synchronizes through the annotated base::Mutex family so that
+# the clang-static CI job's -Werror=thread-safety build proves every guarded
+# access. A raw std primitive is invisible to that analysis — the compiler
+# cannot connect it to any NEURO_GUARDED_BY contract — so new uses in src/
+# are banned. base/mutex.h (the wrapper itself) is the one grandfathered
+# user; the entry is drift-checked like every other allowlist.
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_)?mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+RAW_SYNC_ALLOWLIST = {"src/base/mutex.h"}
 
 # Index bookkeeping in the FEM and solver layers must use the strong ID types
 # of base/strong_id.h (NodeId, DofId, GlobalRow, ...) so that index-space
@@ -266,6 +290,17 @@ def check_file(root: Path, path: Path) -> list[str]:
         prev_lineno = lineno
     flush_block()
 
+    # -- annotated base::Mutex family over raw std synchronization ------------
+    if in_library and rel not in RAW_SYNC_ALLOWLIST:
+        for lineno, line in enumerate(code_lines, 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                err(lineno,
+                    f"raw {m.group(0)} — use the annotated base::Mutex / "
+                    "base::MutexLock / base::CondVar family (base/mutex.h) so "
+                    "the thread-safety analysis sees the lock "
+                    "(docs/static_analysis.md)")
+
     # -- strong IDs over raw index members (fem/solver headers) ---------------
     if path.suffix == ".h" and rel.startswith(TYPED_INDEX_HEADER_DIRS):
         for lineno, line in enumerate(code_lines, 1):
@@ -307,7 +342,7 @@ def check_file(root: Path, path: Path) -> list[str]:
                 "check_sources.py only for genuine invariant checks")
 
     # -- namespaces -----------------------------------------------------------
-    if in_library:
+    if in_library and rel not in MACRO_ONLY_HEADERS:
         if not re.search(r"^\s*namespace\s+neuro\b", code, re.MULTILINE):
             err(1, "library file does not declare namespace neuro")
 
@@ -364,6 +399,32 @@ def check_allowlist_drift(root: Path) -> list[str]:
                 f"check_sources.py: stale VECTOR_INT_MEMBER_ALLOWLIST entry "
                 f"('{rel}', '{member}') — no such std::vector<int> member; "
                 "remove the entry")
+
+    for rel in sorted(RAW_SYNC_ALLOWLIST):
+        path = root / rel
+        if not path.is_file():
+            errors.append(
+                f"check_sources.py: stale RAW_SYNC_ALLOWLIST entry for deleted "
+                f"file {rel} — remove it")
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        if not any(RAW_SYNC_RE.search(line) for line in code.splitlines()):
+            errors.append(
+                f"check_sources.py: stale RAW_SYNC_ALLOWLIST entry {rel} — the "
+                "file no longer uses raw std synchronization; remove the entry")
+
+    for rel in sorted(MACRO_ONLY_HEADERS):
+        path = root / rel
+        if not path.is_file():
+            errors.append(
+                f"check_sources.py: stale MACRO_ONLY_HEADERS entry for deleted "
+                f"file {rel} — remove it")
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        if re.search(r"^\s*namespace\s+neuro\b", code, re.MULTILINE):
+            errors.append(
+                f"check_sources.py: stale MACRO_ONLY_HEADERS entry {rel} — the "
+                "file now declares namespace neuro; remove the entry")
 
     for rel in sorted(STOPWATCH_ALLOWLIST):
         path = root / rel

@@ -5,9 +5,11 @@
 #   tools/lint/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
 #
 # The build directory must have been configured with
-# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI asan-ubsan job does this).
-# Exits 0 with a notice when no clang-tidy binary is installed, so the lint
-# pass stays runnable on gcc-only hosts.
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI clang-static job does this).
+# Exits 0 with a notice only on hosts with no clang toolchain at all; a host
+# that has clang but lacks clang-tidy or the compilation database is a
+# misconfigured analysis environment and fails loudly instead of skipping —
+# a silent skip here would let CI report green without analyzing anything.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
@@ -23,7 +25,14 @@ for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy
   fi
 done
 if [ -z "$tidy_bin" ]; then
-  echo "run_clang_tidy: no clang-tidy binary found on PATH; skipping (not an error)."
+  for candidate in clang clang-18 clang-17 clang-16 clang-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      echo "run_clang_tidy: $candidate is installed but clang-tidy is not;" \
+           "install clang-tidy or drop clang from this host." >&2
+      exit 1
+    fi
+  done
+  echo "run_clang_tidy: no clang toolchain on PATH; skipping (not an error)."
   exit 0
 fi
 
