@@ -41,7 +41,10 @@ const char* status_code_name(StatusCode code);
 
 /// A status code plus a human-readable context message. Default-constructed
 /// Status is OK; error statuses carry the code and message of the failure.
-class Status {
+/// [[nodiscard]] at class level: a dropped Status is a swallowed deadline
+/// violation or solver fault — discard only via NEURO_STATUS_IGNORED(expr,
+/// reason) (base/numerics_annotations.h), which keeps the reason grep-able.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -80,9 +83,10 @@ class StatusError : public CheckError {
 /// degradation ladder returns Outcome<DeformationResult>: callers inspect
 /// status() instead of discovering a silent `converged = false` three layers
 /// up. Accessing value() on an error outcome is itself invariant corruption
-/// and aborts.
+/// and aborts. [[nodiscard]] at class level, like Status: an unread Outcome
+/// silently discards either the result or the failure explaining its absence.
 template <class T>
-class Outcome {
+class [[nodiscard]] Outcome {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): `return result;` at ladder exits
   Outcome(T value) : value_(std::move(value)), has_value_(true) {}

@@ -102,6 +102,7 @@ Vec3 sample_trilinear_vec(const ImageV& img, const Vec3& ijk) {
 
 void add_rician_noise(ImageF& img, double sigma, Rng& rng) {
   NEURO_REQUIRE(sigma >= 0.0, "add_rician_noise: sigma must be non-negative");
+  // NEURO_NONDET_OK(sentinel check: exact 0.0 means "noise disabled", not a computed value)
   if (sigma == 0.0) return;
   for (auto& v : img.data()) {
     const double a = static_cast<double>(v) + sigma * rng.normal();

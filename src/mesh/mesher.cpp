@@ -129,6 +129,7 @@ TetMesh mesh_labeled_volume(const ImageL& labels, const MesherConfig& config) {
   // CPU" decomposition meaningful.
   std::vector<std::pair<long long, NodeId>> order;
   order.reserve(node_map.size());
+  // NEURO_NONDET_OK(visit order is erased by the std::sort on the next line)
   for (const auto& [lid, id] : node_map) order.emplace_back(lid, id);
   std::sort(order.begin(), order.end());
   base::IdVector<NodeId, NodeId> remap(node_map.size());

@@ -49,6 +49,15 @@ void Histogram::observe(double value) {
   }
 }
 
+void Histogram::reset() {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  overflow_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   base::MutexLock lock(mutex_);
   auto it = entries_.find(name);
@@ -130,6 +139,16 @@ std::size_t MetricsRegistry::size() const {
          (entry.histogram != nullptr ? 1u : 0u);
   }
   return n;
+}
+
+void MetricsRegistry::reset_values() {
+  base::MutexLock lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    if (entry.counter != nullptr) entry.counter->reset();
+    if (entry.gauge != nullptr) entry.gauge->reset();
+    if (entry.histogram != nullptr) entry.histogram->reset();
+  }
 }
 
 MetricsRegistry& metrics() {

@@ -27,6 +27,7 @@ namespace neuro::obs {
 class Counter {
  public:
   void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
   [[nodiscard]] std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -39,6 +40,7 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -56,6 +58,7 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_edges);
 
   void observe(double value);
+  void reset();
 
   [[nodiscard]] std::size_t bucket_count() const { return edges_.size(); }
   [[nodiscard]] double upper_edge(std::size_t i) const { return edges_[i]; }
@@ -104,6 +107,13 @@ class MetricsRegistry {
 
   /// Number of registered instruments.
   [[nodiscard]] std::size_t size() const NEURO_EXCLUDES(mutex_);
+
+  /// Zeroes every instrument's value without removing any entry, so
+  /// references captured before the reset stay valid (the registry never
+  /// deletes instruments). This is what makes per-run NDJSON exports from the
+  /// process-wide registry comparable: reset, run, export — two identical
+  /// runs must then produce byte-identical files (tests/determinism_test.cpp).
+  void reset_values() NEURO_EXCLUDES(mutex_);
 
  private:
   struct Entry {

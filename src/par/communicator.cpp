@@ -286,12 +286,14 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
         override_ms > 0.0
             ? std::chrono::milliseconds(static_cast<long>(override_ms))
             : verify_timeout();
+    // NEURO_NONDET_OK(recv-timeout machinery: affects only the fault path, never a value)
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (!has_message_locked(box, key)) {
       {
         base::MutexLock vlock(barrier_mutex_);
         if (failed_) throw CollectiveMismatchError(report_);
       }
+      // NEURO_NONDET_OK(recv-timeout machinery: affects only the fault path, never a value)
       if (std::chrono::steady_clock::now() >= deadline) {
         base::MutexLock vlock(barrier_mutex_);
         std::ostringstream oss;
@@ -308,6 +310,7 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
     // lock order as above (box.mutex -> barrier_mutex_).
     const double timeout_ms = recv_timeout_ms();
     const auto deadline =
+        // NEURO_NONDET_OK(recv-timeout machinery: affects only the fault path, never a value)
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(timeout_ms));
@@ -325,6 +328,7 @@ std::vector<std::byte> Team::recv_bytes(int src, int dst, int tag) {
           throw CommFaultError(oss.str());
         }
       }
+      // NEURO_NONDET_OK(recv-timeout machinery: affects only the fault path, never a value)
       if (std::chrono::steady_clock::now() >= deadline) {
         std::ostringstream oss;
         oss << "neuro::par communication fault: rank " << dst
@@ -420,6 +424,29 @@ const std::vector<WorkRecord>& PhaseWork::phase(const std::string& name) const {
   auto it = phases_.find(name);
   NEURO_REQUIRE(it != phases_.end(), "unknown phase '" << name << "'");
   return it->second;
+}
+
+std::vector<std::string> PhaseWork::names() const {
+  std::vector<std::string> result;
+  result.reserve(phases_.size());
+  for (const auto& [name, records] : phases_) result.push_back(name);
+  return result;
+}
+
+void PhaseWork::write_report(std::ostream& os) const {
+  // phases_ is a sorted map, so this iteration order — and therefore the
+  // report bytes — is a pure function of the recorded phases.
+  os << "phase,rank,flops,mem_bytes,comm_bytes,comm_msgs,coll_rounds,"
+        "coll_bytes,overlap_comm_bytes,overlap_comm_msgs\n";
+  for (const auto& [name, records] : phases_) {
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      const WorkRecord& w = records[r];
+      os << name << ',' << r << ',' << w.flops << ',' << w.mem_bytes << ','
+         << w.comm_bytes << ',' << w.comm_msgs << ',' << w.coll_rounds << ','
+         << w.coll_bytes << ',' << w.overlap_comm_bytes << ','
+         << w.overlap_comm_msgs << '\n';
+    }
+  }
 }
 
 }  // namespace neuro::par

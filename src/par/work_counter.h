@@ -10,8 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace neuro::par {
@@ -78,6 +79,12 @@ class WorkCounter {
 
 /// Work of all ranks for each named phase of a run, e.g.
 /// phases()["assemble"][r] is rank r's assembly work.
+///
+/// Storage is an ordered map on purpose: phase records feed exported perf
+/// reports, and iterating an unordered container there would make the report
+/// bytes depend on the hash-table layout of the run
+/// (tools/lint/check_numerics.py, rule `unordered-iteration`). Sorted keys
+/// make every export byte-stable run-to-run.
 class PhaseWork {
  public:
   void record(const std::string& phase, std::vector<WorkRecord> per_rank) {
@@ -90,8 +97,16 @@ class PhaseWork {
     return phases_.count(name) > 0;
   }
 
+  /// Phase names in sorted (iteration) order — the order every export uses.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Deterministic per-phase, per-rank work table: phases in sorted key
+  /// order, ranks ascending, fixed formatting. Two identical runs produce
+  /// byte-identical report text.
+  void write_report(std::ostream& os) const;
+
  private:
-  std::unordered_map<std::string, std::vector<WorkRecord>> phases_;
+  std::map<std::string, std::vector<WorkRecord>> phases_;
 };
 
 }  // namespace neuro::par

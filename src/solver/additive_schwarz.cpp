@@ -1,7 +1,6 @@
 #include "solver/additive_schwarz.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "base/check.h"
 
@@ -66,14 +65,22 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
     if (in_set[g.index()]) ext_to_global_.push_back(g);
   }
 
-  std::unordered_map<GlobalRow, int> global_to_ext;
-  global_to_ext.reserve(ext_to_global_.size());
-  for (std::size_t e = 0; e < ext_to_global_.size(); ++e) {
-    global_to_ext[ext_to_global_[e]] = static_cast<int>(e);
-  }
+  // Ghost-map lookups: ext_to_global_ is built by an ascending scan over the
+  // global rows, so it is sorted and a binary search replaces the hash map —
+  // no unordered container near the numeric path, and the traversal order of
+  // every loop below is a pure function of the matrix structure
+  // (tools/lint/check_numerics.py, rule `unordered-iteration`).
+  const auto ext_index = [this](GlobalRow g) -> int {
+    const auto it =
+        std::lower_bound(ext_to_global_.begin(), ext_to_global_.end(), g);
+    if (it == ext_to_global_.end() || !(*it == g)) return -1;
+    return static_cast<int>(it - ext_to_global_.begin());
+  };
   owned_ext_positions_.reserve(static_cast<std::size_t>(A.local_rows()));
   for (const GlobalRow g : range_) {
-    owned_ext_positions_.push_back(global_to_ext.at(g));
+    const int e = ext_index(g);
+    NEURO_CHECK(e >= 0);
+    owned_ext_positions_.push_back(e);
   }
 
   // --- Extract + sort + factor A(ext, ext). ---
@@ -86,9 +93,9 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
     for (int p = global_row_ptr[g.index()]; p < global_row_ptr[g.index() + 1];
          ++p) {
       const GlobalRow c{all_cols[static_cast<std::size_t>(p)]};
-      const auto it = global_to_ext.find(c);
-      if (it != global_to_ext.end()) {
-        row.emplace_back(it->second, all_values[static_cast<std::size_t>(p)]);
+      const int e = ext_index(c);
+      if (e >= 0) {
+        row.emplace_back(e, all_values[static_cast<std::size_t>(p)]);
       }
     }
     std::sort(row.begin(), row.end());
@@ -117,7 +124,11 @@ AdditiveSchwarz::AdditiveSchwarz(const DistCsrMatrix& A, par::Communicator& comm
     Recv rc;
     rc.rank = r;
     for (const GlobalRow g : needed) {
-      if (their.contains(g)) rc.ext_positions.push_back(global_to_ext.at(g));
+      if (their.contains(g)) {
+        const int e = ext_index(g);
+        NEURO_CHECK(e >= 0);
+        rc.ext_positions.push_back(e);
+      }
     }
     if (!rc.ext_positions.empty()) recvs_.push_back(std::move(rc));
 

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "base/check.h"
+#include "base/numerics_annotations.h"
 
 namespace neuro::solver {
 
@@ -16,6 +17,7 @@ constexpr int kB = DistBsrMatrix::kBlock;
 /// Register-blocked y = A x over a list of block rows. Each scalar row
 /// accumulates its products in the same association order as the scalar CSR
 /// kernel, so the two backends agree to rounding.
+NEURO_BITEXACT
 template <class ColId>
 void bsr_rows_kernel(const std::vector<double>& values,
                      const base::IdVector<LocalBlockRow, std::int32_t>& row_ptr,
@@ -146,6 +148,7 @@ DistCsrMatrix DistBsrMatrix::to_csr() const {
           const double v =
               values_[static_cast<std::size_t>(p) * 9U +
                       static_cast<std::size_t>(kB * ca + cb)];
+          // NEURO_NONDET_OK(structural-zero drop: exact 0.0 is a stored sentinel, not a computed value)
           if (v != 0.0 || cbase + cb == grow) {
             cols.push_back(cbase + cb);
             vals.push_back(v);
@@ -173,6 +176,7 @@ void DistBsrMatrix::drop_zero_blocks() {
          p < block_row_ptr_[LocalBlockRow{br + 1}]; ++p) {
       const double* a = &values_[static_cast<std::size_t>(p) * 9U];
       bool keep = block_cols_[static_cast<std::size_t>(p)] == diag;
+      // NEURO_NONDET_OK(structural-zero drop: exact 0.0 is a stored sentinel, not a computed value)
       for (int k = 0; k < 9 && !keep; ++k) keep = a[k] != 0.0;
       if (keep) {
         new_cols.push_back(block_cols_[static_cast<std::size_t>(p)]);
@@ -386,6 +390,7 @@ void DistBsrMatrix::extract_diagonal_block(std::vector<int>& row_ptr,
           // Keep the entry set the reference path keeps: nonzeros plus the
           // scalar diagonal (DistCsrMatrix::drop_zeros semantics), so the
           // local preconditioners factor the identical matrix.
+          // NEURO_NONDET_OK(structural-zero drop: exact 0.0 is a stored sentinel, not a computed value)
           if (v != 0.0 || cbase + cb == grow) {
             cols.push_back(range_.offset_of(GlobalRow{cbase + cb}));
             values.push_back(v);

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "base/check.h"
+#include "base/numerics_annotations.h"
 
 namespace neuro::solver {
 
@@ -40,6 +41,7 @@ void DistCsrMatrix::drop_zeros() {
     for (int p = row_ptr_[static_cast<std::size_t>(r)];
          p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
       const int c = global_cols_[static_cast<std::size_t>(p)];
+      // NEURO_NONDET_OK(structural-zero drop: exact 0.0 is a stored sentinel, not a computed value)
       if (values_[static_cast<std::size_t>(p)] != 0.0 || c == global_row.value()) {
         new_cols.push_back(c);
         new_values.push_back(values_[static_cast<std::size_t>(p)]);
@@ -123,6 +125,9 @@ void DistCsrMatrix::setup_ghosts(par::Communicator& comm) {
   ghosts_ready_ = true;
 }
 
+// Reference scalar SpMV: the association order here is the contract the BSR
+// backend reproduces (bit-identical y for identical x across backends).
+NEURO_BITEXACT
 void DistCsrMatrix::apply(const DistVector& x, DistVector& y,
                           par::Communicator& comm) const {
   NEURO_CHECK_MSG(ghosts_ready_ || comm.size() == 1,

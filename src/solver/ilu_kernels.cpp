@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/numerics_annotations.h"
 
 namespace neuro::solver {
 
@@ -53,6 +54,9 @@ void Ilu0Factor::factor(std::vector<int> row_ptr, std::vector<int> cols,
   }
 }
 
+// Sequential triangular sweeps: substitution order fixes the rounding, so the
+// factor application is a pure function of (factor, input) bytes.
+NEURO_BITEXACT
 void Ilu0Factor::solve(const std::vector<double>& in, std::vector<double>& out) const {
   const int n = rows();
   NEURO_CHECK(static_cast<int>(in.size()) == n);

@@ -77,6 +77,7 @@ class Watchdog {
         samples_ % std::max(1, config_.deadline_check_interval) == 0) {
       // Wall clocks differ between ranks; vote so every rank stops together.
       const double elapsed =
+          // NEURO_NONDET_OK(deadline watchdog: outcome is allreduce-voted, rank-uniform, fault-path only)
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
               .count();
       const int expired = elapsed >= config_.deadline_seconds ? 1 : 0;
@@ -96,6 +97,7 @@ class Watchdog {
  private:
   WatchdogConfig config_;
   par::Communicator& comm_;
+  // NEURO_NONDET_OK(deadline watchdog epoch: feeds only the voted deadline check above)
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
   std::deque<double> window_;
   int samples_ = 0;

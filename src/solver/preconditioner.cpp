@@ -167,6 +167,7 @@ BlockJacobiIc0::BlockJacobiIc0(const LinearOperator& A) {
   // Manteuffel shift loop: A + shift·diag(A) until the factorization exists.
   double shift = 0.0;
   while (!try_factor(shift)) {
+    // NEURO_NONDET_OK(exact 0.0 is the loop's own "first attempt" sentinel, never computed)
     shift = shift == 0.0 ? 1e-3 : shift * 4.0;
     NEURO_CHECK_MSG(shift < 10.0, "IC(0): diagonal shift exploded — matrix is "
                                   "far from positive definite");

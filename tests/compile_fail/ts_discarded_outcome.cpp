@@ -1,0 +1,22 @@
+// compile-fail (error discipline): base::Outcome<T> is class-level
+// [[nodiscard]] — discarding one discards both the value and the error it
+// might carry, so -Werror=unused-result rejects the bare-call statement.
+#include "base/numerics_annotations.h"
+#include "base/status.h"
+
+namespace neuro {
+
+base::Outcome<int> count_nodes() { return base::Outcome<int>(7); }
+
+int probe() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  const base::Outcome<int> nodes = count_nodes();
+  NEURO_STATUS_IGNORED(count_nodes(), "compile-fail control: intentional drop");
+  return nodes.ok() ? nodes.value() : -1;
+#else
+  count_nodes();  // returned Outcome<int> silently discarded
+  return 0;
+#endif
+}
+
+}  // namespace neuro

@@ -1,0 +1,24 @@
+// compile-fail (error discipline): base::Status is class-level [[nodiscard]],
+// so dropping a returned Status on the floor — a swallowed deadline violation
+// or solver fault — is rejected under -Werror=unused-result. The sanctioned
+// escape hatch is NEURO_STATUS_IGNORED(expr, reason), which the control
+// variant proves compiles cleanly.
+#include "base/numerics_annotations.h"
+#include "base/status.h"
+
+namespace neuro {
+
+base::Status poll_budget() { return base::Status(); }
+
+int probe() {
+#ifdef NEURO_COMPILE_FAIL_CONTROL
+  const base::Status st = poll_budget();
+  NEURO_STATUS_IGNORED(poll_budget(), "compile-fail control: intentional drop");
+  return st.ok() ? 0 : 1;
+#else
+  poll_budget();  // returned Status silently discarded
+  return 0;
+#endif
+}
+
+}  // namespace neuro

@@ -5,15 +5,33 @@
 // executions (fixed-order reductions) and for the full pipeline.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <sstream>
+#include <string>
+
 #include "core/pipeline.h"
 #include "fem/deformation_solver.h"
 #include "mesh/mesher.h"
 #include "mesh/tri_surface.h"
+#include "obs/metrics.h"
 #include "phantom/brain_phantom.h"
 #include "seg/intraop.h"
 
 namespace neuro {
 namespace {
+
+/// NDJSON with wall-clock instruments removed: names ending in `.seconds`
+/// (and `total_seconds`) are timings by convention and the only sanctioned
+/// run-to-run variation in a metrics export (docs/static_analysis.md).
+std::string drop_timing_lines(const std::string& ndjson) {
+  std::istringstream in(ndjson);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("seconds") == std::string::npos) out << line << '\n';
+  }
+  return out.str();
+}
 
 TEST(DeterminismTest, PhantomBitwiseStable) {
   phantom::PhantomConfig pc;
@@ -120,6 +138,56 @@ TEST(DeterminismTest, FullPipelineBitwiseStable) {
   EXPECT_EQ(r1.warped_preop.data(), r2.warped_preop.data());
   EXPECT_EQ(r1.segmentation.labels.data(), r2.segmentation.labels.data());
   EXPECT_EQ(r1.fem.stats.iterations, r2.fem.stats.iterations);
+}
+
+TEST(DeterminismTest, MultiRankPipelineAndMetricsBitwiseStable) {
+  // The full intraop pipeline, run twice with identical inputs and seeds,
+  // must reproduce every exported artifact byte for byte — the deformation
+  // fields AND the (timing-stripped) metrics NDJSON — at every rank count.
+  // This is the runtime side of the contract check_numerics.py enforces
+  // statically.
+  phantom::PhantomConfig pc;
+  pc.dims = {36, 36, 36};
+  pc.spacing = {3.2, 3.2, 3.2};
+  const auto cas = phantom::make_case(pc, phantom::ShiftConfig{});
+  for (const int nranks : {1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "nranks=" << nranks);
+    core::PipelineConfig config = core::default_pipeline_config();
+    config.do_rigid_registration = false;
+    config.fem.nranks = nranks;
+
+    const auto run_once = [&](std::string& metrics_ndjson) {
+      obs::metrics().reset_values();
+      auto result = core::run_intraop_pipeline(cas.preop, cas.preop_labels,
+                                               cas.intraop, config);
+      std::ostringstream os;
+      obs::metrics().write_ndjson(os);
+      metrics_ndjson = drop_timing_lines(os.str());
+      return result;
+    };
+    std::string m1;
+    std::string m2;
+    const auto r1 = run_once(m1);
+    const auto r2 = run_once(m2);
+
+    ASSERT_EQ(r1.backward_field.data().size(), r2.backward_field.data().size());
+    EXPECT_EQ(std::memcmp(r1.backward_field.data().data(),
+                          r2.backward_field.data().data(),
+                          r1.backward_field.data().size() * sizeof(Vec3)),
+              0);
+    ASSERT_EQ(r1.forward_field.data().size(), r2.forward_field.data().size());
+    EXPECT_EQ(std::memcmp(r1.forward_field.data().data(),
+                          r2.forward_field.data().data(),
+                          r1.forward_field.data().size() * sizeof(Vec3)),
+              0);
+    ASSERT_EQ(r1.warped_preop.data().size(), r2.warped_preop.data().size());
+    EXPECT_EQ(std::memcmp(r1.warped_preop.data().data(),
+                          r2.warped_preop.data().data(),
+                          r1.warped_preop.data().size() * sizeof(float)),
+              0);
+    EXPECT_FALSE(m1.empty());
+    EXPECT_EQ(m1, m2);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+// Seeded-bug fixture for tools/lint/check_numerics.py (--self-test), strict
+// NEURO_BITEXACT profile: inside a marked function *any* unordered-container
+// iteration and *any* clock read is a finding, even ones the relaxed rules
+// would pass. The identical loop in an unmarked function stays clean:
+//
+// EXPECT: unordered-iteration@20
+// EXPECT: nondet-source@23
+
+#include <chrono>
+#include <unordered_map>
+
+#include "base/numerics_annotations.h"
+
+namespace neuro {
+
+// BUG(strict): lookup-only visit and a clock read inside a bit-exact contract.
+NEURO_BITEXACT
+double strict_kernel(const std::unordered_map<int, double>& weights) {
+  double n = 0.0;
+  for (const auto& [k, v] : weights) {
+    if (v > 0.5) n = v;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  return n + std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+// OK: the same lookup-only visit outside a strict region is not observable.
+double relaxed_scan(const std::unordered_map<int, double>& weights) {
+  double n = 0.0;
+  for (const auto& [k, v] : weights) {
+    if (v > 0.5) n = v;
+  }
+  return n;
+}
+
+}  // namespace neuro

@@ -1,0 +1,40 @@
+// Clean fixture for tools/lint/check_numerics.py (--self-test): the sanctioned
+// counterparts of every seeded bug — sorted containers for anything exported
+// or accumulated, tolerance compares, consumed Status. Both engines must
+// report nothing here.
+//
+// EXPECT-CLEAN
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neuro {
+
+// Sorted container: iteration order is the key order, deterministic.
+double total_energy(const std::map<int, double>& cell_energy) {
+  double total = 0.0;
+  for (const auto& [cell, e] : cell_energy) total += e;
+  return total;
+}
+
+// Deterministic export: rows come out in key order.
+void dump_counts(std::ostream& os, const std::map<std::string, int>& counts) {
+  for (const auto& [name, n] : counts) os << name << "," << n << "\n";
+}
+
+// Sequential accumulation over a vector: order is the index order.
+double sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total;
+}
+
+// Tolerance-based comparison.
+bool near(double a, double b, double tol) {
+  const double d = a > b ? a - b : b - a;
+  return d <= tol;
+}
+
+}  // namespace neuro

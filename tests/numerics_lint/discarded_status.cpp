@@ -1,0 +1,53 @@
+// Seeded-bug fixture for tools/lint/check_numerics.py (--self-test), rule
+// `discarded-status`: a call returning Status / Outcome<T> used as a bare
+// statement. Consumed values and NEURO_STATUS_IGNORED are clean:
+//
+// EXPECT: discarded-status@34
+// EXPECT: discarded-status@39
+
+#include "base/numerics_annotations.h"
+
+namespace neuro {
+
+struct Status {
+  int code = 0;
+  bool ok() const { return code == 0; }
+};
+
+template <class T>
+struct Outcome {
+  int code = 0;
+  T value{};
+};
+
+struct DeadlineBudget {
+  Status check(const char* stage) const { return Status{stage != nullptr ? 0 : 1}; }
+};
+
+Status flush_queue() { return Status{}; }
+Outcome<int> parse_count(const char* text) {
+  return Outcome<int>{text == nullptr ? 1 : 0, 0};
+}
+
+// BUG: dropped Status — a deadline violation would be swallowed here.
+void tick(const DeadlineBudget& budget) {
+  budget.check("tick");
+}
+
+// BUG: dropped Outcome<T>.
+void refresh(const char* text) {
+  parse_count(text);
+}
+
+// OK: both values are consumed.
+bool drain(const DeadlineBudget& budget) {
+  const Status st = budget.check("drain");
+  return st.ok() && flush_queue().ok();
+}
+
+// OK (suppressed): intentionally fire-and-forget on the teardown path.
+void teardown() {
+  NEURO_STATUS_IGNORED(flush_queue(), "teardown: best-effort flush, failure already reported");
+}
+
+}  // namespace neuro

@@ -1,0 +1,45 @@
+// Seeded-bug fixture for tools/lint/check_numerics.py (--self-test), rule
+// `float-exact-compare`: == / != against a floating-point literal. Declaring
+// operator==, integer compares, and tolerance checks must stay clean:
+//
+// EXPECT: float-exact-compare@22
+// EXPECT: float-exact-compare@27
+
+namespace neuro {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// OK: declaring the operator is not a comparison site.
+bool operator==(const Vec2& a, const Vec2& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+// BUG: exact equality against a computed residual.
+bool converged(double residual) {
+  return residual == 0.0;
+}
+
+// BUG: != against a float literal.
+bool not_unit(float scale) {
+  return scale != 1.0f;
+}
+
+// OK: integer comparison.
+bool is_root(int rank) { return rank == 0; }
+
+// OK: tolerance-based comparison.
+bool near(double a, double b, double tol) {
+  const double d = a > b ? a - b : b - a;
+  return d <= tol;
+}
+
+// OK (suppressed): exact-replay assertion between two runs of identical code.
+bool replay_matches(double a, double b) {
+  // NEURO_NONDET_OK(exact-replay check: both sides come from the identical instruction stream)
+  return a == b && b == 0.0;
+}
+
+}  // namespace neuro

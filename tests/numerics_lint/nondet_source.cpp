@@ -1,0 +1,46 @@
+// Seeded-bug fixture for tools/lint/check_numerics.py (--self-test), rule
+// `nondet-source`: entropy and clock reads on solve-path code. Fixtures are
+// not under the timing/RNG allowlist, so every unsuppressed source is a
+// finding under both engines:
+//
+// EXPECT: nondet-source@20
+// EXPECT: nondet-source@26
+// EXPECT: nondet-source@32
+// EXPECT: nondet-source@37
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace neuro {
+
+// BUG: wall-clock read feeding a numeric value.
+double elapsed_guard(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start).count();
+}
+
+// BUG: unseeded hardware entropy.
+unsigned hardware_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+// BUG: C library rand() — global, unseeded, order-dependent state.
+int noisy_pick(int n) {
+  return rand() % n;
+}
+
+// BUG: wall-clock seconds as a seed.
+long long wall_seconds() {
+  return static_cast<long long>(time(nullptr));
+}
+
+// OK (suppressed): logging-only timestamp, never reaches numerics.
+long long log_stamp() {
+  // NEURO_NONDET_OK(log timestamp only; the value never reaches numerics or exports)
+  return static_cast<long long>(time(nullptr));
+}
+
+}  // namespace neuro

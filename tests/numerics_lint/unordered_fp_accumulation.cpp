@@ -1,0 +1,65 @@
+// Seeded-bug fixture for tools/lint/check_numerics.py (--self-test), rule
+// `unordered-iteration`: iterating a hash container is only a finding when the
+// loop body makes the visit order observable (FP accumulation, communicator
+// traffic, exported output). Both engines must report exactly these:
+//
+// EXPECT: unordered-iteration@26
+// EXPECT: unordered-iteration@35
+// EXPECT: unordered-iteration@43
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace neuro {
+
+struct MockComm {
+  double allreduce_sum(double v) { return v; }
+};
+
+// BUG: the rounding of `total` follows the hash-table layout of the run.
+double total_energy(const std::unordered_map<int, double>& cell_energy) {
+  double total = 0.0;
+  for (const auto& [cell, e] : cell_energy) {
+    total += e;
+  }
+  return total;
+}
+
+// BUG: one collective per visit, issued in hash order.
+double reduce_all(MockComm& comm, const std::unordered_map<int, double>& local) {
+  double acc = 0.0;
+  for (const auto& [k, v] : local) {
+    acc = comm.allreduce_sum(v);
+  }
+  return acc;
+}
+
+// BUG: report rows come out in hash order — export bytes differ between runs.
+void dump_names(std::ostream& os, const std::unordered_set<std::string>& names) {
+  for (const auto& n : names) {
+    os << n << "\n";
+  }
+}
+
+// OK: lookup-only visit; nothing order-sensitive escapes the loop.
+std::size_t count_positive(const std::unordered_map<int, double>& m) {
+  std::size_t n = 0;
+  for (const auto& [k, v] : m) {
+    if (v > 0.0) ++n;
+  }
+  return n;
+}
+
+// OK (suppressed): the visit order is erased by the caller's sort.
+std::vector<int> keys_for_sorting(const std::unordered_map<int, double>& m) {
+  std::vector<int> keys;
+  // NEURO_NONDET_OK(collected keys are sorted by the caller before use)
+  for (const auto& [k, v] : m) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace neuro

@@ -1,9 +1,12 @@
 // Unit tests for the in-process message-passing runtime.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "base/check.h"
@@ -281,6 +284,37 @@ TEST(PhaseWorkTest, RecordsAndRetrieves) {
   EXPECT_FALSE(pw.has_phase("solve"));
   EXPECT_EQ(pw.phase("assemble").size(), 4u);
   EXPECT_THROW(static_cast<void>(pw.phase("solve")), CheckError);
+}
+
+TEST(PhaseWorkTest, NamesAndReportAreSortedRegardlessOfInsertion) {
+  // Export determinism: the report must be a pure function of the recorded
+  // data, not of insertion order — two runs that record phases in different
+  // orders still produce byte-identical reports.
+  PhaseWork a;
+  a.record("solve", std::vector<WorkRecord>(2));
+  a.record("assemble", std::vector<WorkRecord>(2));
+  a.record("mesh", std::vector<WorkRecord>(1));
+  PhaseWork b;
+  b.record("mesh", std::vector<WorkRecord>(1));
+  b.record("assemble", std::vector<WorkRecord>(2));
+  b.record("solve", std::vector<WorkRecord>(2));
+
+  const std::vector<std::string> expected{"assemble", "mesh", "solve"};
+  EXPECT_EQ(a.names(), expected);
+  EXPECT_EQ(b.names(), expected);
+
+  std::ostringstream ra;
+  std::ostringstream rb;
+  a.write_report(ra);
+  b.write_report(rb);
+  const std::string report_a = ra.str();
+  EXPECT_EQ(report_a, rb.str());
+  // Header plus one CSV row per (phase, rank).
+  EXPECT_NE(report_a.find(
+                "phase,rank,flops,mem_bytes,comm_bytes,comm_msgs,coll_rounds"),
+            std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(report_a.begin(), report_a.end(), '\n')),
+            1 + 2 + 2 + 1);
 }
 
 class SpmdRankCountTest : public ::testing::TestWithParam<int> {};
