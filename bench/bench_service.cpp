@@ -1,0 +1,323 @@
+// bench_service: deterministic load generator for the multi-tenant session
+// service (docs/service.md). Three seeded campaigns drive service::SessionServer
+// with mixed-size phantom cases and report the SLO surface the service is
+// gated on (tools/perf/check_bench_service.py):
+//
+//   baseline  closed-loop load inside capacity: every request must terminate
+//             usable and p99 time-to-usable-field must meet the deadline.
+//   overload  an open-loop burst of hundreds of requests against a bounded
+//             queue: overload must manifest as typed rejections (queue full /
+//             doomed deadline), never as lost requests or unbounded depth.
+//   faults    a seeded kDrop communication-fault campaign: the degradation
+//             ladder must keep the usable rate at 1.0 by trading fidelity.
+//
+// Usage:
+//   bench_service                                  # all campaigns, table only
+//   bench_service --requests 240 --json BENCH_service.json
+//   bench_service --campaigns baseline,faults      # subset (CI smoke)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "par/fault_inject.h"
+#include "phantom/brain_phantom.h"
+#include "service/session_server.h"
+
+namespace neuro {
+namespace {
+
+// --- deterministic case catalogue --------------------------------------------
+
+/// One tenant: a phantom head at a given resolution with a progressing
+/// deformation sequence. Mixed sizes make the cost model earn its keep —
+/// admission must price a 48^3 stride-3 solve differently from a 32^3 one.
+struct TenantCase {
+  std::string name;
+  std::vector<phantom::PhantomCase> scans;
+  core::PipelineConfig config;
+};
+
+TenantCase make_tenant(const std::string& name, int dim, double spacing_mm,
+                       int stride) {
+  phantom::PhantomConfig pc;
+  pc.dims = {dim, dim, dim};
+  pc.spacing = {spacing_mm, spacing_mm, spacing_mm};
+  TenantCase tenant;
+  tenant.name = name;
+  tenant.scans = phantom::make_case_sequence(pc, phantom::ShiftConfig{},
+                                             {0.3, 0.6, 1.0});
+  tenant.config = core::default_pipeline_config();
+  tenant.config.do_rigid_registration = false;  // cases share the frame
+  tenant.config.mesher.stride = stride;
+  return tenant;
+}
+
+std::vector<TenantCase> make_catalogue() {
+  std::vector<TenantCase> tenants;
+  tenants.push_back(make_tenant("small_32", 32, 3.5, 4));
+  tenants.push_back(make_tenant("medium_40", 40, 3.0, 4));
+  tenants.push_back(make_tenant("large_48", 48, 2.8, 3));
+  return tenants;
+}
+
+// --- campaign runner ---------------------------------------------------------
+
+struct CampaignSpec {
+  std::string name;
+  int requests = 0;
+  double deadline_seconds = 0.0;
+  std::size_t queue_capacity = 16;
+  /// Closed loop: at most `window` requests in flight (an OR streams scans as
+  /// previous fields arrive). 0 = open loop: burst-submit a whole chunk.
+  int window = 0;
+  /// Open-loop bursts with a settle between them. Burst 1 hits an untrained
+  /// cost model (rejections are all queue-full backpressure); later bursts
+  /// hit a trained one, so deadline admission control gets to act too.
+  int bursts = 1;
+  par::FaultConfig fault;  ///< kNone = clean runs
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  service::ServerStats stats;
+  std::size_t max_queue_depth = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+double percentile(std::vector<double> sorted_values, double q) {
+  if (sorted_values.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  return sorted_values[std::min(sorted_values.size(), std::max<std::size_t>(
+                                                          rank, 1)) -
+                       1];
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::vector<TenantCase>& tenants) {
+  service::ServerOptions options;
+  options.workers = 2;
+  options.rank_pool = 4;
+  options.ranks_per_solve = 2;
+  options.queue_capacity = spec.queue_capacity;
+  options.default_deadline_seconds = spec.deadline_seconds;
+
+  service::SessionServer server(options);
+  std::vector<service::SessionId> sessions;
+  for (const auto& tenant : tenants) {
+    core::PipelineConfig config = tenant.config;
+    config.fem.fault_injection = spec.fault;
+    sessions.push_back(server.open_session(tenant.scans[0].preop,
+                                           tenant.scans[0].preop_labels,
+                                           config));
+  }
+
+  std::vector<double> usable_times;
+  std::vector<service::RequestTicket> in_flight;
+  const auto settle = [&] {
+    for (const auto& ticket : in_flight) {
+      const service::RequestReport report = server.wait(ticket);
+      if (report.status.ok()) {
+        usable_times.push_back(report.time_to_field_seconds);
+      }
+    }
+    in_flight.clear();
+  };
+
+  const int bursts = std::max(1, spec.bursts);
+  const int per_burst = (spec.requests + bursts - 1) / bursts;
+  int i = 0;
+  for (int burst = 0; burst < bursts; ++burst) {
+    for (int j = 0; j < per_burst && i < spec.requests; ++j, ++i) {
+      const auto tenant = static_cast<std::size_t>(i) % tenants.size();
+      const auto& scans = tenants[tenant].scans;
+      const auto& intraop =
+          scans[static_cast<std::size_t>(i / tenants.size()) % scans.size()]
+              .intraop;
+      const auto ticket = server.submit(sessions[tenant], intraop);
+      if (ticket.ok()) in_flight.push_back(ticket.value());
+      if (spec.window > 0 &&
+          in_flight.size() >= static_cast<std::size_t>(spec.window)) {
+        settle();
+      }
+    }
+    settle();
+  }
+  server.drain();
+
+  CampaignResult result;
+  result.spec = spec;
+  result.stats = server.stats();
+  result.max_queue_depth = server.max_queue_depth();
+  std::sort(usable_times.begin(), usable_times.end());
+  result.p50_s = percentile(usable_times, 0.50);
+  result.p99_s = percentile(usable_times, 0.99);
+  result.max_s = usable_times.empty() ? 0.0 : usable_times.back();
+  server.shutdown();
+  return result;
+}
+
+CampaignSpec campaign(const std::string& name, int scale) {
+  CampaignSpec spec;
+  spec.name = name;
+  if (name == "baseline") {
+    // In-capacity closed-loop load: the SLO the service advertises.
+    spec.requests = std::max(12, scale / 10);
+    spec.deadline_seconds = 10.0;
+    spec.queue_capacity = 32;
+    spec.window = 4;
+  } else if (name == "overload") {
+    // Hundreds of requests burst at a bounded queue: backpressure on display.
+    spec.requests = scale;
+    spec.deadline_seconds = 3.0;
+    spec.queue_capacity = 12;
+    spec.window = 0;
+    spec.bursts = 2;
+  } else if (name == "faults") {
+    // Every solve attempt draws a seeded kDrop stream; the ladder must still
+    // deliver a usable (degraded) field on every request.
+    spec.requests = std::max(9, scale / 20);
+    spec.deadline_seconds = 5.0;
+    spec.queue_capacity = 16;
+    spec.window = 3;
+    spec.fault.kind = par::FaultKind::kDrop;
+    spec.fault.probability = 1.0;
+    spec.fault.seed = 2026;
+    spec.fault.recv_timeout_ms = 25.0;
+  } else {
+    NEURO_REQUIRE(false,
+                  "bench_service: unknown campaign '" << name << "'");
+  }
+  return spec;
+}
+
+// --- reporting ---------------------------------------------------------------
+
+double usable_rate(const service::ServerStats& s) {
+  return s.completed == 0
+             ? 0.0
+             : static_cast<double>(s.usable) / static_cast<double>(s.completed);
+}
+
+void print_table(const std::vector<CampaignResult>& rows) {
+  std::printf("== Service load campaigns (docs/service.md) ==\n");
+  std::printf(" campaign  | subm | admit | rej(full/ddl) | usable | degr "
+              "| fail | retry | depth | p50(s) | p99(s)\n");
+  std::printf("-----------+------+-------+---------------+--------+------"
+              "+------+-------+-------+--------+-------\n");
+  for (const auto& row : rows) {
+    const auto& s = row.stats;
+    std::printf(" %-9s | %4lld | %5lld |   %4lld / %4lld | %6lld | %4lld "
+                "| %4lld | %5lld | %5zu | %6.3f | %6.3f\n",
+                row.spec.name.c_str(), static_cast<long long>(s.submitted),
+                static_cast<long long>(s.admitted),
+                static_cast<long long>(s.rejected_queue_full),
+                static_cast<long long>(s.rejected_deadline),
+                static_cast<long long>(s.usable),
+                static_cast<long long>(s.degraded),
+                static_cast<long long>(s.failed),
+                static_cast<long long>(s.retries), row.max_queue_depth,
+                row.p50_s, row.p99_s);
+  }
+  std::printf("\nexpected shape: baseline stays fully usable inside its "
+              "deadline; overload\nconverts excess load into typed rejections "
+              "with queue depth <= capacity;\nthe fault campaign stays usable "
+              "by degrading, not by failing.\n");
+}
+
+void write_json(const std::vector<CampaignResult>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  NEURO_REQUIRE(f != nullptr, "bench_service: cannot write " << path);
+  std::fprintf(f, "{\n  \"bench\": \"service\",\n  \"campaigns\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& s = row.stats;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"requests\": %d, \"deadline_s\": %.3f,\n"
+        "     \"workers\": 2, \"rank_pool\": 4, \"queue_capacity\": %zu,\n"
+        "     \"submitted\": %lld, \"admitted\": %lld,\n"
+        "     \"rejected_queue_full\": %lld, \"rejected_deadline\": %lld,\n"
+        "     \"rejected_unknown_session\": %lld, \"rejected_draining\": "
+        "%lld,\n"
+        "     \"completed\": %lld, \"usable\": %lld, \"degraded\": %lld, "
+        "\"failed\": %lld,\n"
+        "     \"retries\": %lld, \"crashes\": %lld, \"resumes\": %lld,\n"
+        "     \"usable_rate\": %.6f, \"max_queue_depth\": %zu,\n"
+        "     \"time_to_usable_field_s\": {\"p50\": %.6f, \"p99\": %.6f, "
+        "\"max\": %.6f}}%s\n",
+        row.spec.name.c_str(), row.spec.requests, row.spec.deadline_seconds,
+        row.spec.queue_capacity, static_cast<long long>(s.submitted),
+        static_cast<long long>(s.admitted),
+        static_cast<long long>(s.rejected_queue_full),
+        static_cast<long long>(s.rejected_deadline),
+        static_cast<long long>(s.rejected_unknown_session),
+        static_cast<long long>(s.rejected_draining),
+        static_cast<long long>(s.completed), static_cast<long long>(s.usable),
+        static_cast<long long>(s.degraded), static_cast<long long>(s.failed),
+        static_cast<long long>(s.retries), static_cast<long long>(s.crashes),
+        static_cast<long long>(s.resumes), usable_rate(s),
+        row.max_queue_depth, row.p50_s, row.p99_s, row.max_s,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+    if (end > start) out.push_back(arg.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace neuro
+
+int main(int argc, char** argv) {
+  using namespace neuro;
+  std::vector<std::string> names{"baseline", "overload", "faults"};
+  int scale = 240;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--campaigns") == 0 && i + 1 < argc) {
+      names = split_csv(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--campaigns baseline,overload,faults] "
+                  "[--requests N] [--json out.json]\n",
+                  argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<TenantCase> tenants = make_catalogue();
+  std::printf("tenants:");
+  for (const auto& tenant : tenants) {
+    std::printf(" %s(%dv)", tenant.name.c_str(), tenant.scans[0].preop.dims().x);
+  }
+  std::printf("  overload scale: %d requests\n\n", scale);
+
+  std::vector<CampaignResult> rows;
+  for (const std::string& name : names) {
+    rows.push_back(run_campaign(campaign(name, scale), tenants));
+  }
+  print_table(rows);
+  if (json_path != nullptr) write_json(rows, json_path);
+  return 0;
+}

@@ -13,6 +13,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kValidationFailed: return "validation_failed";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

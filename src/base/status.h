@@ -34,6 +34,7 @@ enum class StatusCode : std::uint8_t {
   kValidationFailed,   ///< a candidate field failed the acceptance gate
   kFailedPrecondition, ///< inputs outside the contract, detected before work
   kUnavailable,        ///< a requested fallback resource does not exist
+  kResourceExhausted,  ///< a bounded queue or pool is full; retry later
 };
 
 /// Short stable name, e.g. "deadline_exceeded".

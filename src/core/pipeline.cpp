@@ -170,10 +170,15 @@ PipelineResult run_intraop_pipeline(const ImageF& preop, const ImageL& preop_lab
   fem::DegradationOptions degrade = config.degradation;
   if (last_good != nullptr) degrade.last_good = last_good;
   // The FEM stage gets its share of whatever pipeline budget remains; the
-  // ladder splits that share across its rungs.
+  // ladder splits that share across its rungs. A budget that expired before
+  // this stage must stay *limited* — an allotment of exactly 0.0 would read
+  // as "unlimited" to DeadlineBudget and hand an overdue request a full
+  // unbounded solve; clamping to an epsilon sends the ladder straight to its
+  // cheap rungs instead (degrade, don't cancel — docs/service.md).
   const base::DeadlineBudget fem_budget(
-      budget.limited() ? budget.stage_allotment(config.fem_budget_fraction)
-                       : 0.0);
+      budget.limited()
+          ? std::max(1e-3, budget.stage_allotment(config.fem_budget_fraction))
+          : 0.0);
   auto fem_outcome = fem::solve_deformation_with_fallback(
       result.brain_mesh, materials, prescribed, config.fem, degrade, fem_budget);
   // Fail loudly when no rung produced a validated field: an unusable

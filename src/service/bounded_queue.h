@@ -1,0 +1,122 @@
+// Bounded MPMC queue with typed rejection — the service backpressure
+// primitive (docs/service.md).
+//
+// Overload discipline: producers never block and never grow memory. try_push
+// either stores the item or returns a typed Status — kResourceExhausted when
+// the ring is full (the caller surfaces the rejection to its client),
+// kUnavailable once the queue is closed. Consumers pop with a bounded wait so
+// a draining worker can observe shutdown instead of parking forever; after
+// close() the remaining items stay poppable (drain semantics) and pop returns
+// kUnavailable only when the queue is both closed and empty.
+//
+// Storage is a fixed-size ring over std::vector, sized once at construction —
+// deliberately not std::deque/std::queue, whose unbounded growth under
+// overload is exactly the failure mode this type exists to prevent (and which
+// tools/lint/check_sources.py bans in src/service/).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+
+namespace neuro::service {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity), buffer_(capacity) {
+    NEURO_REQUIRE(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Stores `item` or rejects it: kResourceExhausted when full, kUnavailable
+  /// when closed. Never blocks, never allocates past the fixed ring.
+  [[nodiscard]] base::Status try_push(T item) NEURO_EXCLUDES(mutex_) {
+    base::MutexLock lock(mutex_);
+    if (closed_) {
+      return {base::StatusCode::kUnavailable, "BoundedQueue: closed"};
+    }
+    if (count_ == capacity_) {
+      return {base::StatusCode::kResourceExhausted,
+              "BoundedQueue: full at capacity " + std::to_string(capacity_)};
+    }
+    buffer_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+    if (count_ > max_depth_) max_depth_ = count_;
+    nonempty_.notify_one();
+    return {};
+  }
+
+  /// Removes the oldest item, waiting up to `timeout_seconds` for one to
+  /// arrive. Errors: kDeadlineExceeded when the wait timed out with the queue
+  /// still open, kUnavailable when the queue is closed *and* drained (the
+  /// consumer's signal to exit its loop).
+  [[nodiscard]] base::Outcome<T> pop(double timeout_seconds)
+      NEURO_EXCLUDES(mutex_) {
+    const auto timeout = std::chrono::duration<double>(timeout_seconds);
+    base::MutexLock lock(mutex_);
+    while (count_ == 0) {
+      if (closed_) {
+        return base::Status{base::StatusCode::kUnavailable,
+                            "BoundedQueue: closed and drained"};
+      }
+      if (!nonempty_.wait_for(mutex_, timeout) && count_ == 0 && !closed_) {
+        return base::Status{base::StatusCode::kDeadlineExceeded,
+                            "BoundedQueue: pop timed out"};
+      }
+    }
+    T item = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return item;
+  }
+
+  /// Stops admission (try_push returns kUnavailable from now on) and wakes
+  /// every waiting consumer. Items already queued stay poppable.
+  void close() NEURO_EXCLUDES(mutex_) {
+    base::MutexLock lock(mutex_);
+    closed_ = true;
+    nonempty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const NEURO_EXCLUDES(mutex_) {
+    base::MutexLock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const NEURO_EXCLUDES(mutex_) {
+    base::MutexLock lock(mutex_);
+    return count_;
+  }
+
+  /// High-water mark of size() over the queue's lifetime — the bench's
+  /// queue-depth gauge; by construction never exceeds capacity().
+  [[nodiscard]] std::size_t max_depth() const NEURO_EXCLUDES(mutex_) {
+    base::MutexLock lock(mutex_);
+    return max_depth_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable base::Mutex mutex_;
+  base::CondVar nonempty_;
+  std::vector<T> buffer_ NEURO_GUARDED_BY(mutex_);  ///< fixed-size ring
+  std::size_t head_ NEURO_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ NEURO_GUARDED_BY(mutex_) = 0;
+  std::size_t max_depth_ NEURO_GUARDED_BY(mutex_) = 0;
+  bool closed_ NEURO_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace neuro::service

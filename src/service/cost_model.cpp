@@ -1,0 +1,62 @@
+#include "service/cost_model.h"
+
+#include "base/check.h"
+
+namespace neuro::service {
+
+CostModel::CostModel(CostModelOptions options) : options_(options) {
+  NEURO_REQUIRE(options_.alpha > 0.0 && options_.alpha <= 1.0,
+                "CostModel: alpha must be in (0, 1], got " << options_.alpha);
+  NEURO_REQUIRE(options_.prior_seconds >= 0.0,
+                "CostModel: negative prior_seconds");
+}
+
+void CostModel::record(double megavoxels,
+                       const std::vector<core::StageTiming>& timeline) {
+  NEURO_REQUIRE(megavoxels > 0.0, "CostModel::record: non-positive size");
+  double total = 0.0;
+  base::MutexLock lock(mutex_);
+  for (const auto& stage : timeline) {
+    const double per_mvox = stage.seconds / megavoxels;
+    auto [it, inserted] = stage_per_mvox_.try_emplace(stage.name, per_mvox);
+    if (!inserted) {
+      it->second += options_.alpha * (per_mvox - it->second);
+    }
+    total += stage.seconds;
+  }
+  if (observations_ == 0) {
+    total_per_mvox_ = total / megavoxels;
+    mean_service_ = total;
+  } else {
+    total_per_mvox_ += options_.alpha * (total / megavoxels - total_per_mvox_);
+    mean_service_ += options_.alpha * (total - mean_service_);
+  }
+  ++observations_;
+}
+
+double CostModel::predict_service_seconds(double megavoxels) const {
+  base::MutexLock lock(mutex_);
+  if (observations_ == 0) return options_.prior_seconds;
+  return total_per_mvox_ * megavoxels;
+}
+
+double CostModel::mean_service_seconds() const {
+  base::MutexLock lock(mutex_);
+  if (observations_ == 0) return options_.prior_seconds;
+  return mean_service_;
+}
+
+double CostModel::predict_stage_seconds(const std::string& stage,
+                                        double megavoxels) const {
+  base::MutexLock lock(mutex_);
+  const auto it = stage_per_mvox_.find(stage);
+  if (it == stage_per_mvox_.end()) return 0.0;
+  return it->second * megavoxels;
+}
+
+int CostModel::observations() const {
+  base::MutexLock lock(mutex_);
+  return observations_;
+}
+
+}  // namespace neuro::service

@@ -1,0 +1,68 @@
+// Measured per-stage cost model for admission control (docs/service.md).
+//
+// The server cannot know a request's cost before running it, but it has seen
+// requests like it: every completed scan reports its Fig. 6 stage timeline
+// (rows that are views over the neuro::obs spans the pipeline records), and
+// intraop voxel count is the dominant size driver across mixed acquisition
+// matrices. The model keeps an exponentially-weighted moving average of
+// seconds-per-megavoxel — per stage and in total — plus an EWMA of raw
+// service seconds for queue-wait estimation, and predicts a request's service
+// time from its voxel count alone, which is all admission control has in
+// hand at submit time.
+//
+// Before the first observation the model answers with `prior_seconds`: an
+// empty model must neither reject everything (prior too large) nor admit
+// blindly (prior zero with tight deadlines); the operator picks the stance.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "core/pipeline.h"
+
+namespace neuro::service {
+
+struct CostModelOptions {
+  double alpha = 0.35;         ///< EWMA weight of the newest observation
+  double prior_seconds = 0.0;  ///< predicted service time before any data
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions options = {});
+
+  /// Records one completed request: the intraop scan size and the pipeline's
+  /// stage timeline for that scan.
+  void record(double megavoxels, const std::vector<core::StageTiming>& timeline)
+      NEURO_EXCLUDES(mutex_);
+
+  /// Predicted service seconds for a request over `megavoxels` of intraop
+  /// data; `prior_seconds` until the first record().
+  [[nodiscard]] double predict_service_seconds(double megavoxels) const
+      NEURO_EXCLUDES(mutex_);
+
+  /// EWMA of observed total service seconds irrespective of request size —
+  /// the per-slot cost the queue-wait estimator multiplies by queue depth.
+  [[nodiscard]] double mean_service_seconds() const NEURO_EXCLUDES(mutex_);
+
+  /// Predicted seconds for one named pipeline stage at `megavoxels`
+  /// (0 when the stage has not been observed yet).
+  [[nodiscard]] double predict_stage_seconds(const std::string& stage,
+                                             double megavoxels) const
+      NEURO_EXCLUDES(mutex_);
+
+  [[nodiscard]] int observations() const NEURO_EXCLUDES(mutex_);
+
+ private:
+  CostModelOptions options_;
+  mutable base::Mutex mutex_;
+  std::map<std::string, double> stage_per_mvox_ NEURO_GUARDED_BY(mutex_);
+  double total_per_mvox_ NEURO_GUARDED_BY(mutex_) = 0.0;
+  double mean_service_ NEURO_GUARDED_BY(mutex_) = 0.0;
+  int observations_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace neuro::service

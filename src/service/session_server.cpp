@@ -1,0 +1,458 @@
+#include "service/session_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "base/check.h"
+#include "fem/degradation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace neuro::service {
+namespace {
+
+/// Request size in the unit the cost model is keyed on.
+double megavoxels(const ImageF& image) {
+  const IVec3 d = image.dims();
+  return static_cast<double>(d.x) * d.y * d.z / 1e6;
+}
+
+/// The deadline handed to an already-expired request: small enough that the
+/// ladder goes straight to its cheap rungs, nonzero so the pipeline does not
+/// read it as "unlimited" (degrade, don't cancel).
+constexpr double kMinSteeringSeconds = 1e-3;
+
+/// Worker poll interval: bounds how long shutdown waits for an idle worker.
+constexpr double kPopTimeoutSeconds = 0.2;
+
+/// RAII over a RankPool grant: released on every exit path of process(),
+/// including exceptions escaping the pipeline.
+class RankGrant {
+ public:
+  RankGrant(RankPool& pool, int want)
+      : pool_(pool), granted_(pool.acquire(want)) {}
+  ~RankGrant() { pool_.release(granted_); }
+
+  RankGrant(const RankGrant&) = delete;
+  RankGrant& operator=(const RankGrant&) = delete;
+
+  [[nodiscard]] int granted() const { return granted_; }
+
+ private:
+  RankPool& pool_;
+  int granted_;
+};
+
+void observe_time_to_field(double seconds) {
+  obs::metrics()
+      .histogram("service.time_to_field_seconds",
+                 {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0})
+      .observe(seconds);
+}
+
+}  // namespace
+
+RankPool::RankPool(int capacity) : capacity_(capacity), free_(capacity) {
+  NEURO_REQUIRE(capacity >= 1, "RankPool: capacity must be >= 1");
+}
+
+int RankPool::acquire(int want) {
+  NEURO_REQUIRE(want >= 1, "RankPool::acquire: want must be >= 1");
+  base::MutexLock lock(mutex_);
+  while (free_ == 0) {
+    freed_.wait(mutex_);
+  }
+  const int granted = std::min(want, free_);
+  free_ -= granted;
+  return granted;
+}
+
+void RankPool::release(int granted) {
+  base::MutexLock lock(mutex_);
+  free_ += granted;
+  NEURO_REQUIRE(free_ <= capacity_, "RankPool::release: over-release");
+  freed_.notify_all();
+}
+
+int RankPool::free_ranks() const {
+  base::MutexLock lock(mutex_);
+  return free_;
+}
+
+SessionServer::SessionServer(ServerOptions options)
+    : options_(options),
+      cost_(options.cost),
+      queue_(options.queue_capacity),
+      pool_(options.rank_pool) {
+  NEURO_REQUIRE(options_.workers >= 0, "SessionServer: negative worker count");
+  NEURO_REQUIRE(options_.ranks_per_solve >= 1,
+                "SessionServer: ranks_per_solve must be >= 1");
+  NEURO_REQUIRE(options_.retry.max_retries >= 0,
+                "SessionServer: negative max_retries");
+  NEURO_REQUIRE(options_.admission_margin > 0.0,
+                "SessionServer: admission_margin must be positive");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SessionServer::~SessionServer() { shutdown(); }
+
+SessionId SessionServer::open_session(ImageF preop, ImageL preop_labels,
+                                      core::PipelineConfig config) {
+  auto state = std::make_unique<SessionState>();
+  state->preop = std::move(preop);
+  state->labels = std::move(preop_labels);
+  state->config = std::move(config);
+  base::MutexLock lock(state_mutex_);
+  NEURO_REQUIRE(!draining_, "SessionServer::open_session: server is draining");
+  const SessionId id(next_session_id_++);
+  sessions_.emplace(id, std::move(state));
+  return id;
+}
+
+void SessionServer::evict_session(SessionId session) {
+  SessionState* state = find_session(session);
+  NEURO_REQUIRE(state != nullptr,
+                "SessionServer::evict_session: unknown session "
+                    << session.value());
+  base::MutexLock lock(state->mutex);
+  state->live.reset();
+}
+
+core::SessionCheckpoint SessionServer::session_checkpoint(
+    SessionId session) const {
+  SessionState* state = find_session(session);
+  NEURO_REQUIRE(state != nullptr,
+                "SessionServer::session_checkpoint: unknown session "
+                    << session.value());
+  base::MutexLock lock(state->mutex);
+  if (state->live != nullptr) return state->live->checkpoint();
+  return state->checkpoint;
+}
+
+base::Outcome<RequestTicket> SessionServer::submit(
+    SessionId session, ImageF intraop, RequestOptions request_options) {
+  SessionState* state = nullptr;
+  bool draining = false;
+  {
+    base::MutexLock lock(state_mutex_);
+    ++stats_.submitted;
+    draining = draining_;
+    const auto it = sessions_.find(session);
+    if (it != sessions_.end()) state = it->second.get();
+  }
+  obs::metrics().counter("service.submitted").add();
+  if (draining) {
+    return reject({base::StatusCode::kUnavailable,
+                   "SessionServer: draining, not admitting new requests"});
+  }
+  if (state == nullptr) {
+    std::ostringstream oss;
+    oss << "SessionServer: unknown session " << session.value();
+    return reject({base::StatusCode::kFailedPrecondition, oss.str()});
+  }
+
+  const double deadline_seconds = request_options.deadline_seconds < 0.0
+                                      ? options_.default_deadline_seconds
+                                      : request_options.deadline_seconds;
+  base::DeadlineBudget budget(deadline_seconds);
+  if (budget.limited()) {
+    // Admission control: reject work the measured cost model says cannot
+    // finish inside its budget, instead of queueing it to fail later.
+    const double size = megavoxels(intraop);
+    const double predicted_service = cost_.predict_service_seconds(size);
+    const double predicted_wait = static_cast<double>(queue_.size()) *
+                                  cost_.mean_service_seconds() /
+                                  std::max(1, options_.workers);
+    const double predicted = predicted_service + predicted_wait;
+    if (predicted > options_.admission_margin * budget.remaining_seconds()) {
+      std::ostringstream oss;
+      oss << "SessionServer: predicted " << predicted << " s (service "
+          << predicted_service << " s + queue wait " << predicted_wait
+          << " s) cannot meet a " << deadline_seconds << " s deadline";
+      return reject({base::StatusCode::kDeadlineExceeded, oss.str()});
+    }
+  }
+
+  PendingRequest request;
+  request.session = session;
+  request.state = state;
+  request.intraop = std::move(intraop);
+  request.budget = budget;
+  {
+    base::MutexLock lock(state_mutex_);
+    request.id = RequestId(next_request_id_++);
+    // The slot exists before the push so a worker can never complete a
+    // request whose slot is still missing.
+    slots_.emplace(request.id, CompletionSlot{});
+    ++outstanding_;
+  }
+  const RequestId id = request.id;
+  base::Status pushed = queue_.try_push(std::move(request));
+  if (!pushed.ok()) {
+    {
+      base::MutexLock lock(state_mutex_);
+      slots_.erase(id);
+      --outstanding_;
+    }
+    return reject(std::move(pushed));
+  }
+  {
+    base::MutexLock lock(state_mutex_);
+    ++stats_.admitted;
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    if (depth > stats_.max_queue_depth) stats_.max_queue_depth = depth;
+  }
+  obs::metrics().counter("service.admitted").add();
+  obs::metrics().gauge("service.queue_depth").set(
+      static_cast<double>(queue_.size()));
+  return RequestTicket{id};
+}
+
+RequestReport SessionServer::wait(const RequestTicket& ticket) {
+  base::MutexLock lock(state_mutex_);
+  const auto it = slots_.find(ticket.id);
+  NEURO_REQUIRE(it != slots_.end(),
+                "SessionServer::wait: unknown or already-waited ticket "
+                    << ticket.id.value());
+  while (!it->second.done) {
+    completion_cv_.wait(state_mutex_);
+  }
+  RequestReport report = std::move(it->second.report);
+  slots_.erase(it);
+  return report;
+}
+
+void SessionServer::drain() {
+  NEURO_REQUIRE(options_.workers > 0,
+                "SessionServer::drain: no workers to drain the queue; "
+                "use shutdown()");
+  base::MutexLock lock(state_mutex_);
+  draining_ = true;
+  while (outstanding_ > 0) {
+    completion_cv_.wait(state_mutex_);
+  }
+}
+
+void SessionServer::shutdown() {
+  {
+    base::MutexLock lock(state_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    draining_ = true;
+    aborting_ = true;
+  }
+  queue_.close();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  // Anything the workers did not pop (always everything when workers == 0)
+  // terminates typed rather than lost.
+  for (;;) {
+    base::Outcome<PendingRequest> popped = queue_.pop(0.0);
+    if (!popped.ok()) break;
+    finish(abandon(std::move(popped.value())));
+  }
+}
+
+ServerStats SessionServer::stats() const {
+  base::MutexLock lock(state_mutex_);
+  return stats_;
+}
+
+void SessionServer::worker_loop() {
+  for (;;) {
+    base::Outcome<PendingRequest> popped = queue_.pop(kPopTimeoutSeconds);
+    if (!popped.ok()) {
+      if (popped.status().code() == base::StatusCode::kUnavailable) return;
+      continue;  // poll timeout: re-check for work or close
+    }
+    obs::metrics().gauge("service.queue_depth").set(
+        static_cast<double>(queue_.size()));
+    if (aborting()) {
+      finish(abandon(std::move(popped.value())));
+      continue;
+    }
+    finish(process(std::move(popped.value())));
+  }
+}
+
+RequestReport SessionServer::process(PendingRequest request) {
+  RequestReport report;
+  report.id = request.id;
+  report.session = request.session;
+  report.rung = "-";
+  report.queue_seconds = request.budget.elapsed_seconds();
+
+  obs::Span span = obs::timed_span("service.request");
+  span.attr("session", static_cast<std::int64_t>(request.session.value()));
+  span.attr("request", static_cast<std::int64_t>(request.id.value()));
+  span.attr("queue_seconds", report.queue_seconds);
+
+  SessionState& state = *request.state;
+  base::MutexLock lock(state.mutex);
+  RankGrant grant(pool_, options_.ranks_per_solve);
+  report.ranks = grant.granted();
+  if (state.live == nullptr) {
+    // Eviction or a prior crash dropped the live object; the case continues
+    // from its checkpoint, numbering scans where it left off.
+    report.resumed = state.checkpoint.scans_processed > 0;
+    state.live = std::make_unique<core::SurgerySession>(
+        state.preop, state.labels, state.config, state.checkpoint,
+        options_.retention);
+    if (report.resumed) obs::metrics().counter("service.resumes").add();
+  }
+
+  int attempt = 0;
+  double backoff = options_.retry.backoff_seconds;
+  for (;;) {
+    core::ScanOverrides overrides;
+    overrides.nranks = grant.granted();
+    overrides.fault_seed_offset = static_cast<std::uint64_t>(attempt);
+    if (request.budget.limited()) {
+      // Degrade, don't cancel: the pipeline gets whatever budget remains
+      // (epsilon once expired), and its ladder trades fidelity for time.
+      overrides.deadline_seconds =
+          std::max(kMinSteeringSeconds, request.budget.remaining_seconds());
+    }
+    try {
+      const core::PipelineResult& result =
+          state.live->process_scan(request.intraop, overrides);
+      report.degraded = result.degradation.degraded;
+      report.rung = fem::degradation_rung_name(result.degradation.rung);
+      report.scan_index = state.live->scans_processed() - 1;
+      state.checkpoint = state.live->checkpoint();
+      cost_.record(megavoxels(request.intraop), result.timeline);
+      break;
+    } catch (const base::StatusError& error) {
+      const base::StatusCode code = error.status().code();
+      const bool transient = code == base::StatusCode::kCommFault ||
+                             code == base::StatusCode::kUnavailable;
+      if (transient && attempt < options_.retry.max_retries &&
+          !request.budget.expired()) {
+        ++attempt;
+        ++report.retries;
+        obs::metrics().counter("service.retries").add();
+        double sleep_seconds = backoff;
+        if (request.budget.limited()) {
+          sleep_seconds =
+              std::min(sleep_seconds, request.budget.remaining_seconds());
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_seconds));
+        backoff *= options_.retry.backoff_multiplier;
+        continue;
+      }
+      report.status = error.status();
+      break;
+    } catch (const CheckError& error) {
+      // Invariant corruption inside this session's pipeline: quarantine the
+      // live object (the next request resumes from the checkpoint) and fail
+      // this request typed instead of taking the server down.
+      state.live.reset();
+      report.crashed = true;
+      report.status = {
+          base::StatusCode::kUnavailable,
+          std::string("SessionServer: session crashed: ") + error.what()};
+      obs::metrics().counter("service.crashes").add();
+      break;
+    }
+  }
+
+  report.time_to_field_seconds = request.budget.elapsed_seconds();
+  report.service_seconds =
+      report.time_to_field_seconds - report.queue_seconds;
+  span.attr("rung", report.rung);
+  span.attr("retries", report.retries);
+  span.attr("ranks", report.ranks);
+  span.attr("status", base::status_code_name(report.status.code()));
+  return report;
+}
+
+RequestReport SessionServer::abandon(PendingRequest request) const {
+  RequestReport report;
+  report.id = request.id;
+  report.session = request.session;
+  report.rung = "-";
+  report.queue_seconds = request.budget.elapsed_seconds();
+  report.time_to_field_seconds = report.queue_seconds;
+  report.status = {base::StatusCode::kUnavailable,
+                   "SessionServer: shut down before dispatch"};
+  return report;
+}
+
+void SessionServer::finish(RequestReport report) {
+  obs::metrics()
+      .counter(report.status.ok() ? "service.completed" : "service.failed")
+      .add();
+  if (report.status.ok() && report.degraded) {
+    obs::metrics().counter("service.degraded").add();
+  }
+  observe_time_to_field(report.time_to_field_seconds);
+  {
+    base::MutexLock lock(state_mutex_);
+    ++stats_.completed;
+    if (report.status.ok()) {
+      ++stats_.usable;
+      if (report.degraded) ++stats_.degraded;
+    } else {
+      ++stats_.failed;
+    }
+    stats_.retries += report.retries;
+    if (report.crashed) ++stats_.crashes;
+    if (report.resumed) ++stats_.resumes;
+    --outstanding_;
+    const auto it = slots_.find(report.id);
+    NEURO_REQUIRE(it != slots_.end(),
+                  "SessionServer: report for unknown request "
+                      << report.id.value());
+    it->second.report = std::move(report);
+    it->second.done = true;
+  }
+  completion_cv_.notify_all();
+}
+
+base::Status SessionServer::reject(base::Status status) {
+  {
+    base::MutexLock lock(state_mutex_);
+    switch (status.code()) {
+      case base::StatusCode::kResourceExhausted:
+        ++stats_.rejected_queue_full;
+        break;
+      case base::StatusCode::kDeadlineExceeded:
+        ++stats_.rejected_deadline;
+        break;
+      case base::StatusCode::kFailedPrecondition:
+        ++stats_.rejected_unknown_session;
+        break;
+      default:
+        ++stats_.rejected_draining;
+        break;
+    }
+  }
+  obs::metrics()
+      .counter(std::string("service.rejected.") +
+               base::status_code_name(status.code()))
+      .add();
+  return status;
+}
+
+SessionServer::SessionState* SessionServer::find_session(
+    SessionId session) const {
+  base::MutexLock lock(state_mutex_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool SessionServer::aborting() const {
+  base::MutexLock lock(state_mutex_);
+  return aborting_;
+}
+
+}  // namespace neuro::service

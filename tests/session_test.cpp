@@ -145,6 +145,96 @@ TEST_F(SessionTest, CumulativeTimelineSumsStages) {
   EXPECT_NEAR(it->seconds, expected, 1e-9);
 }
 
+class RetentionCaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    phantom::PhantomConfig pc;
+    pc.dims = {32, 32, 32};
+    pc.spacing = {3.5, 3.5, 3.5};
+    cases_ = new std::vector<phantom::PhantomCase>(phantom::make_case_sequence(
+        pc, phantom::ShiftConfig{}, {0.0, 0.25, 0.5, 0.75, 1.0}));
+  }
+  static void TearDownTestSuite() {
+    delete cases_;
+    cases_ = nullptr;
+  }
+  static PipelineConfig config() {
+    PipelineConfig config = default_pipeline_config();
+    config.do_rigid_registration = false;
+    return config;
+  }
+
+  static std::vector<phantom::PhantomCase>* cases_;
+};
+std::vector<phantom::PhantomCase>* RetentionCaseTest::cases_ = nullptr;
+
+TEST_F(RetentionCaseTest, RetiresOldFullResultsKeepsEverySummary) {
+  SurgerySession session((*cases_)[0].preop, (*cases_)[0].preop_labels,
+                         config(), SessionRetention{.keep_full_results = 2});
+  for (const auto& cas : *cases_) session.process_scan(cas.intraop);
+
+  EXPECT_EQ(session.scans_processed(), 5);
+  EXPECT_EQ(session.summaries_recorded(), 5);
+  // Only the last two full (image-heavy) results survive.
+  EXPECT_FALSE(session.has_full_result(0));
+  EXPECT_FALSE(session.has_full_result(2));
+  EXPECT_TRUE(session.has_full_result(3));
+  EXPECT_TRUE(session.has_full_result(4));
+  EXPECT_THROW(static_cast<void>(session.result(0)), CheckError);
+  EXPECT_EQ(&session.result(4), &session.latest());
+  // Every scan keeps its lightweight summary after the full result retires.
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_FALSE(session.summary(s).timeline.empty()) << "scan " << s;
+    EXPECT_GT(session.summary(s).total_seconds, 0.0) << "scan " << s;
+  }
+  // The cumulative timeline still covers all five scans, not just the
+  // retained tail.
+  const auto total = session.cumulative_timeline();
+  double expected = 0.0;
+  for (int s = 0; s < 5; ++s) {
+    for (const auto& stage : session.summary(s).timeline) {
+      if (stage.name == "tissue_classification") expected += stage.seconds;
+    }
+  }
+  const auto it =
+      std::find_if(total.begin(), total.end(), [](const StageTiming& t) {
+        return t.name == "tissue_classification";
+      });
+  ASSERT_NE(it, total.end());
+  EXPECT_NEAR(it->seconds, expected, 1e-9);
+}
+
+TEST_F(RetentionCaseTest, ResumesACaseFromItsCheckpoint) {
+  SurgerySession original((*cases_)[0].preop, (*cases_)[0].preop_labels,
+                          config());
+  original.process_scan((*cases_)[0].intraop);
+  original.process_scan((*cases_)[2].intraop);
+  const SessionCheckpoint checkpoint = original.checkpoint();
+  EXPECT_EQ(checkpoint.scans_processed, 2);
+  ASSERT_FALSE(checkpoint.prototypes.empty());
+  ASSERT_FALSE(checkpoint.last_good_field.empty());
+
+  SurgerySession resumed((*cases_)[0].preop, (*cases_)[0].preop_labels,
+                         config(), checkpoint);
+  EXPECT_EQ(resumed.scans_processed(), 2);
+  // Pre-restore scans kept their count but not their images or summaries.
+  EXPECT_FALSE(resumed.has_full_result(1));
+  EXPECT_THROW(static_cast<void>(resumed.result(1)), CheckError);
+  EXPECT_THROW(static_cast<void>(resumed.summary(1)), CheckError);
+
+  const auto& result = resumed.process_scan((*cases_)[4].intraop);
+  EXPECT_EQ(resumed.scans_processed(), 3);
+  EXPECT_TRUE(resumed.has_full_result(2));
+  EXPECT_EQ(resumed.summaries_recorded(), 1);
+  // The restored model is the one the original selected: same locations.
+  const auto& prototypes = result.segmentation.prototypes;
+  ASSERT_EQ(prototypes.size(), checkpoint.prototypes.size());
+  for (std::size_t i = 0; i < prototypes.size(); ++i) {
+    EXPECT_EQ(prototypes[i].voxel, checkpoint.prototypes[i].voxel);
+    EXPECT_EQ(prototypes[i].label, checkpoint.prototypes[i].label);
+  }
+}
+
 TEST(SessionConstructionTest, RejectsBadInputs) {
   EXPECT_THROW(SurgerySession(ImageF({4, 4, 4}), ImageL({5, 5, 5}),
                               default_pipeline_config()),

@@ -23,6 +23,12 @@ Checks (see docs/static_analysis.md):
     discipline (docs/static_analysis.md, "Capability annotations"); the only
     grandfathered user of the raw primitives is base/mutex.h itself
     (RAW_SYNC_ALLOWLIST, drift-checked);
+  * no std::deque / std::queue / std::priority_queue in src/service/ — the
+    service layer's only queue is service::BoundedQueue, whose capacity is
+    fixed at construction and whose overflow is a typed kResourceExhausted
+    rejection (docs/service.md); an unbounded standard container would turn
+    overload into silent memory growth instead of backpressure
+    (UNBOUNDED_QUEUE_ALLOWLIST is empty by design, drift-checked);
   * no raw base/stopwatch.h timing in src/core/ and src/fem/ — durations
     reported from the pipeline and the FEM layer flow through obs::Span
     (obs::timed_span) so that every number in a report is also a span in an
@@ -120,6 +126,18 @@ VECTOR_INT_MEMBER_ALLOWLIST = {
     ("src/fem/deformation_solver.h", "nodes_per_rank"),
     ("src/fem/deformation_solver.h", "fixed_dofs_per_rank"),
 }
+
+# Backpressure discipline (docs/service.md): every queue in the service layer
+# is a service::BoundedQueue — capacity fixed at construction, overflow
+# surfaced to the caller as a typed kResourceExhausted rejection. The
+# unbounded standard containers would absorb overload as memory growth the
+# admission controller never sees, so they are banned under src/service/.
+# The allowlist is empty by design; an entry is the review prompt to argue
+# why a particular queue genuinely may grow without bound.
+UNBOUNDED_QUEUE_DIRS = ("src/service/",)
+UNBOUNDED_QUEUE_RE = re.compile(r"\bstd::(?:deque|queue|priority_queue)\b")
+UNBOUNDED_QUEUE_INCLUDES = {"deque", "queue"}
+UNBOUNDED_QUEUE_ALLOWLIST: set[str] = set()
 
 # Timing discipline (docs/observability.md): the pipeline (src/core/) and the
 # FEM layer (src/fem/) report stage durations that are *views over trace
@@ -314,6 +332,24 @@ def check_file(root: Path, path: Path) -> list[str]:
                     "strong ID container from base/strong_id.h, or allowlist "
                     "genuine wire-format arrays in check_sources.py")
 
+    # -- bounded queues only in the service layer -----------------------------
+    if rel.startswith(UNBOUNDED_QUEUE_DIRS) and rel not in UNBOUNDED_QUEUE_ALLOWLIST:
+        for lineno, _, target in includes:
+            if target in UNBOUNDED_QUEUE_INCLUDES:
+                err(lineno,
+                    f"unbounded <{target}> in the service layer — queue through "
+                    "service::BoundedQueue so overload surfaces as a typed "
+                    "kResourceExhausted rejection, not memory growth "
+                    "(docs/service.md)")
+        for lineno, line in enumerate(code_lines, 1):
+            m = UNBOUNDED_QUEUE_RE.search(line)
+            if m:
+                err(lineno,
+                    f"unbounded {m.group(0)} in the service layer — queue "
+                    "through service::BoundedQueue so overload surfaces as a "
+                    "typed kResourceExhausted rejection, not memory growth "
+                    "(docs/service.md)")
+
     # -- no raw Stopwatch in core/fem (span-as-stopwatch discipline) ----------
     if rel.startswith(STOPWATCH_DIRS) and rel not in STOPWATCH_ALLOWLIST:
         for lineno, _, target in includes:
@@ -447,6 +483,25 @@ def check_allowlist_drift(root: Path) -> list[str]:
             errors.append(
                 f"check_sources.py: stale STOPWATCH_ALLOWLIST entry {rel} — the "
                 "file no longer uses Stopwatch; remove the entry")
+
+    for rel in sorted(UNBOUNDED_QUEUE_ALLOWLIST):
+        path = root / rel
+        if not path.is_file():
+            errors.append(
+                f"check_sources.py: stale UNBOUNDED_QUEUE_ALLOWLIST entry for "
+                f"deleted file {rel} — remove it")
+            continue
+        if not rel.startswith(UNBOUNDED_QUEUE_DIRS):
+            errors.append(
+                f"check_sources.py: UNBOUNDED_QUEUE_ALLOWLIST entry {rel} is "
+                f"outside the checked directories {UNBOUNDED_QUEUE_DIRS} — "
+                "remove it")
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        if not any(UNBOUNDED_QUEUE_RE.search(line) for line in code.splitlines()):
+            errors.append(
+                f"check_sources.py: stale UNBOUNDED_QUEUE_ALLOWLIST entry {rel} "
+                "— the file no longer uses an unbounded queue; remove the entry")
 
     for rel in sorted(NEURO_CHECK_BUDGET):
         budget = NEURO_CHECK_BUDGET[rel]

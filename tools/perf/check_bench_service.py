@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate the service load-bench record produced by bench_service.
+
+Reads BENCH_service.json and enforces the robustness contract of the
+multi-tenant session service (docs/service.md):
+
+  1. Conservation: every submitted request terminates exactly once —
+     submitted == admitted + the four typed rejection counters, every
+     admitted request completes, and completed == usable + failed.
+     Nothing is lost, nothing is double-counted.
+  2. Backpressure: the queue-depth high-water mark never exceeds the
+     configured capacity (the queue is genuinely bounded), and the
+     overload campaign converts its excess load into typed rejections
+     (queue-full backpressure and/or deadline admission control).
+  3. SLO: the in-capacity baseline campaign delivers a usable field for
+     every request with p99 time-to-usable-field within the deadline.
+  4. Degrade, don't fail: the seeded communication-fault campaign keeps
+     the usable rate at 1.0 by falling down the degradation ladder —
+     degraded solves, zero failed requests.
+
+Usage: check_bench_service.py BENCH_service.json
+"""
+
+import json
+import sys
+
+REQUIRED_CAMPAIGNS = ("baseline", "overload", "faults")
+
+REJECTION_KEYS = (
+    "rejected_queue_full",
+    "rejected_deadline",
+    "rejected_unknown_session",
+    "rejected_draining",
+)
+
+
+def check_campaign(c, failures):
+    name = c["name"]
+
+    def fail(msg):
+        failures.append(f"[{name}] {msg}")
+
+    rejected = sum(c[k] for k in REJECTION_KEYS)
+    if c["submitted"] != c["admitted"] + rejected:
+        fail(f"conservation broken: submitted {c['submitted']} != "
+             f"admitted {c['admitted']} + rejected {rejected}")
+    if c["completed"] != c["admitted"]:
+        fail(f"lost requests: admitted {c['admitted']} but only "
+             f"{c['completed']} completed")
+    if c["usable"] + c["failed"] != c["completed"]:
+        fail(f"accounting broken: usable {c['usable']} + failed "
+             f"{c['failed']} != completed {c['completed']}")
+    if c["degraded"] > c["usable"]:
+        fail(f"degraded {c['degraded']} exceeds usable {c['usable']}")
+    if c["max_queue_depth"] > c["queue_capacity"]:
+        fail(f"queue depth {c['max_queue_depth']} exceeded capacity "
+             f"{c['queue_capacity']} -- the queue is not bounded")
+    t = c["time_to_usable_field_s"]
+    if not (t["p50"] <= t["p99"] <= t["max"]):
+        fail(f"percentiles disordered: p50 {t['p50']} p99 {t['p99']} "
+             f"max {t['max']}")
+    if c["completed"] > 0:
+        rate = c["usable"] / c["completed"]
+        if abs(rate - c["usable_rate"]) > 1e-6:
+            fail(f"usable_rate {c['usable_rate']} inconsistent with "
+                 f"usable/completed {rate:.6f}")
+
+    if name == "baseline":
+        if c["usable_rate"] < 1.0:
+            fail(f"in-capacity load must stay fully usable, rate "
+                 f"{c['usable_rate']:.4f}")
+        if rejected != 0:
+            fail(f"in-capacity load was rejected ({rejected} requests) -- "
+                 "admission control is miscalibrated")
+        if t["p99"] > c["deadline_s"]:
+            fail(f"p99 time-to-usable-field {t['p99']:.3f}s misses the "
+                 f"{c['deadline_s']:.1f}s deadline SLO")
+    elif name == "overload":
+        if rejected == 0:
+            fail("overload produced no typed rejections -- backpressure "
+                 "is not engaging")
+        if c["crashes"] != 0:
+            fail(f"overload crashed {c['crashes']} sessions")
+    elif name == "faults":
+        if c["usable_rate"] < 1.0:
+            fail(f"fault campaign must degrade, not fail: usable rate "
+                 f"{c['usable_rate']:.4f}")
+        if c["degraded"] == 0:
+            fail("every solve draws a certain comm fault yet none "
+                 "degraded -- fault injection is not reaching the ladder")
+
+
+def main(path):
+    with open(path) as f:
+        record = json.load(f)
+    by_name = {c["name"]: c for c in record.get("campaigns", [])}
+
+    failures = []
+    for name in REQUIRED_CAMPAIGNS:
+        if name not in by_name:
+            raise SystemExit(f"FAIL: campaign {name!r} missing from {path}")
+
+    for name in REQUIRED_CAMPAIGNS:
+        c = by_name[name]
+        t = c["time_to_usable_field_s"]
+        rejected = sum(c[k] for k in REJECTION_KEYS)
+        print(f"{name:9s}: submitted {c['submitted']:4d}  admitted "
+              f"{c['admitted']:4d}  rejected {rejected:4d}  usable "
+              f"{c['usable']:4d}  degraded {c['degraded']:4d}  failed "
+              f"{c['failed']:3d}  depth {c['max_queue_depth']:3d}/"
+              f"{c['queue_capacity']:<3d}  p99 {t['p99']:.3f}s")
+        check_campaign(c, failures)
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK: request conservation, bounded backpressure, baseline SLO and "
+          "degrade-under-faults all within contract")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    sys.exit(main(sys.argv[1]))
