@@ -343,12 +343,15 @@ double DistBsrMatrix::value_at(GlobalRow global_row, GlobalRow global_col) const
   NEURO_REQUIRE(range_.contains(global_row), "value_at: row not owned");
   const GlobalBlockRow bcol{global_col.value() / kB};
   const LocalBlockRow br{block_range_.offset_of(GlobalBlockRow{global_row.value() / kB})};
-  for (std::int32_t p = block_row_ptr_[br]; p < block_row_ptr_[br + 1]; ++p) {
-    if (block_cols_[static_cast<std::size_t>(p)] == bcol) {
-      return values_[static_cast<std::size_t>(p) * 9U +
-                     static_cast<std::size_t>(kB * (global_row.value() % kB) +
-                                              global_col.value() % kB)];
-    }
+  // Block columns are sorted per row (the node adjacency is sorted and both
+  // from_csr and drop_zero_blocks preserve order): binary search, not scan.
+  const auto begin = block_cols_.begin() + block_row_ptr_[br];
+  const auto end = block_cols_.begin() + block_row_ptr_[br + 1];
+  const auto it = std::lower_bound(begin, end, bcol);
+  if (it != end && *it == bcol) {
+    return values_[static_cast<std::size_t>(it - block_cols_.begin()) * 9U +
+                   static_cast<std::size_t>(kB * (global_row.value() % kB) +
+                                            global_col.value() % kB)];
   }
   return 0.0;
 }
@@ -358,12 +361,13 @@ double* DistBsrMatrix::find_entry(GlobalRow global_row, GlobalRow global_col) {
   const GlobalBlockRow brow{global_row.value() / kB};
   const GlobalBlockRow bcol{global_col.value() / kB};
   const LocalBlockRow br{block_range_.offset_of(brow)};
-  for (std::int32_t p = block_row_ptr_[br]; p < block_row_ptr_[br + 1]; ++p) {
-    if (block_cols_[static_cast<std::size_t>(p)] == bcol) {
-      return &values_[static_cast<std::size_t>(p) * 9U +
-                      static_cast<std::size_t>(kB * (global_row.value() % kB) +
-                                               global_col.value() % kB)];
-    }
+  const auto begin = block_cols_.begin() + block_row_ptr_[br];
+  const auto end = block_cols_.begin() + block_row_ptr_[br + 1];
+  const auto it = std::lower_bound(begin, end, bcol);
+  if (it != end && *it == bcol) {
+    return &values_[static_cast<std::size_t>(it - block_cols_.begin()) * 9U +
+                    static_cast<std::size_t>(kB * (global_row.value() % kB) +
+                                             global_col.value() % kB)];
   }
   return nullptr;
 }

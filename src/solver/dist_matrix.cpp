@@ -179,11 +179,14 @@ void DistCsrMatrix::apply(const DistVector& x, DistVector& y,
 double DistCsrMatrix::value_at(GlobalRow global_row, GlobalRow global_col) const {
   NEURO_REQUIRE(range_.contains(global_row), "value_at: row not owned");
   const int r = range_.offset_of(global_row);
-  for (int p = row_ptr_[static_cast<std::size_t>(r)];
-       p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-    if (global_cols_[static_cast<std::size_t>(p)] == global_col.value()) {
-      return values_[static_cast<std::size_t>(p)];
-    }
+  // Columns are sorted per row (assembly emits them in ascending dof order
+  // and drop_zeros preserves order), so a binary search replaces the linear
+  // scan — value_at is called per owned row by the Jacobi preconditioner.
+  const auto begin = global_cols_.begin() + row_ptr_[static_cast<std::size_t>(r)];
+  const auto end = global_cols_.begin() + row_ptr_[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, global_col.value());
+  if (it != end && *it == global_col.value()) {
+    return values_[static_cast<std::size_t>(it - global_cols_.begin())];
   }
   return 0.0;
 }
@@ -191,11 +194,11 @@ double DistCsrMatrix::value_at(GlobalRow global_row, GlobalRow global_col) const
 double* DistCsrMatrix::find_entry(GlobalRow global_row, GlobalRow global_col) {
   NEURO_REQUIRE(range_.contains(global_row), "find_entry: row not owned");
   const int r = range_.offset_of(global_row);
-  for (int p = row_ptr_[static_cast<std::size_t>(r)];
-       p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-    if (global_cols_[static_cast<std::size_t>(p)] == global_col.value()) {
-      return &values_[static_cast<std::size_t>(p)];
-    }
+  const auto begin = global_cols_.begin() + row_ptr_[static_cast<std::size_t>(r)];
+  const auto end = global_cols_.begin() + row_ptr_[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, global_col.value());
+  if (it != end && *it == global_col.value()) {
+    return &values_[static_cast<std::size_t>(it - global_cols_.begin())];
   }
   return nullptr;
 }

@@ -1,0 +1,63 @@
+// Explicitly vectorized 3x3 / 12x12 block micro-kernels.
+//
+// This directory is the only place in the tree allowed to touch raw SIMD
+// intrinsics (tools/lint/check_sources.py, "intrinsics confinement"); every
+// other layer programs against these kernels plus the DispatchTarget knob.
+// Each kernel family ships a scalar fallback whose association order is fixed
+// and annotated NEURO_BITEXACT — the vector variants reorder the per-row
+// reductions (lane-parallel accumulators, transposed storage) and are
+// tolerance-equivalent, never bit-equivalent, to the scalar reference
+// (docs/perf.md, "SIMD dispatch").
+//
+// Storage layouts:
+//   * full row-major     9 doubles per block, A(r, c) = a[3r + c] — the BSR
+//                        backend's layout, consumed by block3_rows_scalar;
+//   * transposed         9 doubles per block, A(r, c) = a[3c + r] — columns
+//                        contiguous so a vector fmadd consumes a whole column
+//                        per broadcast lane, consumed by the vector kernels.
+//
+// Padding contract for the vector kernels: the values array must extend at
+// least 4 doubles past the last block and xg at least 1 double past its last
+// entry (4-lane loads overhang a 9-double block / 3-double x panel; the
+// overhanging lane is multiplied by zero or discarded, never stored).
+#pragma once
+
+#include <cstdint>
+
+#include "solver/simd/dispatch.h"
+
+namespace neuro::solver::simd {
+
+/// Reference 3x3 block-row kernel over full row-major storage:
+/// y[3r..3r+2] = sum_p A_p x(cols[p]) for r in [0, nrows). The association
+/// order is identical to the BSR backend's kernel, so results are
+/// bit-identical to DistBsrMatrix::apply on the same arrays.
+void block3_rows_scalar(const double* values, const std::int32_t* row_ptr,
+                        const std::int32_t* cols, int nrows, const double* xg,
+                        double* y);
+
+/// Symmetric-upper compressed apply over transposed storage. Per block row n
+/// the stored blocks are the diagonal (n, n) first — cols[row_ptr[n]] must
+/// equal n — then blocks (n, m) with m > n. For each off-diagonal block the
+/// kernel adds both y_n += A x_m and y_m += A^T x_n, so only the upper half
+/// of a structurally symmetric matrix is streamed (~46% less block traffic
+/// at the smoke mesh's ~12 blocks/row). Accumulates into y; caller zeroes.
+void block3_sym_apply(DispatchTarget target, const double* valuesT,
+                      const std::int32_t* row_ptr, const std::int32_t* cols,
+                      int nrows, const double* xg, double* y);
+
+/// Broadcast accumulate kernel over transposed storage:
+/// y[3r..3r+2] += sum_p A_p x(cols[p]). Used for the ghost-column and
+/// pattern-unpaired blocks the symmetric pass cannot mirror.
+void block3_accum_apply(DispatchTarget target, const double* valuesT,
+                        const std::int32_t* row_ptr, const std::int32_t* cols,
+                        int nrows, const double* xg, double* y);
+
+/// One-element kernel: y12 += Ke x12 for a 12x12 row-major element stiffness.
+/// Ke is symmetric up to assembly rounding; the vector variants stream Ke
+/// rows as columns (i.e. apply Ke^T), which agrees with the scalar variant to
+/// that same rounding. No padding needed: Ke rows are 12 doubles.
+void elem12_apply(DispatchTarget target, const double* ke, const double* x12,
+                  double* y12);
+
+}  // namespace neuro::solver::simd

@@ -22,6 +22,26 @@ the perf contracts of the block-CSR and observability work:
      deliberately loose absolute ceilings, not ratios: they catch a lock
      or allocation sneaking onto the hot path without flaking on CI
      machine variance.
+  4. The record must come from an optimized binary on a quiet machine:
+     the context key `neuro_build_type` (emitted by bench_micro's main
+     from the translation unit's own NDEBUG/__OPTIMIZE__ state) must be
+     "release", and `cpu_scaling_enabled` must be false.  The stock
+     `library_build_type` key is useless here: it reports how the
+     *benchmark library* was compiled, and distro packages ship debug
+     builds, so it reads "debug" even for a -O2 bench binary.
+  5. The matrix-free node-pair apply with SIMD kernels
+     (BM_MatrixFreeApply/storage:0/scalar:0) must process rows at least
+     1.3x faster than the same operator in scalar dispatch
+     (storage:0/scalar:1), which delegates to the assembled BSR apply on
+     an identical matrix and is therefore the BSR baseline.  The
+     element-block and on-the-fly storage policies trade throughput for
+     memory and are reported for context, not gated (docs/perf.md has
+     the crossover analysis).
+  6. The symmetric block kernel itself (BM_SimdBlockKernel/scalar:0, an
+     L2-resident banded pattern) must beat its scalar twin (scalar:1) by
+     at least 1.5x.  Auto-skipped when the runtime dispatch resolves to
+     "scalar" (label field) -- a machine without SSE2/AVX2/NEON has no
+     vector kernel to gate.
 
 Usage: check_bench_solver.py BENCH_solver.json
 """
@@ -33,6 +53,8 @@ BSR_MIN_SPEEDUP = 1.5
 CGS_MAX_ROUNDS_PER_ITER = 3.0
 DISABLED_SPAN_MAX_NS = 50.0
 ENABLED_ATTR_SPAN_MAX_NS = 5000.0
+MATRIX_FREE_MIN_SPEEDUP = 1.3
+SIMD_KERNEL_MIN_SPEEDUP = 1.5
 
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -72,7 +94,60 @@ def main(path):
     print(f"span overhead: disabled {cpu_ns(span_off):.1f} ns, enabled "
           f"{cpu_ns(span_on):.1f} ns, enabled+attrs {cpu_ns(attr_on):.1f} ns")
 
+    context = record.get("context", {})
+    build_type = context.get("neuro_build_type", "missing")
+    cpu_scaling = context.get("cpu_scaling_enabled", None)
+    print(f"bench binary build type: {build_type} "
+          f"(library_build_type {context.get('library_build_type', '?')} "
+          "reflects the benchmark library, not the bench code; ignored)")
+    print(f"cpu frequency scaling: {cpu_scaling}")
+    print(f"runtime simd dispatch: {context.get('neuro_simd_target', '?')}")
+
+    mf_simd = need("BM_MatrixFreeApply/storage:0/scalar:0")
+    mf_scalar = need("BM_MatrixFreeApply/storage:0/scalar:1")
+    mf_speedup = mf_simd["items_per_second"] / mf_scalar["items_per_second"]
+    print(f"matrix-free apply [{mf_simd.get('label', '?')}]: "
+          f"{mf_simd['items_per_second'] / 1e6:.1f} Mrows/s vs BSR-delegated "
+          f"scalar {mf_scalar['items_per_second'] / 1e6:.1f} Mrows/s "
+          f"({mf_speedup:.2f}x)")
+    for arg, policy in ((1, "element-blocks"), (2, "on-the-fly")):
+        alt = by_name.get(f"BM_MatrixFreeApply/storage:{arg}/scalar:0")
+        if alt is not None:
+            print(f"matrix-free apply [{alt.get('label', policy)}]: "
+                  f"{alt['items_per_second'] / 1e6:.1f} Mrows/s "
+                  "(context only, memory-bound by design)")
+
+    kern_simd = need("BM_SimdBlockKernel/scalar:0")
+    kern_scalar = need("BM_SimdBlockKernel/scalar:1")
+    kern_target = kern_simd.get("label", "?")
+    kern_speedup = (kern_simd["items_per_second"]
+                    / kern_scalar["items_per_second"])
+    print(f"simd block kernel [{kern_target}]: "
+          f"{kern_simd['items_per_second'] / 1e6:.1f} Mblocks/s vs scalar "
+          f"{kern_scalar['items_per_second'] / 1e6:.1f} Mblocks/s "
+          f"({kern_speedup:.2f}x)")
+
     failures = []
+    if build_type != "release":
+        failures.append(
+            f"neuro_build_type is {build_type!r}, not 'release' -- regenerate "
+            "the record from an optimized build (timings from unoptimized "
+            "code gate nothing)")
+    if cpu_scaling is not False:
+        failures.append(
+            f"cpu_scaling_enabled is {cpu_scaling!r} -- pin the governor to "
+            "performance before recording, or the ratios are noise")
+    if mf_speedup < MATRIX_FREE_MIN_SPEEDUP:
+        failures.append(
+            f"matrix-free SIMD apply speedup {mf_speedup:.2f}x below gate "
+            f"{MATRIX_FREE_MIN_SPEEDUP}x over the BSR-delegated scalar path")
+    if kern_target == "scalar":
+        print("SKIP: simd block kernel gate (runtime dispatch resolved to "
+              "scalar -- no vector ISA on this host)")
+    elif kern_speedup < SIMD_KERNEL_MIN_SPEEDUP:
+        failures.append(
+            f"simd block kernel [{kern_target}] speedup {kern_speedup:.2f}x "
+            f"below gate {SIMD_KERNEL_MIN_SPEEDUP}x")
     if cpu_ns(span_off) > DISABLED_SPAN_MAX_NS:
         failures.append(
             f"disabled span costs {cpu_ns(span_off):.1f} ns, above gate "
@@ -96,8 +171,8 @@ def main(path):
         print(f"FAIL: {msg}")
     if failures:
         return 1
-    print("OK: BSR speedup, GMRES reduction batching and span overhead "
-          "within contract")
+    print("OK: build provenance, BSR and matrix-free speedups, SIMD kernel "
+          "ratio, GMRES reduction batching and span overhead within contract")
     return 0
 
 
