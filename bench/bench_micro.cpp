@@ -648,6 +648,34 @@ void BM_SpanWithAttrsOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanWithAttrsOverhead)->Arg(0)->Arg(1)->ArgName("enabled");
 
+// Flight-recorder ring mode (obs::FlightRecorder): same attr-carrying span
+// as BM_SpanWithAttrsOverhead but recording into a bounded ring that wraps
+// in place of the grow-then-truncate legacy path. No periodic drain is
+// needed — wrapping IS the steady state, which is exactly the cost the gate
+// in tools/perf/check_bench_solver.py bounds (enabled <= 2x the legacy
+// attr-span bound; disabled unchanged at the inert-span bound).
+void BM_RingRecordOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::Tracer::Options options;
+  options.ring_capacity = 4096;
+  obs::Tracer tracer(enabled, options);
+  std::int64_t count = 0;
+  for (auto _ : state) {
+    {
+      obs::Span span = tracer.span("bench.iteration");
+      if (span.active()) {
+        span.attr("iteration", count);
+        span.attr("residual", 1e-5);
+        span.attr("allreduces", 3);
+      }
+      benchmark::DoNotOptimize(span);
+    }
+    ++count;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingRecordOverhead)->Arg(0)->Arg(1)->ArgName("enabled");
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): the stock `library_build_type`

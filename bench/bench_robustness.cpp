@@ -20,6 +20,9 @@
 //   bench_robustness --faults none --json out.json
 //       # machine-readable fault section only (CI; an env campaign from
 //       # NEURO_FAULT_INJECT may still inject into the "none" run)
+//   bench_robustness --faults drop --json out.json --postmortem-dir DIR
+//       # additionally arm the flight recorder: campaigns that climb the
+//       # degradation ladder leave post-mortem bundles in DIR
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -32,6 +35,7 @@
 #include "fem/degradation.h"
 #include "mesh/mesher.h"
 #include "mesh/tri_surface.h"
+#include "obs/flight_recorder.h"
 #include "phantom/brain_phantom.h"
 
 namespace {
@@ -179,6 +183,7 @@ std::vector<std::string> split_csv(const std::string& list) {
 int main(int argc, char** argv) {
   std::vector<std::string> faults{"none", "drop", "delay", "bit_flip", "stall"};
   std::string json_path;
+  std::string postmortem_dir;
   bool sweep = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -187,11 +192,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
       sweep = false;
+    } else if (std::strcmp(argv[i], "--postmortem-dir") == 0 && i + 1 < argc) {
+      postmortem_dir = argv[++i];
+      sweep = false;
     } else {
       std::printf("usage: %s [--faults none|drop,delay,bit_flip,stall] "
-                  "[--json out.json]\n", argv[0]);
+                  "[--json out.json] [--postmortem-dir DIR]\n", argv[0]);
       return 2;
     }
+  }
+
+  if (!postmortem_dir.empty()) {
+    // Arming here is safe: no rank thread exists yet, so the recorder may
+    // reconfigure the global tracer into ring mode. redact_timing keeps the
+    // seeded campaigns' bundles byte-comparable across runs.
+    obs::FlightRecorder::Options recorder_options;
+    recorder_options.dump_dir = postmortem_dir;
+    recorder_options.redact_timing = true;
+    obs::recorder().arm(recorder_options);
   }
 
   if (sweep) noise_sweep();

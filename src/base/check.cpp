@@ -1,6 +1,20 @@
 #include "base/check.h"
 
-namespace neuro::detail {
+#include <atomic>
+
+namespace neuro {
+
+namespace {
+
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+
+}  // namespace
+
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook) {
+  return g_check_failure_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& message) {
@@ -9,7 +23,21 @@ void check_failed(const char* expr, const char* file, int line,
   if (!message.empty()) {
     oss << " — " << message;
   }
-  throw CheckError(oss.str());
+  const std::string what = oss.str();
+  if (CheckFailureHook hook =
+          g_check_failure_hook.load(std::memory_order_acquire)) {
+    // A hook that itself fails a check would recurse forever; break the
+    // cycle on the failing thread.
+    static thread_local bool in_hook = false;
+    if (!in_hook) {
+      in_hook = true;
+      hook(what.c_str());
+      in_hook = false;
+    }
+  }
+  throw CheckError(what);
 }
 
-}  // namespace neuro::detail
+}  // namespace detail
+
+}  // namespace neuro

@@ -19,6 +19,17 @@ class CheckError : public std::runtime_error {
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Observer invoked (with the composed failure message) just before
+/// check_failed throws. The flight recorder (obs::FlightRecorder) installs
+/// one so a violated invariant leaves a post-mortem bundle behind even when
+/// the CheckError escapes to a crash. Hooks must be reentrancy-safe and must
+/// not throw; they run on the failing thread.
+using CheckFailureHook = void (*)(const char* message);
+
+/// Installs `hook` (nullptr to clear) and returns the previous hook.
+/// Thread-safe; the hook pointer is read with acquire semantics on failure.
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook);
+
 namespace detail {
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
                                const std::string& message);

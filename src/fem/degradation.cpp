@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/verify.h"
@@ -127,6 +128,28 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
     report.validation = attempt.validation;
     out.deformation = std::move(attempt.result);
   };
+  // Leaving the full solve is a flight-recorder trigger: once the ladder
+  // resolves (a degraded rung accepted, or every rung exhausted) the rank
+  // threads have joined, so the orchestrating thread can safely dump a
+  // post-mortem bundle carrying the trigger status and the rung chosen.
+  const auto dump_postmortem = [&](const char* outcome) {
+    obs::DumpContext context;
+    context.detail = std::string("degradation ladder: ") + outcome + " (" +
+                     report.trigger.message() + ")";
+    context.attr("rung", degradation_rung_name(report.rung));
+    context.attr("outcome", outcome);
+    context.attr("trigger_status",
+                 base::status_code_name(report.trigger.code()));
+    context.attr("attempts", static_cast<std::int64_t>(report.attempts.size()));
+    if (options.fault_injection.active()) {
+      context.attr("fault_seed",
+                   static_cast<std::int64_t>(options.fault_injection.seed));
+    }
+    obs::recorder().dump(
+        obs::dump_trigger_from_status(report.trigger.code(),
+                                      obs::DumpTrigger::kDegradation),
+        context);
+  };
 
   // Rung 0: the configured solve, watchdog armed from the budget.
   {
@@ -164,6 +187,7 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
     if (sw.active()) sw.attr("accepted", attempt.accepted ? 1 : 0);
     if (attempt.accepted) {
       accept(DegradationRung::kRelaxedSolve, std::move(attempt), sw.close());
+      dump_postmortem("degraded");
       return out;
     }
     record(DegradationRung::kRelaxedSolve, std::move(attempt.status),
@@ -187,6 +211,7 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
     if (attempt.validation.ok()) {
       accept(DegradationRung::kBaselineInterpolation, std::move(attempt),
              sw.close());
+      dump_postmortem("degraded");
       return out;
     }
     record(DegradationRung::kBaselineInterpolation, attempt.validation.status,
@@ -210,6 +235,7 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
     if (sw.active()) sw.attr("accepted", attempt.validation.ok() ? 1 : 0);
     if (attempt.validation.ok()) {
       accept(DegradationRung::kLastGood, std::move(attempt), sw.close());
+      dump_postmortem("degraded");
       return out;
     }
     record(DegradationRung::kLastGood, attempt.validation.status, sw.close());
@@ -219,6 +245,7 @@ base::Outcome<FallbackDeformationResult> solve_deformation_with_fallback(
            0.0);
   }
 
+  dump_postmortem("exhausted");
   std::ostringstream oss;
   oss << "degradation ladder exhausted; trigger: " << report.trigger;
   return base::Status{base::StatusCode::kUnavailable, oss.str()};

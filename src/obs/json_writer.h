@@ -1,0 +1,80 @@
+// Shared JSON serialization helpers for the obs exporters (Chrome trace,
+// post-mortem bundles, service snapshots). Numeric values round-trip through
+// max_digits10 so a residual read back from an artifact equals the one the
+// solver saw; timestamps use fixed microsecond precision to keep artifacts
+// compact and diffable.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace neuro::obs::detail {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Full-precision double (attribute values, counter samples, residuals).
+inline void write_json_double(std::ostream& os, double value) {
+  std::ostringstream num;
+  num << std::setprecision(17) << value;
+  os << num.str();
+}
+
+/// Fixed 3-decimal value (microsecond timestamps and durations).
+inline void write_json_fixed3(std::ostream& os, double value) {
+  std::ostringstream num;
+  num << std::fixed << std::setprecision(3) << value;
+  os << num.str();
+}
+
+/// One attribute value in its native JSON type.
+inline void write_attr_value(std::ostream& os, const Attr& attr) {
+  switch (attr.kind) {
+    case Attr::Kind::kDouble:
+      write_json_double(os, attr.d);
+      break;
+    case Attr::Kind::kInt:
+      os << attr.i;
+      break;
+    case Attr::Kind::kString:
+      write_json_string(os, attr.s);
+      break;
+  }
+}
+
+/// An attribute list as a JSON object body: `"k1":v1,"k2":v2`.
+inline void write_attrs_body(std::ostream& os, const std::vector<Attr>& attrs) {
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) os << ',';
+    write_json_string(os, attrs[i].key);
+    os << ':';
+    write_attr_value(os, attrs[i]);
+  }
+}
+
+}  // namespace neuro::obs::detail

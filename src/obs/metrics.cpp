@@ -129,6 +129,26 @@ void MetricsRegistry::write_ndjson(std::ostream& os) const {
   }
 }
 
+void MetricsRegistry::write_json_array(std::ostream& os) const {
+  std::ostringstream ndjson;
+  write_ndjson(ndjson);
+  const std::string lines = ndjson.str();
+  os << "[";
+  bool first = true;
+  std::size_t begin = 0;
+  while (begin < lines.size()) {
+    std::size_t end = lines.find('\n', begin);
+    if (end == std::string::npos) end = lines.size();
+    if (end > begin) {
+      if (!first) os << ",\n";
+      first = false;
+      os << lines.substr(begin, end - begin);
+    }
+    begin = end + 1;
+  }
+  os << "]";
+}
+
 std::size_t MetricsRegistry::size() const {
   base::MutexLock lock(mutex_);
   std::size_t n = 0;

@@ -105,6 +105,11 @@ class MetricsRegistry {
   ///    "overflow":N,"count":N,"sum":X}
   void write_ndjson(std::ostream& os) const NEURO_EXCLUDES(mutex_);
 
+  /// The same entries as write_ndjson, joined into one JSON array. The
+  /// flight recorder's post-mortem bundles and the service's live snapshots
+  /// embed their metrics section with this.
+  void write_json_array(std::ostream& os) const NEURO_EXCLUDES(mutex_);
+
   /// Number of registered instruments.
   [[nodiscard]] std::size_t size() const NEURO_EXCLUDES(mutex_);
 

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/json_writer.h"
+
 namespace neuro::obs {
 
 namespace {
+
+using detail::write_attr_value;
+using detail::write_json_string;
 
 thread_local int t_thread_rank = -1;
 
@@ -18,52 +23,8 @@ thread_local int t_thread_rank = -1;
 /// rank r is tid r+1, so every rank gets its own Perfetto track.
 int tid_of_rank(int rank) { return rank + 1; }
 
-/// Minimal JSON string escaping (quotes, backslash, control characters).
-void write_json_string(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
-             << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-/// Attribute values round-trip through max_digits10 so a residual read back
-/// from the trace equals the one the solver saw.
-void write_attr_value(std::ostream& os, const Attr& attr) {
-  switch (attr.kind) {
-    case Attr::Kind::kDouble: {
-      std::ostringstream num;
-      num << std::setprecision(17) << attr.d;
-      os << num.str();
-      break;
-    }
-    case Attr::Kind::kInt:
-      os << attr.i;
-      break;
-    case Attr::Kind::kString:
-      write_json_string(os, attr.s);
-      break;
-  }
-}
-
 void write_timestamp(std::ostream& os, double us) {
-  std::ostringstream num;
-  num << std::fixed << std::setprecision(3) << us;
-  os << num.str();
+  detail::write_json_fixed3(os, us);
 }
 
 }  // namespace
@@ -148,13 +109,19 @@ void Span::attr(std::string_view key, std::string_view value) {
 // ---------------------------------------------------------------------------
 // Tracer
 
-/// One thread's append-only event buffer. The owning thread appends without
-/// locking; the registration list is the only shared state under a mutex.
+/// One thread's event buffer. The owning thread appends without locking; the
+/// registration list is the only shared state under a mutex. In ring mode the
+/// buffer doubles as a circular window over the last ring_capacity events and
+/// `gen` (odd while an append is in flight, even at rest) lets a concurrent
+/// dump_ring wait out in-flight appends; see Tracer::record.
 struct Tracer::Stream {
   std::thread::id owner;
   std::vector<TraceEvent> events;
-  std::uint64_t seq = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t seq = 0;      ///< events recorded (owner thread only)
+  int last_rank = -1;         ///< rank of the latest recorded event
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> wrapped{0};
 };
 
 namespace {
@@ -181,6 +148,7 @@ Tracer::Tracer(bool enabled, Options options)
     : options_(options),
       id_(next_tracer_id()),
       epoch_(std::chrono::steady_clock::now()) {
+  ring_capacity_.store(options.ring_capacity, std::memory_order_relaxed);
   set_enabled(enabled);
 }
 
@@ -221,12 +189,41 @@ Tracer::Stream* Tracer::stream_for_this_thread() {
 
 void Tracer::record(TraceEvent event) {
   Stream* stream = stream_for_this_thread();
-  if (stream->events.size() >= options_.max_events_per_stream) {
-    ++stream->dropped;
+  const std::size_t ring = ring_capacity_.load(std::memory_order_relaxed);
+  if (ring == 0) {
+    // Append-and-cap mode: no concurrent readers by contract, so no
+    // handshake — this is the path the BM_Span* overhead gates cover.
+    stream->last_rank = event.rank;  // attributes drops to the right rank
+    if (stream->events.size() >= options_.max_events_per_stream) {
+      stream->dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    event.seq = stream->seq++;
+    stream->events.push_back(std::move(event));
     return;
   }
-  event.seq = stream->seq++;
-  stream->events.push_back(std::move(event));
+  // Ring mode. Writers never block: mark the append in flight (gen goes
+  // odd), then check for a concurrent dump. The seq_cst ordering on both
+  // sides makes this a store-buffering handshake — either the dumper sees
+  // this stream's odd gen and waits for it to go even again, or this writer
+  // sees dump_pending and sheds the event without touching the ring. Either
+  // way the dumper never copies a half-written ring slot.
+  stream->gen.fetch_add(1, std::memory_order_seq_cst);
+  if (dump_pending_.load(std::memory_order_seq_cst)) {
+    stream->dropped.fetch_add(1, std::memory_order_relaxed);
+    stream->gen.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  event.seq = stream->seq;
+  stream->last_rank = event.rank;
+  if (stream->events.size() < ring) {
+    stream->events.push_back(std::move(event));
+  } else {
+    stream->events[stream->seq % ring] = std::move(event);
+    stream->wrapped.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++stream->seq;
+  stream->gen.fetch_add(1, std::memory_order_release);
 }
 
 void Tracer::counter(std::string_view name, double value) {
@@ -256,7 +253,9 @@ std::size_t Tracer::event_count() const {
 std::size_t Tracer::dropped_count() const {
   base::MutexLock lock(streams_mutex_);
   std::size_t n = 0;
-  for (const auto& s : streams_) n += s->dropped;
+  for (const auto& s : streams_) {
+    n += s->dropped.load(std::memory_order_relaxed);
+  }
   return n;
 }
 
@@ -309,11 +308,33 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
        << (rank < 0 ? std::string("main") : "rank " + std::to_string(rank))
        << "\"}}";
   }
-  const std::size_t dropped = dropped_count();
-  if (dropped > 0) {
+  // Per-thread truncation accounting: one instant per rank that dropped
+  // events, on that rank's own track, plus a `C` counter series so viewers
+  // and check_trace.py can attribute loss to the thread that suffered it.
+  std::vector<std::pair<int, std::uint64_t>> dropped_by_rank;
+  {
+    base::MutexLock lock(streams_mutex_);
+    for (const auto& s : streams_) {
+      const std::uint64_t n = s->dropped.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      auto it = std::find_if(dropped_by_rank.begin(), dropped_by_rank.end(),
+                             [&](const auto& e) { return e.first == s->last_rank; });
+      if (it == dropped_by_rank.end()) {
+        dropped_by_rank.emplace_back(s->last_rank, n);
+      } else {
+        it->second += n;
+      }
+    }
+  }
+  std::sort(dropped_by_rank.begin(), dropped_by_rank.end());
+  for (const auto& [rank, n] : dropped_by_rank) {
     sep();
-    os << R"({"ph":"I","pid":0,"tid":0,"ts":0,"s":"g",)"
-       << R"("name":"trace_truncated","args":{"dropped":)" << dropped << "}}";
+    os << R"({"ph":"I","pid":0,"tid":)" << tid_of_rank(rank)
+       << R"(,"ts":0,"s":"t","name":"trace_truncated","args":{"dropped":)" << n
+       << R"(,"rank":)" << rank << "}}";
+    sep();
+    os << R"({"ph":"C","pid":0,"tid":)" << tid_of_rank(rank)
+       << R"(,"ts":0,"name":"trace_dropped","args":{"value":)" << n << "}}";
   }
 
   for (const auto& e : events) {
@@ -342,9 +363,8 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       os << R"(,"name":)";
       write_json_string(os, e.name);
       os << R"(,"args":{"value":)";
-      std::ostringstream num;
-      num << std::setprecision(17) << e.value;
-      os << num.str() << "}}";
+      detail::write_json_double(os, e.value);
+      os << "}}";
     }
   }
   os << "\n]}\n";
@@ -355,15 +375,81 @@ void Tracer::clear() {
   for (auto& s : streams_) {
     s->events.clear();
     s->seq = 0;
-    s->dropped = 0;
+    s->last_rank = -1;
+    s->dropped.store(0, std::memory_order_relaxed);
+    s->wrapped.store(0, std::memory_order_relaxed);
   }
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  clear();
+  ring_capacity_.store(capacity, std::memory_order_relaxed);
+}
+
+Tracer::RingDump Tracer::dump_ring() const {
+  RingDump dump;
+  dump.ring_capacity = ring_capacity_.load(std::memory_order_relaxed);
+  // Park concurrent writers: after this store, a ring-mode writer either
+  // observes it and sheds its event, or had already gone in-flight (odd
+  // gen) — the per-stream wait below lets those retire. A stream observed
+  // even after the store stays untouched until dump_pending_ clears.
+  dump_pending_.store(true, std::memory_order_seq_cst);
+  {
+    base::MutexLock lock(streams_mutex_);
+    for (const auto& s : streams_) {
+      while ((s->gen.load(std::memory_order_seq_cst) & 1) != 0) {
+        std::this_thread::yield();
+      }
+      if (s->seq == 0) continue;  // never recorded; keep dumps stable
+      RingStreamStats stats;
+      stats.rank = s->last_rank;
+      stats.recorded = s->seq;
+      stats.retained = s->events.size();
+      stats.wrapped = s->wrapped.load(std::memory_order_relaxed);
+      stats.dropped = s->dropped.load(std::memory_order_relaxed);
+      dump.streams.push_back(stats);
+      dump.events.insert(dump.events.end(), s->events.begin(),
+                         s->events.end());
+    }
+  }
+  dump_pending_.store(false, std::memory_order_seq_cst);
+  std::sort(dump.streams.begin(), dump.streams.end(),
+            [](const RingStreamStats& a, const RingStreamStats& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.recorded < b.recorded;
+            });
+  std::sort(dump.events.begin(), dump.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.name < b.name;
+            });
+  return dump;
 }
 
 // ---------------------------------------------------------------------------
 // Globals and rank binding
 
+namespace {
+
+Tracer::Options global_tracer_options() {
+  Tracer::Options options;
+  // Arming the flight recorder via NEURO_POSTMORTEM_DIR switches the global
+  // tracer into ring mode from construction, before any thread records, so
+  // no quiescent reconfiguration is ever needed on the env path.
+  if (postmortem_enabled_by_env()) {
+    options.ring_capacity = postmortem_ring_capacity_from_env();
+  }
+  return options;
+}
+
+}  // namespace
+
 Tracer& global() {
-  static Tracer tracer(trace_enabled_by_env());
+  static Tracer tracer(trace_enabled_by_env() || postmortem_enabled_by_env(),
+                       global_tracer_options());
   return tracer;
 }
 

@@ -21,6 +21,17 @@
 // Export (write_chrome_trace / snapshot) must only run when no thread is
 // actively recording — after run_spmd has joined its rank threads. The
 // pipeline, CLI and benches all export at end of run, which satisfies this.
+//
+// Flight-recorder (ring) mode: setting Options::ring_capacity (or
+// set_ring_capacity at a quiescent point) turns each per-thread stream into a
+// bounded ring that retains the last-N events indefinitely instead of
+// truncating — the black-box mode long-running services arm so a triggered
+// post-mortem dump (obs::FlightRecorder) always has recent history. In ring
+// mode dump_ring() may run *while other threads record*: writers stay
+// lock-free and wait-free (they drop the one colliding event into the
+// per-stream dropped counter instead of blocking), and the dumper waits for
+// each in-flight append to retire before copying that stream. See
+// docs/observability.md for the full quiescence contract.
 #pragma once
 
 #include <atomic>
@@ -127,6 +138,10 @@ class Tracer {
     /// the export marks the trace truncated (check_trace.py rejects such
     /// traces unless told otherwise). Bounds tracer memory on runaway loops.
     std::size_t max_events_per_stream = 1u << 22;
+    /// Nonzero switches every stream into flight-recorder (ring) mode: each
+    /// stream keeps the most recent ring_capacity events, overwriting the
+    /// oldest instead of truncating. Zero keeps the append-and-cap mode.
+    std::size_t ring_capacity = 0;
   };
 
   explicit Tracer(bool enabled = false);
@@ -182,6 +197,39 @@ class Tracer {
   /// live threads stay registered.
   void clear() NEURO_EXCLUDES(streams_mutex_);
 
+  /// Switches ring mode on (nonzero) or off (zero) and discards all
+  /// collected events. Quiescent only — call before spawning recording
+  /// threads (obs::FlightRecorder::arm does this).
+  void set_ring_capacity(std::size_t capacity) NEURO_EXCLUDES(streams_mutex_);
+  /// Current ring capacity (0 = append-and-cap mode).
+  [[nodiscard]] std::size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-stream accounting attached to a ring dump. `rank` is the rank the
+  /// stream last recorded for (-1 = orchestrating main thread).
+  struct RingStreamStats {
+    int rank = -1;
+    std::uint64_t recorded = 0;  ///< events ever recorded into the stream
+    std::uint64_t retained = 0;  ///< events present in the dump
+    std::uint64_t wrapped = 0;   ///< events overwritten by ring wrap
+    std::uint64_t dropped = 0;   ///< cap drops + events shed during dumps
+  };
+
+  /// One triggered flight-recorder dump: ring contents of every non-empty
+  /// stream merged in snapshot() order, plus per-stream accounting.
+  struct RingDump {
+    std::size_t ring_capacity = 0;
+    std::vector<RingStreamStats> streams;
+    std::vector<TraceEvent> events;
+  };
+
+  /// Copies the retained events of every stream. In ring mode this is safe
+  /// while other threads record (see the quiescence contract in the file
+  /// header); in append-and-cap mode call it only at quiescence. Streams
+  /// that never recorded are omitted.
+  [[nodiscard]] RingDump dump_ring() const NEURO_EXCLUDES(streams_mutex_);
+
   /// Opaque per-thread event buffer (defined in trace.cpp).
   struct Stream;
 
@@ -200,6 +248,11 @@ class Tracer {
   // cross-thread reads (snapshot/export) are restricted to quiescent points
   // after run_spmd has joined its rank threads (the export contract above).
   std::atomic<bool> enabled_{false};
+  // Ring mode: ring_capacity_ is read relaxed on the record path;
+  // dump_pending_ is the seq_cst handshake with in-flight appends (each
+  // Stream carries an odd/even generation counter; see record/dump_ring).
+  std::atomic<std::size_t> ring_capacity_{0};
+  mutable std::atomic<bool> dump_pending_{false};
   Options options_;
   std::uint64_t id_ = 0;  ///< process-unique, keys the thread-local cache
   std::chrono::steady_clock::time_point epoch_;

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <system_error>
 #include <thread>
 #include <utility>
 
 #include "base/check.h"
 #include "fem/degradation.h"
+#include "obs/flight_recorder.h"
+#include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,6 +61,41 @@ void observe_time_to_field(double seconds) {
 
 }  // namespace
 
+double RollingWindow::quantile(double q) const {
+  const std::size_t n = count();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted = history();
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest sample with at least ceil(q*n) samples <= it.
+  const double rank = std::ceil(q * static_cast<double>(n));
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (index >= n) index = n - 1;
+  return sorted[index];
+}
+
+double RollingWindow::fraction_within(double threshold) const {
+  const std::size_t n = count();
+  if (n == 0) return 1.0;
+  const std::vector<double> samples = history();
+  std::size_t within = 0;
+  for (const double sample : samples) {
+    if (sample <= threshold) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(n);
+}
+
+std::vector<double> RollingWindow::history() const {
+  const std::size_t n = count();
+  std::vector<double> out;
+  out.reserve(n);
+  const std::uint64_t start = next_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(samples_[static_cast<std::size_t>((start + i) %
+                                                    samples_.size())]);
+  }
+  return out;
+}
+
 RankPool::RankPool(int capacity) : capacity_(capacity), free_(capacity) {
   NEURO_REQUIRE(capacity >= 1, "RankPool: capacity must be >= 1");
 }
@@ -86,7 +127,9 @@ SessionServer::SessionServer(ServerOptions options)
     : options_(options),
       cost_(options.cost),
       queue_(options.queue_capacity),
-      pool_(options.rank_pool) {
+      pool_(options.rank_pool),
+      ttf_window_(options.telemetry.window),
+      queue_depth_history_(options.telemetry.window) {
   NEURO_REQUIRE(options_.workers >= 0, "SessionServer: negative worker count");
   NEURO_REQUIRE(options_.ranks_per_solve >= 1,
                 "SessionServer: ranks_per_solve must be >= 1");
@@ -97,6 +140,10 @@ SessionServer::SessionServer(ServerOptions options)
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (options_.telemetry.publish_interval_seconds > 0.0 &&
+      !options_.telemetry.snapshot_path.empty()) {
+    publisher_ = std::thread([this] { telemetry_loop(); });
   }
 }
 
@@ -207,6 +254,8 @@ base::Outcome<RequestTicket> SessionServer::submit(
     ++stats_.admitted;
     const auto depth = static_cast<std::int64_t>(queue_.size());
     if (depth > stats_.max_queue_depth) stats_.max_queue_depth = depth;
+    queue_depth_history_.add(static_cast<double>(depth));
+    consecutive_rejections_ = 0;  // an admit ends any rejection storm
   }
   obs::metrics().counter("service.admitted").add();
   obs::metrics().gauge("service.queue_depth").set(
@@ -247,6 +296,7 @@ void SessionServer::shutdown() {
     draining_ = true;
     aborting_ = true;
   }
+  telemetry_cv_.notify_all();
   queue_.close();
   for (auto& worker : workers_) {
     worker.join();
@@ -259,11 +309,156 @@ void SessionServer::shutdown() {
     if (!popped.ok()) break;
     finish(abandon(std::move(popped.value())));
   }
+  if (publisher_.joinable()) {
+    publisher_.join();
+    // One terminal snapshot so the file reflects the drained end state.
+    publish_snapshot_to_path();
+  }
 }
 
 ServerStats SessionServer::stats() const {
   base::MutexLock lock(state_mutex_);
   return stats_;
+}
+
+void SessionServer::telemetry_loop() {
+  const std::chrono::duration<double> interval(
+      options_.telemetry.publish_interval_seconds);
+  for (;;) {
+    {
+      base::MutexLock lock(state_mutex_);
+      if (shut_down_) return;
+      (void)telemetry_cv_.wait_for(state_mutex_, interval);
+      if (shut_down_) return;
+    }
+    publish_snapshot_to_path();
+  }
+}
+
+void SessionServer::publish_snapshot_to_path() {
+  const std::string& path = options_.telemetry.snapshot_path;
+  if (path.empty()) return;
+  // Write-then-rename so readers never observe a half-written snapshot.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) {
+      obs::metrics().counter("service.snapshot_errors").add();
+      return;
+    }
+    publish_snapshot(os);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    obs::metrics().counter("service.snapshot_errors").add();
+    return;
+  }
+  obs::metrics().counter("service.snapshots_written").add();
+}
+
+void SessionServer::publish_snapshot(std::ostream& os) {
+  struct SessionRow {
+    std::uint64_t id = 0;
+    std::int64_t requests = 0;
+    std::size_t samples = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double attainment = 1.0;
+  };
+  std::uint64_t sequence = 0;
+  ServerStats stats;
+  std::vector<double> depth_history;
+  double target = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double attainment = 1.0;
+  std::size_t window_samples = 0;
+  std::int64_t window_requests = 0;
+  std::vector<SessionRow> sessions;
+  {
+    base::MutexLock lock(state_mutex_);
+    sequence = ++snapshot_sequence_;
+    stats = stats_;
+    depth_history = queue_depth_history_.history();
+    target = options_.telemetry.slo_target_seconds > 0.0
+                 ? options_.telemetry.slo_target_seconds
+                 : options_.default_deadline_seconds;
+    p50 = ttf_window_.quantile(0.50);
+    p99 = ttf_window_.quantile(0.99);
+    attainment = target > 0.0 ? ttf_window_.fraction_within(target) : 1.0;
+    window_samples = ttf_window_.count();
+    window_requests = static_cast<std::int64_t>(ttf_window_.total());
+    sessions.reserve(session_ttf_.size());
+    for (const auto& [id, window] : session_ttf_) {
+      SessionRow row;
+      row.id = id.value();
+      row.requests = static_cast<std::int64_t>(window.total());
+      row.samples = window.count();
+      row.p50 = window.quantile(0.50);
+      row.p99 = window.quantile(0.99);
+      row.attainment = target > 0.0 ? window.fraction_within(target) : 1.0;
+      sessions.push_back(row);
+    }
+  }
+  // Gauge names carry the "seconds" suffix on purpose: the determinism CI
+  // job strips timing lines by that token, and wall-clock quantiles are
+  // sanctioned nondeterminism. attainment_ratio is a pure count ratio.
+  obs::metrics().gauge("service.slo.p50_time_to_field_seconds").set(p50);
+  obs::metrics().gauge("service.slo.p99_time_to_field_seconds").set(p99);
+  obs::metrics().gauge("service.slo.attainment_ratio").set(attainment);
+  obs::metrics().gauge("service.slo.target_seconds").set(target);
+  obs::metrics()
+      .gauge("service.queue_depth")
+      .set(static_cast<double>(queue_.size()));
+
+  os << R"({"schema":"neuro.snapshot.v1","sequence":)" << sequence;
+  os << R"(,"queue":{"depth":)" << queue_.size() << R"(,"capacity":)"
+     << options_.queue_capacity << R"(,"max_depth":)" << queue_.max_depth()
+     << R"(,"history":[)";
+  for (std::size_t i = 0; i < depth_history.size(); ++i) {
+    if (i > 0) os << ',';
+    obs::detail::write_json_double(os, depth_history[i]);
+  }
+  os << "]}";
+  os << R"(,"slo":{"target_seconds":)";
+  obs::detail::write_json_double(os, target);
+  os << R"(,"window":)" << options_.telemetry.window << R"(,"samples":)"
+     << window_samples << R"(,"requests":)" << window_requests
+     << R"(,"p50_seconds":)";
+  obs::detail::write_json_double(os, p50);
+  os << R"(,"p99_seconds":)";
+  obs::detail::write_json_double(os, p99);
+  os << R"(,"attainment":)";
+  obs::detail::write_json_double(os, attainment);
+  os << "}";
+  os << R"(,"sessions":[)";
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const SessionRow& row = sessions[i];
+    if (i > 0) os << ',';
+    os << R"({"session":)" << row.id << R"(,"requests":)" << row.requests
+       << R"(,"samples":)" << row.samples << R"(,"p50_seconds":)";
+    obs::detail::write_json_double(os, row.p50);
+    os << R"(,"p99_seconds":)";
+    obs::detail::write_json_double(os, row.p99);
+    os << R"(,"attainment":)";
+    obs::detail::write_json_double(os, row.attainment);
+    os << '}';
+  }
+  os << "]";
+  os << R"(,"stats":{"submitted":)" << stats.submitted << R"(,"admitted":)"
+     << stats.admitted << R"(,"rejected_queue_full":)"
+     << stats.rejected_queue_full << R"(,"rejected_deadline":)"
+     << stats.rejected_deadline << R"(,"rejected_unknown_session":)"
+     << stats.rejected_unknown_session << R"(,"rejected_draining":)"
+     << stats.rejected_draining << R"(,"completed":)" << stats.completed
+     << R"(,"usable":)" << stats.usable << R"(,"degraded":)" << stats.degraded
+     << R"(,"failed":)" << stats.failed << R"(,"retries":)" << stats.retries
+     << R"(,"crashes":)" << stats.crashes << R"(,"resumes":)" << stats.resumes
+     << R"(,"max_queue_depth":)" << stats.max_queue_depth << "}";
+  os << R"(,"metrics":)";
+  obs::metrics().write_json_array(os);
+  os << "}\n";
 }
 
 void SessionServer::worker_loop() {
@@ -344,12 +539,42 @@ RequestReport SessionServer::process(PendingRequest request) {
           sleep_seconds =
               std::min(sleep_seconds, request.budget.remaining_seconds());
         }
+        // The backoff wait is part of the request's observable lifetime:
+        // one service.retry span per attempt plus the backoff histogram.
+        obs::Span retry_span = obs::timed_span("service.retry");
+        if (retry_span.active()) {
+          retry_span.attr("attempt", attempt);
+          retry_span.attr("status", base::status_code_name(code));
+          retry_span.attr("sleep_seconds", sleep_seconds);
+        }
+        obs::metrics()
+            .histogram("service.backoff_seconds",
+                       {0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0})
+            .observe(sleep_seconds);
         std::this_thread::sleep_for(
             std::chrono::duration<double>(sleep_seconds));
+        retry_span.close();
         backoff *= options_.retry.backoff_multiplier;
         continue;
       }
       report.status = error.status();
+      // The retry budget is spent (or the failure is not transient): comm
+      // faults, deadline misses and watchdog stops leave a post-mortem
+      // bundle with the request context attached.
+      if (const obs::DumpTrigger trigger = obs::dump_trigger_from_status(
+              code, obs::DumpTrigger::kManual);
+          trigger != obs::DumpTrigger::kManual) {
+        obs::DumpContext context;
+        context.detail =
+            std::string("request failed terminally: ") + error.what();
+        context.attr("session",
+                     static_cast<std::int64_t>(request.session.value()));
+        context.attr("request",
+                     static_cast<std::int64_t>(request.id.value()));
+        context.attr("attempts", attempt + 1);
+        context.attr("status", base::status_code_name(code));
+        obs::recorder().dump(trigger, context);
+      }
       break;
     } catch (const CheckError& error) {
       // Invariant corruption inside this session's pipeline: quarantine the
@@ -361,6 +586,20 @@ RequestReport SessionServer::process(PendingRequest request) {
           base::StatusCode::kUnavailable,
           std::string("SessionServer: session crashed: ") + error.what()};
       obs::metrics().counter("service.crashes").add();
+      // The check-failure hook already dumped at throw time with no request
+      // context; this second dump (rate-limited with the first) attaches the
+      // session and request ids to the same incident.
+      {
+        obs::DumpContext context;
+        context.detail =
+            std::string("session crashed on invariant check: ") + error.what();
+        context.attr("session",
+                     static_cast<std::int64_t>(request.session.value()));
+        context.attr("request",
+                     static_cast<std::int64_t>(request.id.value()));
+        context.attr("attempts", attempt + 1);
+        obs::recorder().dump(obs::DumpTrigger::kCheckFailure, context);
+      }
       break;
     }
   }
@@ -407,6 +646,15 @@ void SessionServer::finish(RequestReport report) {
     stats_.retries += report.retries;
     if (report.crashed) ++stats_.crashes;
     if (report.resumed) ++stats_.resumes;
+    ttf_window_.add(report.time_to_field_seconds);
+    auto window_it = session_ttf_.find(report.session);
+    if (window_it == session_ttf_.end()) {
+      window_it = session_ttf_
+                      .emplace(report.session,
+                               RollingWindow(options_.telemetry.window))
+                      .first;
+    }
+    window_it->second.add(report.time_to_field_seconds);
     --outstanding_;
     const auto it = slots_.find(report.id);
     NEURO_REQUIRE(it != slots_.end(),
@@ -419,6 +667,8 @@ void SessionServer::finish(RequestReport report) {
 }
 
 base::Status SessionServer::reject(base::Status status) {
+  int rejections = 0;
+  bool storm = false;
   {
     base::MutexLock lock(state_mutex_);
     switch (status.code()) {
@@ -435,11 +685,25 @@ base::Status SessionServer::reject(base::Status status) {
         ++stats_.rejected_draining;
         break;
     }
+    ++consecutive_rejections_;
+    rejections = consecutive_rejections_;
+    // Exactly-at-threshold so one storm produces one dump; the counter
+    // resets on the next admit.
+    storm = options_.telemetry.admission_storm_threshold > 0 &&
+            rejections == options_.telemetry.admission_storm_threshold;
   }
   obs::metrics()
       .counter(std::string("service.rejected.") +
                base::status_code_name(status.code()))
       .add();
+  if (storm) {
+    obs::DumpContext context;
+    context.detail =
+        std::string("admission rejection storm: ") + status.message();
+    context.attr("consecutive_rejections", rejections);
+    context.attr("last_status", base::status_code_name(status.code()));
+    obs::recorder().dump(obs::DumpTrigger::kAdmissionStorm, context);
+  }
   return status;
 }
 

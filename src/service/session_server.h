@@ -64,6 +64,29 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
 };
 
+/// Live service telemetry: rolling SLO quantiles over recent requests,
+/// queue-depth history, and an optional periodic snapshot publisher. The
+/// snapshot format ("neuro.snapshot.v1") is documented in
+/// docs/observability.md; `neurofem obs --snapshot FILE` pretty-prints one.
+struct TelemetryOptions {
+  /// > 0 starts a publisher thread that writes snapshot_path every
+  /// interval (and once more at shutdown). 0 = synchronous-only (tests call
+  /// publish_snapshot directly).
+  double publish_interval_seconds = 0.0;
+  /// Snapshot file the publisher (re)writes; written via a .tmp sibling +
+  /// rename so readers never observe a torn file.
+  std::string snapshot_path;
+  /// Rolling sample window (per session and server-wide) behind the
+  /// p50/p99 time-to-field quantiles.
+  std::size_t window = 64;
+  /// SLO threshold for the attainment gauge; 0 falls back to
+  /// default_deadline_seconds (if that is 0 too, attainment reads 1).
+  double slo_target_seconds = 0.0;
+  /// Consecutive admission rejections (with no admit in between) that
+  /// trigger one kAdmissionStorm post-mortem dump; 0 disables the trigger.
+  int admission_storm_threshold = 16;
+};
+
 struct ServerOptions {
   int workers = 2;          ///< dispatcher threads; 0 = submit-only (tests)
   int rank_pool = 4;        ///< SPMD ranks shared by concurrent solves
@@ -78,6 +101,7 @@ struct ServerOptions {
   RetryPolicy retry;
   CostModelOptions cost;
   core::SessionRetention retention{.keep_full_results = 2};
+  TelemetryOptions telemetry;
 };
 
 struct RequestOptions {
@@ -124,6 +148,41 @@ struct ServerStats {
   std::int64_t crashes = 0;
   std::int64_t resumes = 0;
   std::int64_t max_queue_depth = 0;
+};
+
+/// Fixed-capacity ring of recent samples backing the rolling SLO quantiles
+/// and the queue-depth history (plain vector storage — src/service bans
+/// unbounded containers). Not thread-safe; the server keeps instances under
+/// state_mutex_.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity = 64)
+      : samples_(capacity > 0 ? capacity : 1, 0.0) {}
+
+  void add(double sample) {
+    samples_[static_cast<std::size_t>(next_ % samples_.size())] = sample;
+    ++next_;
+  }
+
+  /// Samples currently retained (<= capacity).
+  [[nodiscard]] std::size_t count() const {
+    return next_ < samples_.size() ? static_cast<std::size_t>(next_)
+                                   : samples_.size();
+  }
+  /// Samples ever added.
+  [[nodiscard]] std::uint64_t total() const { return next_; }
+
+  /// Nearest-rank quantile (q in [0,1]) over the retained window; 0 when
+  /// empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// Fraction of retained samples <= threshold; 1 when empty.
+  [[nodiscard]] double fraction_within(double threshold) const;
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<double> history() const;
+
+ private:
+  std::vector<double> samples_;
+  std::uint64_t next_ = 0;
 };
 
 /// A counting pool of SPMD ranks shared by concurrent solves. acquire()
@@ -195,6 +254,15 @@ class SessionServer {
   void shutdown() NEURO_EXCLUDES(state_mutex_);
 
   [[nodiscard]] ServerStats stats() const NEURO_EXCLUDES(state_mutex_);
+
+  /// Writes one live telemetry snapshot ("neuro.snapshot.v1"): queue depth +
+  /// history, server-wide and per-session rolling p50/p99 time-to-field and
+  /// SLO attainment, lifetime stats, and the metrics registry. Also
+  /// refreshes the service.slo.* gauges. The publisher thread calls this
+  /// every publish_interval_seconds; tests and tools may call it directly at
+  /// any time.
+  void publish_snapshot(std::ostream& os) NEURO_EXCLUDES(state_mutex_);
+
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] CostModel& cost_model() { return cost_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
@@ -229,6 +297,9 @@ class SessionServer {
   };
 
   void worker_loop();
+  void telemetry_loop();
+  /// Writes the snapshot to telemetry.snapshot_path via .tmp + rename.
+  void publish_snapshot_to_path();
   [[nodiscard]] RequestReport process(PendingRequest request);
   /// Terminal report for a request the server will not dispatch (shutdown
   /// popped it from the queue): typed kUnavailable, never silently dropped.
@@ -251,6 +322,15 @@ class SessionServer {
       NEURO_GUARDED_BY(state_mutex_);
   std::map<RequestId, CompletionSlot> slots_ NEURO_GUARDED_BY(state_mutex_);
   ServerStats stats_ NEURO_GUARDED_BY(state_mutex_);
+  // Telemetry state: rolling time-to-field windows (server-wide and per
+  // session), admission-time queue-depth history, and the consecutive
+  // rejection counter behind the admission-storm trigger.
+  RollingWindow ttf_window_ NEURO_GUARDED_BY(state_mutex_);
+  std::map<SessionId, RollingWindow> session_ttf_ NEURO_GUARDED_BY(state_mutex_);
+  RollingWindow queue_depth_history_ NEURO_GUARDED_BY(state_mutex_);
+  int consecutive_rejections_ NEURO_GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t snapshot_sequence_ NEURO_GUARDED_BY(state_mutex_) = 0;
+  base::CondVar telemetry_cv_;  ///< wakes the publisher for shutdown
   std::int64_t next_session_id_ NEURO_GUARDED_BY(state_mutex_) = 0;
   std::int64_t next_request_id_ NEURO_GUARDED_BY(state_mutex_) = 0;
   int outstanding_ NEURO_GUARDED_BY(state_mutex_) = 0;
@@ -259,6 +339,7 @@ class SessionServer {
   bool shut_down_ NEURO_GUARDED_BY(state_mutex_) = false;
 
   std::vector<std::thread> workers_;
+  std::thread publisher_;  ///< telemetry publisher; joined by shutdown()
 };
 
 }  // namespace neuro::service

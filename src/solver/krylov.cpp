@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace neuro::solver {
@@ -103,6 +104,25 @@ class Watchdog {
   int samples_ = 0;
   std::string message_;
 };
+
+/// Marks a watchdog stop in the flight-recorder ring and metrics registry: a
+/// "watchdog.fire" span carrying the reason and last residual, plus a
+/// solver.watchdog_fires.<reason> counter. Rank threads never write a
+/// post-mortem bundle themselves — the degradation ladder / service layer
+/// turns the surfaced stop into a dump once the ranks have joined.
+void note_watchdog_fire(const char* solver, StopReason stop, double residual,
+                        const std::string& message) {
+  obs::metrics()
+      .counter(std::string("solver.watchdog_fires.") + stop_reason_name(stop))
+      .add(1);
+  obs::Span fire = obs::global_span("watchdog.fire");
+  if (fire.active()) {
+    fire.attr("solver", solver);
+    fire.attr("reason", stop_reason_name(stop));
+    fire.attr("residual", residual);
+    fire.attr("detail", message);
+  }
+}
 
 }  // namespace
 
@@ -274,6 +294,7 @@ SolveStats gmres(const LinearOperator& A, const DistVector& b, DistVector& x,
       // best-so-far iterate from the back-substitution below.
       stop = watchdog.poll(rho, stats.initial_residual);
       if (stop != StopReason::kConverged) {
+        note_watchdog_fire("gmres", stop, rho, watchdog.message());
         ++j;
         break;
       }
@@ -408,6 +429,7 @@ SolveStats cg(const LinearOperator& A, const DistVector& b, DistVector& x,
     }
     const StopReason stop = watchdog.poll(rnorm, stats.initial_residual);
     if (stop != StopReason::kConverged) {
+      note_watchdog_fire("cg", stop, rnorm, watchdog.message());
       stats.stop_reason = stop;
       stats.stop_message = watchdog.message();
       return stats;
@@ -570,6 +592,7 @@ SolveStats bicgstab(const LinearOperator& A, const DistVector& b, DistVector& x,
     }
     const StopReason stop = watchdog.poll(rnorm, stats.initial_residual);
     if (stop != StopReason::kConverged) {
+      note_watchdog_fire("bicgstab", stop, rnorm, watchdog.message());
       stats.stop_reason = stop;
       stats.stop_message = watchdog.message();
       return stats;

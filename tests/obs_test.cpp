@@ -10,6 +10,7 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -125,19 +126,35 @@ TEST(ScopedThreadRankTest, BindsAndRestores) {
   EXPECT_EQ(thread_rank(), -1);
 }
 
-TEST(Tracer, StreamCapTruncatesAndIsReported) {
+TEST(Tracer, StreamCapTruncatesAndIsReportedPerThread) {
   if (!kObsCompiledIn) GTEST_SKIP() << "built with NEURO_OBS=OFF";
   Tracer::Options options;
   options.max_events_per_stream = 4;
   Tracer tracer(true, options);
-  for (int i = 0; i < 10; ++i) {
-    tracer.span("s").close();
-  }
-  EXPECT_EQ(tracer.event_count(), 4u);
-  EXPECT_EQ(tracer.dropped_count(), 6u);
+  const auto worker = [&tracer](int rank, int n) {
+    ScopedThreadRank scoped(rank);
+    for (int i = 0; i < n; ++i) tracer.span("s").close();
+  };
+  std::thread rank0(worker, 0, 10);  // drops 6
+  std::thread rank1(worker, 1, 7);   // drops 3
+  rank0.join();
+  rank1.join();
+  EXPECT_EQ(tracer.event_count(), 8u);
+  EXPECT_EQ(tracer.dropped_count(), 9u);
   std::ostringstream os;
   tracer.write_chrome_trace(os);
-  EXPECT_NE(os.str().find("trace_truncated"), std::string::npos);
+  const std::string trace = os.str();
+  // Loss is attributed per thread, not as one process-wide flag: an instant
+  // on each affected rank's track with its own drop count, plus a matching
+  // "trace_dropped" counter series.
+  EXPECT_NE(trace.find(R"("trace_truncated","args":{"dropped":6,"rank":0})"),
+            std::string::npos);
+  EXPECT_NE(trace.find(R"("trace_truncated","args":{"dropped":3,"rank":1})"),
+            std::string::npos);
+  EXPECT_NE(trace.find(R"("trace_dropped","args":{"value":6})"),
+            std::string::npos);
+  EXPECT_NE(trace.find(R"("trace_dropped","args":{"value":3})"),
+            std::string::npos);
 }
 
 TEST(Tracer, MultiRankMergeIsDeterministic) {

@@ -5,6 +5,9 @@
 // a crashed solve, and drain/shutdown with zero lost or deadlocked requests.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -363,6 +366,139 @@ TEST_F(ServiceTest, ServiceInstrumentsAreRegistered) {
             rejected + 1);
   EXPECT_EQ(m.counter("service.failed").value(), failed + 1);
   EXPECT_EQ(histogram.total_count(), observed + 1);
+}
+
+TEST(RollingWindowTest, QuantilesAttainmentAndHistory) {
+  RollingWindow window(4);
+  EXPECT_EQ(window.quantile(0.5), 0.0);        // empty: well-defined zeros
+  EXPECT_EQ(window.fraction_within(1.0), 1.0);  // vacuously attained
+
+  window.add(1.0);
+  window.add(2.0);
+  window.add(3.0);
+  window.add(4.0);
+  EXPECT_EQ(window.quantile(0.50), 2.0);  // nearest-rank: ceil(0.5*4) = 2nd
+  EXPECT_EQ(window.quantile(0.99), 4.0);
+  EXPECT_EQ(window.fraction_within(2.0), 0.5);
+
+  window.add(10.0);  // evicts the oldest (1.0); window is now {2,3,4,10}
+  EXPECT_EQ(window.count(), 4u);
+  EXPECT_EQ(window.total(), 5u);
+  EXPECT_EQ(window.quantile(0.99), 10.0);
+  const std::vector<double> history = window.history();
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.front(), 2.0);  // oldest first
+  EXPECT_EQ(history.back(), 10.0);
+}
+
+TEST_F(ServiceTest, SnapshotPublishesSloTelemetry) {
+  ServerOptions options;
+  options.workers = 1;
+  options.telemetry.window = 8;
+  options.telemetry.slo_target_seconds = 300.0;  // generous: both attain
+  SessionServer server(options);
+  const SessionId session = open_session(server);
+
+  auto t1 = server.submit(session, (*cases_)[0].intraop);
+  auto t2 = server.submit(session, (*cases_)[1].intraop);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(server.wait(t1.value()).status.ok());
+  ASSERT_TRUE(server.wait(t2.value()).status.ok());
+
+  std::ostringstream os;
+  server.publish_snapshot(os);
+  const std::string snapshot = os.str();
+  EXPECT_NE(snapshot.find("\"schema\":\"neuro.snapshot.v1\""),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("\"sequence\":1"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"target_seconds\":300"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"session\":" +
+                          std::to_string(session.value())),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("\"attainment\":1"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"metrics\":["), std::string::npos);
+
+  // Publishing refreshed the SLO gauges from the rolling window.
+  auto& m = obs::metrics();
+  const double p50 =
+      m.gauge("service.slo.p50_time_to_field_seconds").value();
+  const double p99 =
+      m.gauge("service.slo.p99_time_to_field_seconds").value();
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_EQ(m.gauge("service.slo.attainment_ratio").value(), 1.0);
+  EXPECT_EQ(m.gauge("service.slo.target_seconds").value(), 300.0);
+
+  // A second publish advances the sequence number.
+  std::ostringstream os2;
+  server.publish_snapshot(os2);
+  EXPECT_NE(os2.str().find("\"sequence\":2"), std::string::npos);
+}
+
+TEST_F(ServiceTest, PublisherThreadWritesSnapshotFile) {
+  const std::string path = ::testing::TempDir() + "neuro_snapshot.json";
+  std::remove(path.c_str());
+  {
+    ServerOptions options;
+    options.workers = 1;
+    options.telemetry.publish_interval_seconds = 0.002;
+    options.telemetry.snapshot_path = path;
+    SessionServer server(options);
+    const SessionId session = open_session(server);
+    auto ticket = server.submit(session, (*cases_)[0].intraop);
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE(server.wait(ticket.value()).status.ok());
+    server.shutdown();  // joins the publisher, writes the terminal snapshot
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"schema\":\"neuro.snapshot.v1\""),
+            std::string::npos);
+  EXPECT_NE(buf.str().find("\"usable\":1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, AdmissionRejectionStormTriggersRecorder) {
+  auto& storm_counter =
+      obs::metrics().counter("obs.recorder.triggers.admission_storm");
+  const std::int64_t before = storm_counter.value();
+
+  ServerOptions options;
+  options.workers = 0;
+  options.queue_capacity = 1;
+  options.telemetry.admission_storm_threshold = 3;
+  SessionServer server(options);
+  const SessionId session = open_session(server);
+  ASSERT_TRUE(server.submit(session, (*cases_)[0].intraop).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(server.submit(session, (*cases_)[1].intraop).ok());
+  }
+  // Exactly one trigger: the storm fires when the consecutive-rejection
+  // count crosses the threshold, not on every rejection after it.
+  EXPECT_EQ(storm_counter.value(), before + 1);
+  server.shutdown();
+}
+
+TEST_F(ServiceTest, RetryPathRecordsBackoffTelemetry) {
+  auto& m = obs::metrics();
+  auto& backoff = m.histogram("service.backoff_seconds",
+                              {0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
+  const std::int64_t observed = backoff.total_count();
+  const std::int64_t comm_triggers =
+      m.counter("obs.recorder.triggers.comm_fault").value();
+
+  const RequestReport report = run_seeded_fault_campaign(*cases_);
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_EQ(report.retries, 1);
+  // One retry -> one backoff observation, and the terminal comm failure
+  // noted a comm_fault trigger (the recorder is unarmed here, so it counts
+  // without writing a bundle).
+  EXPECT_EQ(backoff.total_count(), observed + 1);
+  EXPECT_GE(m.counter("obs.recorder.triggers.comm_fault").value(),
+            comm_triggers + 1);
 }
 
 }  // namespace

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file exported by neuro::obs.
+"""Validate observability artifacts exported by neuro::obs.
 
-Checks, in order:
+Default mode — Chrome trace-event JSON (Tracer::write_chrome_trace):
 
   1. Schema: top-level {"traceEvents": [...]}, every event a dict with a
      known phase ("M" metadata, "X" complete span, "C" counter, "I" instant),
-     required fields per phase, non-negative ts/dur.
+     required fields per phase, non-negative ts/dur, finite counter values.
   2. Thread naming: every pid/tid that carries span or counter events has a
      thread_name metadata event; tid 0 is "main", tid N+1 is "rank N" --
      exactly one Perfetto thread per rank.
@@ -15,19 +15,38 @@ Checks, in order:
      (child fully contained in parent) or are disjoint; partial overlap
      means a Span outlived its parent scope and the trace would render
      nonsense in Perfetto.
-  5. Truncation: a "trace_truncated" instant event (emitted when the
-     per-stream cap dropped events) fails validation unless
-     --allow-truncated is given.
+  5. Truncation: "trace_truncated" instant events (one per rank whose stream
+     dropped events) fail validation unless --allow-truncated is given; the
+     failure message sums the per-rank drop counts.
 
 With --expect-pipeline the trace must additionally look like a full
 run_intraop_pipeline run (ISSUE 5 acceptance): one span per pipeline stage,
 at least one "fem.rung" span per degradation rung attempted, and at least one
 Krylov per-iteration span carrying a "residual" attribute.
 
+Bundle mode (--bundle) — flight-recorder post-mortem JSON
+(obs::FlightRecorder::write_bundle, schema neuro.postmortem.v1):
+
+  1. Schema: required top-level sections (trigger, provenance, streams,
+     ring, metrics, residual_history) with well-formed contents.
+  2. Trigger: a known kind, and the ring must retain the "recorder.trigger"
+     span whose args.trigger matches it (the bundle explains itself).
+  3. Retention: ring capacity >= --min-ring (default 1000); per stream,
+     retained == min(recorded, capacity) and wrapped == max(0,
+     recorded - capacity) -- the ring keeps the *last* N events, always.
+  4. Rank coverage: with --expect-ranks N, stream stats for ranks 0..N-1
+     must all be present (the dump merged every rank's ring).
+  5. Residual history: per (solver, rank), iteration numbers strictly
+     increase and residuals are finite.
+
 Usage: check_trace.py trace.json [--expect-pipeline] [--allow-truncated]
+       check_trace.py postmortem.json --bundle [--min-ring N]
+                      [--expect-ranks N] [--expect-trigger KIND]
 """
 
+import argparse
 import json
+import math
 import sys
 
 # Nesting comparisons tolerate the exporter's 3-decimal microsecond rounding.
@@ -41,6 +60,10 @@ PIPELINE_STAGES = [
     "pipeline.visualization_resample",
 ]
 KRYLOV_SPANS = ("gmres.iteration", "cg.iteration", "bicgstab.iteration")
+BUNDLE_TRIGGERS = (
+    "manual", "degradation", "watchdog", "comm_fault", "deadline_miss",
+    "admission_storm", "check_failure", "fatal_signal",
+)
 
 
 def fail(errors, msg):
@@ -72,6 +95,11 @@ def check_schema(events, errors):
             args = e.get("args")
             if not isinstance(args, dict) or "value" not in args:
                 fail(errors, f"event {i} ({e.get('name')}): counter missing args.value")
+            else:
+                value = args["value"]
+                if not isinstance(value, (int, float)) or not math.isfinite(value):
+                    fail(errors, f"event {i} ({e.get('name')}): counter value "
+                                 f"{value!r} is not a finite number")
 
 
 def check_threads(events, errors):
@@ -167,14 +195,171 @@ def check_pipeline_expectations(events, errors):
             break
 
 
-def main(argv):
-    paths = [a for a in argv[1:] if not a.startswith("--")]
-    flags = {a for a in argv[1:] if a.startswith("--")}
-    unknown = flags - {"--expect-pipeline", "--allow-truncated"}
-    if len(paths) != 1 or unknown:
-        raise SystemExit(__doc__)
+def check_bundle_streams(bundle, min_ring, expect_ranks, errors):
+    capacity = bundle.get("ring", {}).get("capacity")
+    if not isinstance(capacity, int) or capacity < min_ring:
+        fail(errors, f"ring capacity {capacity!r} is below the retention "
+                     f"contract of {min_ring} events per rank")
+        return
+    streams = bundle.get("streams")
+    if not isinstance(streams, list) or not streams:
+        fail(errors, "bundle has no stream stats")
+        return
+    ranks = set()
+    for i, s in enumerate(streams):
+        if not isinstance(s, dict):
+            fail(errors, f"stream {i}: not an object")
+            continue
+        fields = {}
+        for key in ("rank", "recorded", "retained", "wrapped", "dropped"):
+            v = s.get(key)
+            if not isinstance(v, int) or (key != "rank" and v < 0):
+                fail(errors, f"stream {i}: bad {key} {v!r}")
+                v = None
+            fields[key] = v
+        if None in fields.values():
+            continue
+        ranks.add(fields["rank"])
+        # The ring keeps the last N events: never fewer than min(recorded,
+        # capacity) retained, and exactly one wrap per overwritten slot.
+        want_retained = min(fields["recorded"], capacity)
+        if fields["retained"] != want_retained:
+            fail(errors, f"stream rank {fields['rank']}: retained "
+                         f"{fields['retained']} != min(recorded, capacity) "
+                         f"= {want_retained}")
+        want_wrapped = max(0, fields["recorded"] - capacity)
+        if fields["wrapped"] != want_wrapped:
+            fail(errors, f"stream rank {fields['rank']}: wrapped "
+                         f"{fields['wrapped']} != max(0, recorded - capacity) "
+                         f"= {want_wrapped}")
+    if expect_ranks is not None:
+        missing = sorted(set(range(expect_ranks)) - ranks)
+        if missing:
+            fail(errors, f"bundle lacks stream stats for ranks {missing} "
+                         f"(have {sorted(ranks)})")
+    events = bundle.get("ring", {}).get("events", [])
+    total_retained = sum(s.get("retained", 0) for s in streams
+                         if isinstance(s, dict))
+    if isinstance(events, list) and len(events) != total_retained:
+        fail(errors, f"ring has {len(events)} events but streams claim "
+                     f"{total_retained} retained")
 
-    with open(paths[0]) as f:
+
+def check_bundle_events(bundle, errors):
+    events = bundle.get("ring", {}).get("events")
+    if not isinstance(events, list):
+        fail(errors, "ring.events is not a list")
+        return
+    redacted = bundle.get("provenance", {}).get("redact_timing", False)
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(errors, f"ring event {i}: not an object")
+            return
+        if not isinstance(e.get("name"), str) or e.get("kind") not in ("span", "counter"):
+            fail(errors, f"ring event {i}: missing name or unknown kind "
+                         f"{e.get('kind')!r}")
+            return
+        if not isinstance(e.get("rank"), int) or not isinstance(e.get("seq"), int):
+            fail(errors, f"ring event {i} ({e.get('name')}): missing rank/seq")
+            return
+        if not redacted and not isinstance(e.get("ts_us"), (int, float)):
+            fail(errors, f"ring event {i} ({e.get('name')}): missing ts_us in "
+                         "an unredacted bundle")
+            return
+        if e["kind"] == "counter":
+            value = e.get("value")
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                fail(errors, f"ring event {i} ({e.get('name')}): counter value "
+                             f"{value!r} is not a finite number")
+                return
+
+    trigger_kind = bundle.get("trigger", {}).get("kind")
+    marks = [e for e in events
+             if isinstance(e, dict) and e.get("name") == "recorder.trigger"]
+    if not any(e.get("args", {}).get("trigger") == trigger_kind for e in marks):
+        fail(errors, f"ring retains no 'recorder.trigger' span matching the "
+                     f"bundle trigger {trigger_kind!r} (the incident that "
+                     "caused the dump must itself be in the ring)")
+
+
+def check_bundle_residuals(bundle, errors):
+    history = bundle.get("residual_history")
+    if not isinstance(history, list):
+        fail(errors, "residual_history is not a list")
+        return
+    last = {}
+    for i, row in enumerate(history):
+        if not isinstance(row, dict):
+            fail(errors, f"residual_history[{i}]: not an object")
+            return
+        solver, rank = row.get("solver"), row.get("rank")
+        iteration, residual = row.get("iteration"), row.get("residual")
+        if not isinstance(solver, str) or not isinstance(rank, int) \
+                or not isinstance(iteration, int) \
+                or not isinstance(residual, (int, float)):
+            fail(errors, f"residual_history[{i}]: malformed row {row!r}")
+            return
+        if not math.isfinite(residual) or residual < 0:
+            fail(errors, f"residual_history[{i}]: residual {residual!r} is "
+                         "not a finite non-negative number")
+        key = (solver, rank)
+        if key in last and iteration <= last[key]:
+            fail(errors, f"residual_history[{i}]: {solver} rank {rank} "
+                         f"iteration {iteration} does not increase past "
+                         f"{last[key]} (history must be iteration-monotone "
+                         "per solver and rank)")
+        last[key] = iteration
+
+
+def check_bundle(bundle, args, errors):
+    if bundle.get("schema") != "neuro.postmortem.v1":
+        fail(errors, f"schema {bundle.get('schema')!r} != 'neuro.postmortem.v1'")
+        return
+    trigger = bundle.get("trigger")
+    if not isinstance(trigger, dict) or trigger.get("kind") not in BUNDLE_TRIGGERS:
+        kind = trigger.get("kind") if isinstance(trigger, dict) else None
+        fail(errors, f"trigger kind {kind!r} is not one of {BUNDLE_TRIGGERS}")
+        return
+    if args.expect_trigger and trigger["kind"] != args.expect_trigger:
+        fail(errors, f"trigger kind {trigger['kind']!r} != expected "
+                     f"{args.expect_trigger!r}")
+    provenance = bundle.get("provenance")
+    if not isinstance(provenance, dict) or "build_type" not in provenance \
+            or not isinstance(provenance.get("env"), dict):
+        fail(errors, "provenance section is missing or malformed")
+    metrics = bundle.get("metrics")
+    if not isinstance(metrics, list) or not all(
+            isinstance(m, dict) and isinstance(m.get("name"), str)
+            and m.get("type") in ("counter", "gauge", "histogram")
+            for m in metrics):
+        fail(errors, "metrics section is not a list of typed instruments")
+    check_bundle_streams(bundle, args.min_ring, args.expect_ranks, errors)
+    check_bundle_events(bundle, errors)
+    check_bundle_residuals(bundle, errors)
+
+
+def run_bundle_mode(args):
+    with open(args.path) as f:
+        bundle = json.load(f)
+    if not isinstance(bundle, dict):
+        raise SystemExit("FAIL: top level is not a JSON object")
+    errors = []
+    check_bundle(bundle, args, errors)
+    for msg in errors:
+        print(f"FAIL: {msg}")
+    if errors:
+        return 1
+    streams = bundle["streams"]
+    events = bundle["ring"]["events"]
+    print(f"OK: bundle trigger '{bundle['trigger']['kind']}', "
+          f"{len(events)} ring events across {len(streams)} streams, "
+          f"{len(bundle['residual_history'])} residual rows; retention and "
+          "schema valid")
+    return 0
+
+
+def run_trace_mode(args):
+    with open(args.path) as f:
         trace = json.load(f)
     if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
         raise SystemExit("FAIL: top level is not {\"traceEvents\": [...]}")
@@ -183,14 +368,15 @@ def main(argv):
     errors = []
     check_schema(events, errors)
     if not errors:
-        used = check_threads(events, errors)
+        check_threads(events, errors)
         check_monotonic_and_nesting(events, errors)
         truncated = [e for e in events if e.get("name") == "trace_truncated"]
-        if truncated and "--allow-truncated" not in flags:
-            dropped = truncated[0].get("args", {}).get("dropped", "?")
-            fail(errors, f"trace is truncated ({dropped} events dropped by the "
-                         "per-stream cap)")
-        if "--expect-pipeline" in flags:
+        if truncated and not args.allow_truncated:
+            total = sum(e.get("args", {}).get("dropped", 0) for e in truncated)
+            ranks = sorted(e.get("args", {}).get("rank", "?") for e in truncated)
+            fail(errors, f"trace is truncated ({total} events dropped by the "
+                         f"per-stream cap across ranks {ranks})")
+        if args.expect_pipeline:
             check_pipeline_expectations(events, errors)
 
     for msg in errors:
@@ -204,6 +390,26 @@ def main(argv):
     print(f"OK: {n_spans} spans, {n_counters} counter samples across "
           f"{n_threads} threads; schema, nesting and thread naming valid")
     return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("path", help="trace or bundle JSON file")
+    parser.add_argument("--bundle", action="store_true",
+                        help="validate a post-mortem bundle instead of a trace")
+    parser.add_argument("--expect-pipeline", action="store_true",
+                        help="trace mode: require full-pipeline span structure")
+    parser.add_argument("--allow-truncated", action="store_true",
+                        help="trace mode: tolerate trace_truncated instants")
+    parser.add_argument("--min-ring", type=int, default=1000,
+                        help="bundle mode: minimum ring capacity (default 1000)")
+    parser.add_argument("--expect-ranks", type=int, default=None,
+                        help="bundle mode: require stream stats for ranks 0..N-1")
+    parser.add_argument("--expect-trigger", default=None,
+                        help="bundle mode: require this trigger kind")
+    args = parser.parse_args(argv[1:])
+    return run_bundle_mode(args) if args.bundle else run_trace_mode(args)
 
 
 if __name__ == "__main__":

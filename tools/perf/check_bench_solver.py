@@ -42,6 +42,13 @@ the perf contracts of the block-CSR and observability work:
      at least 1.5x.  Auto-skipped when the runtime dispatch resolves to
      "scalar" (label field) -- a machine without SSE2/AVX2/NEON has no
      vector kernel to gate.
+  7. Flight-recorder ring mode must stay black-box cheap: a disabled
+     ring-mode span (BM_RingRecordOverhead/enabled:0) obeys the same
+     50 ns inert-span bound, and steady-state ring recording with the
+     solver attr payload (enabled:1, the ring wrapping on every record)
+     at most 2x the legacy enabled-span bound (10 us).  The ring replaces
+     truncate-and-drop, so this is the permanent cost of always-on
+     post-mortem retention.
 
 Usage: check_bench_solver.py BENCH_solver.json
 """
@@ -53,6 +60,11 @@ BSR_MIN_SPEEDUP = 1.5
 CGS_MAX_ROUNDS_PER_ITER = 3.0
 DISABLED_SPAN_MAX_NS = 50.0
 ENABLED_ATTR_SPAN_MAX_NS = 5000.0
+# Flight-recorder ring mode (BM_RingRecordOverhead): steady-state wrapping
+# must stay within 2x the legacy attr-span bound, and the disabled path is
+# the same inert Span as BM_SpanOverhead/enabled:0.
+RING_RECORD_MAX_NS = 2.0 * ENABLED_ATTR_SPAN_MAX_NS
+RING_DISABLED_MAX_NS = DISABLED_SPAN_MAX_NS
 MATRIX_FREE_MIN_SPEEDUP = 1.3
 SIMD_KERNEL_MIN_SPEEDUP = 1.5
 
@@ -93,6 +105,10 @@ def main(path):
     attr_on = need("BM_SpanWithAttrsOverhead/enabled:1")
     print(f"span overhead: disabled {cpu_ns(span_off):.1f} ns, enabled "
           f"{cpu_ns(span_on):.1f} ns, enabled+attrs {cpu_ns(attr_on):.1f} ns")
+    ring_off = need("BM_RingRecordOverhead/enabled:0")
+    ring_on = need("BM_RingRecordOverhead/enabled:1")
+    print(f"ring record overhead: disabled {cpu_ns(ring_off):.1f} ns, "
+          f"enabled {cpu_ns(ring_on):.1f} ns (steady-state wrap)")
 
     context = record.get("context", {})
     build_type = context.get("neuro_build_type", "missing")
@@ -158,6 +174,16 @@ def main(path):
             f"enabled span with attrs costs {cpu_ns(attr_on):.1f} ns, above "
             f"gate {ENABLED_ATTR_SPAN_MAX_NS:.0f} ns -- a lock or allocation "
             "has crept onto the record path")
+    if cpu_ns(ring_off) > RING_DISABLED_MAX_NS:
+        failures.append(
+            f"disabled ring record costs {cpu_ns(ring_off):.1f} ns, above "
+            f"gate {RING_DISABLED_MAX_NS:.0f} ns -- ring mode must not touch "
+            "the inert-span fast path")
+    if cpu_ns(ring_on) > RING_RECORD_MAX_NS:
+        failures.append(
+            f"enabled ring record costs {cpu_ns(ring_on):.1f} ns, above gate "
+            f"{RING_RECORD_MAX_NS:.0f} ns -- the flight-recorder wrap path "
+            "must stay within 2x the legacy attr-span bound")
     if speedup < BSR_MIN_SPEEDUP:
         failures.append(
             f"BSR SpMV speedup {speedup:.2f}x below gate {BSR_MIN_SPEEDUP}x")
